@@ -1,0 +1,218 @@
+//! Candidate prefix trie.
+//!
+//! Both Apriori counting and AIS frontier-matching need, per transaction,
+//! the set of stored k-itemsets contained in the transaction. The trie
+//! stores lexicographically sorted itemsets; matching walks transaction
+//! items (also sorted) against trie children, which visits each contained
+//! candidate exactly once.
+
+/// A trie over sorted `u32` itemsets of uniform length.
+pub struct CandidateTrie {
+    k: usize,
+    nodes: Vec<Node>,
+    n_candidates: usize,
+}
+
+struct Node {
+    /// Sorted `(item, child index)` pairs.
+    children: Vec<(u32, u32)>,
+    /// Candidate id if this node completes a stored itemset.
+    candidate: Option<u32>,
+}
+
+impl CandidateTrie {
+    /// An empty trie for itemsets of length `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        CandidateTrie {
+            k,
+            nodes: vec![Node { children: Vec::new(), candidate: None }],
+            n_candidates: 0,
+        }
+    }
+
+    /// Itemset length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of stored candidates.
+    pub fn len(&self) -> usize {
+        self.n_candidates
+    }
+
+    /// Whether the trie is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n_candidates == 0
+    }
+
+    /// Insert a sorted itemset; returns its candidate id (insertion
+    /// order). Duplicate inserts return the existing id.
+    pub fn insert(&mut self, itemset: &[u32]) -> u32 {
+        debug_assert_eq!(itemset.len(), self.k);
+        debug_assert!(itemset.windows(2).all(|w| w[0] < w[1]), "itemset must be sorted");
+        let mut node = 0usize;
+        for &item in itemset {
+            node = match self.nodes[node].children.binary_search_by_key(&item, |c| c.0) {
+                Ok(pos) => self.nodes[node].children[pos].1 as usize,
+                Err(pos) => {
+                    let idx = self.nodes.len() as u32;
+                    self.nodes.push(Node { children: Vec::new(), candidate: None });
+                    self.nodes[node].children.insert(pos, (item, idx));
+                    idx as usize
+                }
+            };
+        }
+        if let Some(id) = self.nodes[node].candidate {
+            return id;
+        }
+        let id = self.n_candidates as u32;
+        self.nodes[node].candidate = Some(id);
+        self.n_candidates += 1;
+        id
+    }
+
+    /// Whether a sorted itemset is stored.
+    pub fn contains(&self, itemset: &[u32]) -> bool {
+        let mut node = 0usize;
+        for &item in itemset {
+            match self.nodes[node].children.binary_search_by_key(&item, |c| c.0) {
+                Ok(pos) => node = self.nodes[node].children[pos].1 as usize,
+                Err(_) => return false,
+            }
+        }
+        self.nodes[node].candidate.is_some()
+    }
+
+    /// Visit every stored candidate contained in the sorted transaction.
+    /// The callback receives `(candidate id, index in txn of the
+    /// candidate's last item)` — the index lets AIS extend the candidate
+    /// with items occurring later in the transaction.
+    pub fn for_each_contained<F: FnMut(u32, usize)>(&self, txn: &[u32], mut f: F) {
+        self.walk(0, txn, 0, &mut f);
+    }
+
+    fn walk<F: FnMut(u32, usize)>(&self, node: usize, txn: &[u32], start: usize, f: &mut F) {
+        let n = &self.nodes[node];
+        if n.children.is_empty() {
+            return;
+        }
+        for i in start..txn.len() {
+            if let Ok(pos) = n.children.binary_search_by_key(&txn[i], |c| c.0) {
+                let child = n.children[pos].1 as usize;
+                if let Some(id) = self.nodes[child].candidate {
+                    f(id, i);
+                }
+                self.walk(child, txn, i + 1, f);
+            }
+        }
+    }
+
+    /// Count, into `counts` (indexed by candidate id), every candidate
+    /// contained in the transaction.
+    pub fn count_contained(&self, txn: &[u32], counts: &mut [u64]) {
+        self.for_each_contained(txn, |id, _| counts[id as usize] += 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut t = CandidateTrie::new(2);
+        assert!(t.is_empty());
+        let a = t.insert(&[1, 3]);
+        let b = t.insert(&[1, 4]);
+        let c = t.insert(&[2, 4]);
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(&[1, 3]));
+        assert!(t.contains(&[2, 4]));
+        assert!(!t.contains(&[1, 2]));
+        assert!(!t.contains(&[3, 4]));
+    }
+
+    #[test]
+    fn duplicate_insert_returns_same_id() {
+        let mut t = CandidateTrie::new(2);
+        let a = t.insert(&[5, 9]);
+        let b = t.insert(&[5, 9]);
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn matching_visits_exactly_the_contained_candidates() {
+        let mut t = CandidateTrie::new(2);
+        t.insert(&[1, 2]); // id 0
+        t.insert(&[1, 5]); // id 1
+        t.insert(&[2, 5]); // id 2
+        t.insert(&[3, 4]); // id 3
+        let mut counts = vec![0u64; 4];
+        t.count_contained(&[1, 2, 5], &mut counts);
+        assert_eq!(counts, vec![1, 1, 1, 0]);
+        t.count_contained(&[3, 4], &mut counts);
+        assert_eq!(counts, vec![1, 1, 1, 1]);
+        t.count_contained(&[9], &mut counts);
+        assert_eq!(counts, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn last_item_positions_enable_extension() {
+        let mut t = CandidateTrie::new(2);
+        t.insert(&[1, 3]);
+        let mut hits = Vec::new();
+        t.for_each_contained(&[1, 2, 3, 7], |id, last| hits.push((id, last)));
+        // {1,3} matched with its last item at txn position 2.
+        assert_eq!(hits, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn triple_candidates_count_correctly() {
+        let mut t = CandidateTrie::new(3);
+        t.insert(&[1, 2, 3]);
+        t.insert(&[1, 2, 4]);
+        t.insert(&[2, 3, 4]);
+        let mut counts = vec![0u64; 3];
+        t.count_contained(&[1, 2, 3, 4], &mut counts);
+        assert_eq!(counts, vec![1, 1, 1]);
+        let mut counts = vec![0u64; 3];
+        t.count_contained(&[1, 2, 4], &mut counts);
+        assert_eq!(counts, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn brute_force_equivalence_on_random_sets() {
+        // Deterministic pseudo-random candidates and transactions.
+        let mut state = 0xABCDu32;
+        let mut rand = move || {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            state >> 16
+        };
+        let k = 3;
+        let mut t = CandidateTrie::new(k);
+        let mut candidates: Vec<Vec<u32>> = Vec::new();
+        while candidates.len() < 40 {
+            let mut c: Vec<u32> = (0..k).map(|_| 1 + rand() % 15).collect();
+            c.sort_unstable();
+            c.dedup();
+            if c.len() == k && !candidates.contains(&c) {
+                t.insert(&c);
+                candidates.push(c);
+            }
+        }
+        for _ in 0..200 {
+            let mut txn: Vec<u32> = (0..6).map(|_| 1 + rand() % 15).collect();
+            txn.sort_unstable();
+            txn.dedup();
+            let mut counts = vec![0u64; candidates.len()];
+            t.count_contained(&txn, &mut counts);
+            for (i, c) in candidates.iter().enumerate() {
+                let contained = c.iter().all(|x| txn.binary_search(x).is_ok());
+                assert_eq!(counts[i], contained as u64, "candidate {c:?} in txn {txn:?}");
+            }
+        }
+    }
+}

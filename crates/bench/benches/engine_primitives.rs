@@ -1,0 +1,105 @@
+//! Microbenchmarks of the storage-engine primitives SETM is built from:
+//! external sort, merge-scan join, grouped counting, and B+-tree probes.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setm_relational::agg::grouped_count;
+use setm_relational::btree::BulkLoader;
+use setm_relational::join::merge_scan_join;
+use setm_relational::sort::{external_sort, SortOptions};
+use setm_relational::{HeapFile, Pager};
+
+fn make_rows(n: u32, seed: u32) -> Vec<Vec<u32>> {
+    let mut state = seed;
+    (0..n)
+        .map(|i| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            vec![state % 997, i]
+        })
+        .collect()
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("external_sort");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[10_000u32, 100_000] {
+        let rows = make_rows(n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &rows, |b, rows| {
+            b.iter(|| {
+                let pager = Pager::shared();
+                let f = HeapFile::from_rows(pager, 2, rows.iter().map(|r| r.as_slice()))
+                    .expect("build");
+                external_sort(&f, &[0, 1], SortOptions { buffer_pages: 64 }).expect("sort")
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("merge_scan_join");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    for &n in &[10_000u32, 50_000] {
+        // Sorted (tid, item) relations, ~5 items per tid.
+        let rows: Vec<Vec<u32>> = (0..n).map(|i| vec![i / 5, i % 5]).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &rows, |b, rows| {
+            b.iter(|| {
+                let pager = Pager::shared();
+                let l = HeapFile::from_rows(pager.clone(), 2, rows.iter().map(|r| r.as_slice()))
+                    .expect("build");
+                let r = HeapFile::from_rows(pager, 2, rows.iter().map(|r| r.as_slice()))
+                    .expect("build");
+                merge_scan_join(&l, &r, &[0], &[0], 3, |a, b| b[1] > a[1], |a, b, out| {
+                    out.extend_from_slice(a);
+                    out.push(b[1]);
+                })
+                .expect("join")
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("grouped_count");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+    {
+        let rows: Vec<Vec<u32>> = (0..100_000u32).map(|i| vec![i / 50, i]).collect();
+        group.bench_function("100k_rows", |b| {
+            b.iter(|| {
+                let pager = Pager::shared();
+                let f = HeapFile::from_rows(pager, 2, rows.iter().map(|r| r.as_slice()))
+                    .expect("build");
+                grouped_count(&f, &[0], 10).expect("count")
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("btree_probe");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(20);
+    {
+        let pager = Pager::shared();
+        let mut loader = BulkLoader::new(pager, 2);
+        for i in 0..500_000u32 {
+            loader.push(&[i / 500, i % 500]).expect("push");
+        }
+        let mut tree = loader.finish().expect("finish");
+        tree.cache_internal_nodes().expect("cache");
+        group.bench_function("prefix_scan_500k_keys", |b| {
+            let mut probe = 0u32;
+            b.iter(|| {
+                probe = (probe + 17) % 1000;
+                tree.count_prefix(&[probe]).expect("probe")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

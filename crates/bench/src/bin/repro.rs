@@ -1,0 +1,308 @@
+//! Reproduction harness: regenerates every table and figure of
+//! Houtsma & Swami (ICDE 1995).
+//!
+//! ```text
+//! cargo run --release -p setm-bench --bin repro -- <target>
+//!
+//! targets:
+//!   example    Figures 1-3 + the Section 5 rule listing (worked example)
+//!   fig5       Figure 5  — size of relation R_i per iteration
+//!   fig6       Figure 6  — cardinality of C_i per iteration
+//!   table1     Section 6.2 — SETM execution time vs minimum support
+//!   analysis   Sections 3.2/4.3 — analytical cost comparison + measured
+//!              validation on the paged engine
+//!   baselines  E7 extension — SETM vs AIS vs Apriori vs Apriori-TID
+//!   ablation   E8 — sort-order tracking, filter-R1 and buffer-cache knobs
+//!   all        everything above, in order
+//! ```
+
+use setm_baselines::{ais, apriori, apriori_tid};
+use setm_core::nested_loop::{mine_nested_loop, NestedLoopOptions};
+use setm_core::setm::engine::{mine_on_engine, EngineOptions};
+use setm_core::setm::memory;
+use setm_core::setm::SetmOptions;
+use setm_core::{example, generate_rules, setm, MinSupport, MiningParams};
+use setm_costmodel::ComparisonReport;
+use setm_datagen::{DatasetStats, QuestConfig, RetailConfig, UniformConfig};
+use std::time::{Duration, Instant};
+
+const RETAIL_SUPPORTS: [f64; 5] = [0.001, 0.005, 0.01, 0.02, 0.05];
+
+fn main() {
+    let target = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match target.as_str() {
+        "example" => repro_example(),
+        "fig5" => repro_fig5(),
+        "fig6" => repro_fig6(),
+        "table1" => repro_table1(),
+        "analysis" => repro_analysis(),
+        "baselines" => repro_baselines(),
+        "ablation" => repro_ablation(),
+        "all" => {
+            repro_example();
+            repro_fig5();
+            repro_fig6();
+            repro_table1();
+            repro_analysis();
+            repro_baselines();
+            repro_ablation();
+        }
+        other => {
+            eprintln!("unknown target {other}; see the source header for targets");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n==== {title} ====\n");
+}
+
+fn letters(pattern: &[u32]) -> String {
+    pattern
+        .iter()
+        .map(|&i| example::item_letter(i).to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn repro_example() {
+    banner("Worked example (Section 4.2, Figures 1-3, Section 5)");
+    let d = example::paper_example_dataset();
+    let params = example::paper_example_params();
+    let result = setm::mine(&d, &params);
+    for k in 1..=result.max_pattern_len() {
+        let c = result.c(k).expect("level exists");
+        println!("C{k}:");
+        for (pattern, count) in c.iter() {
+            println!("  {:<8} {}", letters(pattern), count);
+        }
+    }
+    println!("\nRules at 70% confidence ([confidence, support]):");
+    for rule in generate_rules(&result, params.min_confidence) {
+        println!("  {}", example::format_rule_lettered(&rule));
+    }
+    println!("\nIteration trace:");
+    for t in &result.trace {
+        println!(
+            "  k={}: |R'_{}|={:<3} |R_{}|={:<3} |C_{}|={}",
+            t.k, t.k, t.r_prime_tuples, t.k, t.r_tuples, t.k, t.c_len
+        );
+    }
+}
+
+fn retail_sweep() -> Vec<(f64, setm_core::SetmResult, Duration)> {
+    let dataset = RetailConfig::paper().generate();
+    let stats = DatasetStats::of(&dataset);
+    println!(
+        "dataset: {} txns, {} rows, avg {:.3} items/txn, |C1@0.1%| = {}",
+        stats.n_transactions,
+        stats.n_rows,
+        stats.avg_transaction_len,
+        stats.items_with_support_at_least(47)
+    );
+    RETAIL_SUPPORTS
+        .iter()
+        .map(|&frac| {
+            let params = MiningParams::new(MinSupport::Fraction(frac), 0.5);
+            // Best of three to stabilize the timing column.
+            let mut best = Duration::MAX;
+            let mut result = None;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let r = setm::mine(&dataset, &params);
+                best = best.min(t0.elapsed());
+                result = Some(r);
+            }
+            (frac, result.expect("three runs happened"), best)
+        })
+        .collect()
+}
+
+fn repro_fig5() {
+    banner("Figure 5 — size of relation R_i (Kbytes) per iteration");
+    let sweep = retail_sweep();
+    print!("{:>9}", "minsup");
+    for i in 1..=4 {
+        print!("{:>11}", format!("R_{i} (KB)"));
+    }
+    println!();
+    for (frac, result, _) in &sweep {
+        print!("{:>8.2}%", frac * 100.0);
+        for i in 1..=4 {
+            let kb = result.trace.iter().find(|t| t.k == i).map(|t| t.r_kbytes).unwrap_or(0.0);
+            print!("{:>11.1}", kb);
+        }
+        println!();
+    }
+    println!("\npaper shape: |R_1| fixed at 115,568 tuples (~903 KB); R_i shrinks");
+    println!("sharply after iteration 2, faster for larger minimum support; R_4 = 0.");
+}
+
+fn repro_fig6() {
+    banner("Figure 6 — cardinality of C_i per iteration");
+    let sweep = retail_sweep();
+    print!("{:>9}", "minsup");
+    for i in 1..=4 {
+        print!("{:>9}", format!("|C_{i}|"));
+    }
+    println!();
+    for (frac, result, _) in &sweep {
+        print!("{:>8.2}%", frac * 100.0);
+        for i in 1..=4 {
+            let c = result.trace.iter().find(|t| t.k == i).map(|t| t.c_len).unwrap_or(0);
+            print!("{:>9}", c);
+        }
+        println!();
+    }
+    println!("\npaper shape: |C_1| = 59; at small minimum support |C_2| rises above");
+    println!("|C_1| before the curve collapses; |C_4| = 0 everywhere (>= 0.1%).");
+}
+
+fn repro_table1() {
+    banner("Section 6.2 — execution time vs minimum support");
+    let sweep = retail_sweep();
+    println!("{:>9} {:>14} {:>22}", "minsup", "time (this HW)", "paper (RS/6000 350)");
+    let paper = [6.90, 5.30, 4.64, 4.22, 3.97];
+    for ((frac, _, time), paper_s) in sweep.iter().zip(paper.iter()) {
+        println!("{:>8.2}% {:>14.2?} {:>21.2}s", frac * 100.0, time, paper_s);
+    }
+    let ratio = sweep[0].2.as_secs_f64() / sweep[4].2.as_secs_f64();
+    println!(
+        "\nstability: slowest/fastest = {:.2}x (paper: {:.2}x). Absolute numbers are",
+        ratio,
+        6.90 / 3.97
+    );
+    println!("not comparable across 30 years of hardware; the stable, mildly");
+    println!("decreasing shape is the claim.");
+}
+
+fn repro_analysis() {
+    banner("Sections 3.2 / 4.3 — analytical cost comparison");
+    println!("{}", ComparisonReport::paper(3));
+    println!();
+    println!("paper numbers reproduced: 4,000-leaf/14-non-leaf (item,tid) index,");
+    println!("2,000-leaf/5-non-leaf (tid) index, ~2,000,000 random fetches (exact:");
+    println!("2,040,000) vs 3*4,000 + 4*27,000 = 120,000 sequential accesses.");
+
+    banner("Measured validation on the paged engine (uniform model, 1/100 scale)");
+    let dataset = UniformConfig::paper_scaled(100).generate();
+    let params = MiningParams::new(MinSupport::Fraction(0.005), 0.5).with_max_len(2);
+    let sm = mine_on_engine(&dataset, &params, EngineOptions::default()).expect("engine run");
+    let nl =
+        mine_nested_loop(&dataset, &params, NestedLoopOptions::default()).expect("nested loop");
+    assert_eq!(sm.result.frequent_itemsets(), nl.result.frequent_itemsets());
+    println!("{:<22} {:>14} {:>14}", "strategy", "page accesses", "est. time (s)");
+    println!(
+        "{:<22} {:>14} {:>14.1}",
+        "nested-loop",
+        nl.total_page_accesses,
+        nl.total_estimated_ms / 1000.0
+    );
+    println!(
+        "{:<22} {:>14} {:>14.1}",
+        "SETM",
+        sm.total_page_accesses,
+        sm.total_estimated_ms / 1000.0
+    );
+    println!(
+        "measured advantage: {:.1}x (analytical full-scale: {:.1}x)",
+        nl.total_estimated_ms / sm.total_estimated_ms,
+        ComparisonReport::paper(3).speedup()
+    );
+}
+
+fn repro_baselines() {
+    banner("E7 extension — SETM vs AIS vs Apriori vs Apriori-TID (Quest data)");
+    for (name, cfg) in [
+        ("T5.I2.D10K", QuestConfig::t5_i2_d100k(10)),
+        ("T10.I4.D10K", QuestConfig::t10_i4_d100k(10)),
+    ] {
+        let dataset = cfg.generate();
+        println!(
+            "\n{name}: {} txns, avg {:.2} items/txn",
+            dataset.n_transactions(),
+            dataset.avg_transaction_len()
+        );
+        println!(
+            "{:>8} {:>11} {:>11} {:>11} {:>11} {:>9}",
+            "minsup", "SETM", "AIS", "Apriori", "AprioriTID", "patterns"
+        );
+        for frac in [0.02, 0.01, 0.005] {
+            let params = MiningParams::new(MinSupport::Fraction(frac), 0.5);
+            let timed = |f: &dyn Fn() -> usize| {
+                let t0 = Instant::now();
+                let n = f();
+                (t0.elapsed(), n)
+            };
+            let (t1, n1) = timed(&|| setm::mine(&dataset, &params).frequent_itemsets().len());
+            let (t2, n2) = timed(&|| ais::mine(&dataset, &params).frequent_itemsets().len());
+            let (t3, n3) = timed(&|| apriori::mine(&dataset, &params).frequent_itemsets().len());
+            let (t4, n4) =
+                timed(&|| apriori_tid::mine(&dataset, &params).frequent_itemsets().len());
+            assert!(n1 == n2 && n2 == n3 && n3 == n4, "miners disagree");
+            println!(
+                "{:>7.1}% {:>11.2?} {:>11.2?} {:>11.2?} {:>11.2?} {:>9}",
+                frac * 100.0,
+                t1,
+                t2,
+                t3,
+                t4,
+                n1
+            );
+        }
+    }
+    println!("\nexpected shape: Apriori fastest at low support; AIS between; SETM");
+    println!("pays for materializing every (transaction, pattern) tuple.");
+}
+
+fn repro_ablation() {
+    banner("E8 ablation — sort-order tracking (Section 4.1 remark)");
+    // Needs a run of >= 3 iterations for the loop-top sort to matter:
+    // the retail data at 0.1% runs to k = 4.
+    let dataset = RetailConfig::paper().generate();
+    let params = MiningParams::new(MinSupport::Fraction(0.001), 0.5);
+    let tracked = mine_on_engine(
+        &dataset,
+        &params,
+        EngineOptions { track_sort_order: true, ..Default::default() },
+    )
+    .expect("engine run");
+    let naive = mine_on_engine(
+        &dataset,
+        &params,
+        EngineOptions { track_sort_order: false, ..Default::default() },
+    )
+    .expect("engine run");
+    println!("{:<26} {:>14}", "plan", "page accesses");
+    println!("{:<26} {:>14}", "sort order tracked", tracked.total_page_accesses);
+    println!("{:<26} {:>14}", "re-sorted every pass", naive.total_page_accesses);
+    println!(
+        "savings: {:.1}% of all accesses",
+        100.0 * (1.0 - tracked.total_page_accesses as f64 / naive.total_page_accesses as f64)
+    );
+
+    banner("E8 ablation — joining filtered vs unfiltered R_1 (SetmOptions::filter_r1)");
+    let retail = RetailConfig::paper().generate();
+    let params = MiningParams::new(MinSupport::Fraction(0.001), 0.5);
+    let plain = memory::mine_with(&retail, &params, SetmOptions { filter_r1: false });
+    let filtered = memory::mine_with(&retail, &params, SetmOptions { filter_r1: true });
+    assert_eq!(plain.frequent_itemsets(), filtered.frequent_itemsets());
+    println!("{:<26} {:>14}", "variant", "|R'_2| tuples");
+    println!("{:<26} {:>14}", "paper (unfiltered R_1)", plain.trace[1].r_prime_tuples);
+    println!("{:<26} {:>14}", "filtered R_1 (extension)", filtered.trace[1].r_prime_tuples);
+
+    banner("E8 ablation — buffer-cache frames (engine execution, retail/20)");
+    let small = RetailConfig::small(2_500, 11).generate();
+    let params = MiningParams::new(MinSupport::Fraction(0.005), 0.5);
+    println!("{:<12} {:>14}", "frames", "page accesses");
+    for frames in [0usize, 64, 256, 1024] {
+        let run = mine_on_engine(
+            &small,
+            &params,
+            EngineOptions { cache_frames: frames, ..Default::default() },
+        )
+        .expect("engine run");
+        println!("{:<12} {:>14}", frames, run.total_page_accesses);
+    }
+}

@@ -1,0 +1,257 @@
+//! `ItemVec`: a small-vector for itemsets.
+//!
+//! Frequent patterns are short — the paper's retail data tops out at
+//! length 3 (length 4 at 0.05% support) — so itemsets are stored inline up
+//! to [`INLINE_CAP`] items with no heap allocation, spilling to a `Vec`
+//! only beyond that. Used pervasively by rule generation and the baseline
+//! miners, where per-candidate allocation would dominate.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+
+/// Items stored inline before spilling to the heap.
+pub const INLINE_CAP: usize = 8;
+
+/// An ordered itemset with inline storage for up to 8 items.
+#[derive(Clone)]
+pub enum ItemVec {
+    /// Inline storage: `buf[..len]` are the items.
+    Inline { len: u8, buf: [u32; INLINE_CAP] },
+    /// Heap storage for itemsets longer than [`INLINE_CAP`].
+    Heap(Vec<u32>),
+}
+
+impl ItemVec {
+    /// An empty itemset.
+    pub fn new() -> Self {
+        ItemVec::Inline { len: 0, buf: [0; INLINE_CAP] }
+    }
+
+    /// Build from a slice.
+    pub fn from_slice(items: &[u32]) -> Self {
+        if items.len() <= INLINE_CAP {
+            let mut buf = [0u32; INLINE_CAP];
+            buf[..items.len()].copy_from_slice(items);
+            ItemVec::Inline { len: items.len() as u8, buf }
+        } else {
+            ItemVec::Heap(items.to_vec())
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        match self {
+            ItemVec::Inline { len, .. } => *len as usize,
+            ItemVec::Heap(v) => v.len(),
+        }
+    }
+
+    /// Whether the itemset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// View as a slice.
+    pub fn as_slice(&self) -> &[u32] {
+        match self {
+            ItemVec::Inline { len, buf } => &buf[..*len as usize],
+            ItemVec::Heap(v) => v,
+        }
+    }
+
+    /// Append an item, spilling to the heap if the inline buffer is full.
+    pub fn push(&mut self, item: u32) {
+        match self {
+            ItemVec::Inline { len, buf } => {
+                if (*len as usize) < INLINE_CAP {
+                    buf[*len as usize] = item;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_CAP * 2);
+                    v.extend_from_slice(&buf[..]);
+                    v.push(item);
+                    *self = ItemVec::Heap(v);
+                }
+            }
+            ItemVec::Heap(v) => v.push(item),
+        }
+    }
+
+    /// A copy with `item` appended.
+    pub fn with(&self, item: u32) -> Self {
+        let mut out = self.clone();
+        out.push(item);
+        out
+    }
+
+    /// A copy with the item at `idx` removed (order preserved) — the
+    /// "antecedent" operation of rule generation (Section 5: all
+    /// combinations of k-1 items).
+    pub fn without_index(&self, idx: usize) -> Self {
+        let s = self.as_slice();
+        assert!(idx < s.len());
+        let mut out = ItemVec::new();
+        for (i, &v) in s.iter().enumerate() {
+            if i != idx {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Whether the items are strictly increasing (sorted, no duplicates) —
+    /// the lexicographic-pattern invariant of Section 3.1.
+    pub fn is_strictly_increasing(&self) -> bool {
+        self.as_slice().windows(2).all(|w| w[0] < w[1])
+    }
+}
+
+impl Default for ItemVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for ItemVec {
+    type Target = [u32];
+    fn deref(&self) -> &[u32] {
+        self.as_slice()
+    }
+}
+
+impl From<&[u32]> for ItemVec {
+    fn from(s: &[u32]) -> Self {
+        ItemVec::from_slice(s)
+    }
+}
+
+impl<const N: usize> From<[u32; N]> for ItemVec {
+    fn from(s: [u32; N]) -> Self {
+        ItemVec::from_slice(&s)
+    }
+}
+
+impl FromIterator<u32> for ItemVec {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut out = ItemVec::new();
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl PartialEq for ItemVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for ItemVec {}
+
+impl PartialOrd for ItemVec {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ItemVec {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for ItemVec {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for ItemVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn inline_until_capacity_then_spills() {
+        let mut v = ItemVec::new();
+        for i in 0..INLINE_CAP as u32 {
+            v.push(i);
+            assert!(matches!(v, ItemVec::Inline { .. }));
+        }
+        v.push(99);
+        assert!(matches!(v, ItemVec::Heap(_)));
+        assert_eq!(v.len(), INLINE_CAP + 1);
+        assert_eq!(v.as_slice()[INLINE_CAP], 99);
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let short = ItemVec::from_slice(&[1, 2, 3]);
+        assert_eq!(short.as_slice(), &[1, 2, 3]);
+        assert!(matches!(short, ItemVec::Inline { .. }));
+        let long: Vec<u32> = (0..20).collect();
+        let big = ItemVec::from_slice(&long);
+        assert_eq!(big.as_slice(), long.as_slice());
+        assert!(matches!(big, ItemVec::Heap(_)));
+    }
+
+    #[test]
+    fn equality_and_ordering_ignore_representation() {
+        let a = ItemVec::from_slice(&[1, 2, 3]);
+        let mut b = ItemVec::new();
+        b.push(1);
+        b.push(2);
+        b.push(3);
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), Ordering::Equal);
+        let c = ItemVec::from_slice(&[1, 2, 4]);
+        assert!(a < c);
+        assert!(ItemVec::from_slice(&[1, 2]) < a, "prefix sorts first");
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        let mut set = HashSet::new();
+        set.insert(ItemVec::from_slice(&[5, 6]));
+        assert!(set.contains(&ItemVec::from_slice(&[5, 6])));
+        assert!(!set.contains(&ItemVec::from_slice(&[5])));
+    }
+
+    #[test]
+    fn without_index_builds_antecedents() {
+        let p = ItemVec::from_slice(&[10, 20, 30]);
+        assert_eq!(p.without_index(0).as_slice(), &[20, 30]);
+        assert_eq!(p.without_index(1).as_slice(), &[10, 30]);
+        assert_eq!(p.without_index(2).as_slice(), &[10, 20]);
+    }
+
+    #[test]
+    fn with_appends_without_mutating() {
+        let p = ItemVec::from_slice(&[1, 2]);
+        let q = p.with(3);
+        assert_eq!(p.as_slice(), &[1, 2]);
+        assert_eq!(q.as_slice(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn strictly_increasing_check() {
+        assert!(ItemVec::from_slice(&[1, 2, 9]).is_strictly_increasing());
+        assert!(!ItemVec::from_slice(&[1, 1]).is_strictly_increasing());
+        assert!(!ItemVec::from_slice(&[2, 1]).is_strictly_increasing());
+        assert!(ItemVec::new().is_strictly_increasing());
+    }
+
+    #[test]
+    fn deref_gives_slice_methods() {
+        let p = ItemVec::from_slice(&[3, 7, 11]);
+        assert_eq!(p.iter().sum::<u32>(), 21);
+        assert!(p.binary_search(&7).is_ok());
+    }
+}

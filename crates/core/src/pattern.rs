@@ -1,0 +1,358 @@
+//! Columnar in-memory forms of the paper's `R_k` and `C_k` relations.
+//!
+//! `R_k(trans_id, item_1, .., item_k)` holds one tuple per (transaction,
+//! supported k-pattern) pair; `C_k(item_1, .., item_k, count)` holds the
+//! supported patterns and their support counts. Both are stored
+//! struct-of-arrays (a `tids` column plus a flat `k`-wide `items` buffer)
+//! so sorting and scanning stay allocation-free.
+
+use crate::data::{Item, TransId};
+use crate::itemvec::ItemVec;
+use std::cmp::Ordering;
+
+/// The `R_k` relation: `(trans_id, item_1, .., item_k)` tuples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternRelation {
+    k: usize,
+    tids: Vec<TransId>,
+    /// Flat row-major item columns: row `i` is `items[i*k .. (i+1)*k]`.
+    items: Vec<Item>,
+}
+
+impl PatternRelation {
+    /// An empty relation of pattern length `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        PatternRelation { k, tids: Vec::new(), items: Vec::new() }
+    }
+
+    /// An empty relation with row capacity reserved.
+    pub fn with_capacity(k: usize, rows: usize) -> Self {
+        let mut r = Self::new(k);
+        r.tids.reserve(rows);
+        r.items.reserve(rows * k);
+        r
+    }
+
+    /// Pattern length `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of tuples — the paper's `|R_k|`.
+    pub fn n_tuples(&self) -> usize {
+        self.tids.len()
+    }
+
+    /// Whether the relation is empty (the loop-termination test of
+    /// Figure 4: "until R_k = {}").
+    pub fn is_empty(&self) -> bool {
+        self.tids.is_empty()
+    }
+
+    /// Tuple width in bytes — Section 4.3: "(i + 1) × 4 bytes".
+    pub fn tuple_bytes(&self) -> usize {
+        (self.k + 1) * 4
+    }
+
+    /// Total data bytes (the quantity Figure 5 plots, in Kbytes).
+    pub fn data_bytes(&self) -> u64 {
+        self.n_tuples() as u64 * self.tuple_bytes() as u64
+    }
+
+    /// Size in Kbytes as plotted by Figure 5.
+    pub fn kbytes(&self) -> f64 {
+        self.data_bytes() as f64 / 1024.0
+    }
+
+    /// Append a tuple.
+    pub fn push(&mut self, tid: TransId, items: &[Item]) {
+        debug_assert_eq!(items.len(), self.k);
+        self.tids.push(tid);
+        self.items.extend_from_slice(items);
+    }
+
+    /// The tuple at `row`.
+    pub fn row(&self, row: usize) -> (TransId, &[Item]) {
+        (self.tids[row], &self.items[row * self.k..(row + 1) * self.k])
+    }
+
+    /// Iterate `(tid, items)` tuples in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (TransId, &[Item])> + '_ {
+        self.tids.iter().copied().zip(self.items.chunks_exact(self.k))
+    }
+
+    /// Sort tuples by `(trans_id, item_1, .., item_k)` — the order required
+    /// before the merge-scan join (Figure 4, first sort of the loop body).
+    pub fn sort_by_tid_items(&mut self) {
+        self.sort_by(|a_tid, a_items, b_tid, b_items| {
+            a_tid.cmp(&b_tid).then_with(|| a_items.cmp(b_items))
+        });
+    }
+
+    /// Sort tuples by `(item_1, .., item_k)` (ties broken by tid for
+    /// determinism) — the order required before counting (Figure 4, second
+    /// sort of the loop body).
+    pub fn sort_by_items(&mut self) {
+        self.sort_by(|a_tid, a_items, b_tid, b_items| {
+            a_items.cmp(b_items).then_with(|| a_tid.cmp(&b_tid))
+        });
+    }
+
+    fn sort_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(TransId, &[Item], TransId, &[Item]) -> Ordering,
+    {
+        let k = self.k;
+        let n = self.n_tuples();
+        let mut index: Vec<u32> = (0..n as u32).collect();
+        index.sort_unstable_by(|&a, &b| {
+            let (ai, bi) = (a as usize, b as usize);
+            cmp(
+                self.tids[ai],
+                &self.items[ai * k..(ai + 1) * k],
+                self.tids[bi],
+                &self.items[bi * k..(bi + 1) * k],
+            )
+        });
+        let mut tids = Vec::with_capacity(n);
+        let mut items = Vec::with_capacity(n * k);
+        for &i in &index {
+            let i = i as usize;
+            tids.push(self.tids[i]);
+            items.extend_from_slice(&self.items[i * k..(i + 1) * k]);
+        }
+        self.tids = tids;
+        self.items = items;
+    }
+
+    /// Whether tuples are sorted by `(tid, items)`.
+    pub fn is_sorted_by_tid_items(&self) -> bool {
+        (1..self.n_tuples()).all(|i| {
+            let (pt, pi) = self.row(i - 1);
+            let (ct, ci) = self.row(i);
+            pt.cmp(&ct).then_with(|| pi.cmp(ci)) != Ordering::Greater
+        })
+    }
+
+    /// Rows as flat `u32` records `[tid, item_1, .., item_k]` for loading
+    /// into the paged engine.
+    pub fn to_engine_rows(&self) -> Vec<Vec<u32>> {
+        self.iter()
+            .map(|(tid, items)| {
+                let mut row = Vec::with_capacity(self.k + 1);
+                row.push(tid);
+                row.extend_from_slice(items);
+                row
+            })
+            .collect()
+    }
+}
+
+/// The `C_k` relation: supported patterns with their counts, sorted by
+/// pattern. Lookup is by binary search, so no per-pattern allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountRelation {
+    k: usize,
+    /// Flat row-major patterns, sorted lexicographically.
+    items: Vec<Item>,
+    counts: Vec<u64>,
+}
+
+impl CountRelation {
+    /// An empty count relation for pattern length `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        CountRelation { k, items: Vec::new(), counts: Vec::new() }
+    }
+
+    /// Build from `(pattern, count)` pairs; patterns must arrive in
+    /// strictly increasing lexicographic order (as produced by counting a
+    /// sorted `R'_k`).
+    pub fn push(&mut self, pattern: &[Item], count: u64) {
+        debug_assert_eq!(pattern.len(), self.k);
+        if let Some(last) = self.items.chunks_exact(self.k).next_back() {
+            debug_assert!(last < pattern, "patterns must be pushed in increasing order");
+        }
+        self.items.extend_from_slice(pattern);
+        self.counts.push(count);
+    }
+
+    /// Pattern length `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of patterns — the paper's `|C_k|` (Figure 6).
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether there are no supported patterns.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterate `(pattern, count)` in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Item], u64)> + '_ {
+        self.items.chunks_exact(self.k).zip(self.counts.iter().copied())
+    }
+
+    /// Support count of an exact pattern, if supported.
+    pub fn get(&self, pattern: &[Item]) -> Option<u64> {
+        if pattern.len() != self.k {
+            return None;
+        }
+        let n = self.len();
+        let idx = partition_point(n, |i| self.pattern_at(i) < pattern);
+        (idx < n && self.pattern_at(idx) == pattern).then(|| self.counts[idx])
+    }
+
+    /// Whether a pattern is supported.
+    pub fn contains(&self, pattern: &[Item]) -> bool {
+        self.get(pattern).is_some()
+    }
+
+    /// The pattern at index `i`.
+    pub fn pattern_at(&self, i: usize) -> &[Item] {
+        &self.items[i * self.k..(i + 1) * self.k]
+    }
+
+    /// The count at index `i`.
+    pub fn count_at(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Patterns as `ItemVec`s with counts (convenience for reporting).
+    pub fn to_vec(&self) -> Vec<(ItemVec, u64)> {
+        self.iter().map(|(p, c)| (ItemVec::from_slice(p), c)).collect()
+    }
+
+    /// Rows as flat `u32` records `[item_1, .., item_k, count]` for the
+    /// paged engine (counts clamp to `u32::MAX`, far above any real count).
+    pub fn to_engine_rows(&self) -> Vec<Vec<u32>> {
+        self.iter()
+            .map(|(p, c)| {
+                let mut row = Vec::with_capacity(self.k + 1);
+                row.extend_from_slice(p);
+                row.push(u32::try_from(c).unwrap_or(u32::MAX));
+                row
+            })
+            .collect()
+    }
+}
+
+fn partition_point<F: FnMut(usize) -> bool>(n: usize, mut pred: F) -> usize {
+    let (mut lo, mut hi) = (0, n);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(mid) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_relation_round_trip() {
+        let mut r = PatternRelation::new(2);
+        r.push(10, &[1, 2]);
+        r.push(20, &[1, 3]);
+        assert_eq!(r.n_tuples(), 2);
+        assert_eq!(r.row(1), (20, [1u32, 3].as_slice()));
+        let rows: Vec<_> = r.iter().map(|(t, i)| (t, i.to_vec())).collect();
+        assert_eq!(rows, vec![(10, vec![1, 2]), (20, vec![1, 3])]);
+    }
+
+    #[test]
+    fn tuple_bytes_match_paper() {
+        // Section 4.3: R_i tuples are (i+1) x 4 bytes.
+        assert_eq!(PatternRelation::new(1).tuple_bytes(), 8);
+        assert_eq!(PatternRelation::new(2).tuple_bytes(), 12);
+        assert_eq!(PatternRelation::new(3).tuple_bytes(), 16);
+        let mut r = PatternRelation::new(2);
+        r.push(1, &[2, 3]);
+        r.push(2, &[4, 5]);
+        assert_eq!(r.data_bytes(), 24);
+        assert!((r.kbytes() - 24.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sort_by_tid_then_items() {
+        let mut r = PatternRelation::new(2);
+        r.push(20, &[1, 2]);
+        r.push(10, &[5, 6]);
+        r.push(10, &[1, 9]);
+        r.sort_by_tid_items();
+        let rows: Vec<_> = r.iter().map(|(t, i)| (t, i.to_vec())).collect();
+        assert_eq!(
+            rows,
+            vec![(10, vec![1, 9]), (10, vec![5, 6]), (20, vec![1, 2])]
+        );
+        assert!(r.is_sorted_by_tid_items());
+    }
+
+    #[test]
+    fn sort_by_items_groups_patterns() {
+        let mut r = PatternRelation::new(2);
+        r.push(30, &[1, 2]);
+        r.push(10, &[1, 2]);
+        r.push(20, &[0, 9]);
+        r.sort_by_items();
+        let rows: Vec<_> = r.iter().map(|(t, i)| (t, i.to_vec())).collect();
+        assert_eq!(
+            rows,
+            vec![(20, vec![0, 9]), (10, vec![1, 2]), (30, vec![1, 2])]
+        );
+    }
+
+    #[test]
+    fn count_relation_lookup() {
+        let mut c = CountRelation::new(2);
+        c.push(&[1, 2], 3);
+        c.push(&[1, 3], 5);
+        c.push(&[4, 6], 7);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&[1, 3]), Some(5));
+        assert_eq!(c.get(&[1, 4]), None);
+        assert_eq!(c.get(&[1]), None, "wrong arity misses");
+        assert!(c.contains(&[4, 6]));
+        assert_eq!(c.pattern_at(2), &[4, 6]);
+        assert_eq!(c.count_at(0), 3);
+    }
+
+    #[test]
+    fn count_relation_iterates_in_order() {
+        let mut c = CountRelation::new(1);
+        c.push(&[2], 10);
+        c.push(&[5], 20);
+        let got: Vec<_> = c.iter().map(|(p, n)| (p.to_vec(), n)).collect();
+        assert_eq!(got, vec![(vec![2], 10), (vec![5], 20)]);
+    }
+
+    #[test]
+    fn engine_row_conversion() {
+        let mut r = PatternRelation::new(2);
+        r.push(10, &[1, 2]);
+        assert_eq!(r.to_engine_rows(), vec![vec![10, 1, 2]]);
+        let mut c = CountRelation::new(2);
+        c.push(&[1, 2], 3);
+        assert_eq!(c.to_engine_rows(), vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn empty_relations() {
+        let r = PatternRelation::new(3);
+        assert!(r.is_empty());
+        assert_eq!(r.data_bytes(), 0);
+        let c = CountRelation::new(3);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&[1, 2, 3]), None);
+    }
+}

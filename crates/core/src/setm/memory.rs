@@ -1,0 +1,339 @@
+//! In-memory execution of Algorithm SETM.
+//!
+//! Follows Figure 4 step by step on columnar relations: the merge-scan
+//! join walks `R_{k-1}` and `R_1` in `(trans_id, ...)` order, the counting
+//! step is a single pass over the items-sorted `R'_k`, and the filter step
+//! retains tuples of supported groups. The only liberties taken are
+//! representational (struct-of-arrays instead of pages); every logical
+//! step, including joining against the *unfiltered* `R_1`, matches the
+//! paper.
+
+use crate::data::{Dataset, Item, MiningParams};
+use crate::pattern::{CountRelation, PatternRelation};
+use crate::setm::{IterationTrace, SetmOptions, SetmResult};
+
+/// Mine `dataset` with default options.
+pub fn mine(dataset: &Dataset, params: &MiningParams) -> SetmResult {
+    mine_with(dataset, params, SetmOptions::default())
+}
+
+/// Mine `dataset`, exposing execution knobs.
+pub fn mine_with(dataset: &Dataset, params: &MiningParams, opts: SetmOptions) -> SetmResult {
+    let n_txns = dataset.n_transactions();
+    let min_count = params.min_support.to_count(n_txns.max(1));
+    let max_len = params.max_pattern_len.unwrap_or(usize::MAX);
+
+    let mut counts: Vec<CountRelation> = Vec::new();
+    let mut trace: Vec<IterationTrace> = Vec::new();
+
+    // k = 1: sort R1 on item; C1 := generate counts from R1.
+    let c1 = count_items(dataset, min_count);
+    trace.push(IterationTrace {
+        k: 1,
+        r_prime_tuples: dataset.n_rows(),
+        r_tuples: dataset.n_rows(),
+        r_kbytes: dataset.n_rows() as f64 * 8.0 / 1024.0,
+        c_len: c1.len() as u64,
+        page_accesses: 0,
+        estimated_io_ms: 0.0,
+    });
+    let c1_empty = c1.is_empty();
+    if !c1_empty {
+        counts.push(c1);
+    }
+    if max_len == 1 || n_txns == 0 {
+        return SetmResult { counts, trace, n_transactions: n_txns, min_support_count: min_count };
+    }
+
+    // The SALES side of every merge-scan join. With the `filter_r1`
+    // extension the join side drops infrequent items (results identical;
+    // see SetmOptions).
+    let sales: Vec<(u32, Vec<Item>)> = if opts.filter_r1 {
+        let c1 = counts.first();
+        dataset
+            .transactions()
+            .map(|(tid, items)| {
+                let kept: Vec<Item> = items
+                    .iter()
+                    .copied()
+                    .filter(|&it| c1.is_some_and(|c| c.contains(&[it])))
+                    .collect();
+                (tid, kept)
+            })
+            .filter(|(_, items)| !items.is_empty())
+            .collect()
+    } else {
+        dataset.transactions().map(|(tid, items)| (tid, items.to_vec())).collect()
+    };
+
+    // R_1 doubles as the first "R_{k-1}": one tuple (tid, [item]) per row.
+    let mut r_prev = PatternRelation::with_capacity(1, dataset.n_rows() as usize);
+    for (tid, items) in &sales {
+        for &it in items {
+            r_prev.push(*tid, &[it]);
+        }
+    }
+
+    let mut k = 1usize;
+    loop {
+        k += 1;
+        // sort R_{k-1} on (trans_id, item_1, .., item_{k-1}). The filter
+        // step below leaves R_k sorted by items, so this restores the join
+        // order, exactly as the paper's loop does.
+        r_prev.sort_by_tid_items();
+
+        // R'_k := merge-scan R_{k-1}, R_1 (q.item > p.item_{k-1}).
+        let mut r_prime = merge_scan_extend(&r_prev, &sales);
+
+        // sort R'_k on (item_1, .., item_k); C_k := generate counts;
+        // R_k := filter R'_k to retain supported patterns.
+        r_prime.sort_by_items();
+        let (c_k, r_k) = count_and_filter(&r_prime, min_count);
+
+        trace.push(IterationTrace {
+            k,
+            r_prime_tuples: r_prime.n_tuples() as u64,
+            r_tuples: r_k.n_tuples() as u64,
+            r_kbytes: r_k.kbytes(),
+            c_len: c_k.len() as u64,
+            page_accesses: 0,
+            estimated_io_ms: 0.0,
+        });
+
+        let done = r_k.is_empty() || k >= max_len;
+        if !c_k.is_empty() {
+            counts.push(c_k);
+        }
+        if done {
+            break;
+        }
+        r_prev = r_k;
+    }
+
+    SetmResult { counts, trace, n_transactions: n_txns, min_support_count: min_count }
+}
+
+/// C1: per-item transaction counts with the minimum-support filter
+/// ("SELECT item, COUNT(*) FROM SALES GROUP BY item HAVING COUNT(*) >= s").
+fn count_items(dataset: &Dataset, min_count: u64) -> CountRelation {
+    let mut items: Vec<Item> = dataset.items().to_vec();
+    items.sort_unstable();
+    let mut c1 = CountRelation::new(1);
+    let mut i = 0;
+    while i < items.len() {
+        let item = items[i];
+        let mut j = i + 1;
+        while j < items.len() && items[j] == item {
+            j += 1;
+        }
+        let count = (j - i) as u64;
+        if count >= min_count {
+            c1.push(&[item], count);
+        }
+        i = j;
+    }
+    c1
+}
+
+/// The merge-scan join of Figure 4: both inputs ordered by `trans_id`;
+/// within each transaction, extend every `R_{k-1}` tuple with every sales
+/// item greater than its last item (preserving lexicographic patterns).
+fn merge_scan_extend(r_prev: &PatternRelation, sales: &[(u32, Vec<Item>)]) -> PatternRelation {
+    let k_prev = r_prev.k();
+    let mut out = PatternRelation::with_capacity(k_prev + 1, r_prev.n_tuples());
+    let mut buf: Vec<Item> = vec![0; k_prev + 1];
+    let mut s = 0usize; // cursor into sales (sorted by tid)
+    let mut row = 0usize;
+    let n = r_prev.n_tuples();
+    while row < n {
+        let (tid, _) = r_prev.row(row);
+        // Advance the sales cursor to this transaction.
+        while s < sales.len() && sales[s].0 < tid {
+            s += 1;
+        }
+        if s >= sales.len() {
+            break;
+        }
+        if sales[s].0 > tid {
+            // Transaction vanished from the (possibly filtered) sales
+            // side; skip its R_{k-1} group.
+            while row < n && r_prev.row(row).0 == tid {
+                row += 1;
+            }
+            continue;
+        }
+        let items = &sales[s].1;
+        // Process the whole R_{k-1} group for this transaction.
+        while row < n {
+            let (t, pattern) = r_prev.row(row);
+            if t != tid {
+                break;
+            }
+            let last = pattern[k_prev - 1];
+            // Items are sorted within a transaction: binary search for the
+            // first strictly greater than the pattern's last item.
+            let start = items.partition_point(|&it| it <= last);
+            for &ext in &items[start..] {
+                buf[..k_prev].copy_from_slice(pattern);
+                buf[k_prev] = ext;
+                out.push(tid, &buf);
+            }
+            row += 1;
+        }
+    }
+    out
+}
+
+/// One pass over the items-sorted `R'_k`: emit `C_k` groups meeting the
+/// minimum support and copy their tuples into `R_k`.
+fn count_and_filter(r_prime: &PatternRelation, min_count: u64) -> (CountRelation, PatternRelation) {
+    let k = r_prime.k();
+    let n = r_prime.n_tuples();
+    let mut c = CountRelation::new(k);
+    let mut r = PatternRelation::new(k);
+    let mut i = 0usize;
+    while i < n {
+        let (_, pattern) = r_prime.row(i);
+        let pattern = pattern.to_vec();
+        let mut j = i + 1;
+        while j < n && r_prime.row(j).1 == pattern.as_slice() {
+            j += 1;
+        }
+        let count = (j - i) as u64;
+        if count >= min_count {
+            c.push(&pattern, count);
+            for row in i..j {
+                let (tid, items) = r_prime.row(row);
+                r.push(tid, items);
+            }
+        }
+        i = j;
+    }
+    (c, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{MinSupport, MiningParams};
+
+    fn tiny() -> Dataset {
+        // 4 transactions over items {1,2,3,4}.
+        Dataset::from_transactions([
+            (1, [1u32, 2, 3].as_slice()),
+            (2, [1, 2].as_slice()),
+            (3, [1, 2, 3].as_slice()),
+            (4, [2, 4].as_slice()),
+        ])
+    }
+
+    #[test]
+    fn c1_counts_and_filters() {
+        let d = tiny();
+        let c1 = count_items(&d, 2);
+        assert_eq!(c1.get(&[1]), Some(3));
+        assert_eq!(c1.get(&[2]), Some(4));
+        assert_eq!(c1.get(&[3]), Some(2));
+        assert_eq!(c1.get(&[4]), None, "support 1 < 2 is filtered");
+    }
+
+    #[test]
+    fn full_run_matches_brute_force() {
+        let d = tiny();
+        let params = MiningParams::new(MinSupport::Count(2), 0.5);
+        let r = mine(&d, &params);
+        // Every reported count must equal the brute-force oracle.
+        for (pattern, count) in r.frequent_itemsets() {
+            assert_eq!(count, d.support_of(&pattern), "pattern {pattern:?}");
+            assert!(count >= 2);
+        }
+        // And every frequent pattern must be reported.
+        assert_eq!(r.c(2).unwrap().get(&[1, 2]), Some(3));
+        assert_eq!(r.c(2).unwrap().get(&[1, 3]), Some(2));
+        assert_eq!(r.c(2).unwrap().get(&[2, 3]), Some(2));
+        assert_eq!(r.c(3).unwrap().get(&[1, 2, 3]), Some(2));
+        assert_eq!(r.max_pattern_len(), 3);
+    }
+
+    #[test]
+    fn trace_records_every_iteration_with_final_zero() {
+        let d = tiny();
+        let params = MiningParams::new(MinSupport::Count(2), 0.5);
+        let r = mine(&d, &params);
+        assert_eq!(r.trace[0].k, 1);
+        assert_eq!(r.trace[0].r_tuples, d.n_rows());
+        let last = r.trace.last().unwrap();
+        assert_eq!(last.k, 4);
+        assert_eq!(last.r_tuples, 0, "loop runs until R_k = {{}}");
+        assert_eq!(last.c_len, 0);
+    }
+
+    #[test]
+    fn filter_r1_option_does_not_change_results() {
+        let d = tiny();
+        let params = MiningParams::new(MinSupport::Count(2), 0.5);
+        let base = mine_with(&d, &params, SetmOptions { filter_r1: false });
+        let filt = mine_with(&d, &params, SetmOptions { filter_r1: true });
+        assert_eq!(base.frequent_itemsets(), filt.frequent_itemsets());
+        // But the unfiltered run generates at least as many R'_2 tuples.
+        assert!(base.trace[1].r_prime_tuples >= filt.trace[1].r_prime_tuples);
+    }
+
+    #[test]
+    fn max_pattern_len_caps_the_loop() {
+        let d = tiny();
+        let params = MiningParams::new(MinSupport::Count(2), 0.5).with_max_len(2);
+        let r = mine(&d, &params);
+        assert_eq!(r.max_pattern_len(), 2);
+        assert_eq!(r.trace.last().unwrap().k, 2);
+    }
+
+    #[test]
+    fn unfiltered_r1_generates_extensions_through_infrequent_prefixes() {
+        // Transactions where an infrequent item sits between frequent ones:
+        // the paper's unfiltered join must still consider it in R'_2, then
+        // drop it at the C_2 filter.
+        let d = Dataset::from_transactions([
+            (1, [1u32, 5, 9].as_slice()),
+            (2, [1, 9].as_slice()),
+            (3, [1, 9].as_slice()),
+        ]);
+        let params = MiningParams::new(MinSupport::Count(3), 0.5);
+        let r = mine(&d, &params);
+        assert_eq!(r.c(1).unwrap().len(), 2); // {1}, {9}
+        assert_eq!(r.c(2).unwrap().get(&[1, 9]), Some(3));
+        assert!(r.c(2).unwrap().get(&[1, 5]).is_none());
+        // R'_2 counted the pairs through item 5 too: (1,5), (5,9), (1,9)x3.
+        assert_eq!(r.trace[1].r_prime_tuples, 5);
+    }
+
+    #[test]
+    fn empty_dataset_terminates_immediately() {
+        let d = Dataset::from_pairs(std::iter::empty());
+        let params = MiningParams::new(MinSupport::Count(1), 0.5);
+        let r = mine(&d, &params);
+        assert_eq!(r.max_pattern_len(), 0);
+        assert_eq!(r.trace.len(), 1);
+    }
+
+    #[test]
+    fn high_min_support_stops_after_c1() {
+        let d = tiny();
+        let params = MiningParams::new(MinSupport::Count(4), 0.5);
+        let r = mine(&d, &params);
+        // Only item 2 appears in all four transactions.
+        assert_eq!(r.c(1).unwrap().to_vec(), vec![(crate::itemvec::ItemVec::from([2]), 4)]);
+        assert!(r.c(2).is_none());
+    }
+
+    #[test]
+    fn single_transaction_dataset() {
+        let d = Dataset::from_transactions([(7, [1u32, 2, 3].as_slice())]);
+        let params = MiningParams::new(MinSupport::Count(1), 0.5);
+        let r = mine(&d, &params);
+        assert_eq!(r.max_pattern_len(), 3);
+        assert_eq!(r.c(3).unwrap().get(&[1, 2, 3]), Some(1));
+        // R'_2 holds all 3 pairs, R'_3 all single extension chains.
+        assert_eq!(r.trace[1].r_prime_tuples, 3);
+    }
+}

@@ -1,0 +1,95 @@
+//! B+-tree sizing arithmetic (Section 3.2).
+
+use crate::params::DbParams;
+
+/// Analytical shape of a B+-tree index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BTreeModel {
+    /// Keys stored.
+    pub entries: u64,
+    /// Leaf pages.
+    pub leaf_pages: u64,
+    /// Non-leaf pages across all internal levels.
+    pub nonleaf_pages: u64,
+    /// Levels including the leaf level (the paper's `L`).
+    pub levels: u32,
+    /// Leaf entries per page.
+    pub leaf_capacity: u64,
+    /// Internal (key, pointer) entries per page.
+    pub internal_capacity: u64,
+}
+
+/// Model a key-only B+-tree holding `entries` keys of `key_bytes` bytes.
+///
+/// Matches the paper's arithmetic: leaf entries need no pointer ("all the
+/// data is contained in the index"), internal entries are key + pointer.
+pub fn btree_model(entries: u64, key_bytes: u64, db: &DbParams) -> BTreeModel {
+    let leaf_capacity = db.usable_page_bytes / key_bytes;
+    let internal_capacity = db.usable_page_bytes / (key_bytes + db.pointer_bytes);
+    let leaf_pages = entries.div_ceil(leaf_capacity).max(1);
+    let mut nonleaf_pages = 0u64;
+    let mut level_width = leaf_pages;
+    let mut levels = 1u32;
+    while level_width > 1 {
+        level_width = level_width.div_ceil(internal_capacity);
+        nonleaf_pages += level_width;
+        levels += 1;
+    }
+    BTreeModel { entries, leaf_pages, nonleaf_pages, levels, leaf_capacity, internal_capacity }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::WorkloadParams;
+
+    #[test]
+    fn item_tid_index_matches_section_3_2() {
+        // "The number of leaf pages in the B+-tree index on (item,
+        // trans_id) is 2,000,000/500 ~ 4,000. ... about 333 key-value /
+        // pointer pairs on a non-leaf index page. ... L = 3. The number of
+        // non-leaf pages in this index is (1 + 4,000/333) = 14."
+        let db = DbParams::paper();
+        let w = WorkloadParams::paper();
+        let m = btree_model(w.n_rows(), 8, &db);
+        assert_eq!(m.leaf_capacity, 500);
+        assert_eq!(m.internal_capacity, 333);
+        assert_eq!(m.leaf_pages, 4_000);
+        assert_eq!(m.levels, 3);
+        assert_eq!(m.nonleaf_pages, 14, "13 level-1 nodes + 1 root");
+    }
+
+    #[test]
+    fn tid_index_matches_section_3_2() {
+        // "Similar calculations for the index on (trans-id) show that the
+        // number of leaf pages is 2,000 and the number of non-leaf pages
+        // is 5." — 4-byte keys, 2,000,000 entries.
+        let db = DbParams::paper();
+        let w = WorkloadParams::paper();
+        let m = btree_model(w.n_rows(), 4, &db);
+        assert_eq!(m.leaf_pages, 2_000);
+        assert_eq!(m.nonleaf_pages, 5, "4 level-1 nodes + 1 root");
+        assert_eq!(m.levels, 3);
+    }
+
+    #[test]
+    fn tiny_trees() {
+        let db = DbParams::paper();
+        let m = btree_model(10, 8, &db);
+        assert_eq!(m.leaf_pages, 1);
+        assert_eq!(m.nonleaf_pages, 0);
+        assert_eq!(m.levels, 1);
+        let m = btree_model(0, 8, &db);
+        assert_eq!(m.leaf_pages, 1, "an empty tree still has a root leaf");
+    }
+
+    #[test]
+    fn one_internal_level() {
+        let db = DbParams::paper();
+        // 600 keys of 8 bytes -> 2 leaves -> 1 root.
+        let m = btree_model(600, 8, &db);
+        assert_eq!(m.leaf_pages, 2);
+        assert_eq!(m.nonleaf_pages, 1);
+        assert_eq!(m.levels, 2);
+    }
+}

@@ -1,0 +1,68 @@
+//! Summary statistics of a generated dataset.
+
+use setm_core::Dataset;
+use std::collections::HashMap;
+
+/// Aggregate statistics used to validate generator calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    pub n_transactions: u64,
+    pub n_rows: u64,
+    pub n_distinct_items: u64,
+    pub avg_transaction_len: f64,
+    pub max_transaction_len: usize,
+    /// Per-item occurrence counts (equals per-item transaction support,
+    /// since an item appears at most once per transaction).
+    pub item_counts: HashMap<u32, u64>,
+}
+
+impl DatasetStats {
+    /// Compute statistics for a dataset.
+    pub fn of(dataset: &Dataset) -> Self {
+        let mut item_counts: HashMap<u32, u64> = HashMap::new();
+        let mut max_len = 0usize;
+        for (_, items) in dataset.transactions() {
+            max_len = max_len.max(items.len());
+            for &it in items {
+                *item_counts.entry(it).or_insert(0) += 1;
+            }
+        }
+        DatasetStats {
+            n_transactions: dataset.n_transactions(),
+            n_rows: dataset.n_rows(),
+            n_distinct_items: dataset.n_distinct_items(),
+            avg_transaction_len: dataset.avg_transaction_len(),
+            max_transaction_len: max_len,
+            item_counts,
+        }
+    }
+
+    /// Number of items supported by at least `min_count` transactions —
+    /// the `|C1|` a miner would report.
+    pub fn items_with_support_at_least(&self, min_count: u64) -> u64 {
+        self.item_counts.values().filter(|&&c| c >= min_count).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_a_small_dataset() {
+        let d = Dataset::from_transactions([
+            (1, [1u32, 2].as_slice()),
+            (2, [1, 2, 3].as_slice()),
+            (3, [1].as_slice()),
+        ]);
+        let s = DatasetStats::of(&d);
+        assert_eq!(s.n_transactions, 3);
+        assert_eq!(s.n_rows, 6);
+        assert_eq!(s.n_distinct_items, 3);
+        assert_eq!(s.max_transaction_len, 3);
+        assert_eq!(s.item_counts[&1], 3);
+        assert_eq!(s.items_with_support_at_least(2), 2);
+        assert_eq!(s.items_with_support_at_least(1), 3);
+        assert_eq!(s.items_with_support_at_least(4), 0);
+    }
+}

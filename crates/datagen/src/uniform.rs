@@ -1,0 +1,104 @@
+//! The uniform model of Section 3.2.
+//!
+//! "There are 1000 different items that can be sold. The data consists of
+//! 200,000 customer transactions. The average number of items sold in a
+//! transaction is 10. ... we assume that the items have approximately
+//! equal probability of being sold." Transaction lengths are
+//! Poisson-distributed around the average (clamped to at least 1), items
+//! drawn uniformly without replacement.
+
+use crate::poisson;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use setm_core::Dataset;
+
+/// Configuration of the uniform generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformConfig {
+    pub n_items: u32,
+    pub n_txns: u32,
+    pub avg_txn_len: f64,
+    pub seed: u64,
+}
+
+impl UniformConfig {
+    /// The paper's hypothetical database at full scale.
+    pub fn paper() -> Self {
+        UniformConfig { n_items: 1000, n_txns: 200_000, avg_txn_len: 10.0, seed: 0x5E7A }
+    }
+
+    /// The paper's database scaled down by `factor` transactions (item
+    /// universe and density unchanged), for fast measured runs.
+    pub fn paper_scaled(factor: u32) -> Self {
+        let mut cfg = Self::paper();
+        cfg.n_txns = (cfg.n_txns / factor.max(1)).max(1);
+        cfg
+    }
+
+    /// Generate the dataset.
+    pub fn generate(&self) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut pairs: Vec<(u32, u32)> =
+            Vec::with_capacity((self.n_txns as f64 * self.avg_txn_len) as usize);
+        let mut txn: Vec<u32> = Vec::with_capacity(self.avg_txn_len as usize * 2);
+        for tid in 0..self.n_txns {
+            let len = poisson(&mut rng, self.avg_txn_len).max(1).min(self.n_items as u64) as usize;
+            txn.clear();
+            while txn.len() < len {
+                let item = rng.gen_range(1..=self.n_items);
+                if !txn.contains(&item) {
+                    txn.push(item);
+                }
+            }
+            pairs.extend(txn.iter().map(|&it| (tid + 1, it)));
+        }
+        Dataset::from_pairs(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DatasetStats;
+
+    #[test]
+    fn matches_requested_shape() {
+        let cfg = UniformConfig { n_items: 200, n_txns: 5_000, avg_txn_len: 8.0, seed: 42 };
+        let d = cfg.generate();
+        let s = DatasetStats::of(&d);
+        assert_eq!(s.n_transactions, 5_000);
+        assert!((s.avg_transaction_len - 8.0).abs() < 0.2, "avg {}", s.avg_transaction_len);
+        assert!(s.n_distinct_items as u32 <= 200);
+        assert!(s.n_distinct_items >= 190, "nearly all items should occur");
+    }
+
+    #[test]
+    fn is_deterministic_under_seed() {
+        let cfg = UniformConfig { n_items: 50, n_txns: 200, avg_txn_len: 5.0, seed: 9 };
+        assert_eq!(cfg.generate(), cfg.generate());
+        let other = UniformConfig { seed: 10, ..cfg };
+        assert_ne!(cfg.generate(), other.generate());
+    }
+
+    #[test]
+    fn items_are_roughly_equiprobable() {
+        let cfg = UniformConfig { n_items: 100, n_txns: 10_000, avg_txn_len: 10.0, seed: 1 };
+        let s = DatasetStats::of(&cfg.generate());
+        // Each item expected in ~10% of transactions (the paper's "1%"
+        // at its scale). Allow generous sampling noise.
+        let expect = 1_000.0;
+        for (&item, &count) in &s.item_counts {
+            assert!(
+                (count as f64) > expect * 0.7 && (count as f64) < expect * 1.3,
+                "item {item} count {count} far from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_config_divides_transactions() {
+        let cfg = UniformConfig::paper_scaled(10);
+        assert_eq!(cfg.n_txns, 20_000);
+        assert_eq!(cfg.n_items, 1000);
+    }
+}

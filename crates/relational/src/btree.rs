@@ -1,0 +1,513 @@
+//! Bulk-loaded B+-tree indexes.
+//!
+//! Section 3.2 analyzes the nested-loop mining strategy under two B+-tree
+//! indexes on `SALES`: one on `(item, trans_id)` and one on `(trans_id)`.
+//! "Since all the data is contained in the index, we do not need a pointer
+//! in the leaf page entries" — i.e. key-only leaves; the index *is* the
+//! relation in the chosen ordering. We implement exactly that: fixed-arity
+//! `u32` composite keys, dense bulk loading from sorted input, next-leaf
+//! chaining for range scans, and optional pinning of internal pages in
+//! memory (the paper assumes "the non-leaf pages ... reside in memory and
+//! are not fetched from disk").
+//!
+//! Page layout (4 KiB):
+//! `[kind: u8][pad: u8][n_entries: u16][extra: u32]` then packed entries.
+//! Leaf entries are `key_arity` u32 values; `extra` is the next-leaf page
+//! number (`u32::MAX` at the end of the chain). Internal entries are
+//! `key_arity` u32 values plus a child page number; `extra` is the leftmost
+//! child. An internal node with `m` children stores `m - 1` separator keys.
+
+use crate::errors::{Error, Result};
+use crate::heap::HeapFile;
+use crate::page::{Page, PAGE_SIZE};
+use crate::pager::{FileId, SharedPager};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+const HEADER: usize = 8;
+const KIND_LEAF: u8 = 0;
+const KIND_INTERNAL: u8 = 1;
+const NO_NEXT: u32 = u32::MAX;
+
+/// Entries per leaf page for a given key arity.
+pub fn leaf_capacity(key_arity: usize) -> usize {
+    (PAGE_SIZE - HEADER) / (key_arity * 4)
+}
+
+/// Entries (separator keys) per internal page for a given key arity.
+pub fn internal_capacity(key_arity: usize) -> usize {
+    (PAGE_SIZE - HEADER) / (key_arity * 4 + 4)
+}
+
+fn read_u16(p: &Page, off: usize) -> u16 {
+    let b = p.bytes();
+    u16::from_le_bytes([b[off], b[off + 1]])
+}
+fn read_u32(p: &Page, off: usize) -> u32 {
+    let b = p.bytes();
+    u32::from_le_bytes([b[off], b[off + 1], b[off + 2], b[off + 3]])
+}
+fn write_u16(p: &mut Page, off: usize, v: u16) {
+    p.bytes_mut()[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+fn write_u32(p: &mut Page, off: usize, v: u32) {
+    p.bytes_mut()[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn node_kind(p: &Page) -> u8 {
+    p.bytes()[0]
+}
+fn n_entries(p: &Page) -> usize {
+    read_u16(p, 2) as usize
+}
+fn extra(p: &Page) -> u32 {
+    read_u32(p, 4)
+}
+
+fn leaf_key(p: &Page, idx: usize, ka: usize, out: &mut [u32]) {
+    let off = HEADER + idx * ka * 4;
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = read_u32(p, off + i * 4);
+    }
+}
+
+fn internal_entry(p: &Page, idx: usize, ka: usize, key_out: &mut [u32]) -> u32 {
+    let off = HEADER + idx * (ka * 4 + 4);
+    for (i, o) in key_out.iter_mut().enumerate() {
+        *o = read_u32(p, off + i * 4);
+    }
+    read_u32(p, off + ka * 4)
+}
+
+/// Compare a full key against a (possibly shorter) probe prefix.
+fn cmp_prefix(key: &[u32], prefix: &[u32]) -> Ordering {
+    key[..prefix.len()].cmp(prefix)
+}
+
+/// A read-only B+-tree over composite `u32` keys.
+pub struct BTree {
+    pager: SharedPager,
+    fid: FileId,
+    key_arity: usize,
+    root: u32,
+    height: u32,
+    n_keys: u64,
+    n_leaf_pages: u32,
+    n_internal_pages: u32,
+    /// When set (the paper's assumption), internal pages are served from
+    /// this in-memory map and charged no I/O.
+    internal_cache: Option<HashMap<u32, Page>>,
+}
+
+/// Streams sorted keys into a fresh B+-tree without per-key allocation.
+pub struct BulkLoader {
+    pager: SharedPager,
+    fid: FileId,
+    key_arity: usize,
+    leaf: Page,
+    leaf_first_key: Vec<u32>,
+    /// `(first_key, page_no)` per completed leaf, for building the levels.
+    level: Vec<(Vec<u32>, u32)>,
+    n_keys: u64,
+    last_key: Vec<u32>,
+}
+
+impl BulkLoader {
+    /// Begin bulk-loading a tree with keys of `key_arity` columns.
+    pub fn new(pager: SharedPager, key_arity: usize) -> Self {
+        assert!(key_arity > 0 && key_arity * 4 <= PAGE_SIZE - HEADER);
+        let fid = pager.borrow_mut().create_file();
+        let mut leaf = Page::new();
+        leaf.bytes_mut()[0] = KIND_LEAF;
+        BulkLoader {
+            pager,
+            fid,
+            key_arity,
+            leaf,
+            leaf_first_key: Vec::new(),
+            level: Vec::new(),
+            n_keys: 0,
+            last_key: Vec::new(),
+        }
+    }
+
+    /// Push the next key; keys must arrive in non-decreasing order.
+    pub fn push(&mut self, key: &[u32]) -> Result<()> {
+        if key.len() != self.key_arity {
+            return Err(Error::ArityMismatch { expected: self.key_arity, got: key.len() });
+        }
+        if !self.last_key.is_empty() && key < self.last_key.as_slice() {
+            return Err(Error::NotSorted);
+        }
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+
+        let ka = self.key_arity;
+        let n = n_entries(&self.leaf);
+        if n >= leaf_capacity(ka) {
+            self.flush_leaf()?;
+        }
+        let n = n_entries(&self.leaf);
+        if n == 0 {
+            self.leaf_first_key.clear();
+            self.leaf_first_key.extend_from_slice(key);
+        }
+        let off = HEADER + n * ka * 4;
+        for (i, v) in key.iter().enumerate() {
+            write_u32(&mut self.leaf, off + i * 4, *v);
+        }
+        write_u16(&mut self.leaf, 2, (n + 1) as u16);
+        self.n_keys += 1;
+        Ok(())
+    }
+
+    fn flush_leaf(&mut self) -> Result<()> {
+        // Leaves are appended in order, so this leaf's page number is the
+        // current file length and its successor (if any) is the next one.
+        let mut leaf = std::mem::take(&mut self.leaf);
+        leaf.bytes_mut()[0] = KIND_LEAF;
+        let pno = self.pager.borrow().n_pages(self.fid)?;
+        write_u32(&mut leaf, 4, pno + 1); // provisional next pointer
+        self.pager.borrow_mut().append_page(self.fid, leaf)?;
+        self.level.push((self.leaf_first_key.clone(), pno));
+        self.leaf = Page::new();
+        self.leaf.bytes_mut()[0] = KIND_LEAF;
+        Ok(())
+    }
+
+    /// Finish loading: builds the internal levels and returns the tree.
+    pub fn finish(mut self) -> Result<BTree> {
+        if n_entries(&self.leaf) > 0 || self.level.is_empty() {
+            self.flush_leaf()?;
+        }
+        // Terminate the leaf chain.
+        let last_leaf = self.level.last().expect("at least one leaf").1;
+        {
+            let mut pager = self.pager.borrow_mut();
+            let mut page = pager.read_page(self.fid, last_leaf)?;
+            write_u32(&mut page, 4, NO_NEXT);
+            pager.write_page(self.fid, last_leaf, page)?;
+        }
+        let n_leaf_pages = self.level.len() as u32;
+
+        let ka = self.key_arity;
+        let mut level = self.level;
+        let mut height = 1u32;
+        let mut n_internal_pages = 0u32;
+        while level.len() > 1 {
+            height += 1;
+            let cap = internal_capacity(ka);
+            let mut next: Vec<(Vec<u32>, u32)> = Vec::with_capacity(level.len() / cap + 1);
+            // Each node takes up to cap+1 children (leftmost + cap entries).
+            for group in level.chunks(cap + 1) {
+                let mut page = Page::new();
+                page.bytes_mut()[0] = KIND_INTERNAL;
+                write_u32(&mut page, 4, group[0].1); // leftmost child
+                for (i, (key, child)) in group[1..].iter().enumerate() {
+                    let off = HEADER + i * (ka * 4 + 4);
+                    for (j, v) in key.iter().enumerate() {
+                        write_u32(&mut page, off + j * 4, *v);
+                    }
+                    write_u32(&mut page, off + ka * 4, *child);
+                }
+                write_u16(&mut page, 2, (group.len() - 1) as u16);
+                let pno = self.pager.borrow_mut().append_page(self.fid, page)?;
+                n_internal_pages += 1;
+                next.push((group[0].0.clone(), pno));
+            }
+            level = next;
+        }
+        let root = level[0].1;
+        Ok(BTree {
+            pager: self.pager,
+            fid: self.fid,
+            key_arity: ka,
+            root,
+            height,
+            n_keys: self.n_keys,
+            n_leaf_pages,
+            n_internal_pages,
+            internal_cache: None,
+        })
+    }
+}
+
+impl BTree {
+    /// Bulk-load from a heap file whose rows are the (already sorted) keys.
+    pub fn from_sorted_heapfile(file: &HeapFile) -> Result<BTree> {
+        let mut loader = BulkLoader::new(file.pager().clone(), file.arity());
+        let mut cursor = file.cursor();
+        while let Some(row) = cursor.next_row()? {
+            loader.push(row)?;
+        }
+        loader.finish()
+    }
+
+    /// Pin every internal page in memory (Section 3.2's assumption); from
+    /// now on internal-node reads are not charged as I/O.
+    pub fn cache_internal_nodes(&mut self) -> Result<()> {
+        let mut cache = HashMap::with_capacity(self.n_internal_pages as usize);
+        let n = self.pager.borrow().n_pages(self.fid)?;
+        for pno in self.n_leaf_pages..n {
+            let page = self.pager.borrow_mut().read_page(self.fid, pno)?;
+            debug_assert_eq!(node_kind(&page), KIND_INTERNAL);
+            cache.insert(pno, page);
+        }
+        self.internal_cache = Some(cache);
+        Ok(())
+    }
+
+    fn read_node(&self, pno: u32) -> Result<Page> {
+        if let Some(cache) = &self.internal_cache {
+            if let Some(page) = cache.get(&pno) {
+                return Ok(page.clone());
+            }
+        }
+        self.pager.borrow_mut().read_page(self.fid, pno)
+    }
+
+    /// Number of keys stored.
+    pub fn n_keys(&self) -> u64 {
+        self.n_keys
+    }
+    /// Number of leaf pages (the paper's "4,000 leaf pages" figure).
+    pub fn n_leaf_pages(&self) -> u32 {
+        self.n_leaf_pages
+    }
+    /// Number of internal pages (the paper's "14 non-leaf pages" figure).
+    pub fn n_internal_pages(&self) -> u32 {
+        self.n_internal_pages
+    }
+    /// Tree height in levels, counting the leaf level.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+    /// Key arity.
+    pub fn key_arity(&self) -> usize {
+        self.key_arity
+    }
+
+    /// Descend to the leftmost leaf that can contain keys `>=` the probe
+    /// prefix. Returns its page number.
+    fn descend(&self, prefix: &[u32]) -> Result<u32> {
+        let mut pno = self.root;
+        let ka = self.key_arity;
+        let mut key_buf = vec![0u32; ka];
+        loop {
+            let page = self.read_node(pno)?;
+            if node_kind(&page) == KIND_LEAF {
+                return Ok(pno);
+            }
+            let n = n_entries(&page);
+            let mut child = extra(&page); // leftmost
+            for i in 0..n {
+                let c = internal_entry(&page, i, ka, &mut key_buf);
+                // Strictly-less: keys equal to the separator's prefix may
+                // extend into the previous child, so only skip past
+                // separators strictly below the probe.
+                if cmp_prefix(&key_buf, prefix) == Ordering::Less {
+                    child = c;
+                } else {
+                    break;
+                }
+            }
+            pno = child;
+        }
+    }
+
+    /// Visit every key whose leading columns equal `prefix`, in order.
+    /// Returns the number of keys visited.
+    pub fn scan_prefix<F: FnMut(&[u32])>(&self, prefix: &[u32], mut f: F) -> Result<u64> {
+        assert!(!prefix.is_empty() && prefix.len() <= self.key_arity);
+        let ka = self.key_arity;
+        let mut pno = self.descend(prefix)?;
+        let mut key = vec![0u32; ka];
+        let mut count = 0u64;
+        loop {
+            let page = self.read_node(pno)?;
+            let n = n_entries(&page);
+            for i in 0..n {
+                leaf_key(&page, i, ka, &mut key);
+                match cmp_prefix(&key, prefix) {
+                    Ordering::Less => continue,
+                    Ordering::Equal => {
+                        f(&key);
+                        count += 1;
+                    }
+                    Ordering::Greater => return Ok(count),
+                }
+            }
+            match extra(&page) {
+                NO_NEXT => return Ok(count),
+                next => pno = next,
+            }
+        }
+    }
+
+    /// Whether an exact key is present.
+    pub fn contains(&self, key: &[u32]) -> Result<bool> {
+        assert_eq!(key.len(), self.key_arity);
+        let mut found = false;
+        self.scan_prefix(key, |_| found = true)?;
+        Ok(found)
+    }
+
+    /// Count keys matching a prefix without materializing them.
+    pub fn count_prefix(&self, prefix: &[u32]) -> Result<u64> {
+        self.scan_prefix(prefix, |_| {})
+    }
+}
+
+impl std::fmt::Debug for BTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "BTree(keys={}, height={}, leaves={}, internal={})",
+            self.n_keys, self.height, self.n_leaf_pages, self.n_internal_pages
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::Pager;
+
+    fn load(pager: &SharedPager, keys: &[Vec<u32>]) -> BTree {
+        let mut loader = BulkLoader::new(pager.clone(), keys[0].len());
+        for k in keys {
+            loader.push(k).unwrap();
+        }
+        loader.finish().unwrap()
+    }
+
+    #[test]
+    fn capacities_match_paper_scale() {
+        // (item, trans_id) 8-byte entries: paper rounds 500/leaf, exact 511.
+        assert_eq!(leaf_capacity(2), 511);
+        // 12-byte internal entries: paper rounds 333, exact 340.
+        assert_eq!(internal_capacity(2), 340);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let pager = Pager::shared();
+        let keys: Vec<Vec<u32>> = (0..10).map(|i| vec![i, 100 + i]).collect();
+        let t = load(&pager, &keys);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.n_leaf_pages(), 1);
+        assert_eq!(t.n_internal_pages(), 0);
+        assert_eq!(t.n_keys(), 10);
+        assert!(t.contains(&[3, 103]).unwrap());
+        assert!(!t.contains(&[3, 104]).unwrap());
+    }
+
+    #[test]
+    fn multi_level_tree_and_prefix_scan() {
+        let pager = Pager::shared();
+        // 40 items x 200 tids = 8000 keys -> 16 leaves -> height 2.
+        let mut keys = Vec::new();
+        for item in 0..40u32 {
+            for tid in 0..200u32 {
+                keys.push(vec![item, tid]);
+            }
+        }
+        let t = load(&pager, &keys);
+        assert!(t.height() >= 2);
+        assert_eq!(t.n_keys(), 8000);
+        let mut got = Vec::new();
+        let n = t.scan_prefix(&[17], |k| got.push(k[1])).unwrap();
+        assert_eq!(n, 200);
+        assert_eq!(got, (0..200).collect::<Vec<u32>>());
+        // Prefix with no matches.
+        assert_eq!(t.count_prefix(&[99]).unwrap(), 0);
+    }
+
+    #[test]
+    fn duplicate_keys_spanning_leaves_are_all_found() {
+        let pager = Pager::shared();
+        // 1500 copies of the same key surrounded by neighbors: the run
+        // spans ~3 leaves and crosses internal separators.
+        let mut keys = vec![vec![1u32, 0u32]];
+        keys.extend(std::iter::repeat_n(vec![5u32, 7u32], 1500));
+        keys.push(vec![9, 0]);
+        let t = load(&pager, &keys);
+        assert_eq!(t.count_prefix(&[5, 7]).unwrap(), 1500);
+        assert_eq!(t.count_prefix(&[5]).unwrap(), 1500);
+        assert_eq!(t.count_prefix(&[1]).unwrap(), 1);
+        assert_eq!(t.count_prefix(&[9]).unwrap(), 1);
+    }
+
+    #[test]
+    fn unsorted_input_is_rejected() {
+        let pager = Pager::shared();
+        let mut loader = BulkLoader::new(pager, 1);
+        loader.push(&[5]).unwrap();
+        assert_eq!(loader.push(&[3]), Err(Error::NotSorted));
+    }
+
+    #[test]
+    fn internal_cache_eliminates_descent_io() {
+        let pager = Pager::shared();
+        let keys: Vec<Vec<u32>> = (0..8000u32).map(|i| vec![i / 200, i % 200]).collect();
+        let t = load(&pager, &keys);
+        assert!(t.n_internal_pages() >= 1);
+
+        pager.borrow_mut().reset_stats();
+        assert_eq!(t.count_prefix(&[17]).unwrap(), 200);
+        let uncached = pager.borrow().stats().reads();
+
+        let mut t = t;
+        t.cache_internal_nodes().unwrap();
+        pager.borrow_mut().reset_stats();
+        assert_eq!(t.count_prefix(&[17]).unwrap(), 200);
+        let cached = pager.borrow().stats().reads();
+
+        // Caching internal nodes removes exactly the descent reads
+        // (height - 1 internal pages per probe).
+        assert_eq!(cached + (t.height() as u64 - 1), uncached);
+        // A 200-key run fits in one 511-entry leaf, so at most three leaf
+        // pages are touched (start-boundary, the run, end-boundary).
+        assert!(cached <= 3, "expected <=3 leaf reads, got {cached}");
+    }
+
+    #[test]
+    fn from_sorted_heapfile_round_trips() {
+        let pager = Pager::shared();
+        let rows: Vec<Vec<u32>> = (0..1000).map(|i| vec![i % 10, i]).collect();
+        let mut sorted = rows.clone();
+        sorted.sort();
+        let hf =
+            HeapFile::from_rows(pager.clone(), 2, sorted.iter().map(|r| r.as_slice())).unwrap();
+        let t = BTree::from_sorted_heapfile(&hf).unwrap();
+        assert_eq!(t.n_keys(), 1000);
+        for item in 0..10u32 {
+            assert_eq!(t.count_prefix(&[item]).unwrap(), 100);
+        }
+    }
+
+    #[test]
+    fn empty_tree_behaves() {
+        let pager = Pager::shared();
+        let loader = BulkLoader::new(pager, 2);
+        let t = loader.finish().unwrap();
+        assert_eq!(t.n_keys(), 0);
+        assert_eq!(t.n_leaf_pages(), 1);
+        assert_eq!(t.count_prefix(&[1]).unwrap(), 0);
+    }
+
+    #[test]
+    fn paper_index_sizing_at_scale_is_close() {
+        // A scaled-down version of Section 3.2's sizing: 100k 8-byte keys.
+        let pager = Pager::shared();
+        let mut loader = BulkLoader::new(pager, 2);
+        for i in 0..100_000u32 {
+            loader.push(&[i / 100, i % 100]).unwrap();
+        }
+        let t = loader.finish().unwrap();
+        // ceil(100000/511) = 196 leaves; paper arithmetic (500/leaf) = 200.
+        assert_eq!(t.n_leaf_pages(), 196);
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.n_internal_pages(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type shared by all engine components.
+
+use std::fmt;
+
+/// Errors raised by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A page number was out of bounds for the file.
+    PageOutOfBounds { file: u32, page: u32, len: u32 },
+    /// A file id did not name an existing file.
+    NoSuchFile(u32),
+    /// A table name was not found in the catalog.
+    NoSuchTable(String),
+    /// An index name was not found in the catalog.
+    NoSuchIndex(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// A row's arity did not match the table schema.
+    ArityMismatch { expected: usize, got: usize },
+    /// A column name was not found in a schema.
+    NoSuchColumn(String),
+    /// A record was too large to fit in a single page.
+    RecordTooLarge { record_bytes: usize, page_bytes: usize },
+    /// The operation required sorted input but the input was not sorted.
+    NotSorted,
+    /// Generic invariant violation with a message.
+    Corrupt(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::PageOutOfBounds { file, page, len } => {
+                write!(f, "page {page} out of bounds for file {file} (len {len})")
+            }
+            Error::NoSuchFile(id) => write!(f, "no such file: {id}"),
+            Error::NoSuchTable(name) => write!(f, "no such table: {name}"),
+            Error::NoSuchIndex(name) => write!(f, "no such index: {name}"),
+            Error::TableExists(name) => write!(f, "table already exists: {name}"),
+            Error::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: expected {expected} columns, got {got}")
+            }
+            Error::NoSuchColumn(name) => write!(f, "no such column: {name}"),
+            Error::RecordTooLarge { record_bytes, page_bytes } => {
+                write!(f, "record of {record_bytes} bytes too large for {page_bytes}-byte page")
+            }
+            Error::NotSorted => write!(f, "input relation is not sorted as required"),
+            Error::Corrupt(msg) => write!(f, "corrupt state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias used throughout the engine.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = Error::PageOutOfBounds { file: 1, page: 9, len: 3 };
+        assert!(e.to_string().contains("page 9"));
+        assert!(e.to_string().contains("file 1"));
+        let e = Error::ArityMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains("expected 3"));
+        let e = Error::NoSuchTable("SALES".into());
+        assert!(e.to_string().contains("SALES"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::NoSuchFile(7), Error::NoSuchFile(7));
+        assert_ne!(Error::NoSuchFile(7), Error::NoSuchFile(8));
+    }
+}

@@ -1,0 +1,108 @@
+//! Relation schemas.
+//!
+//! Following the paper's data model (Section 3.2: "each item and transaction
+//! id is represented using 4 bytes; item values are represented by
+//! integers"), every column is an unsigned 32-bit integer. A schema is
+//! therefore just an ordered list of column names; the arity determines the
+//! fixed record length.
+
+use crate::errors::{Error, Result};
+
+/// Width of one column value in bytes.
+pub const VALUE_BYTES: usize = 4;
+
+/// An ordered list of named `u32` columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<String>,
+}
+
+impl Schema {
+    /// Build a schema from column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Self {
+        Schema { columns: names.into_iter().map(Into::into).collect() }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Record length in bytes for this schema.
+    pub fn record_bytes(&self) -> usize {
+        self.arity() * VALUE_BYTES
+    }
+
+    /// Column names in order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| Error::NoSuchColumn(name.to_string()))
+    }
+
+    /// Whether a column with the given name exists.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.columns.iter().any(|c| c == name)
+    }
+
+    /// Schema of the paper's `SALES(trans_id, item)` relation.
+    pub fn sales() -> Self {
+        Schema::new(["trans_id", "item"])
+    }
+
+    /// Schema of the paper's `R_k(trans_id, item_1, .., item_k)` relation.
+    pub fn r_k(k: usize) -> Self {
+        let mut cols = vec!["trans_id".to_string()];
+        cols.extend((1..=k).map(|i| format!("item_{i}")));
+        Schema::new(cols)
+    }
+
+    /// Schema of the paper's `C_k(item_1, .., item_k, count)` relation.
+    pub fn c_k(k: usize) -> Self {
+        let mut cols: Vec<String> = (1..=k).map(|i| format!("item_{i}")).collect();
+        cols.push("count".to_string());
+        Schema::new(cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sales_schema_matches_paper() {
+        let s = Schema::sales();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.record_bytes(), 8); // the paper's 8-byte SALES tuple
+        assert_eq!(s.column_index("trans_id").unwrap(), 0);
+        assert_eq!(s.column_index("item").unwrap(), 1);
+    }
+
+    #[test]
+    fn r_k_schema_has_tid_plus_k_items() {
+        let s = Schema::r_k(3);
+        assert_eq!(s.columns(), &["trans_id", "item_1", "item_2", "item_3"]);
+        // Section 4.3: "The size of a tuple from R_i is (i + 1) x 4 bytes".
+        assert_eq!(s.record_bytes(), (3 + 1) * 4);
+    }
+
+    #[test]
+    fn c_k_schema_has_k_items_plus_count() {
+        let s = Schema::c_k(2);
+        assert_eq!(s.columns(), &["item_1", "item_2", "count"]);
+    }
+
+    #[test]
+    fn missing_column_is_an_error() {
+        let s = Schema::sales();
+        assert_eq!(s.column_index("price"), Err(Error::NoSuchColumn("price".into())));
+        assert!(!s.has_column("price"));
+        assert!(s.has_column("item"));
+    }
+}

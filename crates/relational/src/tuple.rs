@@ -1,0 +1,87 @@
+//! Row comparison helpers.
+//!
+//! Rows are plain `&[u32]` slices; relations decide which column positions
+//! form the ordering key. These helpers implement the composite-key
+//! comparisons used by sorting, merge-scan joins, and group-by.
+
+use std::cmp::Ordering;
+
+/// Compare two rows on the given key column positions, in order.
+pub fn cmp_on(a: &[u32], b: &[u32], key: &[usize]) -> Ordering {
+    for &k in key {
+        match a[k].cmp(&b[k]) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Compare two rows lexicographically on all columns.
+pub fn cmp_all(a: &[u32], b: &[u32]) -> Ordering {
+    a.cmp(b)
+}
+
+/// Whether two rows agree on the given key column positions.
+pub fn eq_on(a: &[u32], b: &[u32], key: &[usize]) -> bool {
+    key.iter().all(|&k| a[k] == b[k])
+}
+
+/// Whether `rows` is sorted (non-decreasing) on the given key columns.
+pub fn is_sorted_on<'a, I: IntoIterator<Item = &'a [u32]>>(rows: I, key: &[usize]) -> bool {
+    let mut prev: Option<&[u32]> = None;
+    for row in rows {
+        if let Some(p) = prev {
+            if cmp_on(p, row, key) == Ordering::Greater {
+                return false;
+            }
+        }
+        prev = Some(row);
+    }
+    true
+}
+
+/// Project `row` onto `cols`, appending the values to `out`.
+pub fn project_into(row: &[u32], cols: &[usize], out: &mut Vec<u32>) {
+    out.extend(cols.iter().map(|&c| row[c]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composite_key_comparison_orders_by_key_positions() {
+        let a = [1u32, 5, 9];
+        let b = [1u32, 7, 0];
+        assert_eq!(cmp_on(&a, &b, &[0]), Ordering::Equal);
+        assert_eq!(cmp_on(&a, &b, &[0, 1]), Ordering::Less);
+        assert_eq!(cmp_on(&a, &b, &[2]), Ordering::Greater);
+        // Key order matters, not column order.
+        assert_eq!(cmp_on(&a, &b, &[2, 1]), Ordering::Greater);
+    }
+
+    #[test]
+    fn eq_on_checks_only_key_columns() {
+        let a = [3u32, 4, 5];
+        let b = [3u32, 4, 6];
+        assert!(eq_on(&a, &b, &[0, 1]));
+        assert!(!eq_on(&a, &b, &[0, 2]));
+    }
+
+    #[test]
+    fn is_sorted_detects_order_violations() {
+        let rows: Vec<Vec<u32>> = vec![vec![1, 2], vec![1, 3], vec![2, 0]];
+        assert!(is_sorted_on(rows.iter().map(|r| r.as_slice()), &[0, 1]));
+        assert!(!is_sorted_on(rows.iter().map(|r| r.as_slice()), &[1]));
+        let empty: Vec<&[u32]> = vec![];
+        assert!(is_sorted_on(empty, &[0]));
+    }
+
+    #[test]
+    fn projection_appends_selected_columns() {
+        let mut out = vec![];
+        project_into(&[10, 20, 30], &[2, 0], &mut out);
+        assert_eq!(out, vec![30, 10]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Abstract syntax for the SQL subset.
+//!
+//! The dialect is exactly what the paper's queries need: `CREATE TABLE`
+//! with integer columns, `INSERT INTO ... VALUES/SELECT`, and
+//! single-block `SELECT` with multi-table `FROM`, conjunctive `WHERE`,
+//! `GROUP BY` + `COUNT(*)` + `HAVING`, and `ORDER BY`.
+
+use std::fmt;
+
+/// A possibly-qualified column reference, e.g. `r1.item` or `item`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    pub qualifier: Option<String>,
+    pub column: String,
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// A scalar term in a predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scalar {
+    Column(ColumnRef),
+    Literal(u64),
+    Param(String),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate on two integers.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// The operator with its operands swapped (`a op b` ⇔ `b op' a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+/// One conjunct of a `WHERE` clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Predicate {
+    pub left: Scalar,
+    pub op: CmpOp,
+    pub right: Scalar,
+}
+
+/// An item in the `SELECT` list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelectItem {
+    /// A plain column.
+    Column(ColumnRef),
+    /// `COUNT(*)`.
+    CountStar,
+    /// `*` (all columns of all FROM tables, in order).
+    Wildcard,
+}
+
+/// A table in the `FROM` list with an optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table binds in the query (alias if present).
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// `HAVING COUNT(*) op term` — the only HAVING shape the dialect needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Having {
+    pub op: CmpOp,
+    pub rhs: Scalar,
+}
+
+/// A single-block `SELECT`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Select {
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub predicates: Vec<Predicate>,
+    pub group_by: Vec<ColumnRef>,
+    pub having: Option<Having>,
+    pub order_by: Vec<ColumnRef>,
+}
+
+/// A top-level statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    CreateTable { name: String, columns: Vec<String> },
+    DropTable { name: String },
+    InsertValues { table: String, rows: Vec<Vec<u64>> },
+    InsertSelect { table: String, select: Select },
+    Select(Select),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_eval() {
+        assert!(CmpOp::Eq.eval(3, 3));
+        assert!(CmpOp::Ne.eval(3, 4));
+        assert!(CmpOp::Lt.eval(3, 4));
+        assert!(CmpOp::Le.eval(4, 4));
+        assert!(CmpOp::Gt.eval(5, 4));
+        assert!(CmpOp::Ge.eval(4, 4));
+        assert!(!CmpOp::Gt.eval(4, 4));
+    }
+
+    #[test]
+    fn cmp_op_flip_is_involutive_and_correct() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.flipped().flipped(), op);
+            for (a, b) in [(1u64, 2u64), (2, 2), (3, 2)] {
+                assert_eq!(op.eval(a, b), op.flipped().eval(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn table_ref_binding() {
+        let t = TableRef { table: "SALES".into(), alias: Some("r1".into()) };
+        assert_eq!(t.binding(), "r1");
+        let t = TableRef { table: "SALES".into(), alias: None };
+        assert_eq!(t.binding(), "SALES");
+    }
+
+    #[test]
+    fn column_ref_display() {
+        let c = ColumnRef { qualifier: Some("p".into()), column: "item_1".into() };
+        assert_eq!(c.to_string(), "p.item_1");
+        let c = ColumnRef { qualifier: None, column: "item".into() };
+        assert_eq!(c.to_string(), "item");
+    }
+}

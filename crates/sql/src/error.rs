@@ -1,0 +1,57 @@
+//! SQL-layer errors.
+
+use std::fmt;
+
+/// Errors from parsing, planning, or executing a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Lexical error at a byte offset.
+    Lex { offset: usize, message: String },
+    /// Parse error with a human-readable message.
+    Parse(String),
+    /// Semantic/planning error (unknown table/column, ambiguity, ...).
+    Plan(String),
+    /// A named parameter was not bound at execution time.
+    UnboundParam(String),
+    /// Unsupported SQL feature (the dialect is the paper's subset).
+    Unsupported(String),
+    /// Underlying storage-engine error.
+    Engine(setm_relational::Error),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { offset, message } => write!(f, "lex error at byte {offset}: {message}"),
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Plan(m) => write!(f, "plan error: {m}"),
+            SqlError::UnboundParam(p) => write!(f, "unbound parameter :{p}"),
+            SqlError::Unsupported(m) => write!(f, "unsupported SQL: {m}"),
+            SqlError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<setm_relational::Error> for SqlError {
+    fn from(e: setm_relational::Error) -> Self {
+        SqlError::Engine(e)
+    }
+}
+
+/// Result alias for the SQL layer.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(SqlError::Parse("expected FROM".into()).to_string().contains("FROM"));
+        assert!(SqlError::UnboundParam("minsupport".into()).to_string().contains(":minsupport"));
+        let e: SqlError = setm_relational::Error::NoSuchTable("X".into()).into();
+        assert!(e.to_string().contains("X"));
+    }
+}

@@ -1,0 +1,40 @@
+//! # setm-sql — the paper's SQL, executable
+//!
+//! A SQL subset engine over `setm-relational`, sized exactly to the
+//! queries of *Houtsma & Swami (ICDE 1995)*: `CREATE TABLE` with integer
+//! columns, `INSERT INTO … VALUES / SELECT`, and single-block `SELECT`
+//! with multi-table `FROM`, conjunctive `WHERE`, `GROUP BY` + `COUNT(*)` +
+//! `HAVING`, `ORDER BY`, and named parameters (`:minsupport`).
+//!
+//! The planner realizes both strategies the paper analyzes from the same
+//! SQL text: [`JoinPreference::SortMerge`] produces the Section 4 plan
+//! (sort both sides, one merge-scan), [`JoinPreference::IndexNestedLoop`]
+//! the Section 3 plan (a B+-tree probe per outer row).
+//!
+//! ```
+//! use setm_sql::{Params, SqlEngine};
+//!
+//! let mut engine = SqlEngine::new();
+//! engine.execute("CREATE TABLE SALES (trans_id INT, item INT)", &Params::new()).unwrap();
+//! engine
+//!     .execute("INSERT INTO SALES VALUES (10, 1), (10, 2), (20, 1)", &Params::new())
+//!     .unwrap();
+//! let result = engine
+//!     .query(
+//!         "SELECT item, COUNT(*) FROM SALES GROUP BY item HAVING COUNT(*) >= :minsupport",
+//!         &Params::new().with("minsupport", 2),
+//!     )
+//!     .unwrap();
+//! assert_eq!(result.rows, vec![vec![1, 2]]);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::Statement;
+pub use error::{Result, SqlError};
+pub use exec::{ExecOptions, ExecOutcome, JoinPreference, Params, QueryResult, SqlEngine};
+pub use parser::{parse, parse_script};

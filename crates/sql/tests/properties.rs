@@ -1,0 +1,123 @@
+//! Property-based tests of the SQL layer: the lexer/parser never panic,
+//! and the two physical join plans always agree.
+
+use proptest::prelude::*;
+use setm_sql::{lexer, parse, ExecOptions, JoinPreference, Params, SqlEngine};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The lexer returns Ok or a typed error on arbitrary input — it
+    /// must never panic or loop.
+    #[test]
+    fn lexer_total_on_arbitrary_input(input in ".{0,200}") {
+        let _ = lexer::lex(&input);
+    }
+
+    /// Same for the parser on arbitrary ASCII-ish input.
+    #[test]
+    fn parser_total_on_arbitrary_input(input in "[ -~]{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// Tokenizable garbage (valid tokens, arbitrary order) still never
+    /// panics the parser.
+    #[test]
+    fn parser_total_on_token_soup(
+        words in prop::collection::vec(
+            prop::sample::select(vec![
+                "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "INSERT",
+                "INTO", "VALUES", "CREATE", "TABLE", "COUNT", "(", ")", "*", ",", "=",
+                "<>", ">", ">=", "t", "a", "b", "42", ":p", ".",
+            ]),
+            0..30,
+        )
+    ) {
+        let _ = parse(&words.join(" "));
+    }
+
+    /// Sort-merge and index-nested-loop plans answer the SETM pair query
+    /// identically on random SALES contents.
+    #[test]
+    fn physical_plans_agree(
+        pairs in prop::collection::vec((1u32..30, 1u32..12), 1..150),
+        minsup in 1u64..5,
+    ) {
+        let mut rows: Vec<Vec<u32>> = pairs.iter().map(|&(t, i)| vec![t, i]).collect();
+        rows.sort();
+        rows.dedup();
+
+        let mut sm = SqlEngine::new();
+        sm.load_table("SALES", &["trans_id", "item"], rows.iter().map(|r| r.as_slice()))
+            .unwrap();
+        sm.set_options(ExecOptions { join: JoinPreference::SortMerge, ..Default::default() });
+
+        let mut inl = SqlEngine::new();
+        inl.load_table("SALES", &["trans_id", "item"], rows.iter().map(|r| r.as_slice()))
+            .unwrap();
+        inl.database_mut().create_index("idx", "SALES", &["trans_id", "item"]).unwrap();
+        inl.set_options(ExecOptions {
+            join: JoinPreference::IndexNestedLoop,
+            ..Default::default()
+        });
+
+        let q = "SELECT r1.item, r2.item, COUNT(*)
+                 FROM SALES r1, SALES r2
+                 WHERE r1.trans_id = r2.trans_id AND r2.item > r1.item
+                 GROUP BY r1.item, r2.item
+                 HAVING COUNT(*) >= :minsupport";
+        let p = Params::new().with("minsupport", minsup);
+        let a = sm.query(q, &p).unwrap();
+        let b = inl.query(q, &p).unwrap();
+        prop_assert_eq!(a.rows, b.rows);
+    }
+
+    /// GROUP BY / HAVING matches a hash-map reference on random tables.
+    #[test]
+    fn group_count_matches_reference(
+        values in prop::collection::vec(0u32..20, 0..200),
+        minsup in 1u64..5,
+    ) {
+        let rows: Vec<Vec<u32>> = values.iter().map(|&v| vec![v]).collect();
+        let mut engine = SqlEngine::new();
+        engine.load_table("t", &["a"], rows.iter().map(|r| r.as_slice())).unwrap();
+        let got = engine
+            .query(
+                "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) >= :m",
+                &Params::new().with("m", minsup),
+            )
+            .unwrap();
+        let mut reference = std::collections::HashMap::new();
+        for &v in &values {
+            *reference.entry(v).or_insert(0u64) += 1;
+        }
+        let mut expect: Vec<Vec<u32>> = reference
+            .into_iter()
+            .filter(|&(_, c)| c >= minsup)
+            .map(|(v, c)| vec![v, c as u32])
+            .collect();
+        expect.sort();
+        prop_assert_eq!(got.rows, expect);
+    }
+
+    /// ORDER BY returns rows sorted on the requested columns and is a
+    /// permutation of the unordered result.
+    #[test]
+    fn order_by_sorts(rows in prop::collection::vec((0u32..50, 0u32..50), 0..200)) {
+        let data: Vec<Vec<u32>> = rows.iter().map(|&(a, b)| vec![a, b]).collect();
+        let mut engine = SqlEngine::new();
+        engine.load_table("t", &["a", "b"], data.iter().map(|r| r.as_slice())).unwrap();
+        let p = Params::new();
+        let ordered = engine.query("SELECT a, b FROM t ORDER BY a, b", &p).unwrap();
+        for w in ordered.rows.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let mut plain = engine.query("SELECT a, b FROM t", &p).unwrap().rows;
+        let mut sorted = ordered.rows;
+        plain.sort();
+        prop_assert_eq!(plain, {
+            sorted.sort();
+            sorted
+        });
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: the paper's worked example, end to end.
+//!
+//! Mines the ten-transaction dataset of Figure 1 at 30% minimum support
+//! and 70% minimum confidence, printing the count relations of
+//! Figures 1–3 and the eleven rules of Section 5.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use setm::{example, Miner};
+
+fn main() {
+    let dataset = example::paper_example_dataset();
+    println!("Customer transactions (Figure 1):");
+    for (tid, items) in dataset.transactions() {
+        let letters: Vec<String> =
+            items.iter().map(|&i| example::item_letter(i).to_string()).collect();
+        println!("  {:>3}  {}", tid, letters.join(" "));
+    }
+
+    let params = example::paper_example_params();
+    println!(
+        "\nMining at minimum support 30% (= {} transactions), confidence {:.0}%",
+        3,
+        params.min_confidence * 100.0
+    );
+
+    let outcome = Miner::new(params).mine(&dataset);
+
+    for k in 1..=outcome.result.max_pattern_len() {
+        let c = outcome.result.c(k).expect("non-empty level");
+        println!("\nC{k} ({} patterns):", c.len());
+        for (pattern, count) in c.iter() {
+            let letters: Vec<String> =
+                pattern.iter().map(|&i| example::item_letter(i).to_string()).collect();
+            println!("  {:<8} count {}", letters.join(" "), count);
+        }
+    }
+
+    println!("\nRules (Section 5), [confidence, support]:");
+    for rule in &outcome.rules {
+        println!("  {}", example::format_rule_lettered(rule));
+    }
+
+    println!("\nIteration trace (|R'_k| -> |R_k|, |C_k|):");
+    for t in &outcome.result.trace {
+        println!(
+            "  k={}: |R'_{}| = {:>3} -> |R_{}| = {:>3}, |C_{}| = {}",
+            t.k, t.k, t.r_prime_tuples, t.k, t.r_tuples, t.k, t.c_len
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Mining as SQL — the paper's headline claim, executed.
+//!
+//! Runs Algorithm SETM by *emitting the Section 4.1 SQL statements as
+//! text* and executing them on the workspace's own SQL engine, printing
+//! every statement alongside its effect. Then cross-checks the result
+//! against the in-memory execution.
+//!
+//! Run with: `cargo run --example sql_mining`
+
+use setm::core::setm::sql::mine_via_sql;
+use setm::{example, setm as setm_algo};
+
+fn main() {
+    let dataset = example::paper_example_dataset();
+    let params = example::paper_example_params();
+
+    let run = mine_via_sql(&dataset, &params).expect("SQL run succeeds");
+
+    println!("Executed {} SQL statements:\n", run.statements.len());
+    for stmt in &run.statements {
+        for (i, line) in stmt.lines().enumerate() {
+            if i == 0 {
+                println!("sql> {line}");
+            } else {
+                println!("     {line}");
+            }
+        }
+        println!();
+    }
+
+    println!("Frequent patterns found via SQL:");
+    for (pattern, count) in run.result.frequent_itemsets() {
+        let letters: Vec<String> =
+            pattern.iter().map(|&i| example::item_letter(i).to_string()).collect();
+        println!("  {:<10} count {}", letters.join(" "), count);
+    }
+
+    // The point of the paper: plain SQL produces exactly what the
+    // special-purpose implementation produces.
+    let reference = setm_algo::mine(&dataset, &params);
+    assert_eq!(run.result.frequent_itemsets(), reference.frequent_itemsets());
+    println!("\nSQL-driven results identical to the in-memory execution. QED (Section 7).");
+}

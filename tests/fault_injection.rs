@@ -1,0 +1,41 @@
+//! Failure injection across layers: a disk fault below the SQL layer
+//! surfaces as a typed error at the top, and one-shot faults do not
+//! poison subsequent work.
+
+use setm::relational::Error;
+use setm::sql::{Params, SqlEngine, SqlError};
+use setm::{example, Dataset, MinSupport, MiningParams};
+
+#[test]
+fn fault_reaches_the_sql_layer() {
+    let mut engine = SqlEngine::new();
+    let d: Dataset = example::paper_example_dataset();
+    let rows = d.sales_rows();
+    engine
+        .load_table("SALES", &["trans_id", "item"], rows.iter().map(|r| r.as_slice()))
+        .unwrap();
+    engine.database().pager().borrow_mut().fail_after(Some(3));
+    let result = engine.query(
+        "SELECT item, COUNT(*) FROM SALES GROUP BY item HAVING COUNT(*) >= 3",
+        &Params::new(),
+    );
+    assert!(matches!(result, Err(SqlError::Engine(Error::Corrupt(_)))), "got {result:?}");
+
+    // One-shot: the session recovers after the fault clears.
+    let ok = engine
+        .query(
+            "SELECT item, COUNT(*) FROM SALES GROUP BY item HAVING COUNT(*) >= 3",
+            &Params::new(),
+        )
+        .unwrap();
+    assert_eq!(ok.rows.len(), 6, "the worked example's C1");
+}
+
+#[test]
+fn healthy_engine_control_run() {
+    use setm::core::setm::engine::{mine_on_engine, EngineOptions};
+    let d = example::paper_example_dataset();
+    let params = MiningParams::new(MinSupport::Fraction(0.3), 0.7);
+    let run = mine_on_engine(&d, &params, EngineOptions::default()).unwrap();
+    assert_eq!(run.result.max_pattern_len(), 3);
+}
