@@ -1,0 +1,264 @@
+//! Offline stand-in for the `criterion` crate: the subset of the API
+//! this workspace's benches use — benchmark groups, per-benchmark
+//! warm-up / measurement-time / sample-size knobs, `Bencher::iter`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is a plain wall-clock loop: warm up for the configured
+//! duration, then time samples until either the sample budget or the
+//! measurement-time budget is exhausted, and report mean and minimum
+//! per-iteration times. No statistical analysis, outlier detection, or
+//! HTML reports — swap in real criterion for those (see
+//! `shims/README.md`).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching criterion's API.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark measurement settings.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            samples: 20,
+        }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), settings: self.settings, _parent: self }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().label, self.settings, &mut f);
+        self
+    }
+}
+
+/// A named benchmark within a group: a bare name, or name + parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// A parameter-only id (the group name supplies the rest).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the warm-up duration for subsequent benchmarks in the group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Set the measurement-time budget for subsequent benchmarks.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Set the target sample count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.samples = n.max(1);
+        self
+    }
+
+    /// Benchmark `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.settings, &mut f);
+        self
+    }
+
+    /// Benchmark `f`, passing it `input` (criterion's way of keeping the
+    /// input's construction out of the measurement).
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.settings, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// End the group (no-op here; real criterion emits summaries).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    settings: Settings,
+    /// Filled in by `iter`: (per-iteration durations).
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `f`: warm up, then time samples until the sample or time
+    /// budget runs out.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_deadline = Instant::now() + self.settings.warm_up;
+        loop {
+            black_box(f());
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let measure_deadline = Instant::now() + self.settings.measurement;
+        for _ in 0..self.settings.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            if Instant::now() >= measure_deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(label: &str, settings: Settings, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher { settings, samples: Vec::new() };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<50} (no samples — closure never called iter)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().expect("nonempty");
+    println!(
+        "{label:<50} mean {mean:>12?}   min {min:>12?}   ({} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// Bundle benchmark functions into a runnable group, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups. Harness flags passed by
+/// `cargo bench` (e.g. `--bench`, filters) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_settings() -> Settings {
+        Settings {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+            samples: 3,
+        }
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher { settings: fast_settings(), samples: Vec::new() };
+        let mut runs = 0u32;
+        b.iter(|| runs += 1);
+        assert!(!b.samples.is_empty());
+        assert!(runs as usize >= b.samples.len());
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion { settings: fast_settings() };
+        let mut group = c.benchmark_group("shim_smoke");
+        group
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2))
+            .sample_size(2);
+        group.bench_with_input(BenchmarkId::new("add", 3), &3u64, |b, &n| {
+            b.iter(|| n + 1)
+        });
+        group.bench_function("plain", |b| b.iter(|| 2 + 2));
+        group.finish();
+        c.bench_function("top_level", |b| b.iter(|| black_box(1)));
+    }
+
+    criterion_group!(smoke_group, smoke_target);
+
+    fn smoke_target(c: &mut Criterion) {
+        c.settings = fast_settings();
+        c.bench_function("macro_smoke", |b| b.iter(|| 40 + 2));
+    }
+
+    #[test]
+    fn macros_expand() {
+        smoke_group();
+    }
+}
