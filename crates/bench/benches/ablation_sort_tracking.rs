@@ -23,13 +23,13 @@ fn bench_ablation(c: &mut Criterion) {
         let tracked = mine_on_engine(
             &dataset,
             &params,
-            EngineOptions { track_sort_order: true, ..Default::default() },
+            EngineOptions { track_sort_order: true, threads: 1, ..Default::default() },
         )
         .expect("run");
         let naive = mine_on_engine(
             &dataset,
             &params,
-            EngineOptions { track_sort_order: false, ..Default::default() },
+            EngineOptions { track_sort_order: false, threads: 1, ..Default::default() },
         )
         .expect("run");
         eprintln!(
@@ -47,7 +47,7 @@ fn bench_ablation(c: &mut Criterion) {
             mine_on_engine(
                 &dataset,
                 &params,
-                EngineOptions { track_sort_order: true, ..Default::default() },
+                EngineOptions { track_sort_order: true, threads: 1, ..Default::default() },
             )
             .expect("run")
         })
@@ -57,7 +57,7 @@ fn bench_ablation(c: &mut Criterion) {
             mine_on_engine(
                 &dataset,
                 &params,
-                EngineOptions { track_sort_order: false, ..Default::default() },
+                EngineOptions { track_sort_order: false, threads: 1, ..Default::default() },
             )
             .expect("run")
         })
@@ -69,10 +69,10 @@ fn bench_ablation(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     group.sample_size(20);
     group.bench_function("paper_unfiltered", |b| {
-        b.iter(|| memory::mine_with(&dataset, &params, SetmOptions { filter_r1: false }))
+        b.iter(|| memory::mine_with(&dataset, &params, SetmOptions { filter_r1: false, ..Default::default() }))
     });
     group.bench_function("filtered_extension", |b| {
-        b.iter(|| memory::mine_with(&dataset, &params, SetmOptions { filter_r1: true }))
+        b.iter(|| memory::mine_with(&dataset, &params, SetmOptions { filter_r1: true, ..Default::default() }))
     });
     group.finish();
 
@@ -86,7 +86,7 @@ fn bench_ablation(c: &mut Criterion) {
                 mine_on_engine(
                     &dataset,
                     &params,
-                    EngineOptions { cache_frames: frames, ..Default::default() },
+                    EngineOptions { cache_frames: frames, threads: 1, ..Default::default() },
                 )
                 .expect("run")
             })

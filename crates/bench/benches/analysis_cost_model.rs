@@ -33,7 +33,7 @@ fn bench_analysis(c: &mut Criterion) {
     let dataset = UniformConfig::paper_scaled(200).generate();
     let params = MiningParams::new(MinSupport::Fraction(0.005), 0.5).with_max_len(2);
 
-    let sm = mine_on_engine(&dataset, &params, EngineOptions::default()).expect("engine run");
+    let sm = mine_on_engine(&dataset, &params, EngineOptions { threads: 1, ..Default::default() }).expect("engine run");
     let nl =
         mine_nested_loop(&dataset, &params, NestedLoopOptions::default()).expect("nl run");
     eprintln!(
@@ -46,7 +46,7 @@ fn bench_analysis(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     group.sample_size(10);
     group.bench_function("setm_engine", |b| {
-        b.iter(|| mine_on_engine(&dataset, &params, EngineOptions::default()).expect("run"))
+        b.iter(|| mine_on_engine(&dataset, &params, EngineOptions { threads: 1, ..Default::default() }).expect("run"))
     });
     group.bench_function("nested_loop_engine", |b| {
         b.iter(|| mine_nested_loop(&dataset, &params, NestedLoopOptions::default()).expect("run"))

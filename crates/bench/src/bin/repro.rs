@@ -13,8 +13,15 @@
 //!              validation on the paged engine
 //!   baselines  E7 extension — SETM vs AIS vs Apriori vs Apriori-TID
 //!   ablation   E8 — sort-order tracking, filter-R1 and buffer-cache knobs
-//!   all        everything above, in order
+//!   parallel   sharded parallel SETM — wall clock vs thread count on both
+//!              the in-memory and paged-engine paths
+//!   baseline   write BENCH_baseline.json (machine info + per-workload
+//!              wall/I-O numbers, sequential vs parallel) for perf diffing
+//!   all        every report target above, in order (baseline excluded)
 //! ```
+//!
+//! `SETM_THREADS=<n>` pins the thread count used by the timing sweeps
+//! (`0`/unset = the machine's available parallelism).
 
 use setm_baselines::{ais, apriori, apriori_tid};
 use setm_core::nested_loop::{mine_nested_loop, NestedLoopOptions};
@@ -38,6 +45,8 @@ fn main() {
         "analysis" => repro_analysis(),
         "baselines" => repro_baselines(),
         "ablation" => repro_ablation(),
+        "parallel" => repro_parallel(),
+        "baseline" => repro_baseline(),
         "all" => {
             repro_example();
             repro_fig5();
@@ -46,6 +55,7 @@ fn main() {
             repro_analysis();
             repro_baselines();
             repro_ablation();
+            repro_parallel();
         }
         other => {
             eprintln!("unknown target {other}; see the source header for targets");
@@ -56,6 +66,29 @@ fn main() {
 
 fn banner(title: &str) {
     println!("\n==== {title} ====\n");
+}
+
+/// Thread count for the timing sweeps: `SETM_THREADS` env var, with
+/// `0`/unset meaning the machine's available parallelism.
+fn threads_from_env() -> usize {
+    std::env::var("SETM_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+fn mine_threads(dataset: &setm_core::Dataset, params: &MiningParams, threads: usize) -> setm_core::SetmResult {
+    memory::mine_with(dataset, params, SetmOptions { threads, ..Default::default() })
+}
+
+/// Best-of-n wall clock of a mining closure.
+fn best_of<T>(n: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..n {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed());
+        out = Some(r);
+    }
+    (best, out.expect("at least one run"))
 }
 
 fn letters(pattern: &[u32]) -> String {
@@ -101,20 +134,14 @@ fn retail_sweep() -> Vec<(f64, setm_core::SetmResult, Duration)> {
         stats.avg_transaction_len,
         stats.items_with_support_at_least(47)
     );
+    let threads = threads_from_env();
     RETAIL_SUPPORTS
         .iter()
         .map(|&frac| {
             let params = MiningParams::new(MinSupport::Fraction(frac), 0.5);
             // Best of three to stabilize the timing column.
-            let mut best = Duration::MAX;
-            let mut result = None;
-            for _ in 0..3 {
-                let t0 = Instant::now();
-                let r = setm::mine(&dataset, &params);
-                best = best.min(t0.elapsed());
-                result = Some(r);
-            }
-            (frac, result.expect("three runs happened"), best)
+            let (best, result) = best_of(3, || mine_threads(&dataset, &params, threads));
+            (frac, result, best)
         })
         .collect()
 }
@@ -188,7 +215,10 @@ fn repro_analysis() {
     banner("Measured validation on the paged engine (uniform model, 1/100 scale)");
     let dataset = UniformConfig::paper_scaled(100).generate();
     let params = MiningParams::new(MinSupport::Fraction(0.005), 0.5).with_max_len(2);
-    let sm = mine_on_engine(&dataset, &params, EngineOptions::default()).expect("engine run");
+    // threads: 1 — this target validates the *sequential* Section 4.3
+    // accounting; `repro -- parallel` covers the sharded plan.
+    let sm = mine_on_engine(&dataset, &params, EngineOptions { threads: 1, ..Default::default() })
+        .expect("engine run");
     let nl =
         mine_nested_loop(&dataset, &params, NestedLoopOptions::default()).expect("nested loop");
     assert_eq!(sm.result.frequent_itemsets(), nl.result.frequent_itemsets());
@@ -265,13 +295,13 @@ fn repro_ablation() {
     let tracked = mine_on_engine(
         &dataset,
         &params,
-        EngineOptions { track_sort_order: true, ..Default::default() },
+        EngineOptions { track_sort_order: true, threads: 1, ..Default::default() },
     )
     .expect("engine run");
     let naive = mine_on_engine(
         &dataset,
         &params,
-        EngineOptions { track_sort_order: false, ..Default::default() },
+        EngineOptions { track_sort_order: false, threads: 1, ..Default::default() },
     )
     .expect("engine run");
     println!("{:<26} {:>14}", "plan", "page accesses");
@@ -285,8 +315,8 @@ fn repro_ablation() {
     banner("E8 ablation — joining filtered vs unfiltered R_1 (SetmOptions::filter_r1)");
     let retail = RetailConfig::paper().generate();
     let params = MiningParams::new(MinSupport::Fraction(0.001), 0.5);
-    let plain = memory::mine_with(&retail, &params, SetmOptions { filter_r1: false });
-    let filtered = memory::mine_with(&retail, &params, SetmOptions { filter_r1: true });
+    let plain = memory::mine_with(&retail, &params, SetmOptions { filter_r1: false, ..Default::default() });
+    let filtered = memory::mine_with(&retail, &params, SetmOptions { filter_r1: true, ..Default::default() });
     assert_eq!(plain.frequent_itemsets(), filtered.frequent_itemsets());
     println!("{:<26} {:>14}", "variant", "|R'_2| tuples");
     println!("{:<26} {:>14}", "paper (unfiltered R_1)", plain.trace[1].r_prime_tuples);
@@ -300,9 +330,166 @@ fn repro_ablation() {
         let run = mine_on_engine(
             &small,
             &params,
-            EngineOptions { cache_frames: frames, ..Default::default() },
+            EngineOptions { cache_frames: frames, threads: 1, ..Default::default() },
         )
         .expect("engine run");
         println!("{:<12} {:>14}", frames, run.total_page_accesses);
     }
+}
+
+const PARALLEL_SWEEP: [usize; 3] = [1, 2, 4];
+
+fn repro_parallel() {
+    banner("Parallel sharded SETM — wall clock vs thread count");
+    let hw = setm_core::setm::shard::resolve_threads(0);
+    println!("machine: {hw} hardware thread(s) available\n");
+    for (name, dataset, frac) in [
+        ("retail (paper, 0.1%)", RetailConfig::paper().generate(), 0.001),
+        ("quest T10.I4.D10K (0.5%)", QuestConfig::t10_i4_d100k(10).generate(), 0.005),
+    ] {
+        let params = MiningParams::new(MinSupport::Fraction(frac), 0.5);
+        let (base, reference) = best_of(3, || mine_threads(&dataset, &params, 1));
+        println!("{name}: {} txns", dataset.n_transactions());
+        println!("  {:<10} {:>12} {:>9}", "threads", "wall", "speedup");
+        println!("  {:<10} {:>12.2?} {:>8.2}x", 1, base, 1.0);
+        for threads in PARALLEL_SWEEP.into_iter().skip(1) {
+            let (t, r) = best_of(3, || mine_threads(&dataset, &params, threads));
+            assert_eq!(
+                r.frequent_itemsets(),
+                reference.frequent_itemsets(),
+                "parallel run must be result-identical"
+            );
+            println!(
+                "  {:<10} {:>12.2?} {:>8.2}x",
+                threads,
+                t,
+                base.as_secs_f64() / t.as_secs_f64()
+            );
+        }
+        println!();
+    }
+
+    println!("paged engine (retail/20, 0.5%), page accesses are summed over shard pagers:");
+    let small = RetailConfig::small(2_500, 11).generate();
+    let params = MiningParams::new(MinSupport::Fraction(0.005), 0.5);
+    println!("  {:<10} {:>12} {:>15}", "threads", "wall", "page accesses");
+    for threads in PARALLEL_SWEEP {
+        let (t, run) = best_of(3, || {
+            mine_on_engine(&small, &params, EngineOptions { threads, ..Default::default() })
+                .expect("engine run")
+        });
+        println!("  {:<10} {:>12.2?} {:>15}", threads, t, run.total_page_accesses);
+    }
+    println!("\nspeedup scales with real cores; on a single-core host the sweep");
+    println!("only measures sharding overhead (results stay identical throughout).");
+}
+
+/// A minimal JSON writer for the baseline file (no serde in the tree).
+struct Json(String);
+
+impl Json {
+    fn new() -> Self {
+        Json(String::from("{\n"))
+    }
+    fn field(&mut self, indent: usize, key: &str, value: &str, last: bool) {
+        self.0.push_str(&"  ".repeat(indent));
+        self.0.push_str(&format!("\"{key}\": {value}"));
+        self.0.push_str(if last { "\n" } else { ",\n" });
+    }
+}
+
+fn repro_baseline() {
+    banner("Recording perf baseline -> BENCH_baseline.json");
+    let hw = setm_core::setm::shard::resolve_threads(0);
+
+    let mut j = Json::new();
+    j.field(1, "schema", "\"setm-bench-baseline/v1\"", false);
+    j.field(1, "machine", "{", true);
+    j.field(2, "available_parallelism", &hw.to_string(), false);
+    j.field(2, "os", &format!("\"{}\"", std::env::consts::OS), false);
+    j.field(2, "arch", &format!("\"{}\"", std::env::consts::ARCH), false);
+    j.field(
+        2,
+        "note",
+        "\"wall-clock numbers are machine-specific; diff against the same machine class\"",
+        true,
+    );
+    j.0.push_str("  },\n");
+
+    // In-memory path: retail table-1 sweep, sequential vs P in {1,2,4}.
+    let retail = RetailConfig::paper().generate();
+    j.field(1, "memory_retail_paper", "[", true);
+    for (i, &frac) in RETAIL_SUPPORTS.iter().enumerate() {
+        let params = MiningParams::new(MinSupport::Fraction(frac), 0.5);
+        let mut fields: Vec<String> = vec![format!("\"min_support\": {frac}")];
+        let mut patterns = 0usize;
+        for threads in PARALLEL_SWEEP {
+            let (t, r) = best_of(3, || mine_threads(&retail, &params, threads));
+            patterns = r.frequent_itemsets().len();
+            fields.push(format!("\"wall_ms_p{threads}\": {:.3}", t.as_secs_f64() * 1e3));
+        }
+        fields.push(format!("\"patterns\": {patterns}"));
+        let sep = if i + 1 == RETAIL_SUPPORTS.len() { "" } else { "," };
+        j.0.push_str(&format!("    {{ {} }}{}\n", fields.join(", "), sep));
+        println!("  memory retail @{:.2}% done", frac * 100.0);
+    }
+    j.0.push_str("  ],\n");
+
+    // Quest T10-class workload.
+    let quest = QuestConfig::t10_i4_d100k(10).generate();
+    j.field(1, "memory_quest_t10_i4_d10k", "[", true);
+    let quest_supports = [0.02, 0.01, 0.005];
+    for (i, &frac) in quest_supports.iter().enumerate() {
+        let params = MiningParams::new(MinSupport::Fraction(frac), 0.5);
+        let mut fields: Vec<String> = vec![format!("\"min_support\": {frac}")];
+        for threads in PARALLEL_SWEEP {
+            let (t, _) = best_of(3, || mine_threads(&quest, &params, threads));
+            fields.push(format!("\"wall_ms_p{threads}\": {:.3}", t.as_secs_f64() * 1e3));
+        }
+        let sep = if i + 1 == quest_supports.len() { "" } else { "," };
+        j.0.push_str(&format!("    {{ {} }}{}\n", fields.join(", "), sep));
+        println!("  memory quest @{:.1}% done", frac * 100.0);
+    }
+    j.0.push_str("  ],\n");
+
+    // Paged engine: wall + charged I/O, sequential vs sharded.
+    let small = RetailConfig::small(2_500, 11).generate();
+    let params = MiningParams::new(MinSupport::Fraction(0.005), 0.5);
+    j.field(1, "engine_retail_small_2500", "[", true);
+    for (i, &threads) in PARALLEL_SWEEP.iter().enumerate() {
+        let (t, run) = best_of(3, || {
+            mine_on_engine(&small, &params, EngineOptions { threads, ..Default::default() })
+                .expect("engine run")
+        });
+        let sep = if i + 1 == PARALLEL_SWEEP.len() { "" } else { "," };
+        j.0.push_str(&format!(
+            "    {{ \"threads\": {}, \"wall_ms\": {:.3}, \"page_accesses\": {}, \"estimated_io_ms\": {:.1} }}{}\n",
+            threads,
+            t.as_secs_f64() * 1e3,
+            run.total_page_accesses,
+            run.total_estimated_ms,
+            sep
+        ));
+        println!("  engine retail/20 threads={threads} done");
+    }
+    j.0.push_str("  ],\n");
+
+    // Nested-loop vs SETM on the engine (the paper's headline ratio).
+    let uniform = UniformConfig::paper_scaled(100).generate();
+    let params = MiningParams::new(MinSupport::Fraction(0.005), 0.5).with_max_len(2);
+    let sm = mine_on_engine(&uniform, &params, EngineOptions { threads: 1, ..Default::default() })
+        .expect("engine run");
+    let nl = mine_nested_loop(&uniform, &params, NestedLoopOptions::default())
+        .expect("nested loop");
+    j.field(1, "engine_uniform_scaled100_analysis", "{", true);
+    j.field(2, "setm_page_accesses", &sm.total_page_accesses.to_string(), false);
+    j.field(2, "setm_estimated_io_ms", &format!("{:.1}", sm.total_estimated_ms), false);
+    j.field(2, "nested_loop_page_accesses", &nl.total_page_accesses.to_string(), false);
+    j.field(2, "nested_loop_estimated_io_ms", &format!("{:.1}", nl.total_estimated_ms), true);
+    j.0.push_str("  }\n}\n");
+    println!("  engine analysis done");
+
+    let path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    std::fs::write(&path, &j.0).expect("write baseline file");
+    println!("\nwrote {path}");
 }

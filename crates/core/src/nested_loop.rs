@@ -66,7 +66,7 @@ pub fn mine_nested_loop(
     opts: NestedLoopOptions,
 ) -> Result<NestedLoopRun> {
     let pager = Pager::shared();
-    pager.borrow_mut().set_cache_frames(opts.cache_frames);
+    pager.lock().set_cache_frames(opts.cache_frames);
     let n_txns = dataset.n_transactions();
     let min_count = params.min_support.to_count(n_txns.max(1));
     let max_len = params.max_pattern_len.unwrap_or(usize::MAX);
@@ -93,17 +93,17 @@ pub fn mine_nested_loop(
         t.cache_internal_nodes()?;
         t
     };
-    pager.borrow_mut().reset_stats();
+    pager.lock().reset_stats();
 
     let mut counts: Vec<CountRelation> = Vec::new();
     let mut trace: Vec<IterationTrace> = Vec::new();
-    let mut last_stats = pager.borrow().stats();
+    let mut last_stats = pager.lock().stats();
 
     // C1 (Section 3.1's first query): GROUP BY over SALES sorted on item.
     let by_item = external_sort(&sales, &[1], sort_opts)?;
     let c1 = count_patterns(&by_item, &[1], min_count)?;
     by_item.free()?;
-    let stats = pager.borrow().stats();
+    let stats = pager.lock().stats();
     let delta = stats.since(&last_stats);
     last_stats = stats;
     trace.push(IterationTrace {
@@ -113,7 +113,7 @@ pub fn mine_nested_loop(
         r_kbytes: sales.data_bytes() as f64 / 1024.0,
         c_len: c1.len() as u64,
         page_accesses: delta.accesses(),
-        estimated_io_ms: delta.estimated_ms(&pager.borrow().cost_model()),
+        estimated_io_ms: delta.estimated_ms(&pager.lock().cost_model()),
     });
     let mut c_prev = c1;
     if !c_prev.is_empty() {
@@ -163,7 +163,7 @@ pub fn mine_nested_loop(
         let c_k = count_patterns(&sorted, &key, min_count)?;
         sorted.free()?;
 
-        let stats = pager.borrow().stats();
+        let stats = pager.lock().stats();
         let delta = stats.since(&last_stats);
         last_stats = stats;
         trace.push(IterationTrace {
@@ -174,7 +174,7 @@ pub fn mine_nested_loop(
             r_kbytes: 0.0,
             c_len: c_k.len() as u64,
             page_accesses: delta.accesses(),
-            estimated_io_ms: delta.estimated_ms(&pager.borrow().cost_model()),
+            estimated_io_ms: delta.estimated_ms(&pager.lock().cost_model()),
         });
 
         c_prev = c_k;
@@ -183,8 +183,8 @@ pub fn mine_nested_loop(
         }
     }
 
-    let total = pager.borrow().stats();
-    let total_ms = total.estimated_ms(&pager.borrow().cost_model());
+    let total = pager.lock().stats();
+    let total_ms = total.estimated_ms(&pager.lock().cost_model());
     Ok(NestedLoopRun {
         result: SetmResult {
             counts,

@@ -228,6 +228,49 @@ impl CountRelation {
         self.iter().map(|(p, c)| (ItemVec::from_slice(p), c)).collect()
     }
 
+    /// K-way merge of pattern-sorted count relations: counts of equal
+    /// patterns are summed, and only patterns whose total meets
+    /// `min_count` are kept. This is how the sharded parallel execution
+    /// turns per-shard local counts into the global `C_k` — a pattern's
+    /// supporting transactions are spread across `trans_id` shards, so
+    /// only the summed count may be compared against the support
+    /// threshold.
+    pub fn merge_sum_filter(parts: &[CountRelation], min_count: u64) -> CountRelation {
+        let k = parts.first().map_or(1, |c| c.k);
+        debug_assert!(parts.iter().all(|c| c.k == k), "mixed pattern lengths");
+        let mut out = CountRelation::new(k);
+        let mut idx = vec![0usize; parts.len()];
+        let mut pat: Vec<Item> = Vec::with_capacity(k);
+        loop {
+            // Smallest pattern under any cursor (linear scan: the number
+            // of shards is tiny).
+            pat.clear();
+            for (p, c) in parts.iter().enumerate() {
+                if idx[p] < c.len() {
+                    let cand = c.pattern_at(idx[p]);
+                    if pat.is_empty() || cand < pat.as_slice() {
+                        pat.clear();
+                        pat.extend_from_slice(cand);
+                    }
+                }
+            }
+            if pat.is_empty() {
+                break;
+            }
+            let mut total = 0u64;
+            for (p, c) in parts.iter().enumerate() {
+                if idx[p] < c.len() && c.pattern_at(idx[p]) == pat.as_slice() {
+                    total += c.count_at(idx[p]);
+                    idx[p] += 1;
+                }
+            }
+            if total >= min_count {
+                out.push(&pat, total);
+            }
+        }
+        out
+    }
+
     /// Rows as flat `u32` records `[item_1, .., item_k, count]` for the
     /// paged engine (counts clamp to `u32::MAX`, far above any real count).
     pub fn to_engine_rows(&self) -> Vec<Vec<u32>> {
@@ -344,6 +387,39 @@ mod tests {
         let mut c = CountRelation::new(2);
         c.push(&[1, 2], 3);
         assert_eq!(c.to_engine_rows(), vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn merge_sum_filter_sums_across_parts_and_filters() {
+        let mut a = CountRelation::new(2);
+        a.push(&[1, 2], 2);
+        a.push(&[1, 3], 1);
+        a.push(&[4, 5], 1);
+        let mut b = CountRelation::new(2);
+        b.push(&[1, 2], 1);
+        b.push(&[2, 9], 3);
+        let merged = CountRelation::merge_sum_filter(&[a, b], 3);
+        // {1,2}: 2+1 = 3 kept; {2,9}: 3 kept; {1,3} and {4,5} filtered.
+        assert_eq!(merged.to_vec(), vec![
+            (ItemVec::from([1, 2]), 3),
+            (ItemVec::from([2, 9]), 3),
+        ]);
+    }
+
+    #[test]
+    fn merge_sum_filter_single_part_is_a_plain_filter() {
+        let mut a = CountRelation::new(1);
+        a.push(&[3], 5);
+        a.push(&[7], 1);
+        let merged = CountRelation::merge_sum_filter(std::slice::from_ref(&a), 2);
+        assert_eq!(merged.to_vec(), vec![(ItemVec::from([3]), 5)]);
+    }
+
+    #[test]
+    fn merge_sum_filter_empty_inputs() {
+        assert!(CountRelation::merge_sum_filter(&[], 1).is_empty());
+        let parts = vec![CountRelation::new(2), CountRelation::new(2)];
+        assert!(CountRelation::merge_sum_filter(&parts, 1).is_empty());
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //!
 //! Output note: the paper prints rules as `X ==> I, [c, s]` in Section 5's
 //! first listing (confidence first, support second) but swaps the two in
-//! its `C_3` listing. We emit `[confidence, support]` uniformly and record
-//! the discrepancy in EXPERIMENTS.md.
+//! its `C_3` listing. We emit `[confidence, support]` uniformly; the
+//! discrepancy is recorded in docs/REPRODUCTION.md (Design notes §1).
 
 use crate::data::Item;
 use crate::itemvec::ItemVec;

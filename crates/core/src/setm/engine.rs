@@ -14,13 +14,30 @@
 //! *if the optimizer tracks sort order across iterations*; switching it
 //! off re-sorts `R_{k-1}` every iteration, exactly what a naive plan would
 //! do. This is ablation E8.
+//!
+//! # Parallel sharded execution
+//!
+//! With `EngineOptions::threads > 1` the `SALES` relation is split into
+//! contiguous `trans_id` shards, **each on its own pager** (its own
+//! simulated disk — mirroring a disk-per-worker deployment). Every
+//! iteration runs the sort → merge-scan → sort → local-count pipeline of
+//! all shards in parallel under [`std::thread::scope`], merges the
+//! per-shard counts into the global `C_k`
+//! ([`CountRelation::merge_sum_filter`]), then filters each shard's
+//! `R'_k` against it. Mined results and the tuple-count trace series are
+//! identical to the sequential run; per-iteration `page_accesses` /
+//! `estimated_io_ms` are the *sums* over all shard pagers (the parallel
+//! plan pays one extra scan of each sorted `R'_k` for the decoupled
+//! filter step, so its access totals differ from the sequential plan's —
+//! wall-clock I/O time would divide by the number of disks).
 
 use crate::data::{Dataset, MiningParams};
 use crate::pattern::CountRelation;
+use crate::setm::shard::{partition_by_weight, resolve_threads};
 use crate::setm::{IterationTrace, SetmResult};
 use setm_relational::heap::{HeapFile, HeapFileBuilder};
 use setm_relational::join::merge_scan_join;
-use setm_relational::pager::Pager;
+use setm_relational::pager::{IoStats, Pager, SharedPager};
 use setm_relational::sort::{external_sort, SortOptions};
 use setm_relational::Result;
 
@@ -30,17 +47,27 @@ pub struct EngineOptions {
     /// Workspace for the external sorts, in pages.
     pub sort_buffer_pages: usize,
     /// Buffer-cache frames (0 = every page access is charged, the
-    /// worst-case accounting the paper's formulas use).
+    /// worst-case accounting the paper's formulas use). A parallel run
+    /// divides the frame budget evenly across shard pagers.
     pub cache_frames: usize,
     /// Track sort order across iterations (Section 4.1 optimization).
     /// When false, the loop-top sort re-sorts `R_{k-1}` even though the
     /// filter step's `ORDER BY` already ordered it.
     pub track_sort_order: bool,
+    /// Worker threads / `trans_id` shards. `0` (the default) resolves to
+    /// the machine's available parallelism; `1` forces the paper's
+    /// sequential plan. Mined results are identical for every value.
+    pub threads: usize,
 }
 
 impl Default for EngineOptions {
     fn default() -> Self {
-        EngineOptions { sort_buffer_pages: 256, cache_frames: 0, track_sort_order: true }
+        EngineOptions {
+            sort_buffer_pages: 256,
+            cache_frames: 0,
+            track_sort_order: true,
+            threads: 0,
+        }
     }
 }
 
@@ -49,20 +76,35 @@ impl Default for EngineOptions {
 #[derive(Debug)]
 pub struct EngineRun {
     pub result: SetmResult,
-    /// Total page accesses during mining (loading `SALES` excluded).
+    /// Total page accesses during mining (loading `SALES` excluded);
+    /// summed over all shard pagers in a parallel run.
     pub total_page_accesses: u64,
     /// Estimated milliseconds under the pager's cost model.
     pub total_estimated_ms: f64,
 }
 
-/// Mine `dataset` on a fresh paged engine.
+/// Mine `dataset` on a fresh paged engine (one pager per shard).
 pub fn mine_on_engine(
     dataset: &Dataset,
     params: &MiningParams,
     opts: EngineOptions,
 ) -> Result<EngineRun> {
+    let threads = resolve_threads(opts.threads).min(dataset.n_transactions().max(1) as usize);
+    if threads <= 1 {
+        mine_sequential(dataset, params, opts)
+    } else {
+        mine_sharded(dataset, params, opts, threads)
+    }
+}
+
+/// The paper's sequential plan on a single pager.
+fn mine_sequential(
+    dataset: &Dataset,
+    params: &MiningParams,
+    opts: EngineOptions,
+) -> Result<EngineRun> {
     let pager = Pager::shared();
-    pager.borrow_mut().set_cache_frames(opts.cache_frames);
+    pager.lock().set_cache_frames(opts.cache_frames);
     let n_txns = dataset.n_transactions();
     let min_count = params.min_support.to_count(n_txns.max(1));
     let max_len = params.max_pattern_len.unwrap_or(usize::MAX);
@@ -71,17 +113,18 @@ pub fn mine_on_engine(
     // Load SALES (already in (tid, item) order), then start the meter.
     let sales_rows = dataset.sales_rows();
     let sales = HeapFile::from_rows(pager.clone(), 2, sales_rows.iter().map(|r| r.as_slice()))?;
-    pager.borrow_mut().reset_stats();
+    pager.lock().reset_stats();
 
     let mut counts: Vec<CountRelation> = Vec::new();
     let mut trace: Vec<IterationTrace> = Vec::new();
-    let mut last_stats = pager.borrow().stats();
+    let mut last_stats = pager.lock().stats();
 
-    // k = 1: sort R1 on item; C1 := generate counts from R1.
+    // k = 1: sort R1 on item; C1 := generate counts from R1. The paper
+    // never filters the sales relation, so no filtered output is built.
     let by_item = external_sort(&sales, &[1], sort_opts)?;
-    let c1 = count_sorted_groups(&by_item, &[1], min_count)?.0;
+    let c1 = count_sorted_groups(&by_item, &[1], min_count, false)?.counts;
     by_item.free()?;
-    let stats = pager.borrow().stats();
+    let stats = pager.lock().stats();
     let delta = stats.since(&last_stats);
     last_stats = stats;
     trace.push(IterationTrace {
@@ -91,7 +134,7 @@ pub fn mine_on_engine(
         r_kbytes: sales.data_bytes() as f64 / 1024.0,
         c_len: c1.len() as u64,
         page_accesses: delta.accesses(),
-        estimated_io_ms: delta.estimated_ms(&pager.borrow().cost_model()),
+        estimated_io_ms: delta.estimated_ms(&pager.lock().cost_model()),
     });
     if !c1.is_empty() {
         counts.push(c1);
@@ -137,9 +180,10 @@ pub fn mine_on_engine(
 
             // C_k := generate counts; R_k := filter R'_k (one fused pass,
             // C_k kept in memory per Section 4.3's accounting).
-            let (c_k, r_k) = count_sorted_groups(&sorted_prime, &item_key, min_count)?;
+            let scan = count_sorted_groups(&sorted_prime, &item_key, min_count, true)?;
             sorted_prime.free()?;
-            let r_k = r_k.expect("filter output requested");
+            let c_k = scan.counts;
+            let r_k = scan.filtered.expect("filter output requested");
 
             // The paper's final step: ORDER BY (trans_id, item_1, ..,
             // item_k). Performed in both modes — the ablation is whether
@@ -154,7 +198,7 @@ pub fn mine_on_engine(
             };
             prev_sorted_by_tid = opts.track_sort_order;
 
-            let stats = pager.borrow().stats();
+            let stats = pager.lock().stats();
             let delta = stats.since(&last_stats);
             last_stats = stats;
             trace.push(IterationTrace {
@@ -164,7 +208,7 @@ pub fn mine_on_engine(
                 r_kbytes: r_k.data_bytes() as f64 / 1024.0,
                 c_len: c_k.len() as u64,
                 page_accesses: delta.accesses(),
-                estimated_io_ms: delta.estimated_ms(&pager.borrow().cost_model()),
+                estimated_io_ms: delta.estimated_ms(&pager.lock().cost_model()),
             });
 
             let done = r_k.n_records() == 0 || k >= max_len;
@@ -179,8 +223,8 @@ pub fn mine_on_engine(
         }
     }
 
-    let total = pager.borrow().stats();
-    let total_ms = total.estimated_ms(&pager.borrow().cost_model());
+    let total = pager.lock().stats();
+    let total_ms = total.estimated_ms(&pager.lock().cost_model());
     Ok(EngineRun {
         result: SetmResult {
             counts,
@@ -193,6 +237,256 @@ pub fn mine_on_engine(
     })
 }
 
+/// One `trans_id` shard of the parallel engine run: its own simulated
+/// disk, its slice of `SALES`, its `R_{k-1}`, and per-iteration outputs.
+struct EngineShard {
+    pager: SharedPager,
+    sales: HeapFile,
+    r_prev: HeapFile,
+    last_stats: IoStats,
+    /// Items-sorted `R'_k` awaiting the global filter.
+    sorted_prime: Option<HeapFile>,
+    /// Local (threshold-free) group counts of `sorted_prime`.
+    local_counts: CountRelation,
+    r_prime_tuples: u64,
+}
+
+impl EngineShard {
+    /// k = 1: sort the local `SALES` on item and count every item group
+    /// (the threshold applies only to the merged global counts).
+    fn count_items(&mut self, sort_opts: SortOptions) -> Result<()> {
+        let by_item = external_sort(&self.sales, &[1], sort_opts)?;
+        self.local_counts = count_sorted_groups(&by_item, &[1], 1, false)?.counts;
+        by_item.free()
+    }
+
+    /// Iteration phase 1: (re)sort `R_{k-1}`, merge-scan against the
+    /// local `SALES`, sort `R'_k` on items, count its groups locally.
+    fn extend_and_count(
+        &mut self,
+        k: usize,
+        resort_prev: bool,
+        sort_opts: SortOptions,
+    ) -> Result<()> {
+        let k_prev = k - 1;
+        if resort_prev {
+            let key: Vec<usize> = (0..=k_prev).collect();
+            let sorted = external_sort(&self.r_prev, &key, sort_opts)?;
+            self.free_prev()?;
+            self.r_prev = sorted;
+        }
+        let r_prime = merge_scan_join(
+            &self.r_prev,
+            &self.sales,
+            &[0],
+            &[0],
+            k + 1,
+            |l, r| r[1] > l[k_prev],
+            |l, r, out| {
+                out.extend_from_slice(l);
+                out.push(r[1]);
+            },
+        )?;
+        self.free_prev()?;
+        self.r_prev = self.sales.clone(); // placeholder until the filter installs R_k
+        let item_key: Vec<usize> = (1..=k).collect();
+        let sorted_prime = external_sort(&r_prime, &item_key, sort_opts)?;
+        self.r_prime_tuples = r_prime.n_records();
+        r_prime.free()?;
+        self.local_counts = count_sorted_groups(&sorted_prime, &item_key, 1, false)?.counts;
+        self.sorted_prime = Some(sorted_prime);
+        Ok(())
+    }
+
+    /// Iteration phase 2: filter the local `R'_k` against the global
+    /// `C_k`, then ORDER BY (trans_id, items) as the paper's loop does.
+    fn filter(&mut self, k: usize, c_k: &CountRelation, sort_opts: SortOptions) -> Result<()> {
+        let sorted_prime = self.sorted_prime.take().expect("phase 1 ran");
+        let r_k = filter_by_counts(&sorted_prime, c_k)?;
+        sorted_prime.free()?;
+        let r_k = if r_k.n_records() > 0 {
+            let key: Vec<usize> = (0..=k).collect();
+            let sorted = external_sort(&r_k, &key, sort_opts)?;
+            r_k.free()?;
+            sorted
+        } else {
+            r_k
+        };
+        self.r_prev = r_k;
+        Ok(())
+    }
+
+    fn free_prev(&mut self) -> Result<()> {
+        if self.r_prev.file_id() != self.sales.file_id() {
+            self.r_prev.clone().free()?;
+        }
+        Ok(())
+    }
+
+    /// Stats delta since the last call, for per-iteration attribution.
+    fn take_delta(&mut self) -> IoStats {
+        let stats = self.pager.lock().stats();
+        let delta = stats.since(&self.last_stats);
+        self.last_stats = stats;
+        delta
+    }
+}
+
+/// The sharded parallel plan: one pager per shard, scoped worker threads
+/// per iteration phase, global counts by k-way merge.
+fn mine_sharded(
+    dataset: &Dataset,
+    params: &MiningParams,
+    opts: EngineOptions,
+    threads: usize,
+) -> Result<EngineRun> {
+    let n_txns = dataset.n_transactions();
+    let min_count = params.min_support.to_count(n_txns.max(1));
+    let max_len = params.max_pattern_len.unwrap_or(usize::MAX);
+    let sort_opts = SortOptions { buffer_pages: opts.sort_buffer_pages };
+
+    // Contiguous trans_id ranges balanced by row count.
+    let weights: Vec<usize> = dataset.transactions().map(|(_, items)| items.len()).collect();
+    let ranges = partition_by_weight(&weights, threads);
+    let frames_per_shard = opts.cache_frames / ranges.len();
+
+    let mut shards: Vec<EngineShard> = Vec::with_capacity(ranges.len());
+    let mut txns = dataset.transactions();
+    for range in &ranges {
+        let pager = Pager::shared();
+        pager.lock().set_cache_frames(frames_per_shard);
+        let mut rows: Vec<[u32; 2]> = Vec::new();
+        for (tid, items) in txns.by_ref().take(range.len()) {
+            rows.extend(items.iter().map(|&it| [tid, it]));
+        }
+        let sales =
+            HeapFile::from_rows(pager.clone(), 2, rows.iter().map(|r| r.as_slice()))?;
+        pager.lock().reset_stats();
+        let last_stats = pager.lock().stats();
+        shards.push(EngineShard {
+            pager,
+            r_prev: sales.clone(),
+            sales,
+            last_stats,
+            sorted_prime: None,
+            local_counts: CountRelation::new(1),
+            r_prime_tuples: 0,
+        });
+    }
+
+    let mut counts: Vec<CountRelation> = Vec::new();
+    let mut trace: Vec<IterationTrace> = Vec::new();
+    let cost_model = shards[0].pager.lock().cost_model();
+
+    // k = 1 (parallel): local item counts, merged under the threshold.
+    run_on_shards(&mut shards, |sh| sh.count_items(sort_opts))?;
+    let locals = take_local_counts(&mut shards);
+    let c1 = CountRelation::merge_sum_filter(&locals, min_count);
+    let total_rows: u64 = shards.iter().map(|sh| sh.sales.n_records()).sum();
+    let delta = sum_deltas(&mut shards);
+    trace.push(IterationTrace {
+        k: 1,
+        r_prime_tuples: total_rows,
+        r_tuples: total_rows,
+        r_kbytes: shards.iter().map(|sh| sh.sales.data_bytes()).sum::<u64>() as f64 / 1024.0,
+        c_len: c1.len() as u64,
+        page_accesses: delta.accesses(),
+        estimated_io_ms: delta.estimated_ms(&cost_model),
+    });
+    if !c1.is_empty() {
+        counts.push(c1);
+    }
+
+    let mut prev_sorted_by_tid = true; // SALES arrives (tid, item)-sorted.
+    let mut k = 1usize;
+    if max_len > 1 && n_txns > 0 {
+        loop {
+            k += 1;
+            let resort = !prev_sorted_by_tid;
+
+            // Phase 1 (parallel): join + sort + local count per shard.
+            run_on_shards(&mut shards, |sh| sh.extend_and_count(k, resort, sort_opts))?;
+
+            // Global C_k: k-way merge of the sorted local counts.
+            let locals = take_local_counts(&mut shards);
+            let c_k = CountRelation::merge_sum_filter(&locals, min_count);
+            let r_prime_tuples: u64 = shards.iter().map(|sh| sh.r_prime_tuples).sum();
+
+            // Phase 2 (parallel): filter each shard's R'_k against C_k.
+            let c_ref = &c_k;
+            run_on_shards(&mut shards, |sh| sh.filter(k, c_ref, sort_opts))?;
+            let r_tuples: u64 = shards.iter().map(|sh| sh.r_prev.n_records()).sum();
+            let r_kbytes =
+                shards.iter().map(|sh| sh.r_prev.data_bytes()).sum::<u64>() as f64 / 1024.0;
+            prev_sorted_by_tid = opts.track_sort_order;
+
+            let delta = sum_deltas(&mut shards);
+            trace.push(IterationTrace {
+                k,
+                r_prime_tuples,
+                r_tuples,
+                r_kbytes,
+                c_len: c_k.len() as u64,
+                page_accesses: delta.accesses(),
+                estimated_io_ms: delta.estimated_ms(&cost_model),
+            });
+
+            let done = r_tuples == 0 || k >= max_len;
+            if !c_k.is_empty() {
+                counts.push(c_k);
+            }
+            if done {
+                for sh in &mut shards {
+                    sh.free_prev()?;
+                }
+                break;
+            }
+        }
+    }
+
+    let total = shards
+        .iter()
+        .map(|sh| sh.pager.lock().stats())
+        .fold(IoStats::default(), |acc, s| acc.plus(&s));
+    Ok(EngineRun {
+        result: SetmResult {
+            counts,
+            trace,
+            n_transactions: n_txns,
+            min_support_count: min_count,
+        },
+        total_page_accesses: total.accesses(),
+        total_estimated_ms: total.estimated_ms(&cost_model),
+    })
+}
+
+/// Run `f` on every shard, one scoped worker thread per shard, and
+/// propagate the first error.
+fn run_on_shards<F>(shards: &mut [EngineShard], f: F) -> Result<()>
+where
+    F: Fn(&mut EngineShard) -> Result<()> + Sync,
+{
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = shards.iter_mut().map(|sh| s.spawn(move || f(sh))).collect();
+        for h in handles {
+            h.join().expect("engine shard worker panicked")?;
+        }
+        Ok(())
+    })
+}
+
+fn take_local_counts(shards: &mut [EngineShard]) -> Vec<CountRelation> {
+    shards
+        .iter_mut()
+        .map(|sh| std::mem::replace(&mut sh.local_counts, CountRelation::new(1)))
+        .collect()
+}
+
+fn sum_deltas(shards: &mut [EngineShard]) -> IoStats {
+    shards.iter_mut().map(|sh| sh.take_delta()).fold(IoStats::default(), |acc, d| acc.plus(&d))
+}
+
 fn free_unless_sales(file: &HeapFile, sales: &HeapFile) -> Result<()> {
     if file.file_id() != sales.file_id() {
         file.clone().free()?;
@@ -200,69 +494,101 @@ fn free_unless_sales(file: &HeapFile, sales: &HeapFile) -> Result<()> {
     Ok(())
 }
 
+/// Retain the rows of an items-sorted pattern file whose pattern appears
+/// in `c_k`. Both sides are pattern-sorted, so membership is one monotone
+/// merge cursor — no binary search per row.
+fn filter_by_counts(file: &HeapFile, c_k: &CountRelation) -> Result<HeapFile> {
+    let mut b = HeapFileBuilder::new(file.pager().clone(), file.arity());
+    let mut cursor = file.cursor();
+    let mut ci = 0usize;
+    while let Some(row) = cursor.next_row()? {
+        let pattern = &row[1..];
+        while ci < c_k.len() && c_k.pattern_at(ci) < pattern {
+            ci += 1;
+        }
+        if ci < c_k.len() && c_k.pattern_at(ci) == pattern {
+            b.push(row)?;
+        }
+    }
+    b.finish()
+}
+
+/// Result of one counting pass over a group-sorted file.
+struct GroupScan {
+    /// The count relation over the group columns (threshold applied).
+    counts: CountRelation,
+    /// Rows of supported groups, when requested.
+    filtered: Option<HeapFile>,
+    /// Largest number of rows the group buffer ever held. Bounded by
+    /// `min_count − 1`: once a group provably qualifies, its remaining
+    /// rows stream straight to the output instead of accumulating.
+    /// Asserted by the hot-group regression test.
+    #[cfg_attr(not(test), allow(dead_code))]
+    peak_group_buffer_rows: u64,
+}
+
 /// One pass over a group-sorted file: produce the count relation over the
-/// `group_cols` and (when the file is a pattern relation, i.e. it has a
-/// tid column) the filtered `R_k` containing rows of supported groups.
+/// `group_cols` and (when `build_filtered` and the file has a tid column)
+/// the filtered `R_k` containing rows of supported groups.
+///
+/// Memory is bounded regardless of group size: rows buffer only until the
+/// group's count reaches `min_count` — from then on they are streamed to
+/// the output — so a single hot itemset cannot blow the memory budget.
 fn count_sorted_groups(
     file: &HeapFile,
     group_cols: &[usize],
     min_count: u64,
-) -> Result<(CountRelation, Option<HeapFile>)> {
+    build_filtered: bool,
+) -> Result<GroupScan> {
     let k = group_cols.len();
+    let arity = file.arity();
     let mut c = CountRelation::new(k);
-    let wants_filter = file.arity() == k + 1;
+    let wants_filter = build_filtered && arity == k + 1;
     let mut filtered =
-        if wants_filter { Some(HeapFileBuilder::new(file.pager().clone(), k + 1)) } else { None };
+        if wants_filter { Some(HeapFileBuilder::new(file.pager().clone(), arity)) } else { None };
 
     let mut cursor = file.cursor();
     let mut current: Vec<u32> = Vec::with_capacity(k);
     let mut group_rows: Vec<u32> = Vec::new();
     let mut count: u64 = 0;
-    let arity = file.arity();
-
-    let flush = |key: &[u32],
-                     count: u64,
-                     group_rows: &[u32],
-                     c: &mut CountRelation,
-                     filtered: &mut Option<HeapFileBuilder>|
-     -> Result<()> {
-        if count >= min_count {
-            c.push(key, count);
-            if let Some(b) = filtered {
-                for row in group_rows.chunks_exact(arity) {
-                    b.push(row)?;
-                }
-            }
-        }
-        Ok(())
-    };
+    let mut peak: u64 = 0;
 
     while let Some(row) = cursor.next_row()? {
         let same =
             count > 0 && group_cols.iter().enumerate().all(|(i, &col)| row[col] == current[i]);
-        if same {
-            count += 1;
-        } else {
-            if count > 0 {
-                flush(&current, count, &group_rows, &mut c, &mut filtered)?;
+        if !same {
+            if count >= min_count {
+                c.push(&current, count);
             }
             current.clear();
             current.extend(group_cols.iter().map(|&col| row[col]));
-            count = 1;
+            count = 0;
             group_rows.clear();
         }
-        if wants_filter {
-            group_rows.extend_from_slice(row);
+        count += 1;
+        if let Some(b) = filtered.as_mut() {
+            if count >= min_count {
+                // The group qualifies: flush anything buffered, then
+                // stream every further row directly.
+                for r in group_rows.chunks_exact(arity) {
+                    b.push(r)?;
+                }
+                group_rows.clear();
+                b.push(row)?;
+            } else {
+                group_rows.extend_from_slice(row);
+                peak = peak.max((group_rows.len() / arity) as u64);
+            }
         }
     }
-    if count > 0 {
-        flush(&current, count, &group_rows, &mut c, &mut filtered)?;
+    if count >= min_count {
+        c.push(&current, count);
     }
     let filtered = match filtered {
         Some(b) => Some(b.finish()?),
         None => None,
     };
-    Ok((c, filtered))
+    Ok(GroupScan { counts: c, filtered, peak_group_buffer_rows: peak })
 }
 
 #[cfg(test)]
@@ -271,6 +597,10 @@ mod tests {
     use crate::data::{Dataset, MinSupport, MiningParams};
     use crate::example;
     use crate::setm::memory;
+
+    fn sequential() -> EngineOptions {
+        EngineOptions { threads: 1, ..Default::default() }
+    }
 
     #[test]
     fn engine_matches_memory_on_worked_example() {
@@ -302,6 +632,58 @@ mod tests {
     }
 
     #[test]
+    fn parallel_engine_charges_io_consistently() {
+        let txns: Vec<(u32, Vec<u32>)> =
+            (0..300).map(|t| (t, vec![1, 2, 3, 4 + (t % 4)])).collect();
+        let d = Dataset::from_transactions(txns.iter().map(|(t, i)| (*t, i.as_slice())));
+        let params = MiningParams::new(MinSupport::Fraction(0.2), 0.5);
+        let run =
+            mine_on_engine(&d, &params, EngineOptions { threads: 3, ..Default::default() })
+                .unwrap();
+        assert!(run.total_page_accesses > 0);
+        let sum: u64 = run.result.trace.iter().map(|t| t.page_accesses).sum();
+        assert_eq!(sum, run.total_page_accesses);
+    }
+
+    /// Sequential and sharded engine runs agree — itemsets, counts, and
+    /// the tuple-count trace series — for every shard count.
+    #[test]
+    fn sharded_engine_matches_sequential_exactly() {
+        let txns: Vec<(u32, Vec<u32>)> = (0..80u32)
+            .map(|t| {
+                let mut items = vec![1, 2, 3];
+                if t % 3 == 0 {
+                    items.extend([10, 11]);
+                }
+                (t + 1, items)
+            })
+            .collect();
+        let d = Dataset::from_transactions(txns.iter().map(|(t, i)| (*t, i.as_slice())));
+        let params = MiningParams::new(MinSupport::Fraction(0.2), 0.5);
+        let seq = mine_on_engine(&d, &params, sequential()).unwrap();
+        for threads in [2usize, 3, 4, 8] {
+            let par = mine_on_engine(
+                &d,
+                &params,
+                EngineOptions { threads, ..Default::default() },
+            )
+            .unwrap();
+            assert_eq!(
+                par.result.frequent_itemsets(),
+                seq.result.frequent_itemsets(),
+                "threads={threads}"
+            );
+            assert_eq!(par.result.trace.len(), seq.result.trace.len());
+            for (a, b) in seq.result.trace.iter().zip(par.result.trace.iter()) {
+                assert_eq!(a.k, b.k);
+                assert_eq!(a.r_prime_tuples, b.r_prime_tuples, "threads={threads} k={}", a.k);
+                assert_eq!(a.r_tuples, b.r_tuples, "threads={threads} k={}", a.k);
+                assert_eq!(a.c_len, b.c_len, "threads={threads} k={}", a.k);
+            }
+        }
+    }
+
+    #[test]
     fn sort_tracking_saves_sort_passes() {
         // A dataset big enough that R_2 spans multiple pages.
         let txns: Vec<(u32, Vec<u32>)> = (0..400)
@@ -312,13 +694,13 @@ mod tests {
         let tracked = mine_on_engine(
             &d,
             &params,
-            EngineOptions { track_sort_order: true, ..Default::default() },
+            EngineOptions { track_sort_order: true, ..sequential() },
         )
         .unwrap();
         let naive = mine_on_engine(
             &d,
             &params,
-            EngineOptions { track_sort_order: false, ..Default::default() },
+            EngineOptions { track_sort_order: false, ..sequential() },
         )
         .unwrap();
         assert_eq!(
@@ -335,16 +717,39 @@ mod tests {
     }
 
     #[test]
+    fn sort_tracking_saves_io_in_parallel_mode_too() {
+        let txns: Vec<(u32, Vec<u32>)> = (0..400)
+            .map(|t| (t, vec![1, 2, 3, 4 + (t % 3)]))
+            .collect();
+        let d = Dataset::from_transactions(txns.iter().map(|(t, i)| (*t, i.as_slice())));
+        let params = MiningParams::new(MinSupport::Fraction(0.2), 0.5);
+        let tracked = mine_on_engine(
+            &d,
+            &params,
+            EngineOptions { track_sort_order: true, threads: 4, ..Default::default() },
+        )
+        .unwrap();
+        let naive = mine_on_engine(
+            &d,
+            &params,
+            EngineOptions { track_sort_order: false, threads: 4, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(tracked.result.frequent_itemsets(), naive.result.frequent_itemsets());
+        assert!(tracked.total_page_accesses < naive.total_page_accesses);
+    }
+
+    #[test]
     fn buffer_cache_reduces_charged_io() {
         let d = example::paper_example_dataset();
         let params = example::paper_example_params();
         let cold =
-            mine_on_engine(&d, &params, EngineOptions { cache_frames: 0, ..Default::default() })
+            mine_on_engine(&d, &params, EngineOptions { cache_frames: 0, ..sequential() })
                 .unwrap();
         let warm = mine_on_engine(
             &d,
             &params,
-            EngineOptions { cache_frames: 1024, ..Default::default() },
+            EngineOptions { cache_frames: 1024, ..sequential() },
         )
         .unwrap();
         assert_eq!(cold.result.frequent_itemsets(), warm.result.frequent_itemsets());
@@ -357,5 +762,50 @@ mod tests {
         let params = MiningParams::new(MinSupport::Count(1), 0.5);
         let run = mine_on_engine(&d, &params, EngineOptions::default()).unwrap();
         assert_eq!(run.result.max_pattern_len(), 0);
+    }
+
+    /// Satellite regression: a single hot itemset must not accumulate its
+    /// whole group in memory — the buffer is capped below `min_count`
+    /// rows, after which rows stream straight to the filtered output.
+    #[test]
+    fn hot_group_buffer_is_capped_at_min_count() {
+        let pager = Pager::shared();
+        // One pattern {1,2} supported by 5,000 transactions (rows sorted
+        // by items, then a small cold group behind it).
+        let mut rows: Vec<[u32; 3]> = (0..5_000u32).map(|t| [t, 1, 2]).collect();
+        rows.push([7, 1, 3]);
+        let file = HeapFile::from_rows(pager, 3, rows.iter().map(|r| r.as_slice())).unwrap();
+        let scan = count_sorted_groups(&file, &[1, 2], 5, true).unwrap();
+        assert_eq!(scan.counts.get(&[1, 2]), Some(5_000));
+        assert_eq!(scan.counts.get(&[1, 3]), None);
+        let filtered = scan.filtered.unwrap();
+        assert_eq!(filtered.n_records(), 5_000, "all hot-group rows kept");
+        assert!(
+            scan.peak_group_buffer_rows < 5,
+            "group buffer must stay under min_count, held {} rows",
+            scan.peak_group_buffer_rows
+        );
+    }
+
+    #[test]
+    fn capped_counting_matches_unfiltered_relation() {
+        // The streamed filter output is identical to the old
+        // buffer-everything behaviour: same rows, same order.
+        let pager = Pager::shared();
+        let rows: Vec<[u32; 3]> = vec![
+            [1, 1, 2],
+            [2, 1, 2],
+            [3, 1, 2],
+            [1, 1, 3], // count 1 < 2: dropped
+            [1, 2, 3],
+            [2, 2, 3],
+        ];
+        let file = HeapFile::from_rows(pager, 3, rows.iter().map(|r| r.as_slice())).unwrap();
+        let scan = count_sorted_groups(&file, &[1, 2], 2, true).unwrap();
+        assert_eq!(
+            scan.filtered.unwrap().rows().unwrap(),
+            vec![vec![1, 1, 2], vec![2, 1, 2], vec![3, 1, 2], vec![1, 2, 3], vec![2, 2, 3]],
+        );
+        assert_eq!(scan.counts.len(), 2);
     }
 }

@@ -7,10 +7,24 @@
 //! representational (struct-of-arrays instead of pages); every logical
 //! step, including joining against the *unfiltered* `R_1`, matches the
 //! paper.
+//!
+//! # Parallel sharded execution
+//!
+//! With `SetmOptions::threads > 1` the run is partitioned into contiguous
+//! `trans_id` shards (see [`crate::setm::shard`]): each worker sorts,
+//! merge-scans, and locally counts its own transactions under
+//! [`std::thread::scope`]; the per-shard count relations are then merged
+//! in one k-way pass ([`CountRelation::merge_sum_filter`]) to apply the
+//! global support threshold, and each shard filters its own `R'_k` against
+//! the merged `C_k`. Results — count relations and the `|R'_k|`/`|R_k|`/
+//! `|C_k|` trace series — are identical to the sequential run for every
+//! shard count; only wall-clock time changes.
 
-use crate::data::{Dataset, Item, MiningParams};
+use crate::data::{Dataset, Item, MiningParams, TransId};
 use crate::pattern::{CountRelation, PatternRelation};
+use crate::setm::shard::{partition_by_weight, resolve_threads};
 use crate::setm::{IterationTrace, SetmOptions, SetmResult};
+use std::collections::HashSet;
 
 /// Mine `dataset` with default options.
 pub fn mine(dataset: &Dataset, params: &MiningParams) -> SetmResult {
@@ -37,8 +51,7 @@ pub fn mine_with(dataset: &Dataset, params: &MiningParams, opts: SetmOptions) ->
         page_accesses: 0,
         estimated_io_ms: 0.0,
     });
-    let c1_empty = c1.is_empty();
-    if !c1_empty {
+    if !c1.is_empty() {
         counts.push(c1);
     }
     if max_len == 1 || n_txns == 0 {
@@ -47,17 +60,17 @@ pub fn mine_with(dataset: &Dataset, params: &MiningParams, opts: SetmOptions) ->
 
     // The SALES side of every merge-scan join. With the `filter_r1`
     // extension the join side drops infrequent items (results identical;
-    // see SetmOptions).
-    let sales: Vec<(u32, Vec<Item>)> = if opts.filter_r1 {
-        let c1 = counts.first();
+    // see SetmOptions). Membership is one O(1) hash probe per item.
+    let sales: Vec<(TransId, Vec<Item>)> = if opts.filter_r1 {
+        let keep: HashSet<Item> = counts
+            .first()
+            .map(|c1| c1.iter().map(|(p, _)| p[0]).collect())
+            .unwrap_or_default();
         dataset
             .transactions()
             .map(|(tid, items)| {
-                let kept: Vec<Item> = items
-                    .iter()
-                    .copied()
-                    .filter(|&it| c1.is_some_and(|c| c.contains(&[it])))
-                    .collect();
+                let kept: Vec<Item> =
+                    items.iter().copied().filter(|it| keep.contains(it)).collect();
                 (tid, kept)
             })
             .filter(|(_, items)| !items.is_empty())
@@ -66,9 +79,28 @@ pub fn mine_with(dataset: &Dataset, params: &MiningParams, opts: SetmOptions) ->
         dataset.transactions().map(|(tid, items)| (tid, items.to_vec())).collect()
     };
 
+    let threads = resolve_threads(opts.threads).min(sales.len().max(1));
+    if threads <= 1 {
+        run_sequential(&sales, min_count, max_len, &mut counts, &mut trace);
+    } else {
+        run_sharded(sales, threads, min_count, max_len, &mut counts, &mut trace);
+    }
+
+    SetmResult { counts, trace, n_transactions: n_txns, min_support_count: min_count }
+}
+
+/// The Figure 4 loop from k = 2, single-threaded (the paper's plan).
+fn run_sequential(
+    sales: &[(TransId, Vec<Item>)],
+    min_count: u64,
+    max_len: usize,
+    counts: &mut Vec<CountRelation>,
+    trace: &mut Vec<IterationTrace>,
+) {
     // R_1 doubles as the first "R_{k-1}": one tuple (tid, [item]) per row.
-    let mut r_prev = PatternRelation::with_capacity(1, dataset.n_rows() as usize);
-    for (tid, items) in &sales {
+    let n_rows: usize = sales.iter().map(|(_, items)| items.len()).sum();
+    let mut r_prev = PatternRelation::with_capacity(1, n_rows);
+    for (tid, items) in sales {
         for &it in items {
             r_prev.push(*tid, &[it]);
         }
@@ -83,7 +115,7 @@ pub fn mine_with(dataset: &Dataset, params: &MiningParams, opts: SetmOptions) ->
         r_prev.sort_by_tid_items();
 
         // R'_k := merge-scan R_{k-1}, R_1 (q.item > p.item_{k-1}).
-        let mut r_prime = merge_scan_extend(&r_prev, &sales);
+        let mut r_prime = merge_scan_extend(&r_prev, sales);
 
         // sort R'_k on (item_1, .., item_k); C_k := generate counts;
         // R_k := filter R'_k to retain supported patterns.
@@ -109,8 +141,119 @@ pub fn mine_with(dataset: &Dataset, params: &MiningParams, opts: SetmOptions) ->
         }
         r_prev = r_k;
     }
+}
 
-    SetmResult { counts, trace, n_transactions: n_txns, min_support_count: min_count }
+/// One `trans_id` shard of the parallel run: its slice of `SALES`, its
+/// slice of `R_{k-1}`, and the per-iteration intermediates.
+struct MemShard {
+    sales: Vec<(TransId, Vec<Item>)>,
+    r_prev: PatternRelation,
+    /// Items-sorted `R'_k` of the current iteration (input to the filter).
+    r_prime: PatternRelation,
+    /// Local (unfiltered) group counts of `r_prime`.
+    local_counts: CountRelation,
+}
+
+impl MemShard {
+    /// Phase 1 of an iteration: sort, merge-scan, sort, local count.
+    fn extend_and_count(&mut self) {
+        self.r_prev.sort_by_tid_items();
+        self.r_prime = merge_scan_extend(&self.r_prev, &self.sales);
+        self.r_prime.sort_by_items();
+        self.local_counts = count_groups(&self.r_prime);
+    }
+
+    /// Phase 2: filter the local `R'_k` against the *global* `C_k`.
+    fn filter(&mut self, c_k: &CountRelation) {
+        self.r_prev = filter_supported(&self.r_prime, c_k);
+        self.r_prime = PatternRelation::new(1); // release R'_k eagerly
+    }
+}
+
+/// The sharded parallel loop: identical results, P-way partitioned work.
+fn run_sharded(
+    sales: Vec<(TransId, Vec<Item>)>,
+    threads: usize,
+    min_count: u64,
+    max_len: usize,
+    counts: &mut Vec<CountRelation>,
+    trace: &mut Vec<IterationTrace>,
+) {
+    let weights: Vec<usize> = sales.iter().map(|(_, items)| items.len()).collect();
+    let ranges = partition_by_weight(&weights, threads);
+    let mut txns = sales.into_iter();
+    let mut shards: Vec<MemShard> = ranges
+        .iter()
+        .map(|range| {
+            let sales: Vec<(TransId, Vec<Item>)> = txns.by_ref().take(range.len()).collect();
+            let rows: usize = sales.iter().map(|(_, items)| items.len()).sum();
+            let mut r_prev = PatternRelation::with_capacity(1, rows);
+            for (tid, items) in &sales {
+                for &it in items {
+                    r_prev.push(*tid, &[it]);
+                }
+            }
+            MemShard {
+                sales,
+                r_prev,
+                r_prime: PatternRelation::new(1),
+                local_counts: CountRelation::new(1),
+            }
+        })
+        .collect();
+
+    let mut k = 1usize;
+    loop {
+        k += 1;
+        // Phase 1 (parallel): join + local count per shard.
+        std::thread::scope(|s| {
+            let handles: Vec<_> = shards
+                .iter_mut()
+                .map(|sh| s.spawn(move || sh.extend_and_count()))
+                .collect();
+            for h in handles {
+                h.join().expect("SETM shard worker panicked");
+            }
+        });
+
+        // Merge the sorted per-shard counts and apply the global support
+        // threshold in one k-way pass.
+        let locals: Vec<CountRelation> = shards
+            .iter_mut()
+            .map(|sh| std::mem::replace(&mut sh.local_counts, CountRelation::new(1)))
+            .collect();
+        let c_k = CountRelation::merge_sum_filter(&locals, min_count);
+        let r_prime_tuples: u64 = shards.iter().map(|sh| sh.r_prime.n_tuples() as u64).sum();
+
+        // Phase 2 (parallel): filter each shard's R'_k against C_k.
+        std::thread::scope(|s| {
+            let c_ref = &c_k;
+            let handles: Vec<_> =
+                shards.iter_mut().map(|sh| s.spawn(move || sh.filter(c_ref))).collect();
+            for h in handles {
+                h.join().expect("SETM shard worker panicked");
+            }
+        });
+        let r_tuples: u64 = shards.iter().map(|sh| sh.r_prev.n_tuples() as u64).sum();
+
+        trace.push(IterationTrace {
+            k,
+            r_prime_tuples,
+            r_tuples,
+            r_kbytes: r_tuples as f64 * ((k + 1) * 4) as f64 / 1024.0,
+            c_len: c_k.len() as u64,
+            page_accesses: 0,
+            estimated_io_ms: 0.0,
+        });
+
+        let done = r_tuples == 0 || k >= max_len;
+        if !c_k.is_empty() {
+            counts.push(c_k);
+        }
+        if done {
+            break;
+        }
+    }
 }
 
 /// C1: per-item transaction counts with the minimum-support filter
@@ -138,7 +281,7 @@ fn count_items(dataset: &Dataset, min_count: u64) -> CountRelation {
 /// The merge-scan join of Figure 4: both inputs ordered by `trans_id`;
 /// within each transaction, extend every `R_{k-1}` tuple with every sales
 /// item greater than its last item (preserving lexicographic patterns).
-fn merge_scan_extend(r_prev: &PatternRelation, sales: &[(u32, Vec<Item>)]) -> PatternRelation {
+fn merge_scan_extend(r_prev: &PatternRelation, sales: &[(TransId, Vec<Item>)]) -> PatternRelation {
     let k_prev = r_prev.k();
     let mut out = PatternRelation::with_capacity(k_prev + 1, r_prev.n_tuples());
     let mut buf: Vec<Item> = vec![0; k_prev + 1];
@@ -185,7 +328,9 @@ fn merge_scan_extend(r_prev: &PatternRelation, sales: &[(u32, Vec<Item>)]) -> Pa
 }
 
 /// One pass over the items-sorted `R'_k`: emit `C_k` groups meeting the
-/// minimum support and copy their tuples into `R_k`.
+/// minimum support and copy their tuples into `R_k`. Group boundaries are
+/// found by slice comparison against the group's first row — no per-group
+/// allocation.
 fn count_and_filter(r_prime: &PatternRelation, min_count: u64) -> (CountRelation, PatternRelation) {
     let k = r_prime.k();
     let n = r_prime.n_tuples();
@@ -193,15 +338,14 @@ fn count_and_filter(r_prime: &PatternRelation, min_count: u64) -> (CountRelation
     let mut r = PatternRelation::new(k);
     let mut i = 0usize;
     while i < n {
-        let (_, pattern) = r_prime.row(i);
-        let pattern = pattern.to_vec();
+        let pattern = r_prime.row(i).1;
         let mut j = i + 1;
-        while j < n && r_prime.row(j).1 == pattern.as_slice() {
+        while j < n && r_prime.row(j).1 == pattern {
             j += 1;
         }
         let count = (j - i) as u64;
         if count >= min_count {
-            c.push(&pattern, count);
+            c.push(pattern, count);
             for row in i..j {
                 let (tid, items) = r_prime.row(row);
                 r.push(tid, items);
@@ -210,6 +354,55 @@ fn count_and_filter(r_prime: &PatternRelation, min_count: u64) -> (CountRelation
         i = j;
     }
     (c, r)
+}
+
+/// Count every group of an items-sorted `R'_k` with no support filter —
+/// the shard-local half of the parallel counting step (the threshold can
+/// only be applied to the merged global counts).
+fn count_groups(r_prime: &PatternRelation) -> CountRelation {
+    let k = r_prime.k();
+    let n = r_prime.n_tuples();
+    let mut c = CountRelation::new(k);
+    let mut i = 0usize;
+    while i < n {
+        let pattern = r_prime.row(i).1;
+        let mut j = i + 1;
+        while j < n && r_prime.row(j).1 == pattern {
+            j += 1;
+        }
+        c.push(pattern, (j - i) as u64);
+        i = j;
+    }
+    c
+}
+
+/// Retain the tuples of `r_prime` whose pattern appears in `c_k`. Both
+/// sides are pattern-sorted, so membership is one monotone merge cursor —
+/// O(1) amortized per group, no binary searches.
+fn filter_supported(r_prime: &PatternRelation, c_k: &CountRelation) -> PatternRelation {
+    let k = r_prime.k();
+    let n = r_prime.n_tuples();
+    let mut out = PatternRelation::new(k);
+    let mut ci = 0usize;
+    let mut i = 0usize;
+    while i < n {
+        let pattern = r_prime.row(i).1;
+        let mut j = i + 1;
+        while j < n && r_prime.row(j).1 == pattern {
+            j += 1;
+        }
+        while ci < c_k.len() && c_k.pattern_at(ci) < pattern {
+            ci += 1;
+        }
+        if ci < c_k.len() && c_k.pattern_at(ci) == pattern {
+            for row in i..j {
+                let (tid, items) = r_prime.row(row);
+                out.push(tid, items);
+            }
+        }
+        i = j;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -272,8 +465,8 @@ mod tests {
     fn filter_r1_option_does_not_change_results() {
         let d = tiny();
         let params = MiningParams::new(MinSupport::Count(2), 0.5);
-        let base = mine_with(&d, &params, SetmOptions { filter_r1: false });
-        let filt = mine_with(&d, &params, SetmOptions { filter_r1: true });
+        let base = mine_with(&d, &params, SetmOptions { filter_r1: false, ..Default::default() });
+        let filt = mine_with(&d, &params, SetmOptions { filter_r1: true, ..Default::default() });
         assert_eq!(base.frequent_itemsets(), filt.frequent_itemsets());
         // But the unfiltered run generates at least as many R'_2 tuples.
         assert!(base.trace[1].r_prime_tuples >= filt.trace[1].r_prime_tuples);
@@ -335,5 +528,77 @@ mod tests {
         assert_eq!(r.c(3).unwrap().get(&[1, 2, 3]), Some(1));
         // R'_2 holds all 3 pairs, R'_3 all single extension chains.
         assert_eq!(r.trace[1].r_prime_tuples, 3);
+    }
+
+    /// Sequential and sharded runs must agree exactly — itemsets, counts,
+    /// and the |R'_k| / |R_k| / |C_k| trace series — for every shard count.
+    #[test]
+    fn sharded_runs_match_sequential_exactly() {
+        // A dataset rich enough to run 3+ iterations with uneven shards.
+        let txns: Vec<(u32, Vec<u32>)> = (0..60u32)
+            .map(|t| {
+                let mut items = vec![1, 2, 3];
+                if t % 2 == 0 {
+                    items.push(4 + t % 5);
+                }
+                if t % 7 == 0 {
+                    items.extend([20, 21, 22]);
+                }
+                (t + 1, items)
+            })
+            .collect();
+        let d = Dataset::from_transactions(txns.iter().map(|(t, i)| (*t, i.as_slice())));
+        let params = MiningParams::new(MinSupport::Fraction(0.1), 0.5);
+        let seq = mine_with(&d, &params, SetmOptions { threads: 1, ..Default::default() });
+        for threads in [2usize, 3, 4, 7, 16, 64] {
+            let par = mine_with(&d, &params, SetmOptions { threads, ..Default::default() });
+            assert_eq!(par.frequent_itemsets(), seq.frequent_itemsets(), "threads={threads}");
+            assert_eq!(par.trace.len(), seq.trace.len(), "threads={threads}");
+            for (a, b) in seq.trace.iter().zip(par.trace.iter()) {
+                assert_eq!(a.k, b.k);
+                assert_eq!(a.r_prime_tuples, b.r_prime_tuples, "threads={threads} k={}", a.k);
+                assert_eq!(a.r_tuples, b.r_tuples, "threads={threads} k={}", a.k);
+                assert_eq!(a.c_len, b.c_len, "threads={threads} k={}", a.k);
+                assert_eq!(a.r_kbytes, b.r_kbytes, "threads={threads} k={}", a.k);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_run_with_filter_r1_matches_too() {
+        let txns: Vec<(u32, Vec<u32>)> =
+            (0..30u32).map(|t| (t + 1, vec![1, 2, 3 + t % 9])).collect();
+        let d = Dataset::from_transactions(txns.iter().map(|(t, i)| (*t, i.as_slice())));
+        let params = MiningParams::new(MinSupport::Count(4), 0.5);
+        let seq = mine_with(&d, &params, SetmOptions { filter_r1: true, threads: 1 });
+        let par = mine_with(&d, &params, SetmOptions { filter_r1: true, threads: 4 });
+        assert_eq!(par.frequent_itemsets(), seq.frequent_itemsets());
+    }
+
+    #[test]
+    fn more_shards_than_transactions_is_safe() {
+        let d = tiny();
+        let params = MiningParams::new(MinSupport::Count(2), 0.5);
+        let seq = mine_with(&d, &params, SetmOptions { threads: 1, ..Default::default() });
+        let par = mine_with(&d, &params, SetmOptions { threads: 32, ..Default::default() });
+        assert_eq!(par.frequent_itemsets(), seq.frequent_itemsets());
+    }
+
+    #[test]
+    fn filter_supported_uses_monotone_cursor() {
+        let mut r_prime = PatternRelation::new(2);
+        // Items-sorted groups: [1,2]x2, [1,3]x1, [2,9]x3.
+        r_prime.push(10, &[1, 2]);
+        r_prime.push(11, &[1, 2]);
+        r_prime.push(10, &[1, 3]);
+        r_prime.push(10, &[2, 9]);
+        r_prime.push(12, &[2, 9]);
+        r_prime.push(13, &[2, 9]);
+        let mut c = CountRelation::new(2);
+        c.push(&[1, 2], 2);
+        c.push(&[2, 9], 3);
+        let kept = filter_supported(&r_prime, &c);
+        assert_eq!(kept.n_tuples(), 5, "the {{1,3}} group is dropped");
+        assert_eq!(count_groups(&kept).len(), 2);
     }
 }

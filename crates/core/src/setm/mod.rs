@@ -28,6 +28,7 @@
 
 pub mod engine;
 pub mod memory;
+pub mod shard;
 pub mod sql;
 
 use crate::data::{Dataset, MiningParams};
@@ -44,6 +45,11 @@ pub struct SetmOptions {
     /// anyway, so results are identical but `R'_k` shrinks. Benchmarked as
     /// an ablation.
     pub filter_r1: bool,
+    /// Worker threads for the sharded parallel execution (see
+    /// [`shard`]). `0` (the default) resolves to the machine's available
+    /// parallelism; `1` forces the paper's sequential loop. Results are
+    /// identical for every value; only wall-clock time changes.
+    pub threads: usize,
 }
 
 /// Per-iteration measurements — the raw series behind Figures 5 and 6.

@@ -1,0 +1,116 @@
+//! `trans_id`-range sharding for the parallel SETM executions.
+//!
+//! Every operator in Figure 4 groups by transaction or by itemset, never
+//! across arbitrary rows, so the merge-scan passes partition cleanly by
+//! `trans_id` range: each shard joins and locally counts its own
+//! transactions, and only the per-shard `C_k` counts need a global k-way
+//! merge (a pattern's supporting transactions are spread across shards).
+//!
+//! Shards are **contiguous** transaction ranges balanced by row count, so
+//! a transaction's `R_k` tuples stay on one shard for the whole run and
+//! each worker sees a similar amount of merge-scan work.
+
+use std::ops::Range;
+
+/// Resolve a `threads` knob: `0` means the machine's available
+/// parallelism, anything else is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Partition `weights.len()` transactions into at most `parts` contiguous
+/// ranges whose weight (row count) is as even as a greedy contiguous split
+/// allows. Always returns at least one range; ranges are non-overlapping,
+/// in order, and cover `0..weights.len()` exactly.
+pub fn partition_by_weight(weights: &[usize], parts: usize) -> Vec<Range<usize>> {
+    let total: usize = weights.iter().sum();
+    if weights.is_empty() || parts <= 1 || total == 0 {
+        // One shard covering everything.
+        return std::iter::once(0..weights.len()).collect();
+    }
+    let parts = parts.min(weights.len());
+    let mut ranges: Vec<Range<usize>> = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut cum = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        cum += w;
+        // Cut after transaction i once the cumulative weight crosses the
+        // next ideal boundary (part_no · total / parts, compared without
+        // division to avoid rounding drift).
+        let part_no = ranges.len() + 1;
+        if ranges.len() < parts - 1 && cum * parts >= part_no * total {
+            ranges.push(start..i + 1);
+            start = i + 1;
+        }
+    }
+    ranges.push(start..weights.len());
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_covers(ranges: &[Range<usize>], n: usize) {
+        assert!(!ranges.is_empty());
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, n);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "ranges must be contiguous");
+        }
+    }
+
+    #[test]
+    fn equal_weights_split_evenly() {
+        let w = vec![1usize; 8];
+        let r = partition_by_weight(&w, 4);
+        assert_eq!(r, vec![0..2, 2..4, 4..6, 6..8]);
+        check_covers(&r, 8);
+    }
+
+    #[test]
+    fn skewed_weights_balance_by_rows_not_transactions() {
+        // One heavy transaction up front: it gets its own shard.
+        let w = vec![100usize, 1, 1, 1, 1, 1];
+        let r = partition_by_weight(&w, 2);
+        check_covers(&r, 6);
+        assert_eq!(r[0], 0..1, "the heavy transaction fills the first shard");
+    }
+
+    #[test]
+    fn more_parts_than_transactions_caps_at_transactions() {
+        let w = vec![3usize, 3];
+        let r = partition_by_weight(&w, 8);
+        check_covers(&r, 2);
+        assert!(r.len() <= 2);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(partition_by_weight(&[], 4), vec![0..0]);
+        assert_eq!(partition_by_weight(&[5, 5], 1), vec![0..2]);
+        // All-zero weights: a single covering shard.
+        assert_eq!(partition_by_weight(&[0, 0, 0], 3), vec![0..3]);
+    }
+
+    #[test]
+    fn every_part_count_covers_for_random_weights() {
+        // Deterministic pseudo-random weights.
+        let w: Vec<usize> = (0..37u64).map(|i| ((i * 2654435761) % 7) as usize).collect();
+        for parts in 1..=10 {
+            let r = partition_by_weight(&w, parts);
+            check_covers(&r, w.len());
+            assert!(r.len() <= parts.max(1));
+        }
+    }
+
+    #[test]
+    fn resolve_threads_zero_is_auto() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -19,7 +19,8 @@
 //!   120,000 for n = 3.
 //!
 //! Two slips in the paper are reproduced-and-documented rather than
-//! silently fixed (see `EXPERIMENTS.md`): 120,000 accesses at 10 ms is
+//! silently fixed (see docs/REPRODUCTION.md, "Known slips in the paper"
+//! and Design notes §2): 120,000 accesses at 10 ms is
 //! 1,200 s = **20** minutes (the paper says "10 minutes"), and the
 //! nested-loop estimate 2,040,000 × 20 ms = 40,800 s ≈ **11.3 hours**
 //! (the paper rounds to "more than 11 hours" via 2,000,000 × 20 ms =

@@ -10,7 +10,8 @@
 //!   dataset (46,873 transactions from "a large retailing company"),
 //!   calibrated to every statistic the paper reports: 115,568 line
 //!   items, `|C1| = 59` at 0.1% support, longest frequent pattern 3 at
-//!   0.1% and 4 at 0.05%. See DESIGN.md §4 for the substitution argument.
+//!   0.1% and 4 at 0.05%. See docs/REPRODUCTION.md, Design notes §4,
+//!   for the substitution argument.
 //! * [`quest`] — an IBM Quest-style `T·I·D` generator (Agrawal & Srikant,
 //!   VLDB'94) used by the baseline-comparison extension benchmarks.
 

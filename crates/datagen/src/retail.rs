@@ -7,8 +7,9 @@
 //!
 //! * 46,873 transactions and exactly 115,568 line items (`|R_1|`),
 //!   i.e. ~2.47 items per transaction;
-//! * exactly 59 items with support ≥ 0.1% (`|C_1| = 59`; see DESIGN.md on
-//!   the paper's impossible claim that this holds up to 5%);
+//! * exactly 59 items with support ≥ 0.1% (`|C_1| = 59`; see
+//!   docs/REPRODUCTION.md, Design notes §4, on the paper's impossible
+//!   claim that this holds up to 5%);
 //! * longest frequent pattern of length 3 at 0.1% support and length 4 at
 //!   0.05% ("rules with 3 items in the antecedent");
 //! * `|C_2| > |C_1|` at 0.1% (Figure 6's initial increase), with `|C_i|`

@@ -116,7 +116,7 @@ impl BulkLoader {
     /// Begin bulk-loading a tree with keys of `key_arity` columns.
     pub fn new(pager: SharedPager, key_arity: usize) -> Self {
         assert!(key_arity > 0 && key_arity * 4 <= PAGE_SIZE - HEADER);
-        let fid = pager.borrow_mut().create_file();
+        let fid = pager.lock().create_file();
         let mut leaf = Page::new();
         leaf.bytes_mut()[0] = KIND_LEAF;
         BulkLoader {
@@ -166,9 +166,9 @@ impl BulkLoader {
         // current file length and its successor (if any) is the next one.
         let mut leaf = std::mem::take(&mut self.leaf);
         leaf.bytes_mut()[0] = KIND_LEAF;
-        let pno = self.pager.borrow().n_pages(self.fid)?;
+        let pno = self.pager.lock().n_pages(self.fid)?;
         write_u32(&mut leaf, 4, pno + 1); // provisional next pointer
-        self.pager.borrow_mut().append_page(self.fid, leaf)?;
+        self.pager.lock().append_page(self.fid, leaf)?;
         self.level.push((self.leaf_first_key.clone(), pno));
         self.leaf = Page::new();
         self.leaf.bytes_mut()[0] = KIND_LEAF;
@@ -183,7 +183,7 @@ impl BulkLoader {
         // Terminate the leaf chain.
         let last_leaf = self.level.last().expect("at least one leaf").1;
         {
-            let mut pager = self.pager.borrow_mut();
+            let mut pager = self.pager.lock();
             let mut page = pager.read_page(self.fid, last_leaf)?;
             write_u32(&mut page, 4, NO_NEXT);
             pager.write_page(self.fid, last_leaf, page)?;
@@ -211,7 +211,7 @@ impl BulkLoader {
                     write_u32(&mut page, off + ka * 4, *child);
                 }
                 write_u16(&mut page, 2, (group.len() - 1) as u16);
-                let pno = self.pager.borrow_mut().append_page(self.fid, page)?;
+                let pno = self.pager.lock().append_page(self.fid, page)?;
                 n_internal_pages += 1;
                 next.push((group[0].0.clone(), pno));
             }
@@ -247,9 +247,9 @@ impl BTree {
     /// now on internal-node reads are not charged as I/O.
     pub fn cache_internal_nodes(&mut self) -> Result<()> {
         let mut cache = HashMap::with_capacity(self.n_internal_pages as usize);
-        let n = self.pager.borrow().n_pages(self.fid)?;
+        let n = self.pager.lock().n_pages(self.fid)?;
         for pno in self.n_leaf_pages..n {
-            let page = self.pager.borrow_mut().read_page(self.fid, pno)?;
+            let page = self.pager.lock().read_page(self.fid, pno)?;
             debug_assert_eq!(node_kind(&page), KIND_INTERNAL);
             cache.insert(pno, page);
         }
@@ -263,7 +263,7 @@ impl BTree {
                 return Ok(page.clone());
             }
         }
-        self.pager.borrow_mut().read_page(self.fid, pno)
+        self.pager.lock().read_page(self.fid, pno)
     }
 
     /// Number of keys stored.
@@ -453,15 +453,15 @@ mod tests {
         let t = load(&pager, &keys);
         assert!(t.n_internal_pages() >= 1);
 
-        pager.borrow_mut().reset_stats();
+        pager.lock().reset_stats();
         assert_eq!(t.count_prefix(&[17]).unwrap(), 200);
-        let uncached = pager.borrow().stats().reads();
+        let uncached = pager.lock().stats().reads();
 
         let mut t = t;
         t.cache_internal_nodes().unwrap();
-        pager.borrow_mut().reset_stats();
+        pager.lock().reset_stats();
         assert_eq!(t.count_prefix(&[17]).unwrap(), 200);
-        let cached = pager.borrow().stats().reads();
+        let cached = pager.lock().stats().reads();
 
         // Caching internal nodes removes exactly the descent reads
         // (height - 1 internal pages per probe).

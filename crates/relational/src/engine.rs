@@ -200,12 +200,12 @@ impl Database {
 
     /// Current I/O statistics of the shared pager.
     pub fn io_stats(&self) -> IoStats {
-        self.pager.borrow().stats()
+        self.pager.lock().stats()
     }
 
     /// Reset I/O statistics.
     pub fn reset_io_stats(&self) {
-        self.pager.borrow_mut().reset_stats();
+        self.pager.lock().reset_stats();
     }
 }
 
@@ -256,9 +256,9 @@ mod tests {
         let rows = sales_rows();
         db.create_table_from_rows("SALES", Schema::sales(), rows.iter().map(|r| r.as_slice()))
             .unwrap();
-        assert!(db.pager().borrow().total_pages() > 0);
+        assert!(db.pager().lock().total_pages() > 0);
         db.drop_table("SALES").unwrap();
-        assert_eq!(db.pager().borrow().total_pages(), 0);
+        assert_eq!(db.pager().lock().total_pages(), 0);
         assert!(matches!(db.table("SALES"), Err(Error::NoSuchTable(_))));
     }
 

@@ -35,7 +35,7 @@ impl HeapFileBuilder {
     /// Start a new heap file with `arity` columns per record.
     pub fn new(pager: SharedPager, arity: usize) -> Self {
         assert!(arity > 0, "records must have at least one column");
-        let fid = pager.borrow_mut().create_file();
+        let fid = pager.lock().create_file();
         HeapFileBuilder { pager, fid, arity, tail: Page::new(), n_records: 0, n_pages: 0 }
     }
 
@@ -46,7 +46,7 @@ impl HeapFileBuilder {
         }
         if !self.tail.push_record(row)? {
             let full = std::mem::take(&mut self.tail);
-            self.pager.borrow_mut().append_page(self.fid, full)?;
+            self.pager.lock().append_page(self.fid, full)?;
             self.n_pages += 1;
             let fit = self.tail.push_record(row)?;
             debug_assert!(fit, "empty page must accept one record");
@@ -72,7 +72,7 @@ impl HeapFileBuilder {
     pub fn finish(mut self) -> Result<HeapFile> {
         if self.tail.record_count() > 0 {
             let tail = std::mem::take(&mut self.tail);
-            self.pager.borrow_mut().append_page(self.fid, tail)?;
+            self.pager.lock().append_page(self.fid, tail)?;
             self.n_pages += 1;
         }
         Ok(HeapFile {
@@ -136,7 +136,7 @@ impl HeapFile {
     /// Free the underlying pages (e.g. `R'_k` after filtering, per the
     /// paper's loop which discards each intermediate once consumed).
     pub fn free(self) -> Result<()> {
-        self.pager.borrow_mut().free_file(self.fid)
+        self.pager.lock().free_file(self.fid)
     }
 
     /// Visit every record in storage order. This is the hot path: one page
@@ -144,7 +144,7 @@ impl HeapFile {
     pub fn for_each_row<F: FnMut(&[u32])>(&self, mut f: F) -> Result<()> {
         let mut row = vec![0u32; self.arity];
         for pno in 0..self.n_pages {
-            let page = self.pager.borrow_mut().read_page(self.fid, pno)?;
+            let page = self.pager.lock().read_page(self.fid, pno)?;
             let n = page.record_count();
             for idx in 0..n {
                 page.read_record(idx, self.arity, &mut row);
@@ -159,7 +159,7 @@ impl HeapFile {
     pub fn read_all(&self) -> Result<Vec<u32>> {
         let mut out = Vec::with_capacity(self.n_records as usize * self.arity);
         for pno in 0..self.n_pages {
-            let page = self.pager.borrow_mut().read_page(self.fid, pno)?;
+            let page = self.pager.lock().read_page(self.fid, pno)?;
             page.read_all(self.arity, &mut out);
         }
         Ok(out)
@@ -220,7 +220,7 @@ impl HeapCursor<'_> {
                     return Ok(None);
                 }
                 let page =
-                    self.file.pager.borrow_mut().read_page(self.file.fid, self.next_pno)?;
+                    self.file.pager.lock().read_page(self.file.fid, self.next_pno)?;
                 self.next_pno += 1;
                 self.idx = 0;
                 self.page = Some(page);
@@ -265,9 +265,9 @@ mod tests {
         assert_eq!(back, rows);
         // Scan I/O: one read per page; at most the initial rewind (the
         // head sits at the end of the previous scan) counts as random.
-        pager.borrow_mut().reset_stats();
+        pager.lock().reset_stats();
         f.for_each_row(|_| {}).unwrap();
-        let s = pager.borrow().stats();
+        let s = pager.lock().stats();
         assert_eq!(s.reads(), 4);
         assert!(s.rand_reads <= 1, "only the rewind may be random: {s:?}");
     }

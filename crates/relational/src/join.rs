@@ -19,19 +19,26 @@ use std::cmp::Ordering;
 struct GroupReader<'a> {
     cursor: HeapCursor<'a>,
     key_cols: &'a [usize],
-    /// One-row lookahead that belongs to the *next* group.
-    pending: Option<Vec<u32>>,
-    started: bool,
+    /// One-row lookahead that belongs to the *next* group (reused buffer;
+    /// valid only when `has_pending`).
+    pending: Vec<u32>,
+    has_pending: bool,
 }
 
+/// A reusable group buffer: the key and the flat row-major group rows.
+/// One pair of these lives for the whole join — the hot loop performs no
+/// per-group allocation.
 struct Group {
     key: Vec<u32>,
-    /// Flat row-major group rows.
     rows: Vec<u32>,
     arity: usize,
 }
 
 impl Group {
+    fn new(arity: usize) -> Self {
+        Group { key: Vec::new(), rows: Vec::new(), arity }
+    }
+
     fn iter(&self) -> impl Iterator<Item = &[u32]> {
         self.rows.chunks_exact(self.arity)
     }
@@ -39,45 +46,43 @@ impl Group {
 
 impl<'a> GroupReader<'a> {
     fn new(file: &'a HeapFile, key_cols: &'a [usize]) -> Self {
-        GroupReader { cursor: file.cursor(), key_cols, pending: None, started: false }
+        GroupReader { cursor: file.cursor(), key_cols, pending: Vec::new(), has_pending: false }
     }
 
-    fn next_group(&mut self, arity: usize) -> Result<Option<Group>> {
-        let first = match self.pending.take() {
-            Some(row) => row,
-            None => {
-                if self.started {
-                    // Pending was consumed and the cursor is exhausted.
-                    match self.cursor.next_row()? {
-                        Some(r) => r.to_vec(),
-                        None => return Ok(None),
-                    }
-                } else {
-                    self.started = true;
-                    match self.cursor.next_row()? {
-                        Some(r) => r.to_vec(),
-                        None => return Ok(None),
-                    }
-                }
+    /// Fill `group` with the next group's key and rows; returns `false`
+    /// at end of input. Buffers are cleared and reused, never reallocated
+    /// once warm.
+    fn next_group_into(&mut self, group: &mut Group) -> Result<bool> {
+        group.key.clear();
+        group.rows.clear();
+        if self.has_pending {
+            group.rows.extend_from_slice(&self.pending);
+            self.has_pending = false;
+        } else {
+            match self.cursor.next_row()? {
+                Some(r) => group.rows.extend_from_slice(r),
+                None => return Ok(false),
             }
-        };
-        let key: Vec<u32> = self.key_cols.iter().map(|&c| first[c]).collect();
-        let mut rows = first;
+        }
+        group.key.extend(self.key_cols.iter().map(|&c| group.rows[c]));
         loop {
             match self.cursor.next_row()? {
                 None => break,
                 Some(r) => {
-                    let same = self.key_cols.iter().enumerate().all(|(i, &c)| r[c] == key[i]);
+                    let same =
+                        self.key_cols.iter().enumerate().all(|(i, &c)| r[c] == group.key[i]);
                     if same {
-                        rows.extend_from_slice(r);
+                        group.rows.extend_from_slice(r);
                     } else {
-                        self.pending = Some(r.to_vec());
+                        self.pending.clear();
+                        self.pending.extend_from_slice(r);
+                        self.has_pending = true;
                         break;
                     }
                 }
             }
         }
-        Ok(Some(Group { key, rows, arity }))
+        Ok(true)
     }
 }
 
@@ -103,19 +108,21 @@ where
     let mut out = HeapFileBuilder::new(pager, out_arity);
     let mut lr = GroupReader::new(left, left_key);
     let mut rr = GroupReader::new(right, right_key);
-    let la = left.arity();
-    let ra = right.arity();
 
-    let mut lg = lr.next_group(la)?;
-    let mut rg = rr.next_group(ra)?;
+    // All scratch space for the scan: two group buffers and one output
+    // row, reused for the entire join.
+    let mut lg = Group::new(left.arity());
+    let mut rg = Group::new(right.arity());
     let mut buf: Vec<u32> = Vec::with_capacity(out_arity);
-    while let (Some(l), Some(r)) = (&lg, &rg) {
-        match l.key.cmp(&r.key) {
-            Ordering::Less => lg = lr.next_group(la)?,
-            Ordering::Greater => rg = rr.next_group(ra)?,
+    let mut has_l = lr.next_group_into(&mut lg)?;
+    let mut has_r = rr.next_group_into(&mut rg)?;
+    while has_l && has_r {
+        match lg.key.cmp(&rg.key) {
+            Ordering::Less => has_l = lr.next_group_into(&mut lg)?,
+            Ordering::Greater => has_r = rr.next_group_into(&mut rg)?,
             Ordering::Equal => {
-                for lrow in l.iter() {
-                    for rrow in r.iter() {
+                for lrow in lg.iter() {
+                    for rrow in rg.iter() {
                         if residual(lrow, rrow) {
                             buf.clear();
                             project(lrow, rrow, &mut buf);
@@ -124,8 +131,8 @@ where
                         }
                     }
                 }
-                lg = lr.next_group(la)?;
-                rg = rr.next_group(ra)?;
+                has_l = lr.next_group_into(&mut lg)?;
+                has_r = rr.next_group_into(&mut rg)?;
             }
         }
     }
@@ -295,19 +302,19 @@ mod tests {
         let mut idx = loader.finish().unwrap();
         idx.cache_internal_nodes().unwrap();
 
-        pager.borrow_mut().reset_stats();
+        pager.lock().reset_stats();
         merge_scan_join(&left, &right, &[0], &[0], 2, |_, _| true, |l, _, b| {
             b.extend_from_slice(l);
         })
         .unwrap();
-        let merge_stats = pager.borrow().stats();
+        let merge_stats = pager.lock().stats();
 
-        pager.borrow_mut().reset_stats();
+        pager.lock().reset_stats();
         index_nested_loop_join(&left, &idx, &[0], 2, |_, _| true, |l, _, b| {
             b.extend_from_slice(l);
         })
         .unwrap();
-        let index_stats = pager.borrow().stats();
+        let index_stats = pager.lock().stats();
 
         assert!(
             merge_stats.rand_reads < index_stats.rand_reads,

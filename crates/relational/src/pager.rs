@@ -9,13 +9,13 @@
 //!
 //! An optional buffer cache (CLOCK eviction, write-through) models the
 //! "non-leaf index pages reside in memory" assumption of Section 3.2 and
-//! supports the buffer-size ablation (E8 in DESIGN.md).
+//! supports the buffer-size ablation (E8; see docs/REPRODUCTION.md,
+//! Design notes §3).
 
 use crate::errors::{Error, Result};
 use crate::page::Page;
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Identifier of a simulated file (a growable sequence of pages).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -73,6 +73,17 @@ impl IoStats {
     pub fn estimated_ms(&self, model: &CostModel) -> f64 {
         (self.seq_reads + self.seq_writes) as f64 * model.seq_ms
             + (self.rand_reads + self.rand_writes) as f64 * model.rand_ms
+    }
+
+    /// Component-wise sum, for aggregating the pagers of a sharded run.
+    pub fn plus(&self, other: &IoStats) -> IoStats {
+        IoStats {
+            seq_reads: self.seq_reads + other.seq_reads,
+            rand_reads: self.rand_reads + other.rand_reads,
+            seq_writes: self.seq_writes + other.seq_writes,
+            rand_writes: self.rand_writes + other.rand_writes,
+            cache_hits: self.cache_hits + other.cache_hits,
+        }
     }
 
     /// Component-wise difference (`self - earlier`), for bracketing a phase.
@@ -186,10 +197,29 @@ pub struct Pager {
     fail_after: Option<u64>,
 }
 
-/// Shared single-threaded handle to a [`Pager`]. The engine is
-/// single-threaded by design — the paper's algorithm is a single loop of
-/// sorts and merge-scans — so `Rc<RefCell<..>>` suffices.
-pub type SharedPager = Rc<RefCell<Pager>>;
+/// Shared, `Send`-able handle to a [`Pager`].
+///
+/// The paper's algorithm is a single loop of sorts and merge-scans, but
+/// the parallel sharded execution runs one shard per worker thread, each
+/// shard on its own pager — so the handle is an `Arc<Mutex<..>>`. A
+/// single-threaded run never contends on the lock; a parallel run gives
+/// every shard its own pager, so the locks stay uncontended there too
+/// (the mutex buys `Send`, not concurrency on one disk).
+#[derive(Clone)]
+pub struct SharedPager(Arc<Mutex<Pager>>);
+
+impl SharedPager {
+    /// Wrap a pager in a shared handle.
+    pub fn new(pager: Pager) -> Self {
+        SharedPager(Arc::new(Mutex::new(pager)))
+    }
+
+    /// Exclusive access to the pager. Never blocks in practice: each
+    /// simulated disk is driven by one thread at a time.
+    pub fn lock(&self) -> MutexGuard<'_, Pager> {
+        self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
 
 impl Pager {
     /// A pager with the paper's cost model and no buffer cache (every page
@@ -224,7 +254,7 @@ impl Pager {
 
     /// Wrap a new pager in a shared handle.
     pub fn shared() -> SharedPager {
-        Rc::new(RefCell::new(Pager::new()))
+        SharedPager::new(Pager::new())
     }
 
     /// Install a buffer cache of `frames` pages (0 disables caching).
@@ -516,6 +546,16 @@ mod tests {
         assert_eq!(pager.total_pages(), 0);
         assert!(pager.read_page(f, 0).is_err());
         assert!(matches!(pager.n_pages(f), Err(Error::NoSuchFile(_))));
+    }
+
+    #[test]
+    fn stats_plus_aggregates_shards() {
+        let a = IoStats { seq_reads: 1, rand_reads: 2, seq_writes: 3, rand_writes: 4, cache_hits: 5 };
+        let b = IoStats { seq_reads: 10, rand_reads: 20, seq_writes: 30, rand_writes: 40, cache_hits: 50 };
+        let s = a.plus(&b);
+        assert_eq!(s.reads(), 33);
+        assert_eq!(s.writes(), 77);
+        assert_eq!(s.cache_hits, 55);
     }
 
     #[test]

@@ -257,9 +257,9 @@ mod tests {
         let pager = Pager::shared();
         let rows: Vec<Vec<u32>> = (0..511).rev().map(|i| vec![i]).collect();
         let f = build(&pager, &rows, 1);
-        pager.borrow_mut().reset_stats();
+        pager.lock().reset_stats();
         let sorted = external_sort(&f, &[0], SortOptions::default()).unwrap();
-        let s = pager.borrow().stats();
+        let s = pager.lock().stats();
         // One page in, one page out: the 2*||R|| accounting of Section 4.3.
         assert_eq!(s.reads(), 1);
         assert_eq!(s.writes(), 1);

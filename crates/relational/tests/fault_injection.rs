@@ -16,7 +16,7 @@ fn fault_in_scan_propagates() {
     let pager = Pager::shared();
     let rows = sample_rows(2000);
     let f = HeapFile::from_rows(pager.clone(), 2, rows.iter().map(|r| r.as_slice())).unwrap();
-    pager.borrow_mut().fail_after(Some(2));
+    pager.lock().fail_after(Some(2));
     let err = f.rows().unwrap_err();
     assert!(matches!(err, Error::Corrupt(_)), "got {err:?}");
     // The fault is one-shot: the next scan succeeds.
@@ -32,7 +32,7 @@ fn fault_during_sort_propagates_at_every_phase() {
         let pager = Pager::shared();
         let f =
             HeapFile::from_rows(pager.clone(), 2, rows.iter().map(|r| r.as_slice())).unwrap();
-        pager.borrow_mut().fail_after(Some(fail_at));
+        pager.lock().fail_after(Some(fail_at));
         let result = external_sort(&f, &[0], SortOptions { buffer_pages: 3 });
         assert!(result.is_err(), "fault at access {fail_at} must surface");
     }
@@ -51,7 +51,7 @@ fn fault_during_join_propagates() {
     sorted.sort();
     let l = HeapFile::from_rows(pager.clone(), 2, sorted.iter().map(|r| r.as_slice())).unwrap();
     let r = HeapFile::from_rows(pager.clone(), 2, sorted.iter().map(|r| r.as_slice())).unwrap();
-    pager.borrow_mut().fail_after(Some(4));
+    pager.lock().fail_after(Some(4));
     let result = merge_scan_join(&l, &r, &[0], &[0], 3, |_, _| true, |a, b, out| {
         out.extend_from_slice(&[a[0], a[1], b[1]]);
     });
@@ -64,6 +64,6 @@ fn fault_during_aggregation_propagates() {
     let mut rows = sample_rows(3000);
     rows.sort();
     let f = HeapFile::from_rows(pager.clone(), 2, rows.iter().map(|r| r.as_slice())).unwrap();
-    pager.borrow_mut().fail_after(Some(3));
+    pager.lock().fail_after(Some(3));
     assert!(grouped_count(&f, &[0], 1).is_err());
 }

@@ -176,9 +176,9 @@ proptest! {
     fn scan_io_accounting_is_exact(rows in rows_strategy(2, 2000)) {
         let pager = Pager::shared();
         let f = build(&pager, &rows, 2);
-        pager.borrow_mut().reset_stats();
+        pager.lock().reset_stats();
         f.for_each_row(|_| {}).unwrap();
-        let s = pager.borrow().stats();
+        let s = pager.lock().stats();
         prop_assert_eq!(s.reads(), f.n_pages() as u64);
         prop_assert_eq!(s.seq_reads + s.rand_reads, s.reads());
         prop_assert_eq!(s.writes(), 0);

@@ -28,7 +28,7 @@ fn main() {
     let dataset = UniformConfig::paper_scaled(scale).generate();
     let params = MiningParams::new(MinSupport::Fraction(0.005), 0.5).with_max_len(2);
 
-    let setm_run = mine_on_engine(&dataset, &params, EngineOptions::default())
+    let setm_run = mine_on_engine(&dataset, &params, EngineOptions { threads: 1, ..Default::default() })
         .expect("engine run succeeds");
     let nl_run = mine_nested_loop(&dataset, &params, NestedLoopOptions::default())
         .expect("nested-loop run succeeds");

@@ -14,7 +14,7 @@ fn fault_reaches_the_sql_layer() {
     engine
         .load_table("SALES", &["trans_id", "item"], rows.iter().map(|r| r.as_slice()))
         .unwrap();
-    engine.database().pager().borrow_mut().fail_after(Some(3));
+    engine.database().pager().lock().fail_after(Some(3));
     let result = engine.query(
         "SELECT item, COUNT(*) FROM SALES GROUP BY item HAVING COUNT(*) >= 3",
         &Params::new(),

@@ -1,0 +1,127 @@
+//! Property: the sharded parallel executions are observationally
+//! identical to the sequential ones — frequent itemsets, rule sets, and
+//! the per-iteration `|R'_k|` / `|R_k|` / `|C_k|` trace series — for every
+//! thread count, on both the in-memory and the paged-engine paths.
+//!
+//! (Parallel *engine* runs are allowed to differ in `page_accesses`: the
+//! decoupled filter step pays one extra scan per shard — see the module
+//! docs of `setm::core::setm::engine` — so only the logical trace columns
+//! are compared there.)
+
+use proptest::prelude::*;
+use setm::core::setm::engine::{mine_on_engine, EngineOptions};
+use setm::core::setm::{memory, SetmOptions};
+use setm::{generate_rules, setm as setm_algo, Dataset, MinSupport, MiningParams, SetmResult};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// Strategy: a small random basket database.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    // 1..=24 transactions of 1..=7 items drawn from a 1..=12 universe.
+    prop::collection::vec(prop::collection::vec(1u32..=12, 1..=7), 1..=24).prop_map(|txns| {
+        Dataset::from_transactions(
+            txns.iter().enumerate().map(|(tid, items)| (tid as u32 + 1, items.as_slice())),
+        )
+    })
+}
+
+/// Assert the observable equivalence contract between two runs.
+fn assert_equivalent(seq: &SetmResult, par: &SetmResult, label: &str) {
+    assert_eq!(par.frequent_itemsets(), seq.frequent_itemsets(), "{label}: itemsets");
+    assert_eq!(par.min_support_count, seq.min_support_count, "{label}: threshold");
+    // Rule sets (the Section 5 output) must match, including order.
+    assert_eq!(
+        generate_rules(par, 0.5),
+        generate_rules(seq, 0.5),
+        "{label}: rules"
+    );
+    // Trace series: same length and same logical columns per iteration.
+    assert_eq!(par.trace.len(), seq.trace.len(), "{label}: trace length");
+    for (a, b) in seq.trace.iter().zip(par.trace.iter()) {
+        assert_eq!(a.k, b.k, "{label}: k");
+        assert_eq!(a.r_prime_tuples, b.r_prime_tuples, "{label}: |R'_{}|", a.k);
+        assert_eq!(a.r_tuples, b.r_tuples, "{label}: |R_{}|", a.k);
+        assert_eq!(a.c_len, b.c_len, "{label}: |C_{}|", a.k);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// In-memory path: every thread count mines the identical result.
+    #[test]
+    fn memory_parallel_equals_sequential(d in dataset_strategy(), min_count in 1u64..=5) {
+        let params = MiningParams::new(MinSupport::Count(min_count), 0.5);
+        let seq = memory::mine_with(
+            &d,
+            &params,
+            SetmOptions { threads: 1, ..Default::default() },
+        );
+        for threads in THREAD_COUNTS {
+            let par = memory::mine_with(
+                &d,
+                &params,
+                SetmOptions { threads, ..Default::default() },
+            );
+            assert_equivalent(&seq, &par, &format!("memory threads={threads}"));
+        }
+    }
+
+    /// Paged-engine path: every shard count mines the identical result.
+    #[test]
+    fn engine_parallel_equals_sequential(d in dataset_strategy(), min_count in 1u64..=5) {
+        let params = MiningParams::new(MinSupport::Count(min_count), 0.5);
+        let seq = mine_on_engine(
+            &d,
+            &params,
+            EngineOptions { threads: 1, ..Default::default() },
+        ).unwrap();
+        for threads in THREAD_COUNTS {
+            let par = mine_on_engine(
+                &d,
+                &params,
+                EngineOptions { threads, ..Default::default() },
+            ).unwrap();
+            assert_equivalent(&seq.result, &par.result, &format!("engine threads={threads}"));
+        }
+    }
+
+    /// The filter_r1 ablation composes with sharding on both paths.
+    #[test]
+    fn filter_r1_composes_with_sharding(d in dataset_strategy(), min_count in 1u64..=4) {
+        let params = MiningParams::new(MinSupport::Count(min_count), 0.5);
+        let seq = memory::mine_with(&d, &params, SetmOptions { filter_r1: true, threads: 1 });
+        for threads in [2usize, 8] {
+            let par = memory::mine_with(&d, &params, SetmOptions { filter_r1: true, threads });
+            assert_equivalent(&seq, &par, &format!("filter_r1 threads={threads}"));
+        }
+    }
+
+    /// max_pattern_len caps the sharded loop exactly like the sequential.
+    #[test]
+    fn max_len_composes_with_sharding(d in dataset_strategy(), cap in 1usize..=3) {
+        let params = MiningParams::new(MinSupport::Count(2), 0.5).with_max_len(cap);
+        let seq = memory::mine_with(&d, &params, SetmOptions { threads: 1, ..Default::default() });
+        let par = memory::mine_with(&d, &params, SetmOptions { threads: 4, ..Default::default() });
+        assert_equivalent(&seq, &par, &format!("max_len={cap}"));
+        let eng = mine_on_engine(&d, &params, EngineOptions { threads: 4, ..Default::default() })
+            .unwrap();
+        assert_equivalent(&seq, &eng.result, &format!("engine max_len={cap}"));
+    }
+}
+
+/// Deterministic spot check on the paper's worked example: every
+/// execution × thread count agrees with the default entry point.
+#[test]
+fn worked_example_invariant_across_all_paths_and_threads() {
+    let d = setm::example::paper_example_dataset();
+    let params = setm::example::paper_example_params();
+    let reference = setm_algo::mine(&d, &params);
+    for threads in THREAD_COUNTS {
+        let mem = memory::mine_with(&d, &params, SetmOptions { threads, ..Default::default() });
+        assert_equivalent(&reference, &mem, &format!("memory threads={threads}"));
+        let eng = mine_on_engine(&d, &params, EngineOptions { threads, ..Default::default() })
+            .unwrap();
+        assert_equivalent(&reference, &eng.result, &format!("engine threads={threads}"));
+    }
+}
