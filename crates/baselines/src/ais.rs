@@ -97,14 +97,14 @@ pub fn mine(dataset: &Dataset, params: &MiningParams) -> BaselineResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use setm_core::{example, setm, MinSupport};
+    use setm_core::{example, setm::memory, MinSupport};
 
     #[test]
     fn matches_setm_on_worked_example() {
         let d = example::paper_example_dataset();
         let params = example::paper_example_params();
         let ours = mine(&d, &params);
-        let reference = setm::mine(&d, &params);
+        let reference = memory::mine(&d, &params);
         assert_eq!(ours.frequent_itemsets(), reference.frequent_itemsets());
     }
 

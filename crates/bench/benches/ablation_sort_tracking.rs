@@ -8,7 +8,7 @@
 
 use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use setm_core::setm::engine::{mine_on_engine, EngineOptions};
+use setm_core::setm::engine::{self, EngineConfig};
 use setm_core::setm::{memory, SetmOptions};
 use setm_core::{MinSupport, MiningParams};
 use setm_datagen::RetailConfig;
@@ -20,16 +20,18 @@ fn bench_ablation(c: &mut Criterion) {
     let params = MiningParams::new(MinSupport::Fraction(0.001), 0.5);
 
     {
-        let tracked = mine_on_engine(
+        let tracked = engine::mine_with(
             &dataset,
             &params,
-            EngineOptions { track_sort_order: true, threads: 1, ..Default::default() },
+            EngineConfig { track_sort_order: true, ..Default::default() },
+            1,
         )
         .expect("run");
-        let naive = mine_on_engine(
+        let naive = engine::mine_with(
             &dataset,
             &params,
-            EngineOptions { track_sort_order: false, threads: 1, ..Default::default() },
+            EngineConfig { track_sort_order: false, ..Default::default() },
+            1,
         )
         .expect("run");
         eprintln!(
@@ -44,20 +46,22 @@ fn bench_ablation(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("tracked", |b| {
         b.iter(|| {
-            mine_on_engine(
+            engine::mine_with(
                 &dataset,
                 &params,
-                EngineOptions { track_sort_order: true, threads: 1, ..Default::default() },
+                EngineConfig { track_sort_order: true, ..Default::default() },
+                1,
             )
             .expect("run")
         })
     });
     group.bench_function("naive_resort", |b| {
         b.iter(|| {
-            mine_on_engine(
+            engine::mine_with(
                 &dataset,
                 &params,
-                EngineOptions { track_sort_order: false, threads: 1, ..Default::default() },
+                EngineConfig { track_sort_order: false, ..Default::default() },
+                1,
             )
             .expect("run")
         })
@@ -83,10 +87,11 @@ fn bench_ablation(c: &mut Criterion) {
     for frames in [0usize, 256, 2048] {
         group.bench_with_input(BenchmarkId::from_parameter(frames), &frames, |b, &frames| {
             b.iter(|| {
-                mine_on_engine(
+                engine::mine_with(
                     &dataset,
                     &params,
-                    EngineOptions { cache_frames: frames, threads: 1, ..Default::default() },
+                    EngineConfig { cache_frames: frames, ..Default::default() },
+                    1,
                 )
                 .expect("run")
             })

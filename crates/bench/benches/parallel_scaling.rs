@@ -10,7 +10,7 @@
 //! (used by CI to keep this target compiling and running).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use setm_core::setm::engine::{mine_on_engine, EngineOptions};
+use setm_core::setm::engine::{self, EngineConfig};
 use setm_core::setm::{memory, SetmOptions};
 use setm_core::{Dataset, MinSupport, MiningParams};
 use setm_datagen::{QuestConfig, RetailConfig};
@@ -108,12 +108,8 @@ fn bench_parallel_scaling(c: &mut Criterion) {
                 &threads,
                 |b, &threads| {
                     b.iter(|| {
-                        mine_on_engine(
-                            &engine_dataset,
-                            &params,
-                            EngineOptions { threads, ..Default::default() },
-                        )
-                        .expect("engine run")
+                        engine::mine_with(&engine_dataset, &params, EngineConfig::default(), threads)
+                            .expect("engine run")
                     })
                 },
             );

@@ -2,7 +2,7 @@
 //! Houtsma & Swami (ICDE 1995).
 //!
 //! ```text
-//! cargo run --release -p setm-bench --bin repro -- <target>
+//! cargo run --release -p setm-bench --bin repro -- <target> [backend <name>]
 //!
 //! targets:
 //!   example    Figures 1-3 + the Section 5 rule listing (worked example)
@@ -20,23 +20,76 @@
 //!   all        every report target above, in order (baseline excluded)
 //! ```
 //!
+//! Every workload runs through the unified `Miner` facade, so every
+//! target is runnable on every execution: `backend <name>` (or the
+//! `SETM_BACKEND={memory,engine,sql}` env var) picks the backend for the
+//! sweeps — e.g. `repro -- example backend sql` mines the worked example
+//! by executing the paper's Section 4.1 SQL. Targets that *measure* a
+//! specific execution (`analysis`, `ablation`, `parallel`, `baseline`)
+//! pin their backends explicitly. The SQL execution is single-threaded,
+//! so the sweeps pin `threads = 1` when it is selected.
+//!
 //! `SETM_THREADS=<n>` pins the thread count used by the timing sweeps
 //! (`0`/unset = the machine's available parallelism).
 
 use setm_baselines::{ais, apriori, apriori_tid};
 use setm_core::nested_loop::{mine_nested_loop, NestedLoopOptions};
-use setm_core::setm::engine::{mine_on_engine, EngineOptions};
-use setm_core::setm::memory;
-use setm_core::setm::SetmOptions;
-use setm_core::{example, generate_rules, setm, MinSupport, MiningParams};
+use setm_core::setm::engine::EngineConfig;
+use setm_core::{Backend, MinSupport, Miner, MiningParams, SetmResult};
 use setm_costmodel::ComparisonReport;
 use setm_datagen::{DatasetStats, QuestConfig, RetailConfig, UniformConfig};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 const RETAIL_SUPPORTS: [f64; 5] = [0.001, 0.005, 0.01, 0.02, 0.05];
 
+/// The backend selected for the sweeps (CLI `backend <name>` or the
+/// `SETM_BACKEND` env var; memory when unset).
+static BACKEND: OnceLock<Backend> = OnceLock::new();
+
+fn backend() -> Backend {
+    *BACKEND.get().expect("backend initialized in main")
+}
+
+fn parse_backend(name: &str) -> Option<Backend> {
+    match name {
+        "memory" => Some(Backend::Memory),
+        "engine" => Some(Backend::Engine(EngineConfig::default())),
+        "sql" => Some(Backend::Sql),
+        _ => None,
+    }
+}
+
 fn main() {
-    let target = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<String> = Vec::new();
+    let mut backend_name: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "backend" {
+            match args.get(i + 1) {
+                Some(name) => backend_name = Some(name.clone()),
+                None => {
+                    eprintln!("`backend` needs a name: memory, engine, or sql");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let backend_name = backend_name
+        .or_else(|| std::env::var("SETM_BACKEND").ok())
+        .unwrap_or_else(|| "memory".to_string());
+    let Some(chosen) = parse_backend(&backend_name) else {
+        eprintln!("unknown backend {backend_name}; expected memory, engine, or sql");
+        std::process::exit(2);
+    };
+    BACKEND.set(chosen).expect("backend set once");
+
+    let target = positional.first().cloned().unwrap_or_else(|| "all".to_string());
     match target.as_str() {
         "example" => repro_example(),
         "fig5" => repro_fig5(),
@@ -46,7 +99,7 @@ fn main() {
         "baselines" => repro_baselines(),
         "ablation" => repro_ablation(),
         "parallel" => repro_parallel(),
-        "baseline" => repro_baseline(),
+        "baseline" => repro_baseline(positional.get(1).cloned()),
         "all" => {
             repro_example();
             repro_fig5();
@@ -74,8 +127,19 @@ fn threads_from_env() -> usize {
     std::env::var("SETM_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(0)
 }
 
-fn mine_threads(dataset: &setm_core::Dataset, params: &MiningParams, threads: usize) -> setm_core::SetmResult {
-    memory::mine_with(dataset, params, SetmOptions { threads, ..Default::default() })
+/// Run one mining workload through the unified facade on the selected
+/// backend. The SQL execution is single-threaded, so `threads` is pinned
+/// to 1 there; everywhere else it passes through.
+fn run_miner(dataset: &setm_core::Dataset, params: &MiningParams, threads: usize) -> SetmResult {
+    let b = backend();
+    let threads = if matches!(b, Backend::Sql) { 1 } else { threads };
+    match Miner::new(*params).backend(b).threads(threads).run(dataset) {
+        Ok(outcome) => outcome.result,
+        Err(e) => {
+            eprintln!("mining failed on the {} backend: {e}", b.name());
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Best-of-n wall clock of a mining closure.
@@ -94,16 +158,25 @@ fn best_of<T>(n: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
 fn letters(pattern: &[u32]) -> String {
     pattern
         .iter()
-        .map(|&i| example::item_letter(i).to_string())
+        .map(|&i| setm_core::example::item_letter(i).to_string())
         .collect::<Vec<_>>()
         .join(" ")
 }
 
 fn repro_example() {
+    use setm_core::example;
     banner("Worked example (Section 4.2, Figures 1-3, Section 5)");
     let d = example::paper_example_dataset();
     let params = example::paper_example_params();
-    let result = setm::mine(&d, &params);
+    let outcome = Miner::new(params)
+        .backend(backend())
+        .run(&d)
+        .unwrap_or_else(|e| {
+            eprintln!("mining failed: {e}");
+            std::process::exit(1);
+        });
+    println!("backend: {}", outcome.report.backend_name());
+    let result = &outcome.result;
     for k in 1..=result.max_pattern_len() {
         let c = result.c(k).expect("level exists");
         println!("C{k}:");
@@ -112,8 +185,8 @@ fn repro_example() {
         }
     }
     println!("\nRules at 70% confidence ([confidence, support]):");
-    for rule in generate_rules(&result, params.min_confidence) {
-        println!("  {}", example::format_rule_lettered(&rule));
+    for rule in &outcome.rules {
+        println!("  {}", example::format_rule_lettered(rule));
     }
     println!("\nIteration trace:");
     for t in &result.trace {
@@ -122,17 +195,24 @@ fn repro_example() {
             t.k, t.k, t.r_prime_tuples, t.k, t.r_tuples, t.k, t.c_len
         );
     }
+    if let Some(statements) = outcome.report.statements() {
+        println!("\nExecuted {} SQL statements (Section 4.1 text).", statements.len());
+    }
+    if let Some(accesses) = outcome.report.page_accesses() {
+        println!("\nPage accesses on the paged engine: {accesses}");
+    }
 }
 
-fn retail_sweep() -> Vec<(f64, setm_core::SetmResult, Duration)> {
+fn retail_sweep() -> Vec<(f64, SetmResult, Duration)> {
     let dataset = RetailConfig::paper().generate();
     let stats = DatasetStats::of(&dataset);
     println!(
-        "dataset: {} txns, {} rows, avg {:.3} items/txn, |C1@0.1%| = {}",
+        "dataset: {} txns, {} rows, avg {:.3} items/txn, |C1@0.1%| = {} — backend: {}",
         stats.n_transactions,
         stats.n_rows,
         stats.avg_transaction_len,
-        stats.items_with_support_at_least(47)
+        stats.items_with_support_at_least(47),
+        backend().name()
     );
     let threads = threads_from_env();
     RETAIL_SUPPORTS
@@ -140,7 +220,7 @@ fn retail_sweep() -> Vec<(f64, setm_core::SetmResult, Duration)> {
         .map(|&frac| {
             let params = MiningParams::new(MinSupport::Fraction(frac), 0.5);
             // Best of three to stabilize the timing column.
-            let (best, result) = best_of(3, || mine_threads(&dataset, &params, threads));
+            let (best, result) = best_of(3, || run_miner(&dataset, &params, threads));
             (frac, result, best)
         })
         .collect()
@@ -204,6 +284,25 @@ fn repro_table1() {
     println!("decreasing shape is the claim.");
 }
 
+/// An engine-backed facade run, with the per-run report (the `analysis`,
+/// `ablation`, `parallel`, and `baseline` targets pin this backend — they
+/// measure it).
+fn run_on_engine(
+    dataset: &setm_core::Dataset,
+    params: &MiningParams,
+    config: EngineConfig,
+    threads: usize,
+) -> setm_core::MiningOutcome {
+    Miner::new(*params)
+        .backend(Backend::Engine(config))
+        .threads(threads)
+        .run(dataset)
+        .unwrap_or_else(|e| {
+            eprintln!("engine run failed: {e}");
+            std::process::exit(1);
+        })
+}
+
 fn repro_analysis() {
     banner("Sections 3.2 / 4.3 — analytical cost comparison");
     println!("{}", ComparisonReport::paper(3));
@@ -217,8 +316,9 @@ fn repro_analysis() {
     let params = MiningParams::new(MinSupport::Fraction(0.005), 0.5).with_max_len(2);
     // threads: 1 — this target validates the *sequential* Section 4.3
     // accounting; `repro -- parallel` covers the sharded plan.
-    let sm = mine_on_engine(&dataset, &params, EngineOptions { threads: 1, ..Default::default() })
-        .expect("engine run");
+    let sm = run_on_engine(&dataset, &params, EngineConfig::default(), 1);
+    let sm_accesses = sm.report.page_accesses().expect("engine report");
+    let sm_ms = sm.report.estimated_io_ms().expect("engine report");
     let nl =
         mine_nested_loop(&dataset, &params, NestedLoopOptions::default()).expect("nested loop");
     assert_eq!(sm.result.frequent_itemsets(), nl.result.frequent_itemsets());
@@ -229,21 +329,17 @@ fn repro_analysis() {
         nl.total_page_accesses,
         nl.total_estimated_ms / 1000.0
     );
-    println!(
-        "{:<22} {:>14} {:>14.1}",
-        "SETM",
-        sm.total_page_accesses,
-        sm.total_estimated_ms / 1000.0
-    );
+    println!("{:<22} {:>14} {:>14.1}", "SETM", sm_accesses, sm_ms / 1000.0);
     println!(
         "measured advantage: {:.1}x (analytical full-scale: {:.1}x)",
-        nl.total_estimated_ms / sm.total_estimated_ms,
+        nl.total_estimated_ms / sm_ms,
         ComparisonReport::paper(3).speedup()
     );
 }
 
 fn repro_baselines() {
     banner("E7 extension — SETM vs AIS vs Apriori vs Apriori-TID (Quest data)");
+    println!("SETM runs through the Miner facade on the `{}` backend.", backend().name());
     for (name, cfg) in [
         ("T5.I2.D10K", QuestConfig::t5_i2_d100k(10)),
         ("T10.I4.D10K", QuestConfig::t10_i4_d100k(10)),
@@ -265,7 +361,8 @@ fn repro_baselines() {
                 let n = f();
                 (t0.elapsed(), n)
             };
-            let (t1, n1) = timed(&|| setm::mine(&dataset, &params).frequent_itemsets().len());
+            let (t1, n1) =
+                timed(&|| run_miner(&dataset, &params, 0).frequent_itemsets().len());
             let (t2, n2) = timed(&|| ais::mine(&dataset, &params).frequent_itemsets().len());
             let (t3, n3) = timed(&|| apriori::mine(&dataset, &params).frequent_itemsets().len());
             let (t4, n4) =
@@ -292,48 +389,54 @@ fn repro_ablation() {
     // the retail data at 0.1% runs to k = 4.
     let dataset = RetailConfig::paper().generate();
     let params = MiningParams::new(MinSupport::Fraction(0.001), 0.5);
-    let tracked = mine_on_engine(
+    let tracked = run_on_engine(
         &dataset,
         &params,
-        EngineOptions { track_sort_order: true, threads: 1, ..Default::default() },
-    )
-    .expect("engine run");
-    let naive = mine_on_engine(
-        &dataset,
-        &params,
-        EngineOptions { track_sort_order: false, threads: 1, ..Default::default() },
-    )
-    .expect("engine run");
-    println!("{:<26} {:>14}", "plan", "page accesses");
-    println!("{:<26} {:>14}", "sort order tracked", tracked.total_page_accesses);
-    println!("{:<26} {:>14}", "re-sorted every pass", naive.total_page_accesses);
-    println!(
-        "savings: {:.1}% of all accesses",
-        100.0 * (1.0 - tracked.total_page_accesses as f64 / naive.total_page_accesses as f64)
+        EngineConfig { track_sort_order: true, ..Default::default() },
+        1,
     );
+    let naive = run_on_engine(
+        &dataset,
+        &params,
+        EngineConfig { track_sort_order: false, ..Default::default() },
+        1,
+    );
+    let (tracked, naive) = (
+        tracked.report.page_accesses().expect("engine report"),
+        naive.report.page_accesses().expect("engine report"),
+    );
+    println!("{:<26} {:>14}", "plan", "page accesses");
+    println!("{:<26} {:>14}", "sort order tracked", tracked);
+    println!("{:<26} {:>14}", "re-sorted every pass", naive);
+    println!("savings: {:.1}% of all accesses", 100.0 * (1.0 - tracked as f64 / naive as f64));
 
-    banner("E8 ablation — joining filtered vs unfiltered R_1 (SetmOptions::filter_r1)");
+    banner("E8 ablation — joining filtered vs unfiltered R_1 (Miner::filter_r1)");
     let retail = RetailConfig::paper().generate();
     let params = MiningParams::new(MinSupport::Fraction(0.001), 0.5);
-    let plain = memory::mine_with(&retail, &params, SetmOptions { filter_r1: false, ..Default::default() });
-    let filtered = memory::mine_with(&retail, &params, SetmOptions { filter_r1: true, ..Default::default() });
+    let miner = Miner::new(params); // in-memory backend implements filter_r1
+    let plain = miner.filter_r1(false).run(&retail).expect("memory run");
+    let filtered = miner.filter_r1(true).run(&retail).expect("memory run");
     assert_eq!(plain.frequent_itemsets(), filtered.frequent_itemsets());
     println!("{:<26} {:>14}", "variant", "|R'_2| tuples");
-    println!("{:<26} {:>14}", "paper (unfiltered R_1)", plain.trace[1].r_prime_tuples);
-    println!("{:<26} {:>14}", "filtered R_1 (extension)", filtered.trace[1].r_prime_tuples);
+    println!("{:<26} {:>14}", "paper (unfiltered R_1)", plain.result.trace[1].r_prime_tuples);
+    println!(
+        "{:<26} {:>14}",
+        "filtered R_1 (extension)",
+        filtered.result.trace[1].r_prime_tuples
+    );
 
     banner("E8 ablation — buffer-cache frames (engine execution, retail/20)");
     let small = RetailConfig::small(2_500, 11).generate();
     let params = MiningParams::new(MinSupport::Fraction(0.005), 0.5);
     println!("{:<12} {:>14}", "frames", "page accesses");
     for frames in [0usize, 64, 256, 1024] {
-        let run = mine_on_engine(
+        let run = run_on_engine(
             &small,
             &params,
-            EngineOptions { cache_frames: frames, threads: 1, ..Default::default() },
-        )
-        .expect("engine run");
-        println!("{:<12} {:>14}", frames, run.total_page_accesses);
+            EngineConfig { cache_frames: frames, ..Default::default() },
+            1,
+        );
+        println!("{:<12} {:>14}", frames, run.report.page_accesses().expect("engine report"));
     }
 }
 
@@ -348,12 +451,15 @@ fn repro_parallel() {
         ("quest T10.I4.D10K (0.5%)", QuestConfig::t10_i4_d100k(10).generate(), 0.005),
     ] {
         let params = MiningParams::new(MinSupport::Fraction(frac), 0.5);
-        let (base, reference) = best_of(3, || mine_threads(&dataset, &params, 1));
+        let mine = |threads: usize| {
+            Miner::new(params).threads(threads).run(&dataset).expect("memory run").result
+        };
+        let (base, reference) = best_of(3, || mine(1));
         println!("{name}: {} txns", dataset.n_transactions());
         println!("  {:<10} {:>12} {:>9}", "threads", "wall", "speedup");
         println!("  {:<10} {:>12.2?} {:>8.2}x", 1, base, 1.0);
         for threads in PARALLEL_SWEEP.into_iter().skip(1) {
-            let (t, r) = best_of(3, || mine_threads(&dataset, &params, threads));
+            let (t, r) = best_of(3, || mine(threads));
             assert_eq!(
                 r.frequent_itemsets(),
                 reference.frequent_itemsets(),
@@ -374,11 +480,13 @@ fn repro_parallel() {
     let params = MiningParams::new(MinSupport::Fraction(0.005), 0.5);
     println!("  {:<10} {:>12} {:>15}", "threads", "wall", "page accesses");
     for threads in PARALLEL_SWEEP {
-        let (t, run) = best_of(3, || {
-            mine_on_engine(&small, &params, EngineOptions { threads, ..Default::default() })
-                .expect("engine run")
-        });
-        println!("  {:<10} {:>12.2?} {:>15}", threads, t, run.total_page_accesses);
+        let (t, run) = best_of(3, || run_on_engine(&small, &params, EngineConfig::default(), threads));
+        println!(
+            "  {:<10} {:>12.2?} {:>15}",
+            threads,
+            t,
+            run.report.page_accesses().expect("engine report")
+        );
     }
     println!("\nspeedup scales with real cores; on a single-core host the sweep");
     println!("only measures sharding overhead (results stay identical throughout).");
@@ -398,7 +506,7 @@ impl Json {
     }
 }
 
-fn repro_baseline() {
+fn repro_baseline(path: Option<String>) {
     banner("Recording perf baseline -> BENCH_baseline.json");
     let hw = setm_core::setm::shard::resolve_threads(0);
 
@@ -416,6 +524,10 @@ fn repro_baseline() {
     );
     j.0.push_str("  },\n");
 
+    let mine_mem = |dataset: &setm_core::Dataset, params: &MiningParams, threads: usize| {
+        Miner::new(*params).threads(threads).run(dataset).expect("memory run").result
+    };
+
     // In-memory path: retail table-1 sweep, sequential vs P in {1,2,4}.
     let retail = RetailConfig::paper().generate();
     j.field(1, "memory_retail_paper", "[", true);
@@ -424,7 +536,7 @@ fn repro_baseline() {
         let mut fields: Vec<String> = vec![format!("\"min_support\": {frac}")];
         let mut patterns = 0usize;
         for threads in PARALLEL_SWEEP {
-            let (t, r) = best_of(3, || mine_threads(&retail, &params, threads));
+            let (t, r) = best_of(3, || mine_mem(&retail, &params, threads));
             patterns = r.frequent_itemsets().len();
             fields.push(format!("\"wall_ms_p{threads}\": {:.3}", t.as_secs_f64() * 1e3));
         }
@@ -443,7 +555,7 @@ fn repro_baseline() {
         let params = MiningParams::new(MinSupport::Fraction(frac), 0.5);
         let mut fields: Vec<String> = vec![format!("\"min_support\": {frac}")];
         for threads in PARALLEL_SWEEP {
-            let (t, _) = best_of(3, || mine_threads(&quest, &params, threads));
+            let (t, _) = best_of(3, || mine_mem(&quest, &params, threads));
             fields.push(format!("\"wall_ms_p{threads}\": {:.3}", t.as_secs_f64() * 1e3));
         }
         let sep = if i + 1 == quest_supports.len() { "" } else { "," };
@@ -457,17 +569,14 @@ fn repro_baseline() {
     let params = MiningParams::new(MinSupport::Fraction(0.005), 0.5);
     j.field(1, "engine_retail_small_2500", "[", true);
     for (i, &threads) in PARALLEL_SWEEP.iter().enumerate() {
-        let (t, run) = best_of(3, || {
-            mine_on_engine(&small, &params, EngineOptions { threads, ..Default::default() })
-                .expect("engine run")
-        });
+        let (t, run) = best_of(3, || run_on_engine(&small, &params, EngineConfig::default(), threads));
         let sep = if i + 1 == PARALLEL_SWEEP.len() { "" } else { "," };
         j.0.push_str(&format!(
             "    {{ \"threads\": {}, \"wall_ms\": {:.3}, \"page_accesses\": {}, \"estimated_io_ms\": {:.1} }}{}\n",
             threads,
             t.as_secs_f64() * 1e3,
-            run.total_page_accesses,
-            run.total_estimated_ms,
+            run.report.page_accesses().expect("engine report"),
+            run.report.estimated_io_ms().expect("engine report"),
             sep
         ));
         println!("  engine retail/20 threads={threads} done");
@@ -477,19 +586,33 @@ fn repro_baseline() {
     // Nested-loop vs SETM on the engine (the paper's headline ratio).
     let uniform = UniformConfig::paper_scaled(100).generate();
     let params = MiningParams::new(MinSupport::Fraction(0.005), 0.5).with_max_len(2);
-    let sm = mine_on_engine(&uniform, &params, EngineOptions { threads: 1, ..Default::default() })
-        .expect("engine run");
+    let sm = run_on_engine(&uniform, &params, EngineConfig::default(), 1);
     let nl = mine_nested_loop(&uniform, &params, NestedLoopOptions::default())
         .expect("nested loop");
     j.field(1, "engine_uniform_scaled100_analysis", "{", true);
-    j.field(2, "setm_page_accesses", &sm.total_page_accesses.to_string(), false);
-    j.field(2, "setm_estimated_io_ms", &format!("{:.1}", sm.total_estimated_ms), false);
+    j.field(
+        2,
+        "setm_page_accesses",
+        &sm.report.page_accesses().expect("engine report").to_string(),
+        false,
+    );
+    j.field(
+        2,
+        "setm_estimated_io_ms",
+        &format!("{:.1}", sm.report.estimated_io_ms().expect("engine report")),
+        false,
+    );
     j.field(2, "nested_loop_page_accesses", &nl.total_page_accesses.to_string(), false);
     j.field(2, "nested_loop_estimated_io_ms", &format!("{:.1}", nl.total_estimated_ms), true);
     j.0.push_str("  }\n}\n");
     println!("  engine analysis done");
 
-    let path = std::env::args().nth(2).unwrap_or_else(|| "BENCH_baseline.json".to_string());
-    std::fs::write(&path, &j.0).expect("write baseline file");
-    println!("\nwrote {path}");
+    let path = path.unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    match std::fs::write(&path, &j.0) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -114,10 +114,15 @@ pub struct ClassedMiningResult {
 ///
 /// Support/confidence thresholds apply *within* each class — a rule can
 /// qualify for one segment and not another, which is the point.
-pub fn mine_by_class(data: &ClassedDataset, params: &MiningParams) -> ClassedMiningResult {
+/// Like [`crate::Miner::run`], invalid parameters are a typed error.
+pub fn mine_by_class(
+    data: &ClassedDataset,
+    params: &MiningParams,
+) -> Result<ClassedMiningResult, crate::error::SetmError> {
+    params.validate()?;
     let mut by_class: Vec<(ClassId, Vec<Rule>)> = Vec::new();
     for (&class, partition) in &data.partitions {
-        let result = setm::mine(partition, params);
+        let result = setm::memory::mine(partition, params);
         let rules = generate_rules(&result, params.min_confidence);
         by_class.push((class, rules));
     }
@@ -134,7 +139,7 @@ pub fn mine_by_class(data: &ClassedDataset, params: &MiningParams) -> ClassedMin
             entry.per_class.push((*class, rule.confidence, rule.support));
         }
     }
-    ClassedMiningResult { by_class, merged: merged.into_values().collect() }
+    Ok(ClassedMiningResult { by_class, merged: merged.into_values().collect() })
 }
 
 #[cfg(test)]
@@ -164,6 +169,21 @@ mod tests {
     }
 
     #[test]
+    fn invalid_params_are_typed_errors_here_too() {
+        let d = two_segments();
+        let bad = MiningParams::new(MinSupport::Fraction(2.0), 0.5);
+        assert!(matches!(
+            mine_by_class(&d, &bad),
+            Err(crate::error::SetmError::InvalidSupportFraction { .. })
+        ));
+        let bad = MiningParams::new(MinSupport::Count(2), -0.5);
+        assert!(matches!(
+            mine_by_class(&d, &bad),
+            Err(crate::error::SetmError::InvalidConfidence { .. })
+        ));
+    }
+
+    #[test]
     fn partitions_are_scoped_per_class() {
         let d = two_segments();
         assert_eq!(d.classes(), vec![0, 1]);
@@ -178,7 +198,7 @@ mod tests {
     fn rules_differ_per_class() {
         let d = two_segments();
         let params = MiningParams::new(MinSupport::Fraction(0.5), 0.8);
-        let result = mine_by_class(&d, &params);
+        let result = mine_by_class(&d, &params).unwrap();
         let rules_for = |class: ClassId| -> Vec<String> {
             result
                 .by_class
@@ -199,7 +219,7 @@ mod tests {
         let d = two_segments();
         // Low confidence threshold so both classes qualify for 1 => 2.
         let params = MiningParams::new(MinSupport::Fraction(0.3), 0.2);
-        let result = mine_by_class(&d, &params);
+        let result = mine_by_class(&d, &params).unwrap();
         let rule = result
             .merged
             .iter()
@@ -229,9 +249,9 @@ mod tests {
         let base = crate::example::paper_example_dataset();
         let d = ClassedDataset::partition_by(&base, |_, _| 7);
         let params = crate::example::paper_example_params();
-        let result = mine_by_class(&d, &params);
+        let result = mine_by_class(&d, &params).unwrap();
         assert_eq!(result.by_class.len(), 1);
-        let plain = generate_rules(&setm::mine(&base, &params), params.min_confidence);
+        let plain = generate_rules(&setm::memory::mine(&base, &params), params.min_confidence);
         assert_eq!(result.by_class[0].1.len(), plain.len());
         assert_eq!(result.merged.len(), plain.len());
     }

@@ -29,13 +29,23 @@ impl MinSupport {
     /// Resolve to an absolute transaction count (at least 1) given the
     /// dataset size. Fractions round up: a pattern must be supported by at
     /// least `ceil(f * n)` transactions.
+    ///
+    /// Does not validate: fractions outside `(0, 1]` are rejected with a
+    /// typed error by [`crate::Miner::run`] before resolution; resolving
+    /// one here simply clamps to at least 1 supporting transaction.
     pub fn to_count(self, n_transactions: u64) -> u64 {
         match self {
             MinSupport::Count(c) => c.max(1),
-            MinSupport::Fraction(f) => {
-                assert!(f > 0.0 && f <= 1.0, "support fraction must be in (0, 1]");
-                ((f * n_transactions as f64).ceil() as u64).max(1)
-            }
+            MinSupport::Fraction(f) => ((f * n_transactions as f64).ceil() as u64).max(1),
+        }
+    }
+
+    /// Whether the threshold is well-formed (fractions must lie in
+    /// `(0, 1]`; any absolute count is accepted, zero clamps to 1).
+    pub fn is_valid(&self) -> bool {
+        match *self {
+            MinSupport::Count(_) => true,
+            MinSupport::Fraction(f) => f.is_finite() && f > 0.0 && f <= 1.0,
         }
     }
 }
@@ -62,9 +72,13 @@ pub struct MiningParams {
 }
 
 impl MiningParams {
-    /// Parameters with a support fraction and confidence factor.
+    /// Parameters with a support threshold and confidence factor.
+    ///
+    /// Construction never panics; out-of-range values (confidence
+    /// outside `[0, 1]`, support fraction outside `(0, 1]`) are rejected
+    /// with a typed [`crate::SetmError`] when the parameters reach
+    /// [`crate::Miner::run`].
     pub fn new(min_support: MinSupport, min_confidence: f64) -> Self {
-        assert!((0.0..=1.0).contains(&min_confidence), "confidence must be in [0, 1]");
         MiningParams { min_support, min_confidence, max_pattern_len: None }
     }
 
@@ -74,11 +88,31 @@ impl MiningParams {
         MiningParams::new(MinSupport::Fraction(0.30), 0.70)
     }
 
-    /// Cap the maximum pattern length.
+    /// Cap the maximum pattern length (`0` is rejected at run time).
     pub fn with_max_len(mut self, k: usize) -> Self {
-        assert!(k >= 1);
         self.max_pattern_len = Some(k);
         self
+    }
+
+    /// Check the parameters, reporting the same typed errors every
+    /// validating entry point ([`crate::Miner::run`],
+    /// [`crate::mine_by_class`]) surfaces. The low-level per-execution
+    /// functions skip this and assume validated input.
+    pub fn validate(&self) -> Result<(), crate::error::SetmError> {
+        use crate::error::SetmError;
+        if let MinSupport::Fraction(f) = self.min_support {
+            if !self.min_support.is_valid() {
+                return Err(SetmError::InvalidSupportFraction { fraction: f });
+            }
+        }
+        let c = self.min_confidence;
+        if !c.is_finite() || !(0.0..=1.0).contains(&c) {
+            return Err(SetmError::InvalidConfidence { confidence: c });
+        }
+        if self.max_pattern_len == Some(0) {
+            return Err(SetmError::InvalidMaxPatternLen);
+        }
+        Ok(())
     }
 }
 
@@ -271,9 +305,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "support fraction")]
-    fn invalid_fraction_panics() {
-        MinSupport::Fraction(1.5).to_count(10);
+    fn invalid_fractions_do_not_panic_and_fail_validation() {
+        // Resolution is total — validation happens at the Miner facade.
+        assert_eq!(MinSupport::Fraction(1.5).to_count(10), 15);
+        assert_eq!(MinSupport::Fraction(-0.5).to_count(10), 1);
+        assert!(!MinSupport::Fraction(1.5).is_valid());
+        assert!(!MinSupport::Fraction(0.0).is_valid());
+        assert!(!MinSupport::Fraction(f64::NAN).is_valid());
+        assert!(MinSupport::Fraction(1.0).is_valid());
+        assert!(MinSupport::Count(0).is_valid(), "counts clamp instead");
     }
 
     #[test]

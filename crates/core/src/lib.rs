@@ -4,65 +4,40 @@
 //! Rules in Relational Databases" (ICDE 1995)*: association-rule mining
 //! expressed with two database primitives, sorting and merge-scan join.
 //!
+//! One [`Miner`] builder drives all three interchangeable executions —
+//! in-memory set operators, the paged storage engine, or the literal
+//! Section 4.1 SQL — and every run returns the same [`MiningOutcome`] or
+//! a typed [`SetmError`]:
+//!
 //! ```
 //! use setm_core::{example, Miner};
 //!
 //! let dataset = example::paper_example_dataset();
-//! let outcome = Miner::new(example::paper_example_params()).mine(&dataset);
+//! let outcome = Miner::new(example::paper_example_params()).run(&dataset).unwrap();
 //! assert_eq!(outcome.rules.len(), 11); // the Section 5 listing
 //! ```
 
 pub mod classes;
 pub mod data;
+pub mod error;
 pub mod example;
 pub mod io;
 pub mod itemvec;
+pub mod miner;
 pub mod nested_loop;
 pub mod pattern;
 pub mod rules;
 pub mod setm;
 
 pub use data::{Dataset, Item, MinSupport, MiningParams, TransId};
+pub use error::SetmError;
 pub use itemvec::ItemVec;
+pub use miner::{Backend, EngineReport, ExecutionReport, Miner, MiningOutcome, SqlReport};
 pub use pattern::{CountRelation, PatternRelation};
 pub use classes::{mine_by_class, ClassedDataset, ClassedMiningResult, ClassedRule};
 pub use rules::{generate_extended_rules, generate_rules, ExtendedRule, Rule};
+pub use setm::engine::EngineConfig;
 pub use setm::{IterationTrace, SetmResult};
-
-/// High-level facade: mine frequent patterns with Algorithm SETM and
-/// generate the qualifying rules.
-#[derive(Debug, Clone, Copy)]
-pub struct Miner {
-    params: MiningParams,
-}
-
-/// What a [`Miner`] run produces: the SETM result (count relations and
-/// iteration trace) plus the generated rules.
-#[derive(Debug, Clone)]
-pub struct MiningOutcome {
-    pub result: SetmResult,
-    pub rules: Vec<Rule>,
-}
-
-impl Miner {
-    /// A miner with the given parameters.
-    pub fn new(params: MiningParams) -> Self {
-        Miner { params }
-    }
-
-    /// The configured parameters.
-    pub fn params(&self) -> &MiningParams {
-        &self.params
-    }
-
-    /// Mine a dataset with the in-memory SETM execution and generate
-    /// rules at the configured confidence.
-    pub fn mine(&self, dataset: &Dataset) -> MiningOutcome {
-        let result = setm::mine(dataset, &self.params);
-        let rules = generate_rules(&result, self.params.min_confidence);
-        MiningOutcome { result, rules }
-    }
-}
 
 #[cfg(test)]
 mod tests {
@@ -71,7 +46,7 @@ mod tests {
     #[test]
     fn miner_facade_runs_end_to_end() {
         let dataset = example::paper_example_dataset();
-        let outcome = Miner::new(example::paper_example_params()).mine(&dataset);
+        let outcome = Miner::new(example::paper_example_params()).run(&dataset).unwrap();
         assert_eq!(outcome.result.max_pattern_len(), 3);
         assert_eq!(outcome.rules.len(), 11);
     }

@@ -1,0 +1,408 @@
+//! The unified mining facade: one builder, three interchangeable
+//! executions.
+//!
+//! The paper's central claim is that Algorithm SETM (Figure 4) runs
+//! unchanged over different physical executions — in-memory set
+//! operators, a paged storage engine, or the literal Section 4.1 SQL.
+//! [`Miner`] makes that claim the shape of the public API: every backend
+//! is reached through the same builder chain, returns the same
+//! [`MiningOutcome`], and fails with the same typed
+//! [`SetmError`].
+//!
+//! ```
+//! use setm_core::{example, Backend, Miner};
+//!
+//! let dataset = example::paper_example_dataset();
+//! let params = example::paper_example_params();
+//! for backend in [Backend::Memory, Backend::Engine(Default::default()), Backend::Sql] {
+//!     let outcome = Miner::new(params).backend(backend).run(&dataset).unwrap();
+//!     assert_eq!(outcome.rules.len(), 11); // the Section 5 listing, every time
+//! }
+//! ```
+
+use crate::data::{Dataset, MinSupport, MiningParams};
+use crate::error::SetmError;
+use crate::rules::{generate_rules, Rule};
+use crate::setm::engine::{self, EngineConfig};
+use crate::setm::{memory, sql, SetmOptions, SetmResult};
+use setm_relational::pager::IoStats;
+
+/// Which physical execution a [`Miner`] drives. All three produce
+/// identical count relations, rules, and trace series (cross-checked by
+/// `tests/facade_equivalence.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Pure in-memory set operators — the fast path.
+    #[default]
+    Memory,
+    /// The paged storage engine of `setm-relational`, with every page
+    /// access measured (reported in [`ExecutionReport::Engine`]).
+    Engine(EngineConfig),
+    /// The literal Section 4.1 SQL, executed by `setm-sql`; the emitted
+    /// statements are reported in [`ExecutionReport::Sql`].
+    Sql,
+}
+
+impl Backend {
+    /// The backend's stable name — also accepted by the `repro` binary's
+    /// `SETM_BACKEND` knob.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Memory => "memory",
+            Backend::Engine(_) => "engine",
+            Backend::Sql => "sql",
+        }
+    }
+}
+
+/// What the paged-engine backend measured while mining.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineReport {
+    /// Total page accesses (loading `SALES` excluded); summed over all
+    /// shard pagers in a parallel run.
+    pub page_accesses: u64,
+    /// Estimated milliseconds under the pager's cost model.
+    pub estimated_io_ms: f64,
+    /// The full I/O breakdown (sequential vs random reads/writes,
+    /// cache hits).
+    pub io: IoStats,
+}
+
+/// What the SQL backend executed while mining.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlReport {
+    /// Every SQL statement executed, in order — the Section 4.1 text.
+    pub statements: Vec<String>,
+}
+
+/// Per-backend execution evidence carried by every [`MiningOutcome`].
+/// Accessors return `None` where a measurement does not apply to the
+/// backend that ran.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecutionReport {
+    /// The in-memory execution measures nothing beyond the trace.
+    Memory,
+    /// Page-access accounting from the paged engine.
+    Engine(EngineReport),
+    /// The emitted SQL statements.
+    Sql(SqlReport),
+}
+
+impl ExecutionReport {
+    /// Name of the backend that produced this report.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            ExecutionReport::Memory => "memory",
+            ExecutionReport::Engine(_) => "engine",
+            ExecutionReport::Sql(_) => "sql",
+        }
+    }
+
+    /// Total page accesses (engine backend only).
+    pub fn page_accesses(&self) -> Option<u64> {
+        match self {
+            ExecutionReport::Engine(e) => Some(e.page_accesses),
+            _ => None,
+        }
+    }
+
+    /// Estimated I/O milliseconds (engine backend only).
+    pub fn estimated_io_ms(&self) -> Option<f64> {
+        match self {
+            ExecutionReport::Engine(e) => Some(e.estimated_io_ms),
+            _ => None,
+        }
+    }
+
+    /// The full I/O breakdown (engine backend only).
+    pub fn io_stats(&self) -> Option<&IoStats> {
+        match self {
+            ExecutionReport::Engine(e) => Some(&e.io),
+            _ => None,
+        }
+    }
+
+    /// The executed SQL statements (SQL backend only).
+    pub fn statements(&self) -> Option<&[String]> {
+        match self {
+            ExecutionReport::Sql(s) => Some(&s.statements),
+            _ => None,
+        }
+    }
+}
+
+/// What a [`Miner`] run produces, uniformly across backends: the SETM
+/// result (count relations and iteration trace), the generated rules,
+/// and the per-backend [`ExecutionReport`].
+#[derive(Debug, Clone)]
+pub struct MiningOutcome {
+    /// Count relations `C_1..C_n` plus the per-iteration trace.
+    pub result: SetmResult,
+    /// Rules meeting the configured minimum confidence (Section 5).
+    pub rules: Vec<Rule>,
+    /// What the backend measured or emitted while mining.
+    pub report: ExecutionReport,
+}
+
+impl MiningOutcome {
+    /// All frequent itemsets with their support counts, shortest first.
+    pub fn frequent_itemsets(&self) -> Vec<(crate::itemvec::ItemVec, u64)> {
+        self.result.frequent_itemsets()
+    }
+}
+
+/// High-level facade: mine frequent patterns with Algorithm SETM on any
+/// backend and generate the qualifying rules.
+///
+/// Built with a fluent chain; [`Miner::run`] validates every input and
+/// returns typed errors instead of panicking:
+///
+/// ```
+/// use setm_core::{Backend, Dataset, MinSupport, Miner, MiningParams};
+///
+/// let dataset = Dataset::from_pairs([(1, 10), (1, 20), (2, 10), (2, 20), (3, 10)]);
+/// let outcome = Miner::new(MiningParams::new(MinSupport::Count(2), 0.7))
+///     .backend(Backend::Memory)
+///     .threads(1)
+///     .run(&dataset)
+///     .unwrap();
+/// assert_eq!(outcome.result.c(2).unwrap().get(&[10, 20]), Some(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Miner {
+    params: MiningParams,
+    backend: Backend,
+    threads: usize,
+    filter_r1: bool,
+}
+
+impl Miner {
+    /// A miner with the given parameters, on the default in-memory
+    /// backend.
+    pub fn new(params: MiningParams) -> Self {
+        Miner { params, backend: Backend::Memory, threads: 0, filter_r1: false }
+    }
+
+    /// Select the physical execution (default: [`Backend::Memory`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Worker threads for the sharded parallel executions: `0` (the
+    /// default) resolves to the machine's available parallelism, `1`
+    /// forces the paper's sequential plan. Results are identical for
+    /// every value. The SQL backend is still single-threaded
+    /// (ROADMAP item); asking it for `threads > 1` is a typed error.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Restrict the `SALES` side of the merge-scan join to items that
+    /// are themselves frequent (the E8 ablation; results identical).
+    /// Only the in-memory backend implements it — elsewhere it is a
+    /// typed error, not a silent no-op.
+    pub fn filter_r1(mut self, filter_r1: bool) -> Self {
+        self.filter_r1 = filter_r1;
+        self
+    }
+
+    /// Override the minimum support threshold.
+    pub fn min_support(mut self, min_support: MinSupport) -> Self {
+        self.params.min_support = min_support;
+        self
+    }
+
+    /// Override the minimum confidence factor for rule generation.
+    pub fn min_confidence(mut self, min_confidence: f64) -> Self {
+        self.params.min_confidence = min_confidence;
+        self
+    }
+
+    /// Cap the maximum pattern length (`0` is rejected at `run` time).
+    pub fn max_pattern_len(mut self, k: usize) -> Self {
+        self.params.max_pattern_len = Some(k);
+        self
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &MiningParams {
+        &self.params
+    }
+
+    /// Validate the configuration without running anything.
+    pub fn validate(&self) -> Result<(), SetmError> {
+        self.params.validate()?;
+        match &self.backend {
+            Backend::Memory => {}
+            Backend::Engine(cfg) => {
+                if cfg.sort_buffer_pages < 3 {
+                    return Err(SetmError::InvalidEngineConfig {
+                        reason: format!(
+                            "sort_buffer_pages = {} but a two-phase external sort needs at least 3",
+                            cfg.sort_buffer_pages
+                        ),
+                    });
+                }
+                if self.filter_r1 {
+                    return Err(SetmError::UnsupportedOption {
+                        backend: "engine",
+                        option: "filter_r1",
+                    });
+                }
+            }
+            Backend::Sql => {
+                if self.filter_r1 {
+                    return Err(SetmError::UnsupportedOption {
+                        backend: "sql",
+                        option: "filter_r1",
+                    });
+                }
+                if self.threads > 1 {
+                    return Err(SetmError::UnsupportedOption {
+                        backend: "sql",
+                        option: "threads",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Mine `dataset` on the configured backend and generate rules at
+    /// the configured confidence.
+    ///
+    /// An empty dataset is not an error: it yields a clean empty outcome
+    /// (no itemsets, no rules, `support_fraction` of 0 — never NaN).
+    pub fn run(&self, dataset: &Dataset) -> Result<MiningOutcome, SetmError> {
+        self.validate()?;
+        let (result, report) = match &self.backend {
+            Backend::Memory => {
+                let opts = SetmOptions { filter_r1: self.filter_r1, threads: self.threads };
+                (memory::mine_with(dataset, &self.params, opts), ExecutionReport::Memory)
+            }
+            Backend::Engine(cfg) => {
+                let run = engine::mine_with(dataset, &self.params, *cfg, self.threads)?;
+                let report = ExecutionReport::Engine(EngineReport {
+                    page_accesses: run.total_page_accesses,
+                    estimated_io_ms: run.total_estimated_ms,
+                    io: run.io,
+                });
+                (run.result, report)
+            }
+            Backend::Sql => {
+                let run = sql::mine_with(dataset, &self.params)?;
+                (run.result, ExecutionReport::Sql(SqlReport { statements: run.statements }))
+            }
+        };
+        let rules = generate_rules(&result, self.params.min_confidence);
+        Ok(MiningOutcome { result, rules, report })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::example;
+
+    #[test]
+    fn builder_runs_every_backend_to_the_same_rules() {
+        let dataset = example::paper_example_dataset();
+        let params = example::paper_example_params();
+        let reference = Miner::new(params).run(&dataset).unwrap();
+        assert_eq!(reference.result.max_pattern_len(), 3);
+        assert_eq!(reference.rules.len(), 11);
+        assert!(matches!(reference.report, ExecutionReport::Memory));
+
+        let engine = Miner::new(params)
+            .backend(Backend::Engine(EngineConfig::default()))
+            .threads(2)
+            .run(&dataset)
+            .unwrap();
+        assert_eq!(engine.frequent_itemsets(), reference.frequent_itemsets());
+        assert_eq!(engine.rules, reference.rules);
+        assert!(engine.report.page_accesses().unwrap() > 0);
+        assert!(engine.report.io_stats().unwrap().accesses() > 0);
+
+        let sql = Miner::new(params).backend(Backend::Sql).run(&dataset).unwrap();
+        assert_eq!(sql.frequent_itemsets(), reference.frequent_itemsets());
+        assert_eq!(sql.rules, reference.rules);
+        assert!(!sql.report.statements().unwrap().is_empty());
+        assert!(sql.report.page_accesses().is_none());
+    }
+
+    #[test]
+    fn invalid_inputs_are_typed_errors_not_panics() {
+        let d = example::paper_example_dataset();
+        let bad_support = Miner::new(MiningParams::new(MinSupport::Fraction(1.5), 0.5)).run(&d);
+        assert!(matches!(bad_support, Err(SetmError::InvalidSupportFraction { .. })));
+
+        let bad_conf = Miner::new(MiningParams::new(MinSupport::Count(2), 1.5)).run(&d);
+        assert!(matches!(bad_conf, Err(SetmError::InvalidConfidence { .. })));
+
+        let nan_conf = Miner::new(MiningParams::new(MinSupport::Count(2), f64::NAN)).run(&d);
+        assert!(matches!(nan_conf, Err(SetmError::InvalidConfidence { .. })));
+
+        let zero_len =
+            Miner::new(MiningParams::new(MinSupport::Count(2), 0.5)).max_pattern_len(0).run(&d);
+        assert!(matches!(zero_len, Err(SetmError::InvalidMaxPatternLen)));
+
+        let tiny_sort = Miner::new(MiningParams::new(MinSupport::Count(2), 0.5))
+            .backend(Backend::Engine(EngineConfig { sort_buffer_pages: 2, ..Default::default() }))
+            .run(&d);
+        assert!(matches!(tiny_sort, Err(SetmError::InvalidEngineConfig { .. })));
+    }
+
+    #[test]
+    fn unsupported_options_are_reported_per_backend() {
+        let d = example::paper_example_dataset();
+        let params = example::paper_example_params();
+        let e = Miner::new(params).backend(Backend::Sql).threads(4).run(&d);
+        assert!(
+            matches!(e, Err(SetmError::UnsupportedOption { backend: "sql", option: "threads" }))
+        );
+        let e = Miner::new(params).backend(Backend::Sql).filter_r1(true).run(&d);
+        assert!(
+            matches!(e, Err(SetmError::UnsupportedOption { backend: "sql", option: "filter_r1" }))
+        );
+        let e = Miner::new(params)
+            .backend(Backend::Engine(EngineConfig::default()))
+            .filter_r1(true)
+            .run(&d);
+        assert!(matches!(
+            e,
+            Err(SetmError::UnsupportedOption { backend: "engine", option: "filter_r1" })
+        ));
+        // filter_r1 on the in-memory backend is implemented, not an error.
+        let ok = Miner::new(params).filter_r1(true).run(&d).unwrap();
+        assert_eq!(ok.rules.len(), 11);
+    }
+
+    #[test]
+    fn empty_dataset_yields_a_clean_empty_outcome_on_every_backend() {
+        let d = Dataset::from_pairs(std::iter::empty());
+        let params = MiningParams::new(MinSupport::Fraction(0.3), 0.7);
+        for backend in [Backend::Memory, Backend::Engine(EngineConfig::default()), Backend::Sql] {
+            let outcome = Miner::new(params).backend(backend).threads(1).run(&d).unwrap();
+            assert_eq!(outcome.result.max_pattern_len(), 0, "{}", backend.name());
+            assert!(outcome.rules.is_empty());
+            let s = outcome.result.support_fraction(0);
+            assert_eq!(s, 0.0, "support must not be NaN on {}", backend.name());
+        }
+    }
+
+    #[test]
+    fn overrides_compose_with_the_builder() {
+        let d = example::paper_example_dataset();
+        let outcome = Miner::new(MiningParams::new(MinSupport::Count(1), 0.9))
+            .min_support(MinSupport::Fraction(0.3))
+            .min_confidence(0.7)
+            .max_pattern_len(2)
+            .run(&d)
+            .unwrap();
+        assert_eq!(outcome.result.max_pattern_len(), 2);
+        assert_eq!(outcome.result.min_support_count, 3);
+        assert!(outcome.rules.iter().all(|r| r.confidence >= 0.7));
+    }
+}

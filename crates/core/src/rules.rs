@@ -187,7 +187,7 @@ mod tests {
             (3, [1, 2].as_slice()),
             (4, [3].as_slice()),
         ]);
-        setm::mine(&d, &MiningParams::new(MinSupport::Count(2), 0.0))
+        setm::memory::mine(&d, &MiningParams::new(MinSupport::Count(2), 0.0))
     }
 
     #[test]
@@ -269,7 +269,7 @@ mod tests {
     #[test]
     fn no_rules_from_singleton_only_results() {
         let d = Dataset::from_transactions([(1, [1u32].as_slice()), (2, [2].as_slice())]);
-        let r = setm::mine(&d, &MiningParams::new(MinSupport::Count(1), 0.0));
+        let r = setm::memory::mine(&d, &MiningParams::new(MinSupport::Count(1), 0.0));
         assert!(generate_rules(&r, 0.0).is_empty());
     }
 

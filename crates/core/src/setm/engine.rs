@@ -17,7 +17,8 @@
 //!
 //! # Parallel sharded execution
 //!
-//! With `EngineOptions::threads > 1` the `SALES` relation is split into
+//! With more than one worker thread (the `threads` argument of
+//! [`mine_with`] / `Miner::threads`) the `SALES` relation is split into
 //! contiguous `trans_id` shards, **each on its own pager** (its own
 //! simulated disk — mirroring a disk-per-worker deployment). Every
 //! iteration runs the sort → merge-scan → sort → local-count pipeline of
@@ -41,10 +42,15 @@ use setm_relational::pager::{IoStats, Pager, SharedPager};
 use setm_relational::sort::{external_sort, SortOptions};
 use setm_relational::Result;
 
-/// Execution knobs for the engine-backed run.
-#[derive(Debug, Clone, Copy)]
-pub struct EngineOptions {
-    /// Workspace for the external sorts, in pages.
+/// Configuration of the paged-engine backend — what
+/// [`crate::Backend::Engine`] carries. Worker threads are *not* part of
+/// the backend configuration: they are an execution knob set on the
+/// [`crate::Miner`] builder (or passed to [`mine_with`]) so the same
+/// knob drives every backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Workspace for the external sorts, in pages (a two-phase external
+    /// sort needs at least 3).
     pub sort_buffer_pages: usize,
     /// Buffer-cache frames (0 = every page access is charged, the
     /// worst-case accounting the paper's formulas use). A parallel run
@@ -54,12 +60,32 @@ pub struct EngineOptions {
     /// When false, the loop-top sort re-sorts `R_{k-1}` even though the
     /// filter step's `ORDER BY` already ordered it.
     pub track_sort_order: bool,
-    /// Worker threads / `trans_id` shards. `0` (the default) resolves to
-    /// the machine's available parallelism; `1` forces the paper's
-    /// sequential plan. Mined results are identical for every value.
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { sort_buffer_pages: 256, cache_frames: 0, track_sort_order: true }
+    }
+}
+
+/// Execution knobs for the engine-backed run.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `EngineConfig` (threads moved to the `Miner` builder / `mine_with`)"
+)]
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Workspace for the external sorts, in pages.
+    pub sort_buffer_pages: usize,
+    /// Buffer-cache frames (0 = every access charged).
+    pub cache_frames: usize,
+    /// Track sort order across iterations (Section 4.1 optimization).
+    pub track_sort_order: bool,
+    /// Worker threads / `trans_id` shards (0 = available parallelism).
     pub threads: usize,
 }
 
+#[allow(deprecated)]
 impl Default for EngineOptions {
     fn default() -> Self {
         EngineOptions {
@@ -81,34 +107,65 @@ pub struct EngineRun {
     pub total_page_accesses: u64,
     /// Estimated milliseconds under the pager's cost model.
     pub total_estimated_ms: f64,
+    /// The full I/O breakdown behind `total_page_accesses` (sequential
+    /// vs random reads/writes, cache hits), summed over shard pagers.
+    pub io: IoStats,
 }
 
 /// Mine `dataset` on a fresh paged engine (one pager per shard).
+///
+/// `threads` = 0 resolves to the machine's available parallelism, 1
+/// forces the paper's sequential plan; mined results are identical for
+/// every value. This is the low-level execution function behind
+/// [`crate::Backend::Engine`]; prefer driving it through the
+/// [`crate::Miner`] facade, which validates inputs and returns the
+/// shared [`crate::MiningOutcome`] / [`crate::SetmError`] types.
+pub fn mine_with(
+    dataset: &Dataset,
+    params: &MiningParams,
+    config: EngineConfig,
+    threads: usize,
+) -> Result<EngineRun> {
+    let threads = resolve_threads(threads).min(dataset.n_transactions().max(1) as usize);
+    if threads <= 1 {
+        mine_sequential(dataset, params, config)
+    } else {
+        mine_sharded(dataset, params, config, threads)
+    }
+}
+
+/// Mine `dataset` on a fresh paged engine (one pager per shard).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Miner::new(params).backend(Backend::Engine(config)).run(dataset)` \
+            or the low-level `engine::mine_with`"
+)]
+#[allow(deprecated)]
 pub fn mine_on_engine(
     dataset: &Dataset,
     params: &MiningParams,
     opts: EngineOptions,
 ) -> Result<EngineRun> {
-    let threads = resolve_threads(opts.threads).min(dataset.n_transactions().max(1) as usize);
-    if threads <= 1 {
-        mine_sequential(dataset, params, opts)
-    } else {
-        mine_sharded(dataset, params, opts, threads)
-    }
+    let config = EngineConfig {
+        sort_buffer_pages: opts.sort_buffer_pages,
+        cache_frames: opts.cache_frames,
+        track_sort_order: opts.track_sort_order,
+    };
+    mine_with(dataset, params, config, opts.threads)
 }
 
 /// The paper's sequential plan on a single pager.
 fn mine_sequential(
     dataset: &Dataset,
     params: &MiningParams,
-    opts: EngineOptions,
+    config: EngineConfig,
 ) -> Result<EngineRun> {
     let pager = Pager::shared();
-    pager.lock().set_cache_frames(opts.cache_frames);
+    pager.lock().set_cache_frames(config.cache_frames);
     let n_txns = dataset.n_transactions();
     let min_count = params.min_support.to_count(n_txns.max(1));
     let max_len = params.max_pattern_len.unwrap_or(usize::MAX);
-    let sort_opts = SortOptions { buffer_pages: opts.sort_buffer_pages };
+    let sort_opts = SortOptions { buffer_pages: config.sort_buffer_pages };
 
     // Load SALES (already in (tid, item) order), then start the meter.
     let sales_rows = dataset.sales_rows();
@@ -196,7 +253,7 @@ fn mine_sequential(
             } else {
                 r_k
             };
-            prev_sorted_by_tid = opts.track_sort_order;
+            prev_sorted_by_tid = config.track_sort_order;
 
             let stats = pager.lock().stats();
             let delta = stats.since(&last_stats);
@@ -234,6 +291,7 @@ fn mine_sequential(
         },
         total_page_accesses: total.accesses(),
         total_estimated_ms: total_ms,
+        io: total,
     })
 }
 
@@ -337,18 +395,18 @@ impl EngineShard {
 fn mine_sharded(
     dataset: &Dataset,
     params: &MiningParams,
-    opts: EngineOptions,
+    config: EngineConfig,
     threads: usize,
 ) -> Result<EngineRun> {
     let n_txns = dataset.n_transactions();
     let min_count = params.min_support.to_count(n_txns.max(1));
     let max_len = params.max_pattern_len.unwrap_or(usize::MAX);
-    let sort_opts = SortOptions { buffer_pages: opts.sort_buffer_pages };
+    let sort_opts = SortOptions { buffer_pages: config.sort_buffer_pages };
 
     // Contiguous trans_id ranges balanced by row count.
     let weights: Vec<usize> = dataset.transactions().map(|(_, items)| items.len()).collect();
     let ranges = partition_by_weight(&weights, threads);
-    let frames_per_shard = opts.cache_frames / ranges.len();
+    let frames_per_shard = config.cache_frames / ranges.len();
 
     let mut shards: Vec<EngineShard> = Vec::with_capacity(ranges.len());
     let mut txns = dataset.transactions();
@@ -418,7 +476,7 @@ fn mine_sharded(
             let r_tuples: u64 = shards.iter().map(|sh| sh.r_prev.n_records()).sum();
             let r_kbytes =
                 shards.iter().map(|sh| sh.r_prev.data_bytes()).sum::<u64>() as f64 / 1024.0;
-            prev_sorted_by_tid = opts.track_sort_order;
+            prev_sorted_by_tid = config.track_sort_order;
 
             let delta = sum_deltas(&mut shards);
             trace.push(IterationTrace {
@@ -457,6 +515,7 @@ fn mine_sharded(
         },
         total_page_accesses: total.accesses(),
         total_estimated_ms: total.estimated_ms(&cost_model),
+        io: total,
     })
 }
 
@@ -598,8 +657,8 @@ mod tests {
     use crate::example;
     use crate::setm::memory;
 
-    fn sequential() -> EngineOptions {
-        EngineOptions { threads: 1, ..Default::default() }
+    fn cfg() -> EngineConfig {
+        EngineConfig::default()
     }
 
     #[test]
@@ -607,7 +666,7 @@ mod tests {
         let d = example::paper_example_dataset();
         let params = example::paper_example_params();
         let mem = memory::mine(&d, &params);
-        let eng = mine_on_engine(&d, &params, EngineOptions::default()).unwrap();
+        let eng = mine_with(&d, &params, cfg(), 0).unwrap();
         assert_eq!(eng.result.frequent_itemsets(), mem.frequent_itemsets());
         assert_eq!(eng.result.max_pattern_len(), 3);
         // Tuple counts per iteration agree too.
@@ -623,7 +682,7 @@ mod tests {
     fn engine_charges_io() {
         let d = example::paper_example_dataset();
         let params = example::paper_example_params();
-        let eng = mine_on_engine(&d, &params, EngineOptions::default()).unwrap();
+        let eng = mine_with(&d, &params, cfg(), 0).unwrap();
         assert!(eng.total_page_accesses > 0);
         assert!(eng.total_estimated_ms > 0.0);
         // Each iteration carries its own accesses; they sum to the total.
@@ -637,9 +696,7 @@ mod tests {
             (0..300).map(|t| (t, vec![1, 2, 3, 4 + (t % 4)])).collect();
         let d = Dataset::from_transactions(txns.iter().map(|(t, i)| (*t, i.as_slice())));
         let params = MiningParams::new(MinSupport::Fraction(0.2), 0.5);
-        let run =
-            mine_on_engine(&d, &params, EngineOptions { threads: 3, ..Default::default() })
-                .unwrap();
+        let run = mine_with(&d, &params, cfg(), 3).unwrap();
         assert!(run.total_page_accesses > 0);
         let sum: u64 = run.result.trace.iter().map(|t| t.page_accesses).sum();
         assert_eq!(sum, run.total_page_accesses);
@@ -660,14 +717,9 @@ mod tests {
             .collect();
         let d = Dataset::from_transactions(txns.iter().map(|(t, i)| (*t, i.as_slice())));
         let params = MiningParams::new(MinSupport::Fraction(0.2), 0.5);
-        let seq = mine_on_engine(&d, &params, sequential()).unwrap();
+        let seq = mine_with(&d, &params, cfg(), 1).unwrap();
         for threads in [2usize, 3, 4, 8] {
-            let par = mine_on_engine(
-                &d,
-                &params,
-                EngineOptions { threads, ..Default::default() },
-            )
-            .unwrap();
+            let par = mine_with(&d, &params, cfg(), threads).unwrap();
             assert_eq!(
                 par.result.frequent_itemsets(),
                 seq.result.frequent_itemsets(),
@@ -691,18 +743,10 @@ mod tests {
             .collect();
         let d = Dataset::from_transactions(txns.iter().map(|(t, i)| (*t, i.as_slice())));
         let params = MiningParams::new(MinSupport::Fraction(0.2), 0.5);
-        let tracked = mine_on_engine(
-            &d,
-            &params,
-            EngineOptions { track_sort_order: true, ..sequential() },
-        )
-        .unwrap();
-        let naive = mine_on_engine(
-            &d,
-            &params,
-            EngineOptions { track_sort_order: false, ..sequential() },
-        )
-        .unwrap();
+        let tracked =
+            mine_with(&d, &params, EngineConfig { track_sort_order: true, ..cfg() }, 1).unwrap();
+        let naive =
+            mine_with(&d, &params, EngineConfig { track_sort_order: false, ..cfg() }, 1).unwrap();
         assert_eq!(
             tracked.result.frequent_itemsets(),
             naive.result.frequent_itemsets(),
@@ -723,18 +767,10 @@ mod tests {
             .collect();
         let d = Dataset::from_transactions(txns.iter().map(|(t, i)| (*t, i.as_slice())));
         let params = MiningParams::new(MinSupport::Fraction(0.2), 0.5);
-        let tracked = mine_on_engine(
-            &d,
-            &params,
-            EngineOptions { track_sort_order: true, threads: 4, ..Default::default() },
-        )
-        .unwrap();
-        let naive = mine_on_engine(
-            &d,
-            &params,
-            EngineOptions { track_sort_order: false, threads: 4, ..Default::default() },
-        )
-        .unwrap();
+        let tracked =
+            mine_with(&d, &params, EngineConfig { track_sort_order: true, ..cfg() }, 4).unwrap();
+        let naive =
+            mine_with(&d, &params, EngineConfig { track_sort_order: false, ..cfg() }, 4).unwrap();
         assert_eq!(tracked.result.frequent_itemsets(), naive.result.frequent_itemsets());
         assert!(tracked.total_page_accesses < naive.total_page_accesses);
     }
@@ -744,14 +780,9 @@ mod tests {
         let d = example::paper_example_dataset();
         let params = example::paper_example_params();
         let cold =
-            mine_on_engine(&d, &params, EngineOptions { cache_frames: 0, ..sequential() })
-                .unwrap();
-        let warm = mine_on_engine(
-            &d,
-            &params,
-            EngineOptions { cache_frames: 1024, ..sequential() },
-        )
-        .unwrap();
+            mine_with(&d, &params, EngineConfig { cache_frames: 0, ..cfg() }, 1).unwrap();
+        let warm =
+            mine_with(&d, &params, EngineConfig { cache_frames: 1024, ..cfg() }, 1).unwrap();
         assert_eq!(cold.result.frequent_itemsets(), warm.result.frequent_itemsets());
         assert!(warm.total_page_accesses <= cold.total_page_accesses);
     }
@@ -760,7 +791,7 @@ mod tests {
     fn empty_dataset() {
         let d = Dataset::from_pairs(std::iter::empty());
         let params = MiningParams::new(MinSupport::Count(1), 0.5);
-        let run = mine_on_engine(&d, &params, EngineOptions::default()).unwrap();
+        let run = mine_with(&d, &params, cfg(), 0).unwrap();
         assert_eq!(run.result.max_pattern_len(), 0);
     }
 

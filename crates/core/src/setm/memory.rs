@@ -54,7 +54,10 @@ pub fn mine_with(dataset: &Dataset, params: &MiningParams, opts: SetmOptions) ->
     if !c1.is_empty() {
         counts.push(c1);
     }
-    if max_len == 1 || n_txns == 0 {
+    // `<= 1` (not `== 1`): a cap of 0 stops after C1 exactly like the
+    // engine and SQL executions (the facade rejects 0 up front, but the
+    // low-level paths must still agree with each other).
+    if max_len <= 1 || n_txns == 0 {
         return SetmResult { counts, trace, n_transactions: n_txns, min_support_count: min_count };
     }
 
@@ -479,6 +482,28 @@ mod tests {
         let r = mine(&d, &params);
         assert_eq!(r.max_pattern_len(), 2);
         assert_eq!(r.trace.last().unwrap().k, 2);
+    }
+
+    /// The facade rejects a cap of 0, but the low-level executions must
+    /// still agree with each other if handed one: stop after C1, exactly
+    /// like the engine and SQL loops' `max_len > 1` guard.
+    #[test]
+    fn max_pattern_len_zero_stops_after_c1_like_other_executions() {
+        let d = tiny();
+        let params = MiningParams::new(MinSupport::Count(2), 0.5).with_max_len(0);
+        let r = mine(&d, &params);
+        assert_eq!(r.max_pattern_len(), 1, "C1 only, no k=2 iteration");
+        assert_eq!(r.trace.last().unwrap().k, 1);
+        let eng = crate::setm::engine::mine_with(
+            &d,
+            &params,
+            crate::setm::engine::EngineConfig::default(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(eng.result.frequent_itemsets(), r.frequent_itemsets());
+        let sql = crate::setm::sql::mine_with(&d, &params).unwrap();
+        assert_eq!(sql.result.frequent_itemsets(), r.frequent_itemsets());
     }
 
     #[test]

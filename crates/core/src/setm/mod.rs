@@ -25,6 +25,9 @@
 //!   through `setm-sql` (the paper's headline claim: mining as SQL).
 //!
 //! All three produce identical `C_k` relations; cross-checked in tests.
+//! They are driven uniformly through the [`crate::Miner`] builder
+//! (`Miner::new(params).backend(..).run(dataset)`); the per-module
+//! `mine_with` functions remain as the low-level execution layer.
 
 pub mod engine;
 pub mod memory;
@@ -107,12 +110,24 @@ impl SetmResult {
     }
 
     /// Support of a pattern as a fraction of all transactions.
+    ///
+    /// An empty dataset has no supported patterns, so every count's
+    /// fraction is 0 — never NaN from a zero denominator.
     pub fn support_fraction(&self, count: u64) -> f64 {
-        count as f64 / self.n_transactions as f64
+        if self.n_transactions == 0 {
+            0.0
+        } else {
+            count as f64 / self.n_transactions as f64
+        }
     }
 }
 
-/// Mine with the in-memory execution (the default entry point).
+/// Mine with the in-memory execution.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Miner::new(params).run(dataset)` (the unified facade) \
+            or the low-level `memory::mine`"
+)]
 pub fn mine(dataset: &Dataset, params: &MiningParams) -> SetmResult {
     memory::mine(dataset, params)
 }
@@ -144,6 +159,22 @@ mod tests {
         assert!((result.support_fraction(3) - 0.3).abs() < 1e-12);
     }
 
+    /// Satellite regression: a zero-transaction result must report 0.0
+    /// support, never NaN (the old `count / 0` arithmetic).
+    #[test]
+    fn support_fraction_of_empty_result_is_zero_not_nan() {
+        let result = SetmResult {
+            counts: vec![],
+            trace: vec![],
+            n_transactions: 0,
+            min_support_count: 1,
+        };
+        let s = result.support_fraction(0);
+        assert!(!s.is_nan());
+        assert_eq!(s, 0.0);
+        assert_eq!(result.support_fraction(5), 0.0);
+    }
+
     #[test]
     fn mine_smoke() {
         let d = Dataset::from_transactions([
@@ -152,7 +183,7 @@ mod tests {
             (3, [1, 3].as_slice()),
         ]);
         let params = MiningParams::new(MinSupport::Count(2), 0.5);
-        let r = mine(&d, &params);
+        let r = memory::mine(&d, &params);
         assert_eq!(r.c(1).unwrap().get(&[1]), Some(3));
         assert_eq!(r.c(2).unwrap().get(&[1, 2]), Some(2));
     }

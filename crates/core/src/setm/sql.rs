@@ -40,7 +40,12 @@ fn item_cols(qualifier: &str, k: usize) -> String {
 }
 
 /// Mine `dataset` by generating and executing the paper's SQL.
-pub fn mine_via_sql(dataset: &Dataset, params: &MiningParams) -> Result<SqlRun> {
+///
+/// This is the low-level execution function behind
+/// [`crate::Backend::Sql`]; prefer driving it through the
+/// [`crate::Miner`] facade, which validates inputs and returns the
+/// shared [`crate::MiningOutcome`] / [`crate::SetmError`] types.
+pub fn mine_with(dataset: &Dataset, params: &MiningParams) -> Result<SqlRun> {
     let mut engine = SqlEngine::new();
     let mut statements: Vec<String> = Vec::new();
     let n_txns = dataset.n_transactions();
@@ -194,6 +199,16 @@ pub fn mine_via_sql(dataset: &Dataset, params: &MiningParams) -> Result<SqlRun> 
     })
 }
 
+/// Mine `dataset` by generating and executing the paper's SQL.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Miner::new(params).backend(Backend::Sql).run(dataset)` \
+            or the low-level `sql::mine_with`"
+)]
+pub fn mine_via_sql(dataset: &Dataset, params: &MiningParams) -> Result<SqlRun> {
+    mine_with(dataset, params)
+}
+
 /// Read `C_k` back into memory. Its rows are already in lexicographic
 /// pattern order (the grouped output is sorted on the group columns).
 fn read_counts(engine: &mut SqlEngine, k: usize) -> Result<CountRelation> {
@@ -218,7 +233,7 @@ mod tests {
         let d = example::paper_example_dataset();
         let params = example::paper_example_params();
         let mem = memory::mine(&d, &params);
-        let sql = mine_via_sql(&d, &params).unwrap();
+        let sql = mine_with(&d, &params).unwrap();
         assert_eq!(sql.result.frequent_itemsets(), mem.frequent_itemsets());
         // Tuple counts per iteration agree (|R'_k|, |R_k|, |C_k|).
         for (a, b) in mem.trace.iter().zip(sql.result.trace.iter()) {
@@ -232,7 +247,7 @@ mod tests {
     #[test]
     fn emitted_sql_is_the_papers_text() {
         let d = example::paper_example_dataset();
-        let sql = mine_via_sql(&d, &example::paper_example_params()).unwrap();
+        let sql = mine_with(&d, &example::paper_example_params()).unwrap();
         let all = sql.statements.join("\n---\n");
         // The Section 3.1 C1 query.
         assert!(all.contains("HAVING COUNT(*) >= :minsupport"));
@@ -261,14 +276,14 @@ mod tests {
         let d = Dataset::from_transactions(txns.iter().map(|(t, i)| (*t, i.as_slice())));
         let params = MiningParams::new(MinSupport::Fraction(0.15), 0.5);
         let mem = memory::mine(&d, &params);
-        let sql = mine_via_sql(&d, &params).unwrap();
+        let sql = mine_with(&d, &params).unwrap();
         assert_eq!(sql.result.frequent_itemsets(), mem.frequent_itemsets());
     }
 
     #[test]
     fn empty_dataset_is_handled() {
         let d = Dataset::from_pairs(std::iter::empty());
-        let run = mine_via_sql(&d, &MiningParams::new(MinSupport::Count(1), 0.5)).unwrap();
+        let run = mine_with(&d, &MiningParams::new(MinSupport::Count(1), 0.5)).unwrap();
         assert_eq!(run.result.max_pattern_len(), 0);
     }
 }

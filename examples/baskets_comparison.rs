@@ -6,7 +6,7 @@
 
 use setm::baselines::{ais, apriori, apriori_tid};
 use setm::datagen::QuestConfig;
-use setm::{setm as setm_algo, MinSupport, MiningParams};
+use setm::{MinSupport, Miner, MiningParams};
 use std::time::{Duration, Instant};
 
 fn time<F: FnOnce() -> usize>(f: F) -> (Duration, usize) {
@@ -36,8 +36,14 @@ fn main() {
         );
         for &frac in &supports {
             let params = MiningParams::new(MinSupport::Fraction(frac), 0.5);
-            let (t_setm, n_setm) =
-                time(|| setm_algo::mine(&dataset, &params).frequent_itemsets().len());
+            let (t_setm, n_setm) = time(|| {
+                Miner::new(params)
+                    .run(&dataset)
+                    .expect("valid parameters")
+                    .result
+                    .frequent_itemsets()
+                    .len()
+            });
             let (t_ais, n_ais) = time(|| ais::mine(&dataset, &params).frequent_itemsets().len());
             let (t_ap, n_ap) =
                 time(|| apriori::mine(&dataset, &params).frequent_itemsets().len());

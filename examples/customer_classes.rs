@@ -41,7 +41,7 @@ fn main() {
     }
 
     let params = MiningParams::new(MinSupport::Fraction(0.02), 0.6);
-    let result = mine_by_class(&data, &params);
+    let result = mine_by_class(&data, &params).expect("valid parameters");
 
     for (class, rules) in &result.by_class {
         println!("\nclass {class}: {} qualifying rules (top 8):", rules.len());

@@ -24,7 +24,7 @@ fn main() {
         params.min_confidence * 100.0
     );
 
-    let outcome = Miner::new(params).mine(&dataset);
+    let outcome = Miner::new(params).run(&dataset).expect("valid parameters");
 
     for k in 1..=outcome.result.max_pattern_len() {
         let c = outcome.result.c(k).expect("non-empty level");

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example retail_analysis`
 
 use setm::datagen::{DatasetStats, RetailConfig};
-use setm::{setm as setm_algo, MinSupport, MiningParams};
+use setm::{MinSupport, Miner, MiningParams};
 use std::time::Instant;
 
 const SUPPORTS: [f64; 5] = [0.001, 0.005, 0.01, 0.02, 0.05];
@@ -30,7 +30,7 @@ fn main() {
     for &frac in &SUPPORTS {
         let params = MiningParams::new(MinSupport::Fraction(frac), 0.5);
         let t0 = Instant::now();
-        let result = setm_algo::mine(&dataset, &params);
+        let result = Miner::new(params).run(&dataset).expect("valid parameters").result;
         times.push(t0.elapsed());
         traces.push((frac, result));
     }

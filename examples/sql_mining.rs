@@ -2,22 +2,24 @@
 //!
 //! Runs Algorithm SETM by *emitting the Section 4.1 SQL statements as
 //! text* and executing them on the workspace's own SQL engine, printing
-//! every statement alongside its effect. Then cross-checks the result
-//! against the in-memory execution.
+//! every statement alongside its effect. The SQL execution is just
+//! another backend of the unified `Miner` facade; the cross-check
+//! against the in-memory execution is one builder call away.
 //!
 //! Run with: `cargo run --example sql_mining`
 
-use setm::core::setm::sql::mine_via_sql;
-use setm::{example, setm as setm_algo};
+use setm::{example, Backend, Miner};
 
 fn main() {
     let dataset = example::paper_example_dataset();
     let params = example::paper_example_params();
 
-    let run = mine_via_sql(&dataset, &params).expect("SQL run succeeds");
+    let miner = Miner::new(params);
+    let run = miner.backend(Backend::Sql).run(&dataset).expect("SQL run succeeds");
+    let statements = run.report.statements().expect("the SQL backend records its statements");
 
-    println!("Executed {} SQL statements:\n", run.statements.len());
-    for stmt in &run.statements {
+    println!("Executed {} SQL statements:\n", statements.len());
+    for stmt in statements {
         for (i, line) in stmt.lines().enumerate() {
             if i == 0 {
                 println!("sql> {line}");
@@ -36,8 +38,10 @@ fn main() {
     }
 
     // The point of the paper: plain SQL produces exactly what the
-    // special-purpose implementation produces.
-    let reference = setm_algo::mine(&dataset, &params);
-    assert_eq!(run.result.frequent_itemsets(), reference.frequent_itemsets());
+    // special-purpose implementation produces — same facade, same
+    // outcome type, different backend.
+    let reference = miner.backend(Backend::Memory).run(&dataset).expect("memory run succeeds");
+    assert_eq!(run.result.frequent_itemsets(), reference.result.frequent_itemsets());
+    assert_eq!(run.rules, reference.rules);
     println!("\nSQL-driven results identical to the in-memory execution. QED (Section 7).");
 }

@@ -20,19 +20,39 @@
 //!
 //! ## Quickstart
 //!
+//! One [`Miner`] builder drives every execution. The paper's
+//! ten-transaction worked example at 30% support / 70% confidence
+//! (Section 4.2), on the default in-memory backend:
+//!
 //! ```
 //! use setm::{example, Miner};
 //!
-//! // The paper's ten-transaction worked example at 30% support / 70%
-//! // confidence (Section 4.2).
 //! let dataset = example::paper_example_dataset();
-//! let outcome = Miner::new(example::paper_example_params()).mine(&dataset);
+//! let outcome = Miner::new(example::paper_example_params()).run(&dataset).unwrap();
 //!
 //! // Exactly the eleven rules of Section 5.
 //! assert_eq!(outcome.rules.len(), 11);
 //! for rule in &outcome.rules {
 //!     println!("{}", example::format_rule_lettered(rule));
 //! }
+//! ```
+//!
+//! Swapping the physical execution is one builder call — the result type
+//! does not change, and per-backend evidence rides along in
+//! [`ExecutionReport`]:
+//!
+//! ```
+//! use setm::{example, Backend, EngineConfig, Miner};
+//!
+//! let dataset = example::paper_example_dataset();
+//! let miner = Miner::new(example::paper_example_params());
+//!
+//! let on_engine = miner.backend(Backend::Engine(EngineConfig::default())).run(&dataset).unwrap();
+//! assert!(on_engine.report.page_accesses().unwrap() > 0);
+//!
+//! let via_sql = miner.backend(Backend::Sql).run(&dataset).unwrap();
+//! assert!(via_sql.report.statements().unwrap().iter().any(|s| s.contains(":minsupport")));
+//! assert_eq!(via_sql.rules, on_engine.rules);
 //! ```
 
 pub use setm_core as core;
@@ -44,8 +64,9 @@ pub use setm_sql as sql;
 
 // The everyday API at the top level.
 pub use setm_core::{
-    example, generate_rules, rules, setm, CountRelation, Dataset, IterationTrace, Item, ItemVec,
-    MinSupport, Miner, MiningOutcome, MiningParams, PatternRelation, Rule, SetmResult, TransId,
+    example, generate_rules, rules, setm, Backend, CountRelation, Dataset, EngineConfig,
+    EngineReport, ExecutionReport, IterationTrace, Item, ItemVec, MinSupport, Miner,
+    MiningOutcome, MiningParams, PatternRelation, Rule, SetmError, SetmResult, SqlReport, TransId,
 };
 
 #[cfg(test)]
@@ -54,8 +75,10 @@ mod tests {
     fn umbrella_reexports_work_together() {
         use crate as setm_crate;
         let d = setm_crate::example::paper_example_dataset();
-        let r = setm_crate::setm::mine(&d, &setm_crate::example::paper_example_params());
-        assert_eq!(r.max_pattern_len(), 3);
+        let outcome = setm_crate::Miner::new(setm_crate::example::paper_example_params())
+            .run(&d)
+            .unwrap();
+        assert_eq!(outcome.result.max_pattern_len(), 3);
         let report = setm_crate::costmodel::ComparisonReport::paper(3);
         assert!(report.speedup() > 30.0);
         let quest = setm_crate::datagen::QuestConfig::t5_i2_d100k(200).generate();

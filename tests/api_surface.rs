@@ -1,0 +1,109 @@
+//! Public-API surface guard.
+//!
+//! Compile-time (and a few runtime) assertions that the documented
+//! shapes of the facade hold: the builder chain reads exactly as the
+//! README writes it, the outcome types cross thread boundaries, the
+//! error type is a real `std::error::Error` with the documented
+//! conversions, and the 0.2 deprecation shims still exist and agree
+//! with the facade. If a refactor breaks any of these, this file stops
+//! compiling — that is the point.
+
+use setm::{
+    Backend, Dataset, EngineConfig, ExecutionReport, MinSupport, Miner, MiningOutcome,
+    MiningParams, SetmError,
+};
+
+fn assert_send_sync<T: Send + Sync>() {}
+fn assert_clone<T: Clone>() {}
+fn assert_error<T: std::error::Error>() {}
+
+#[test]
+fn outcome_and_error_types_have_the_documented_bounds() {
+    // MiningOutcome crosses thread boundaries — the precondition for the
+    // planned service layer fanning mining requests across workers.
+    assert_send_sync::<MiningOutcome>();
+    assert_send_sync::<SetmError>();
+    assert_send_sync::<Miner>();
+    assert_send_sync::<ExecutionReport>();
+    assert_clone::<MiningOutcome>();
+    assert_clone::<Miner>();
+    // SetmError implements std::error::Error (so `?` and error chains
+    // work in downstream binaries).
+    assert_error::<SetmError>();
+}
+
+#[test]
+fn error_conversions_exist_from_every_layer() {
+    // The documented From impls — these lines fail to compile if the
+    // conversions are dropped.
+    let _: SetmError = setm::relational::Error::NoSuchFile(1).into();
+    let _: SetmError = setm::sql::SqlError::Parse("x".into()).into();
+    fn takes_result() -> Result<(), SetmError> {
+        Err(setm::relational::Error::NotSorted)?
+    }
+    assert!(matches!(takes_result(), Err(SetmError::Engine(_))));
+}
+
+#[test]
+fn builder_chain_compiles_in_the_documented_shape() {
+    // The full chain from the README / ISSUE, in one expression.
+    let dataset = Dataset::from_pairs([(1, 10), (1, 20), (2, 10), (2, 20), (3, 10)]);
+    let outcome: Result<MiningOutcome, SetmError> =
+        Miner::new(MiningParams::new(MinSupport::Count(2), 0.5))
+            .backend(Backend::Engine(EngineConfig::default()))
+            .threads(1)
+            .filter_r1(false)
+            .min_confidence(0.7)
+            .run(&dataset);
+    let outcome = outcome.unwrap();
+    assert_eq!(outcome.result.c(2).unwrap().get(&[10, 20]), Some(2));
+    // The report accessors answer uniformly, `None` where not applicable.
+    assert!(outcome.report.page_accesses().is_some());
+    assert!(outcome.report.statements().is_none());
+    assert_eq!(outcome.report.backend_name(), "engine");
+
+    // Backend is an ordinary value: defaultable, copyable, nameable.
+    let b = Backend::default();
+    assert!(matches!(b, Backend::Memory));
+    assert_eq!(b.name(), "memory");
+}
+
+#[test]
+fn miner_is_a_value_type_for_sweeps() {
+    // A single configured Miner fans out across backends by value —
+    // the usage pattern of the repro binary and the equivalence tests.
+    let d = setm::example::paper_example_dataset();
+    let miner = Miner::new(setm::example::paper_example_params());
+    let runs: Vec<MiningOutcome> =
+        [Backend::Memory, Backend::Engine(EngineConfig::default()), Backend::Sql]
+            .into_iter()
+            .map(|b| miner.backend(b).threads(1).run(&d).unwrap())
+            .collect();
+    assert!(runs.windows(2).all(|w| w[0].rules == w[1].rules));
+}
+
+/// The 0.2 deprecation shims: the three pre-facade entry points still
+/// compile, still run, and still agree with the facade. They are
+/// scheduled for removal one release after 0.2 (see README "Migrating
+/// from the 0.1 API").
+#[allow(deprecated)]
+#[test]
+fn deprecated_shims_still_work_and_agree() {
+    let d = setm::example::paper_example_dataset();
+    let params = setm::example::paper_example_params();
+    let reference = Miner::new(params).run(&d).unwrap();
+
+    let old_memory = setm::setm::mine(&d, &params);
+    assert_eq!(old_memory.frequent_itemsets(), reference.result.frequent_itemsets());
+
+    let old_engine = setm::core::setm::engine::mine_on_engine(
+        &d,
+        &params,
+        setm::core::setm::engine::EngineOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(old_engine.result.frequent_itemsets(), reference.result.frequent_itemsets());
+
+    let old_sql = setm::core::setm::sql::mine_via_sql(&d, &params).unwrap();
+    assert_eq!(old_sql.result.frequent_itemsets(), reference.result.frequent_itemsets());
+}

@@ -10,7 +10,7 @@
 //! when measured.
 
 use setm::core::nested_loop::{mine_nested_loop, NestedLoopOptions};
-use setm::core::setm::engine::{mine_on_engine, EngineOptions};
+use setm::core::setm::engine::{self, EngineConfig};
 use setm::costmodel::{
     btree_model, nested_loop_c2_cost, setm_cost, ComparisonReport, DbParams, WorkloadParams,
 };
@@ -46,8 +46,7 @@ fn measured_strategies_order_like_the_model() {
 
     // threads: 1 — these tests validate the *sequential* Section 4.3
     // accounting (see docs/REPRODUCTION.md, Design notes §5).
-    let sm = mine_on_engine(&dataset, &params, EngineOptions { threads: 1, ..Default::default() })
-        .unwrap();
+    let sm = engine::mine_with(&dataset, &params, EngineConfig::default(), 1).unwrap();
     let nl = mine_nested_loop(&dataset, &params, NestedLoopOptions::default()).unwrap();
     assert_eq!(sm.result.frequent_itemsets(), nl.result.frequent_itemsets());
 
@@ -78,8 +77,7 @@ fn measured_setm_accesses_scale_with_the_model() {
 
     let dataset = UniformConfig::paper_scaled(100).generate();
     let params = MiningParams::new(MinSupport::Fraction(0.005), 0.5).with_max_len(2);
-    let run = mine_on_engine(&dataset, &params, EngineOptions { threads: 1, ..Default::default() })
-        .unwrap();
+    let run = engine::mine_with(&dataset, &params, EngineConfig::default(), 1).unwrap();
 
     // The engine materializes sorts the model pipelines, so it may exceed
     // the bound, but by a bounded constant — not an order of magnitude.
@@ -107,8 +105,7 @@ fn engine_iteration_io_is_attributed() {
     // are all nonzero until the empty final iteration's residue.
     let dataset = UniformConfig { n_items: 50, n_txns: 500, avg_txn_len: 6.0, seed: 5 }.generate();
     let params = MiningParams::new(MinSupport::Fraction(0.02), 0.5);
-    let run = mine_on_engine(&dataset, &params, EngineOptions { threads: 1, ..Default::default() })
-        .unwrap();
+    let run = engine::mine_with(&dataset, &params, EngineConfig::default(), 1).unwrap();
     assert!(run.result.trace.len() >= 2);
     for t in &run.result.trace {
         assert!(t.page_accesses > 0, "iteration {} did I/O", t.k);

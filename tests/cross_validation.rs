@@ -4,9 +4,12 @@
 use proptest::prelude::*;
 use setm::baselines::{ais, apriori, apriori_tid};
 use setm::core::nested_loop::{mine_nested_loop, NestedLoopOptions};
-use setm::core::setm::engine::{mine_on_engine, EngineOptions};
-use setm::core::setm::sql::mine_via_sql;
-use setm::{setm as setm_algo, Dataset, ItemVec, MinSupport, MiningParams};
+use setm::{Backend, Dataset, EngineConfig, ItemVec, MinSupport, Miner, MiningParams};
+
+/// The facade-driven reference result (in-memory backend).
+fn mine_ref(d: &Dataset, params: &MiningParams) -> setm::SetmResult {
+    Miner::new(*params).run(d).unwrap().result
+}
 
 /// Strategy: a small random basket database.
 fn dataset_strategy() -> impl Strategy<Value = Dataset> {
@@ -26,7 +29,7 @@ proptest! {
     #[test]
     fn setm_counts_match_brute_force(d in dataset_strategy(), min_count in 1u64..=5) {
         let params = MiningParams::new(MinSupport::Count(min_count), 0.0);
-        let result = setm_algo::mine(&d, &params);
+        let result = mine_ref(&d, &params);
         // Soundness: reported counts are exact and above threshold.
         for (pattern, count) in result.frequent_itemsets() {
             prop_assert_eq!(count, d.support_of(&pattern));
@@ -64,7 +67,7 @@ proptest! {
     #[test]
     fn all_miners_agree(d in dataset_strategy(), min_count in 1u64..=4) {
         let params = MiningParams::new(MinSupport::Count(min_count), 0.5);
-        let reference = setm_algo::mine(&d, &params).frequent_itemsets();
+        let reference = mine_ref(&d, &params).frequent_itemsets();
         prop_assert_eq!(ais::mine(&d, &params).frequent_itemsets(), reference.clone());
         prop_assert_eq!(apriori::mine(&d, &params).frequent_itemsets(), reference.clone());
         prop_assert_eq!(apriori_tid::mine(&d, &params).frequent_itemsets(), reference);
@@ -74,10 +77,12 @@ proptest! {
     #[test]
     fn engine_and_sql_executions_agree(d in dataset_strategy(), min_count in 1u64..=4) {
         let params = MiningParams::new(MinSupport::Count(min_count), 0.5);
-        let reference = setm_algo::mine(&d, &params).frequent_itemsets();
-        let engine = mine_on_engine(&d, &params, EngineOptions::default()).unwrap();
+        let reference = mine_ref(&d, &params).frequent_itemsets();
+        let miner = Miner::new(params);
+        let engine =
+            miner.backend(Backend::Engine(EngineConfig::default())).run(&d).unwrap();
         prop_assert_eq!(engine.result.frequent_itemsets(), reference.clone());
-        let sql = mine_via_sql(&d, &params).unwrap();
+        let sql = miner.backend(Backend::Sql).run(&d).unwrap();
         prop_assert_eq!(sql.result.frequent_itemsets(), reference);
     }
 
@@ -85,7 +90,7 @@ proptest! {
     #[test]
     fn nested_loop_agrees(d in dataset_strategy(), min_count in 1u64..=4) {
         let params = MiningParams::new(MinSupport::Count(min_count), 0.5);
-        let reference = setm_algo::mine(&d, &params).frequent_itemsets();
+        let reference = mine_ref(&d, &params).frequent_itemsets();
         let nl = mine_nested_loop(&d, &params, NestedLoopOptions::default()).unwrap();
         prop_assert_eq!(nl.result.frequent_itemsets(), reference);
     }
@@ -96,7 +101,7 @@ proptest! {
     #[test]
     fn support_is_anti_monotone(d in dataset_strategy(), min_count in 1u64..=4) {
         let params = MiningParams::new(MinSupport::Count(min_count), 0.0);
-        let result = setm_algo::mine(&d, &params);
+        let result = mine_ref(&d, &params);
         for k in 2..=result.max_pattern_len() {
             let (Some(ck), Some(ck1)) = (result.c(k), result.c(k - 1)) else { continue };
             for (pattern, count) in ck.iter() {
@@ -115,7 +120,7 @@ proptest! {
     #[test]
     fn rule_statistics_are_consistent(d in dataset_strategy(), min_count in 1u64..=4) {
         let params = MiningParams::new(MinSupport::Count(min_count), 0.6);
-        let result = setm_algo::mine(&d, &params);
+        let result = mine_ref(&d, &params);
         let rules = setm::generate_rules(&result, params.min_confidence);
         for rule in rules {
             let pattern = rule.pattern();
@@ -136,9 +141,9 @@ fn single_item_transactions_everywhere() {
     let d = Dataset::from_transactions((1..=5u32).map(|t| (t, [7u32])).collect::<Vec<_>>()
         .iter().map(|(t, i)| (*t, i.as_slice())));
     let params = MiningParams::new(MinSupport::Count(3), 0.5);
-    let r = setm_algo::mine(&d, &params);
+    let r = mine_ref(&d, &params);
     assert_eq!(r.frequent_itemsets(), vec![(ItemVec::from([7]), 5)]);
-    let e = mine_on_engine(&d, &params, EngineOptions::default()).unwrap();
+    let e = Miner::new(params).backend(Backend::Engine(EngineConfig::default())).run(&d).unwrap();
     assert_eq!(e.result.frequent_itemsets(), r.frequent_itemsets());
 }
 
@@ -146,6 +151,6 @@ fn single_item_transactions_everywhere() {
 fn duplicate_pairs_are_collapsed_before_mining() {
     // The same (tid, item) row twice must not double-count support.
     let d = Dataset::from_pairs([(1, 5), (1, 5), (2, 5)]);
-    let r = setm_algo::mine(&d, &MiningParams::new(MinSupport::Count(2), 0.5));
+    let r = mine_ref(&d, &MiningParams::new(MinSupport::Count(2), 0.5));
     assert_eq!(r.c(1).unwrap().get(&[5]), Some(2));
 }

@@ -1,0 +1,124 @@
+//! The tentpole contract of the unified API, property-tested: every
+//! backend reachable from `Miner::new(..).backend(..).run(..)` mines the
+//! identical result — frequent itemsets, generated rules, and the
+//! per-iteration `|R'_k|` / `|R_k|` / `|C_k|` trace series — at every
+//! supported thread count.
+//!
+//! Thread counts: the in-memory and paged-engine backends are exercised
+//! at `threads ∈ {1, 4}`; the SQL execution is still single-threaded
+//! (ROADMAP item), so it runs at 1 and asking for more is asserted to be
+//! a *typed* error, not a silent fallback.
+
+use proptest::prelude::*;
+use setm::{
+    Backend, Dataset, EngineConfig, MinSupport, Miner, MiningOutcome, MiningParams, SetmError,
+};
+
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+/// Strategy: a small random basket database.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    // 1..=20 transactions of 1..=6 items drawn from a 1..=10 universe.
+    prop::collection::vec(prop::collection::vec(1u32..=10, 1..=6), 1..=20).prop_map(|txns| {
+        Dataset::from_transactions(
+            txns.iter().enumerate().map(|(tid, items)| (tid as u32 + 1, items.as_slice())),
+        )
+    })
+}
+
+/// The observable-equivalence contract between two facade outcomes.
+fn assert_equivalent(reference: &MiningOutcome, other: &MiningOutcome, label: &str) {
+    assert_eq!(
+        other.result.frequent_itemsets(),
+        reference.result.frequent_itemsets(),
+        "{label}: itemsets"
+    );
+    assert_eq!(other.rules, reference.rules, "{label}: rules");
+    assert_eq!(
+        other.result.min_support_count, reference.result.min_support_count,
+        "{label}: threshold"
+    );
+    assert_eq!(other.result.trace.len(), reference.result.trace.len(), "{label}: trace length");
+    for (a, b) in reference.result.trace.iter().zip(other.result.trace.iter()) {
+        assert_eq!(a.k, b.k, "{label}: k");
+        assert_eq!(a.r_prime_tuples, b.r_prime_tuples, "{label}: |R'_{}|", a.k);
+        assert_eq!(a.r_tuples, b.r_tuples, "{label}: |R_{}|", a.k);
+        assert_eq!(a.c_len, b.c_len, "{label}: |C_{}|", a.k);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// One miner, three backends, identical observable outcomes.
+    #[test]
+    fn all_backends_agree_through_the_facade(
+        d in dataset_strategy(),
+        min_count in 1u64..=5,
+    ) {
+        let miner = Miner::new(MiningParams::new(MinSupport::Count(min_count), 0.6));
+        let reference = miner.threads(1).run(&d).unwrap();
+
+        for threads in THREAD_COUNTS {
+            let mem = miner.threads(threads).run(&d).unwrap();
+            assert_equivalent(&reference, &mem, &format!("memory threads={threads}"));
+            prop_assert!(mem.report.page_accesses().is_none());
+
+            let eng = miner
+                .backend(Backend::Engine(EngineConfig::default()))
+                .threads(threads)
+                .run(&d)
+                .unwrap();
+            assert_equivalent(&reference, &eng, &format!("engine threads={threads}"));
+            prop_assert!(eng.report.page_accesses().is_some());
+        }
+
+        let sql = miner.backend(Backend::Sql).threads(1).run(&d).unwrap();
+        assert_equivalent(&reference, &sql, "sql threads=1");
+        prop_assert!(sql.report.statements().is_some_and(|s| !s.is_empty()));
+    }
+
+    /// The facade's support fractions are always finite — including on
+    /// thresholds that eliminate everything.
+    #[test]
+    fn support_fractions_are_finite(d in dataset_strategy(), min_count in 1u64..=8) {
+        let outcome = Miner::new(MiningParams::new(MinSupport::Count(min_count), 0.5))
+            .run(&d)
+            .unwrap();
+        for (_, count) in outcome.result.frequent_itemsets() {
+            let s = outcome.result.support_fraction(count);
+            prop_assert!(s.is_finite() && s > 0.0);
+        }
+    }
+}
+
+/// Satellite regression: an empty dataset mines to a clean empty outcome
+/// on every backend — no NaN, no panic, no error.
+#[test]
+fn empty_dataset_is_a_clean_empty_outcome_everywhere() {
+    let empty = Dataset::from_pairs(std::iter::empty());
+    let miner = Miner::new(MiningParams::new(MinSupport::Fraction(0.3), 0.7));
+    for backend in [Backend::Memory, Backend::Engine(EngineConfig::default()), Backend::Sql] {
+        let outcome = miner.backend(backend).threads(1).run(&empty).unwrap();
+        assert_eq!(outcome.result.max_pattern_len(), 0, "{}", backend.name());
+        assert!(outcome.rules.is_empty(), "{}", backend.name());
+        assert_eq!(outcome.result.n_transactions, 0);
+        let s = outcome.result.support_fraction(0);
+        assert!(!s.is_nan(), "{}: support must never be NaN", backend.name());
+        assert_eq!(s, 0.0);
+    }
+}
+
+/// "Where supported": the SQL execution is single-threaded, and the
+/// facade says so with a typed error instead of silently running on one
+/// thread.
+#[test]
+fn sql_threads_request_is_a_typed_error() {
+    let d = setm::example::paper_example_dataset();
+    let err = Miner::new(setm::example::paper_example_params())
+        .backend(Backend::Sql)
+        .threads(4)
+        .run(&d)
+        .unwrap_err();
+    assert_eq!(err, SetmError::UnsupportedOption { backend: "sql", option: "threads" });
+}

@@ -33,9 +33,12 @@ fn fault_reaches_the_sql_layer() {
 
 #[test]
 fn healthy_engine_control_run() {
-    use setm::core::setm::engine::{mine_on_engine, EngineOptions};
+    use setm::{Backend, EngineConfig, Miner};
     let d = example::paper_example_dataset();
     let params = MiningParams::new(MinSupport::Fraction(0.3), 0.7);
-    let run = mine_on_engine(&d, &params, EngineOptions::default()).unwrap();
+    let run = Miner::new(params)
+        .backend(Backend::Engine(EngineConfig::default()))
+        .run(&d)
+        .unwrap();
     assert_eq!(run.result.max_pattern_len(), 3);
 }

@@ -9,9 +9,9 @@
 //! are compared there.)
 
 use proptest::prelude::*;
-use setm::core::setm::engine::{mine_on_engine, EngineOptions};
+use setm::core::setm::engine::{self, EngineConfig};
 use setm::core::setm::{memory, SetmOptions};
-use setm::{generate_rules, setm as setm_algo, Dataset, MinSupport, MiningParams, SetmResult};
+use setm::{generate_rules, Dataset, MinSupport, MiningParams, SetmResult};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
 
@@ -71,17 +71,9 @@ proptest! {
     #[test]
     fn engine_parallel_equals_sequential(d in dataset_strategy(), min_count in 1u64..=5) {
         let params = MiningParams::new(MinSupport::Count(min_count), 0.5);
-        let seq = mine_on_engine(
-            &d,
-            &params,
-            EngineOptions { threads: 1, ..Default::default() },
-        ).unwrap();
+        let seq = engine::mine_with(&d, &params, EngineConfig::default(), 1).unwrap();
         for threads in THREAD_COUNTS {
-            let par = mine_on_engine(
-                &d,
-                &params,
-                EngineOptions { threads, ..Default::default() },
-            ).unwrap();
+            let par = engine::mine_with(&d, &params, EngineConfig::default(), threads).unwrap();
             assert_equivalent(&seq.result, &par.result, &format!("engine threads={threads}"));
         }
     }
@@ -104,8 +96,7 @@ proptest! {
         let seq = memory::mine_with(&d, &params, SetmOptions { threads: 1, ..Default::default() });
         let par = memory::mine_with(&d, &params, SetmOptions { threads: 4, ..Default::default() });
         assert_equivalent(&seq, &par, &format!("max_len={cap}"));
-        let eng = mine_on_engine(&d, &params, EngineOptions { threads: 4, ..Default::default() })
-            .unwrap();
+        let eng = engine::mine_with(&d, &params, EngineConfig::default(), 4).unwrap();
         assert_equivalent(&seq, &eng.result, &format!("engine max_len={cap}"));
     }
 }
@@ -116,12 +107,11 @@ proptest! {
 fn worked_example_invariant_across_all_paths_and_threads() {
     let d = setm::example::paper_example_dataset();
     let params = setm::example::paper_example_params();
-    let reference = setm_algo::mine(&d, &params);
+    let reference = memory::mine(&d, &params);
     for threads in THREAD_COUNTS {
         let mem = memory::mine_with(&d, &params, SetmOptions { threads, ..Default::default() });
         assert_equivalent(&reference, &mem, &format!("memory threads={threads}"));
-        let eng = mine_on_engine(&d, &params, EngineOptions { threads, ..Default::default() })
-            .unwrap();
+        let eng = engine::mine_with(&d, &params, EngineConfig::default(), threads).unwrap();
         assert_equivalent(&reference, &eng.result, &format!("engine threads={threads}"));
     }
 }

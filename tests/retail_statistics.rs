@@ -3,10 +3,10 @@
 //! shapes of Figures 5 and 6 and the Section 6.2 stability claim.
 
 use setm::datagen::{DatasetStats, RetailConfig};
-use setm::{setm as setm_algo, MinSupport, MiningParams, SetmResult};
+use setm::{MinSupport, Miner, MiningParams, SetmResult};
 
 fn mine_at(d: &setm::Dataset, frac: f64) -> SetmResult {
-    setm_algo::mine(d, &MiningParams::new(MinSupport::Fraction(frac), 0.5))
+    Miner::new(MiningParams::new(MinSupport::Fraction(frac), 0.5)).run(d).unwrap().result
 }
 
 #[test]

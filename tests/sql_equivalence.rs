@@ -2,23 +2,24 @@
 //! through SQL equals the special-purpose implementations, on realistic
 //! workloads and under both physical plans.
 
-use setm::core::setm::sql::mine_via_sql;
 use setm::datagen::{QuestConfig, RetailConfig};
 use setm::sql::{ExecOptions, JoinPreference, Params, SqlEngine};
-use setm::{setm as setm_algo, MinSupport, MiningParams};
+use setm::{Backend, MinSupport, Miner, MiningParams};
 
 #[test]
 fn sql_driven_setm_matches_memory_on_retail_sample() {
     let d = RetailConfig::small(1_500, 21).generate();
     for frac in [0.01, 0.03] {
         let params = MiningParams::new(MinSupport::Fraction(frac), 0.5);
-        let reference = setm_algo::mine(&d, &params);
-        let run = mine_via_sql(&d, &params).unwrap();
+        let miner = Miner::new(params);
+        let reference = miner.run(&d).unwrap();
+        let run = miner.backend(Backend::Sql).run(&d).unwrap();
         assert_eq!(
             run.result.frequent_itemsets(),
-            reference.frequent_itemsets(),
+            reference.result.frequent_itemsets(),
             "at support {frac}"
         );
+        assert_eq!(run.rules, reference.rules, "at support {frac}");
     }
 }
 
@@ -26,17 +27,18 @@ fn sql_driven_setm_matches_memory_on_retail_sample() {
 fn sql_driven_setm_matches_memory_on_quest_sample() {
     let d = QuestConfig::t5_i2_d100k(200).generate();
     let params = MiningParams::new(MinSupport::Fraction(0.02), 0.5);
-    let reference = setm_algo::mine(&d, &params);
-    let run = mine_via_sql(&d, &params).unwrap();
-    assert_eq!(run.result.frequent_itemsets(), reference.frequent_itemsets());
+    let miner = Miner::new(params);
+    let reference = miner.run(&d).unwrap();
+    let run = miner.backend(Backend::Sql).run(&d).unwrap();
+    assert_eq!(run.result.frequent_itemsets(), reference.result.frequent_itemsets());
 }
 
 #[test]
 fn emitted_statements_are_the_papers_queries() {
     let d = RetailConfig::small(300, 3).generate();
     let params = MiningParams::new(MinSupport::Fraction(0.02), 0.5);
-    let run = mine_via_sql(&d, &params).unwrap();
-    let all = run.statements.join("\n");
+    let run = Miner::new(params).backend(Backend::Sql).run(&d).unwrap();
+    let all = run.report.statements().unwrap().join("\n");
     // Section 3.1's C1 query.
     assert!(all.contains("GROUP BY r1.item"));
     assert!(all.contains("HAVING COUNT(*) >= :minsupport"));

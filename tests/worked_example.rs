@@ -1,24 +1,25 @@
 //! E4 — the paper's worked example (Section 4.2, Figures 1-3, Section 5),
-//! reproduced exactly by every execution strategy in the workspace.
+//! reproduced exactly by every execution strategy in the workspace —
+//! all of them driven through the one `Miner` facade.
 
 use setm::core::nested_loop::{mine_nested_loop, NestedLoopOptions};
-use setm::core::setm::engine::{mine_on_engine, EngineOptions};
-use setm::core::setm::sql::mine_via_sql;
-use setm::{example, generate_rules, setm as setm_algo, Miner};
+use setm::{example, generate_rules, Backend, EngineConfig, Miner};
 
 #[test]
 fn figures_1_to_3_from_every_execution() {
     let d = example::paper_example_dataset();
-    let params = example::paper_example_params();
+    let miner = Miner::new(example::paper_example_params());
 
-    let memory = setm_algo::mine(&d, &params);
-    let engine = mine_on_engine(&d, &params, EngineOptions::default()).unwrap();
-    let sql = mine_via_sql(&d, &params).unwrap();
-    let nested = mine_nested_loop(&d, &params, NestedLoopOptions::default()).unwrap();
+    let memory = miner.run(&d).unwrap().result;
+    let engine =
+        miner.backend(Backend::Engine(EngineConfig::default())).run(&d).unwrap().result;
+    let sql = miner.backend(Backend::Sql).run(&d).unwrap().result;
+    let nested =
+        mine_nested_loop(&d, miner.params(), NestedLoopOptions::default()).unwrap();
 
     let reference = memory.frequent_itemsets();
-    assert_eq!(engine.result.frequent_itemsets(), reference, "engine execution");
-    assert_eq!(sql.result.frequent_itemsets(), reference, "SQL execution");
+    assert_eq!(engine.frequent_itemsets(), reference, "engine execution");
+    assert_eq!(sql.frequent_itemsets(), reference, "SQL execution");
     assert_eq!(nested.result.frequent_itemsets(), reference, "nested-loop strategy");
 
     // Figure 1: C1 contents.
@@ -37,7 +38,7 @@ fn figures_1_to_3_from_every_execution() {
 #[test]
 fn section_5_rule_listing_verbatim() {
     let d = example::paper_example_dataset();
-    let outcome = Miner::new(example::paper_example_params()).mine(&d);
+    let outcome = Miner::new(example::paper_example_params()).run(&d).unwrap();
     let rendered: Vec<String> =
         outcome.rules.iter().map(example::format_rule_lettered).collect();
     assert_eq!(rendered, example::expected_rules());
@@ -47,7 +48,7 @@ fn section_5_rule_listing_verbatim() {
 fn section_5_confidence_arithmetic() {
     // "The ratio |AB|/|B| = 3/4 = 75% ... The ratio |AB|/|A| = 3/6 = 50%".
     let d = example::paper_example_dataset();
-    let result = setm_algo::mine(&d, &example::paper_example_params());
+    let result = Miner::new(example::paper_example_params()).run(&d).unwrap().result;
     let all_rules = generate_rules(&result, 0.0);
     let b_a = all_rules
         .iter()
@@ -67,7 +68,7 @@ fn section_5_confidence_arithmetic() {
 fn termination_condition_is_r_k_empty() {
     // Figure 4: "until R_k = {}" — the example terminates at k = 4.
     let d = example::paper_example_dataset();
-    let result = setm_algo::mine(&d, &example::paper_example_params());
+    let result = Miner::new(example::paper_example_params()).run(&d).unwrap().result;
     let last = result.trace.last().unwrap();
     assert_eq!(last.k, 4);
     assert_eq!(last.r_tuples, 0);
