@@ -1,0 +1,82 @@
+//! Served-mining throughput: requests/sec and tail latency of the
+//! `setm-serve` layer as concurrent clients scale.
+//!
+//! An in-process server (builtin registry, worker pool sized to the
+//! machine) takes a closed-loop mixed-backend request stream — the
+//! worked example on all three backends plus a Quest workload — from
+//! N ∈ {1, 4, 16} client connections. The headline table (requests/sec,
+//! p50/p99 ms) prints before the criterion sweep; `repro -- baseline`
+//! records the same shape into `BENCH_baseline.json`.
+//!
+//! Set `SETM_BENCH_TINY=1` for the seconds-scale CI smoke configuration.
+//!
+//! Note the ROADMAP multicore caveat: on a single-hardware-thread
+//! container the client sweep measures scheduling/protocol overhead, not
+//! parallel speedup — the worker pool can only interleave.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use setm_bench::loadgen::{
+    mixed_request, run_load, start_bench_server, stop_bench_server, LoadConfig,
+};
+
+const CLIENT_SWEEP: [usize; 3] = [1, 4, 16];
+
+fn tiny() -> bool {
+    std::env::var("SETM_BENCH_TINY").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+fn requests_per_client() -> usize {
+    if tiny() { 4 } else { 16 }
+}
+
+fn print_throughput_table() {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("serve throughput (mixed backends, {hw} hardware thread(s)):");
+    println!(
+        "  {:<10} {:>10} {:>12} {:>10} {:>10}",
+        "clients", "requests", "req/s", "p50 (ms)", "p99 (ms)"
+    );
+    let (addr, handle) = start_bench_server();
+    for clients in CLIENT_SWEEP {
+        let config = LoadConfig { clients, requests_per_client: requests_per_client() };
+        let report = run_load(addr, config, mixed_request);
+        assert_eq!(report.errors, 0, "load run must not be rejected at capacity 256");
+        println!(
+            "  {:<10} {:>10} {:>12.1} {:>10.2} {:>10.2}",
+            clients, report.completed, report.rps, report.p50_ms, report.p99_ms
+        );
+    }
+    stop_bench_server(addr, handle);
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let (addr, handle) = start_bench_server();
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    for clients in CLIENT_SWEEP {
+        let requests = if tiny() { 2 } else { 8 };
+        group.bench_with_input(
+            BenchmarkId::new("mixed_round", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    run_load(
+                        addr,
+                        LoadConfig { clients, requests_per_client: requests },
+                        mixed_request,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+    stop_bench_server(addr, handle);
+}
+
+fn all(c: &mut Criterion) {
+    print_throughput_table();
+    bench_serve_throughput(c);
+}
+
+criterion_group!(benches, all);
+criterion_main!(benches);

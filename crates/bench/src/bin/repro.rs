@@ -15,8 +15,11 @@
 //!   ablation   E8 — sort-order tracking, filter-R1 and buffer-cache knobs
 //!   parallel   sharded parallel SETM — wall clock vs thread count on both
 //!              the in-memory and paged-engine paths
+//!   serve      served mining throughput — an in-process `setm-serve`
+//!              server under a mixed-backend client sweep (1/4/16 clients)
 //!   baseline   write BENCH_baseline.json (machine info + per-workload
-//!              wall/I-O numbers, sequential vs parallel) for perf diffing
+//!              wall/I-O numbers, sequential vs parallel, plus the serve
+//!              sweep) for perf diffing
 //!   all        every report target above, in order (baseline excluded)
 //! ```
 //!
@@ -33,6 +36,9 @@
 //! (`0`/unset = the machine's available parallelism).
 
 use setm_baselines::{ais, apriori, apriori_tid};
+use setm_bench::loadgen::{
+    mixed_request, run_load, start_bench_server, stop_bench_server, LoadConfig,
+};
 use setm_core::nested_loop::{mine_nested_loop, NestedLoopOptions};
 use setm_core::setm::engine::EngineConfig;
 use setm_core::{Backend, MinSupport, Miner, MiningParams, SetmResult};
@@ -52,12 +58,8 @@ fn backend() -> Backend {
 }
 
 fn parse_backend(name: &str) -> Option<Backend> {
-    match name {
-        "memory" => Some(Backend::Memory),
-        "engine" => Some(Backend::Engine(EngineConfig::default())),
-        "sql" => Some(Backend::Sql),
-        _ => None,
-    }
+    // The one shared name↔backend mapping (also the serve protocol's).
+    name.parse().ok()
 }
 
 fn main() {
@@ -99,6 +101,7 @@ fn main() {
         "baselines" => repro_baselines(),
         "ablation" => repro_ablation(),
         "parallel" => repro_parallel(),
+        "serve" => repro_serve(),
         "baseline" => repro_baseline(positional.get(1).cloned()),
         "all" => {
             repro_example();
@@ -109,6 +112,7 @@ fn main() {
             repro_baselines();
             repro_ablation();
             repro_parallel();
+            repro_serve();
         }
         other => {
             eprintln!("unknown target {other}; see the source header for targets");
@@ -492,6 +496,35 @@ fn repro_parallel() {
     println!("only measures sharding overhead (results stay identical throughout).");
 }
 
+const SERVE_CLIENT_SWEEP: [usize; 3] = [1, 4, 16];
+const SERVE_REQUESTS_PER_CLIENT: usize = 16;
+
+fn repro_serve() {
+    banner("Served mining — requests/sec vs concurrent clients");
+    let hw = setm_core::setm::shard::resolve_threads(0);
+    println!("machine: {hw} hardware thread(s); mixed backends (memory/engine/sql + quest)\n");
+    let (addr, handle) = start_bench_server();
+    println!(
+        "{:>9} {:>10} {:>12} {:>10} {:>10}",
+        "clients", "requests", "req/s", "p50 (ms)", "p99 (ms)"
+    );
+    for clients in SERVE_CLIENT_SWEEP {
+        let report = run_load(
+            addr,
+            LoadConfig { clients, requests_per_client: SERVE_REQUESTS_PER_CLIENT },
+            mixed_request,
+        );
+        assert_eq!(report.errors, 0, "serve sweep must not hit backpressure");
+        println!(
+            "{:>9} {:>10} {:>12.1} {:>10.2} {:>10.2}",
+            clients, report.completed, report.rps, report.p50_ms, report.p99_ms
+        );
+    }
+    stop_bench_server(addr, handle);
+    println!("\nthroughput past one client scales with real cores; on a single-core");
+    println!("host the sweep measures scheduling + protocol overhead (ROADMAP caveat).");
+}
+
 /// A minimal JSON writer for the baseline file (no serde in the tree).
 struct Json(String);
 
@@ -582,6 +615,37 @@ fn repro_baseline(path: Option<String>) {
         println!("  engine retail/20 threads={threads} done");
     }
     j.0.push_str("  ],\n");
+
+    // Served mining: requests/sec + tail latency under concurrent
+    // clients, mixed backends. NOTE the hardware-thread count: on a
+    // 1-thread container this measures scheduling/protocol overhead,
+    // not parallel speedup (ROADMAP multicore caveat).
+    let (addr, handle) = start_bench_server();
+    j.field(1, "serve_mixed_backends", "{", true);
+    j.field(2, "hardware_threads", &hw.to_string(), false);
+    j.field(2, "requests_per_client", &SERVE_REQUESTS_PER_CLIENT.to_string(), false);
+    j.field(
+        2,
+        "note",
+        "\"mixed request stream: example on memory/engine/sql + quest-t5 on memory\"",
+        false,
+    );
+    j.field(2, "sweep", "[", true);
+    for (i, &clients) in SERVE_CLIENT_SWEEP.iter().enumerate() {
+        let report = run_load(
+            addr,
+            LoadConfig { clients, requests_per_client: SERVE_REQUESTS_PER_CLIENT },
+            mixed_request,
+        );
+        let sep = if i + 1 == SERVE_CLIENT_SWEEP.len() { "" } else { "," };
+        j.0.push_str(&format!(
+            "      {{ \"clients\": {}, \"requests\": {}, \"errors\": {}, \"rps\": {:.1}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2} }}{}\n",
+            clients, report.completed, report.errors, report.rps, report.p50_ms, report.p99_ms, sep
+        ));
+        println!("  serve clients={clients} done ({:.1} req/s)", report.rps);
+    }
+    j.0.push_str("    ]\n  },\n");
+    stop_bench_server(addr, handle);
 
     // Nested-loop vs SETM on the engine (the paper's headline ratio).
     let uniform = UniformConfig::paper_scaled(100).generate();

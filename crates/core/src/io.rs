@@ -65,6 +65,80 @@ pub fn to_fimi(dataset: &Dataset) -> String {
     out
 }
 
+/// The on-disk basket formats this module can parse, by name — the
+/// registry hook used by `setm-serve` (and any other loader) to read a
+/// dataset file without bespoke dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileFormat {
+    /// One transaction per line, whitespace-separated items.
+    Fimi,
+    /// One `trans_id item` row per line.
+    Pairs,
+}
+
+impl FileFormat {
+    /// The format's stable name (`"fimi"` / `"pairs"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FileFormat::Fimi => "fimi",
+            FileFormat::Pairs => "pairs",
+        }
+    }
+}
+
+impl std::str::FromStr for FileFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "fimi" => Ok(FileFormat::Fimi),
+            "pairs" => Ok(FileFormat::Pairs),
+            other => Err(format!("unknown basket format {other:?}; expected fimi or pairs")),
+        }
+    }
+}
+
+/// Parse `text` in the given format.
+pub fn parse_as(format: FileFormat, text: &str) -> Result<Dataset, ParseError> {
+    match format {
+        FileFormat::Fimi => parse_fimi(text),
+        FileFormat::Pairs => parse_pairs(text),
+    }
+}
+
+/// A [`load_path`] failure: the file was unreadable or unparsable.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The file's text did not parse in the requested format.
+    Parse(ParseError),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "could not read dataset file: {e}"),
+            LoadError::Parse(e) => write!(f, "could not parse dataset file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            LoadError::Parse(e) => Some(e),
+        }
+    }
+}
+
+/// Read and parse a basket file from disk in the given format.
+pub fn load_path(path: impl AsRef<std::path::Path>, format: FileFormat) -> Result<Dataset, LoadError> {
+    let text = std::fs::read_to_string(path).map_err(LoadError::Io)?;
+    parse_as(format, &text).map_err(LoadError::Parse)
+}
+
 /// Parse `trans_id item` pair lines — the textual `SALES` relation.
 pub fn parse_pairs(text: &str) -> Result<Dataset, ParseError> {
     let mut pairs: Vec<(u32, u32)> = Vec::new();
@@ -143,6 +217,31 @@ mod tests {
         assert_eq!(parse_fimi("").unwrap().n_transactions(), 0);
         assert_eq!(parse_fimi("# nothing\n\n").unwrap().n_transactions(), 0);
         assert_eq!(parse_pairs("# nothing\n").unwrap().n_rows(), 0);
+    }
+
+    #[test]
+    fn file_formats_parse_by_name_and_load_from_disk() {
+        assert_eq!("fimi".parse::<FileFormat>().unwrap(), FileFormat::Fimi);
+        assert_eq!("pairs".parse::<FileFormat>().unwrap(), FileFormat::Pairs);
+        assert!("csv".parse::<FileFormat>().is_err());
+        for format in [FileFormat::Fimi, FileFormat::Pairs] {
+            assert_eq!(format.name().parse::<FileFormat>().unwrap(), format);
+        }
+
+        let d = crate::example::paper_example_dataset();
+        let dir = std::env::temp_dir().join(format!("setm-io-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sales.pairs");
+        std::fs::write(&path, to_pairs(&d)).unwrap();
+        let loaded = load_path(&path, FileFormat::Pairs).unwrap();
+        assert_eq!(loaded, d);
+        assert!(matches!(
+            load_path(dir.join("missing.pairs"), FileFormat::Pairs),
+            Err(LoadError::Io(_))
+        ));
+        std::fs::write(&path, "not numbers\n").unwrap();
+        assert!(matches!(load_path(&path, FileFormat::Fimi), Err(LoadError::Parse(_))));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod setm;
 pub use data::{Dataset, Item, MinSupport, MiningParams, TransId};
 pub use error::SetmError;
 pub use itemvec::ItemVec;
-pub use miner::{Backend, EngineReport, ExecutionReport, Miner, MiningOutcome, SqlReport};
+pub use miner::{Backend, EngineReport, ExecutionReport, Miner, MiningOutcome, SqlReport, UnknownBackend};
 pub use pattern::{CountRelation, PatternRelation};
 pub use classes::{mine_by_class, ClassedDataset, ClassedMiningResult, ClassedRule};
 pub use rules::{generate_extended_rules, generate_rules, ExtendedRule, Rule};

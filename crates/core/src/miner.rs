@@ -55,6 +55,38 @@ impl Backend {
     }
 }
 
+/// The inverse of [`Backend::name`]: parse `"memory"` / `"engine"` /
+/// `"sql"` (engine gets [`EngineConfig::default`]). This is the one
+/// name↔backend mapping shared by the `repro` binary's `SETM_BACKEND`
+/// knob and the `setm-serve` wire protocol.
+impl std::str::FromStr for Backend {
+    type Err = UnknownBackend;
+
+    fn from_str(s: &str) -> Result<Self, UnknownBackend> {
+        match s {
+            "memory" => Ok(Backend::Memory),
+            "engine" => Ok(Backend::Engine(EngineConfig::default())),
+            "sql" => Ok(Backend::Sql),
+            other => Err(UnknownBackend { name: other.to_string() }),
+        }
+    }
+}
+
+/// A backend name that is not `memory`, `engine`, or `sql`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBackend {
+    /// The name that failed to parse.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown backend {:?}; expected memory, engine, or sql", self.name)
+    }
+}
+
+impl std::error::Error for UnknownBackend {}
+
 /// What the paged-engine backend measured while mining.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineReport {
@@ -231,6 +263,24 @@ impl Miner {
         &self.params
     }
 
+    /// The configured backend (what [`Miner::backend`] set, or the
+    /// default [`Backend::Memory`]). Together with the other getters this
+    /// lets a job be logged or echoed back to a client — e.g. by the
+    /// `setm-serve` protocol — without re-parsing anything.
+    pub fn configured_backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The configured worker-thread knob (`0` = available parallelism).
+    pub fn configured_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether the `filter_r1` ablation knob is set.
+    pub fn configured_filter_r1(&self) -> bool {
+        self.filter_r1
+    }
+
     /// Validate the configuration without running anything.
     pub fn validate(&self) -> Result<(), SetmError> {
         self.params.validate()?;
@@ -390,6 +440,27 @@ mod tests {
             let s = outcome.result.support_fraction(0);
             assert_eq!(s, 0.0, "support must not be NaN on {}", backend.name());
         }
+    }
+
+    #[test]
+    fn backend_names_round_trip_through_from_str() {
+        for backend in [Backend::Memory, Backend::Engine(EngineConfig::default()), Backend::Sql] {
+            let parsed: Backend = backend.name().parse().unwrap();
+            assert_eq!(parsed, backend);
+        }
+        let err = "postgres".parse::<Backend>().unwrap_err();
+        assert_eq!(err.name, "postgres");
+        assert!(err.to_string().contains("postgres"));
+    }
+
+    #[test]
+    fn configured_getters_echo_the_builder_chain() {
+        let params = example::paper_example_params();
+        let miner = Miner::new(params).backend(Backend::Sql).threads(3).filter_r1(true);
+        assert_eq!(miner.configured_backend(), Backend::Sql);
+        assert_eq!(miner.configured_threads(), 3);
+        assert!(miner.configured_filter_r1());
+        assert_eq!(miner.params(), &params);
     }
 
     #[test]

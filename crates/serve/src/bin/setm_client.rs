@@ -1,0 +1,231 @@
+//! The `setm-client` binary: drive a `setm-serve` server from the shell.
+//!
+//! ```text
+//! setm-client [--addr HOST:PORT] <verb> [options]
+//!
+//! verbs:
+//!   mine --dataset NAME [--backend memory|engine|sql] [--threads N]
+//!        [--min-support X] [--min-confidence X] [--max-len K] [--filter-r1]
+//!        [--json]
+//!          X parses as an absolute count when integral ("3") and as a
+//!          fraction otherwise ("0.005"). --json dumps the raw outcome
+//!          object instead of the human summary.
+//!   datasets        list the registry
+//!   status          scheduler + registry counters
+//!   cancel JOB      cancel a queued job by id
+//!   shutdown        graceful drain
+//! ```
+
+use setm_core::{Backend, MinSupport, Miner, MiningParams};
+use setm_serve::client::Client;
+
+fn usage_exit(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!(
+        "usage: setm-client [--addr HOST:PORT] <mine|datasets|status|cancel|shutdown> [options]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_min_support(text: &str) -> MinSupport {
+    if let Ok(count) = text.parse::<u64>() {
+        MinSupport::Count(count)
+    } else if let Ok(fraction) = text.parse::<f64>() {
+        MinSupport::Fraction(fraction)
+    } else {
+        usage_exit(&format!("--min-support {text:?} is neither a count nor a fraction"));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--addr" {
+            addr = args
+                .get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| usage_exit("--addr needs a value"));
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    let Some(verb) = rest.first().cloned() else { usage_exit("missing verb") };
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("could not connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let result = match verb.as_str() {
+        "mine" => run_mine(&mut client, &rest[1..]),
+        "datasets" | "list-datasets" => run_datasets(&mut client),
+        "status" => run_status(&mut client),
+        "cancel" => {
+            let job = rest
+                .get(1)
+                .and_then(|j| j.parse().ok())
+                .unwrap_or_else(|| usage_exit("cancel needs a numeric job id"));
+            run_cancel(&mut client, job)
+        }
+        "shutdown" => run_shutdown(&mut client),
+        other => usage_exit(&format!("unknown verb {other:?}")),
+    };
+    if let Err(e) = result {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+}
+
+type CmdResult = Result<(), setm_serve::client::ClientError>;
+
+fn run_mine(client: &mut Client, options: &[String]) -> CmdResult {
+    let mut dataset: Option<String> = None;
+    let mut backend = Backend::Memory;
+    let mut threads = 0usize;
+    let mut filter_r1 = false;
+    let mut min_support = MinSupport::Fraction(0.01);
+    let mut min_confidence = 0.5f64;
+    let mut max_len: Option<usize> = None;
+    let mut raw_json = false;
+
+    let mut i = 0;
+    while i < options.len() {
+        let flag = options[i].as_str();
+        let value = || {
+            options
+                .get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| usage_exit(&format!("{flag} needs a value")))
+        };
+        let mut took_value = true;
+        match flag {
+            "--dataset" => dataset = Some(value()),
+            "--backend" => {
+                backend = value()
+                    .parse()
+                    .unwrap_or_else(|e: setm_core::UnknownBackend| usage_exit(&e.to_string()));
+            }
+            "--threads" => {
+                threads = value().parse().unwrap_or_else(|_| usage_exit("--threads needs a number"));
+            }
+            "--min-support" => min_support = parse_min_support(&value()),
+            "--min-confidence" => {
+                min_confidence =
+                    value().parse().unwrap_or_else(|_| usage_exit("--min-confidence needs a number"));
+            }
+            "--max-len" => {
+                max_len =
+                    Some(value().parse().unwrap_or_else(|_| usage_exit("--max-len needs a number")));
+            }
+            "--filter-r1" => {
+                filter_r1 = true;
+                took_value = false;
+            }
+            "--json" => {
+                raw_json = true;
+                took_value = false;
+            }
+            other => usage_exit(&format!("unknown mine option {other:?}")),
+        }
+        i += if took_value { 2 } else { 1 };
+    }
+    let Some(dataset) = dataset else { usage_exit("mine needs --dataset NAME") };
+
+    let mut params = MiningParams::new(min_support, min_confidence);
+    params.max_pattern_len = max_len;
+    let miner = Miner::new(params).backend(backend).threads(threads).filter_r1(filter_r1);
+    let reply = client.mine(&dataset, miner)?;
+    if raw_json {
+        println!("{}", reply.raw_outcome);
+        return Ok(());
+    }
+    let o = &reply.outcome;
+    println!(
+        "job {} on {}: {} transactions, min support count {}",
+        reply.job,
+        o.report.backend_name(),
+        o.n_transactions,
+        o.min_support_count
+    );
+    println!("{} frequent itemsets, {} rules", o.itemsets.len(), o.rules.len());
+    for t in &o.trace {
+        println!(
+            "  k={}: |R'_{}|={:<8} |R_{}|={:<8} |C_{}|={}",
+            t.k, t.k, t.r_prime_tuples, t.k, t.r_tuples, t.k, t.c_len
+        );
+    }
+    match &o.report {
+        setm_serve::ReportPayload::Memory => {}
+        setm_serve::ReportPayload::Engine { page_accesses, estimated_io_ms, .. } => {
+            println!("engine: {page_accesses} page accesses, est. {estimated_io_ms:.1} ms I/O");
+        }
+        setm_serve::ReportPayload::Sql { statements } => {
+            println!("sql: {} statements executed", statements.len());
+        }
+    }
+    for r in &o.rules {
+        let ante: Vec<String> = r.antecedent.iter().map(u32::to_string).collect();
+        println!(
+            "  {} ==> {}, [{:.1}%, {:.1}%]",
+            ante.join(" "),
+            r.consequent,
+            r.confidence * 100.0,
+            r.support * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn run_datasets(client: &mut Client) -> CmdResult {
+    for d in client.list_datasets()? {
+        let loaded = if d.loaded {
+            format!(
+                "loaded: {} txns, {} rows",
+                d.n_transactions.unwrap_or(0),
+                d.n_rows.unwrap_or(0)
+            )
+        } else {
+            "not loaded yet".to_string()
+        };
+        println!("{:<14} {} ({loaded})", d.name, d.description);
+    }
+    Ok(())
+}
+
+fn run_status(client: &mut Client) -> CmdResult {
+    let s = client.status()?;
+    println!("{} — {} workers, queue capacity {}", s.schema, s.workers, s.queue_capacity);
+    println!(
+        "queued {}, running {}, completed {}, rejected {}, cancelled {}{}",
+        s.queued,
+        s.running,
+        s.completed,
+        s.rejected,
+        s.cancelled,
+        if s.draining { " (draining)" } else { "" }
+    );
+    println!(
+        "datasets: {} registered, {} loaded; hardware threads: {}",
+        s.datasets, s.datasets_loaded, s.hardware_threads
+    );
+    Ok(())
+}
+
+fn run_cancel(client: &mut Client, job: u64) -> CmdResult {
+    let dequeued = client.cancel(job)?;
+    println!("job {job}: {}", if dequeued { "cancelled" } else { "not queued (unknown or running)" });
+    Ok(())
+}
+
+fn run_shutdown(client: &mut Client) -> CmdResult {
+    let pending = client.shutdown()?;
+    println!("server draining; {pending} job(s) still pending");
+    Ok(())
+}

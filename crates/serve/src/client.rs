@@ -1,0 +1,260 @@
+//! The client library: a typed, blocking connection to a `setm-serve`
+//! server.
+//!
+//! One [`Client`] wraps one TCP connection. Mining uses the same
+//! [`Miner`] builder as local runs — the client ships its configuration
+//! over the wire and hands back the decoded outcome plus the *raw*
+//! outcome JSON (which is byte-identical to
+//! `protocol::outcome_to_json(&local_outcome).to_string()`; the
+//! end-to-end tests assert exactly that).
+//!
+//! ```no_run
+//! use setm_serve::client::Client;
+//! use setm_core::{Miner, MiningParams, MinSupport};
+//!
+//! let mut client = Client::connect("127.0.0.1:7878").unwrap();
+//! let reply = client
+//!     .mine("example", Miner::new(MiningParams::new(MinSupport::Fraction(0.3), 0.7)))
+//!     .unwrap();
+//! assert_eq!(reply.outcome.rules.len(), 11);
+//! ```
+
+use crate::json::{self, Json};
+use crate::protocol::{self, MineRequest, OutcomePayload};
+use crate::registry::DatasetInfo;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use setm_core::Miner;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or dropped.
+    Io(std::io::Error),
+    /// The server sent something that is not valid protocol.
+    Protocol(String),
+    /// The server answered with a protocol error response.
+    Server {
+        /// The stable machine-readable code (e.g. `queue_full`).
+        code: String,
+        /// The HTTP-style status class (429 for backpressure, ...).
+        status: u16,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { code, status, message } => {
+                write!(f, "server error {status} ({code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A completed served mining job.
+#[derive(Debug, Clone)]
+pub struct MineReply {
+    /// The server-assigned job id.
+    pub job: u64,
+    /// The decoded outcome.
+    pub outcome: OutcomePayload,
+    /// The outcome object exactly as serialized by the server —
+    /// byte-identical to a local `outcome_to_json(..).to_string()`.
+    pub raw_outcome: String,
+}
+
+/// Counters from the `status` verb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStatus {
+    pub schema: String,
+    pub workers: u64,
+    pub queue_capacity: u64,
+    pub queued: u64,
+    pub running: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    pub cancelled: u64,
+    pub draining: bool,
+    pub datasets: u64,
+    pub datasets_loaded: u64,
+    pub hardware_threads: u64,
+}
+
+/// One blocking protocol connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    fn send(&mut self, request: &Json) -> Result<(), ClientError> {
+        let mut line = request.to_string();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Read one response line; protocol errors become `Err`.
+    fn read_response(&mut self) -> Result<Json, ClientError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("server closed the connection".to_string()));
+        }
+        let v = json::parse(line.trim())
+            .map_err(|e| ClientError::Protocol(format!("bad response line: {e}")))?;
+        match v.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(v),
+            Some(false) => Err(ClientError::Server {
+                code: v.get("code").and_then(Json::as_str).unwrap_or("unknown").to_string(),
+                status: v.get("status").and_then(Json::as_u64).unwrap_or(500) as u16,
+                message: v.get("error").and_then(Json::as_str).unwrap_or("").to_string(),
+            }),
+            None => Err(ClientError::Protocol("response missing `ok`".to_string())),
+        }
+    }
+
+    fn expect_event(v: &Json, event: &str) -> Result<(), ClientError> {
+        match v.get("event").and_then(Json::as_str) {
+            Some(e) if e == event => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected event {event:?}, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Submit a mining job and return its id once the server accepts it.
+    /// Follow with [`Client::wait_outcome`] to collect the result; the
+    /// pair is equivalent to [`Client::mine`] but exposes the id early
+    /// enough for a second connection to `cancel` it.
+    pub fn submit(&mut self, dataset: &str, miner: Miner) -> Result<u64, ClientError> {
+        let req = MineRequest { dataset: dataset.to_string(), miner };
+        self.send(&req.to_json())?;
+        let accepted = self.read_response()?;
+        Self::expect_event(&accepted, "accepted")?;
+        accepted
+            .get("job")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("accepted line missing job id".to_string()))
+    }
+
+    /// Collect the outcome of the job most recently submitted on this
+    /// connection.
+    pub fn wait_outcome(&mut self) -> Result<MineReply, ClientError> {
+        let line = self.read_response()?;
+        Self::expect_event(&line, "outcome")?;
+        let job = line
+            .get("job")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol("outcome line missing job id".to_string()))?;
+        let outcome_json = line
+            .get("outcome")
+            .ok_or_else(|| ClientError::Protocol("outcome line missing outcome".to_string()))?;
+        let outcome = protocol::outcome_from_json(outcome_json).map_err(ClientError::Protocol)?;
+        Ok(MineReply { job, outcome, raw_outcome: outcome_json.to_string() })
+    }
+
+    /// Mine `dataset` with the given miner configuration on the server
+    /// and wait for the outcome.
+    pub fn mine(&mut self, dataset: &str, miner: Miner) -> Result<MineReply, ClientError> {
+        self.submit(dataset, miner)?;
+        self.wait_outcome()
+    }
+
+    /// List the datasets the server can mine.
+    pub fn list_datasets(&mut self) -> Result<Vec<DatasetInfo>, ClientError> {
+        self.send(&Json::obj([("op", Json::str("list-datasets"))]))?;
+        let v = self.read_response()?;
+        Self::expect_event(&v, "datasets")?;
+        v.get("datasets")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol("missing datasets array".to_string()))?
+            .iter()
+            .map(|d| {
+                Ok(DatasetInfo {
+                    name: d
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| ClientError::Protocol("dataset missing name".to_string()))?
+                        .to_string(),
+                    description: d
+                        .get("description")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    loaded: d.get("loaded").and_then(Json::as_bool).unwrap_or(false),
+                    n_transactions: d.get("n_transactions").and_then(Json::as_u64),
+                    n_rows: d.get("n_rows").and_then(Json::as_u64),
+                })
+            })
+            .collect()
+    }
+
+    /// Fetch the server's status counters.
+    pub fn status(&mut self) -> Result<ServerStatus, ClientError> {
+        self.send(&Json::obj([("op", Json::str("status"))]))?;
+        let v = self.read_response()?;
+        Self::expect_event(&v, "status")?;
+        let u = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
+        Ok(ServerStatus {
+            schema: v.get("schema").and_then(Json::as_str).unwrap_or("").to_string(),
+            workers: u("workers"),
+            queue_capacity: u("queue_capacity"),
+            queued: u("queued"),
+            running: u("running"),
+            completed: u("completed"),
+            rejected: u("rejected"),
+            cancelled: u("cancelled"),
+            draining: v.get("draining").and_then(Json::as_bool).unwrap_or(false),
+            datasets: u("datasets"),
+            datasets_loaded: u("datasets_loaded"),
+            hardware_threads: u("hardware_threads"),
+        })
+    }
+
+    /// Cancel a queued job by id. Returns whether it was dequeued.
+    pub fn cancel(&mut self, job: u64) -> Result<bool, ClientError> {
+        self.send(&Json::obj([("op", Json::str("cancel")), ("job", Json::u64(job))]))?;
+        let v = self.read_response()?;
+        Self::expect_event(&v, "cancel")?;
+        Ok(v.get("dequeued").and_then(Json::as_bool).unwrap_or(false))
+    }
+
+    /// Ask the server to drain and shut down. Returns the number of jobs
+    /// that were still pending when the drain began.
+    pub fn shutdown(&mut self) -> Result<u64, ClientError> {
+        self.send(&Json::obj([("op", Json::str("shutdown"))]))?;
+        let v = self.read_response()?;
+        Self::expect_event(&v, "shutting-down")?;
+        Ok(v.get("pending").and_then(Json::as_u64).unwrap_or(0))
+    }
+}

@@ -1,0 +1,621 @@
+//! The `setm-serve` wire protocol: newline-delimited JSON over TCP.
+//!
+//! One request per line, one or more response lines per request. Every
+//! response carries `"ok"`; successful ones name their `"event"`, errors
+//! carry a stable machine-readable `"code"` plus an HTTP-style numeric
+//! `"status"` (the queue-full rejection is the 429 of the protocol).
+//!
+//! A `mine` request is answered with **two** lines: an `accepted` line
+//! echoing the job id and configuration (so a second connection can
+//! `cancel` it), then an `outcome` line with the full serialized
+//! [`MiningOutcome`] — itemsets, rules, per-iteration trace, and the
+//! per-backend `ExecutionReport` (engine I/O breakdown / SQL statement
+//! trace). Serialization is canonical (see [`crate::json`]), so a served
+//! outcome is byte-identical to `outcome_to_json(..).to_string()` of the
+//! same local run.
+//!
+//! ```text
+//! C: {"op":"mine","dataset":"example","backend":"memory","threads":0,
+//!     "filter_r1":false,"min_support":{"fraction":0.3},"min_confidence":0.7}
+//! S: {"ok":true,"event":"accepted","job":1,"dataset":"example","backend":"memory","threads":0}
+//! S: {"ok":true,"event":"outcome","job":1,"outcome":{...}}
+//! ```
+//!
+//! Admin verbs: `list-datasets`, `status`, `cancel`, `shutdown`.
+
+use crate::json::Json;
+use setm_core::setm::engine::EngineConfig;
+use setm_core::{
+    Backend, ExecutionReport, MinSupport, Miner, MiningOutcome, MiningParams, SetmError,
+};
+
+/// Protocol schema identifier, reported by the `status` verb.
+pub const SCHEMA: &str = "setm-serve/v1";
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Mine a registered dataset with the given miner configuration.
+    Mine(MineRequest),
+    /// List the datasets the server can mine.
+    ListDatasets,
+    /// Report scheduler and registry counters.
+    Status,
+    /// Cancel a queued job by id (running jobs are not preempted).
+    Cancel { job: u64 },
+    /// Graceful drain: stop accepting work, finish in-flight jobs, exit.
+    Shutdown,
+}
+
+/// A mining job: which registered dataset to mine, and the full `Miner`
+/// configuration to mine it with. The miner is the *same builder* used
+/// for local runs — the protocol maps its parameters 1:1 onto JSON via
+/// the `Miner` accessors, so nothing is re-parsed server-side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MineRequest {
+    /// Name of a dataset in the server's registry.
+    pub dataset: String,
+    /// The mining configuration (backend, threads, params, knobs).
+    pub miner: Miner,
+}
+
+impl MineRequest {
+    /// Encode as the `mine` request line.
+    pub fn to_json(&self) -> Json {
+        let params = self.miner.params();
+        let backend = self.miner.configured_backend();
+        let mut members = vec![
+            ("op".to_string(), Json::str("mine")),
+            ("dataset".to_string(), Json::str(&self.dataset)),
+            ("backend".to_string(), Json::str(backend.name())),
+            ("threads".to_string(), Json::u64(self.miner.configured_threads() as u64)),
+            ("filter_r1".to_string(), Json::Bool(self.miner.configured_filter_r1())),
+            ("min_support".to_string(), min_support_to_json(params.min_support)),
+            ("min_confidence".to_string(), Json::Num(params.min_confidence)),
+        ];
+        if let Some(k) = params.max_pattern_len {
+            members.push(("max_pattern_len".to_string(), Json::u64(k as u64)));
+        }
+        if let Backend::Engine(cfg) = backend {
+            if cfg != EngineConfig::default() {
+                members.push(("engine_config".to_string(), engine_config_to_json(&cfg)));
+            }
+        }
+        Json::Obj(members)
+    }
+}
+
+fn min_support_to_json(s: MinSupport) -> Json {
+    match s {
+        MinSupport::Count(c) => Json::obj([("count", Json::u64(c))]),
+        MinSupport::Fraction(f) => Json::obj([("fraction", Json::Num(f))]),
+    }
+}
+
+fn min_support_from_json(v: &Json) -> Result<MinSupport, String> {
+    if let Some(c) = v.get("count").and_then(Json::as_u64) {
+        Ok(MinSupport::Count(c))
+    } else if let Some(f) = v.get("fraction").and_then(Json::as_f64) {
+        Ok(MinSupport::Fraction(f))
+    } else {
+        Err("min_support must be {\"count\": n} or {\"fraction\": f}".to_string())
+    }
+}
+
+fn engine_config_to_json(cfg: &EngineConfig) -> Json {
+    Json::obj([
+        ("sort_buffer_pages", Json::u64(cfg.sort_buffer_pages as u64)),
+        ("cache_frames", Json::u64(cfg.cache_frames as u64)),
+        ("track_sort_order", Json::Bool(cfg.track_sort_order)),
+    ])
+}
+
+fn engine_config_from_json(v: &Json) -> Result<EngineConfig, String> {
+    let mut cfg = EngineConfig::default();
+    if let Some(n) = v.get("sort_buffer_pages") {
+        cfg.sort_buffer_pages =
+            n.as_u64().ok_or("sort_buffer_pages must be a non-negative integer")? as usize;
+    }
+    if let Some(n) = v.get("cache_frames") {
+        cfg.cache_frames =
+            n.as_u64().ok_or("cache_frames must be a non-negative integer")? as usize;
+    }
+    if let Some(b) = v.get("track_sort_order") {
+        cfg.track_sort_order = b.as_bool().ok_or("track_sort_order must be a boolean")?;
+    }
+    Ok(cfg)
+}
+
+/// Parse a request line (already JSON-parsed). Errors are human-readable
+/// strings the server wraps in a `bad_request` response.
+pub fn parse_request(v: &Json) -> Result<Request, String> {
+    let op = v.get("op").and_then(Json::as_str).ok_or("missing string field `op`")?;
+    match op {
+        "mine" => parse_mine(v).map(Request::Mine),
+        "list-datasets" => Ok(Request::ListDatasets),
+        "status" => Ok(Request::Status),
+        "cancel" => {
+            let job =
+                v.get("job").and_then(Json::as_u64).ok_or("cancel needs a numeric `job` id")?;
+            Ok(Request::Cancel { job })
+        }
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!(
+            "unknown op {other:?}; expected mine, list-datasets, status, cancel, or shutdown"
+        )),
+    }
+}
+
+fn parse_mine(v: &Json) -> Result<MineRequest, String> {
+    let dataset = v
+        .get("dataset")
+        .and_then(Json::as_str)
+        .ok_or("mine needs a string `dataset` name")?
+        .to_string();
+    let backend_name = v.get("backend").and_then(Json::as_str).unwrap_or("memory");
+    let mut backend: Backend = backend_name.parse().map_err(|e| format!("{e}"))?;
+    if let Some(cfg) = v.get("engine_config") {
+        match backend {
+            Backend::Engine(_) => backend = Backend::Engine(engine_config_from_json(cfg)?),
+            _ => return Err("engine_config is only valid with the engine backend".to_string()),
+        }
+    }
+    let min_support =
+        min_support_from_json(v.get("min_support").ok_or("mine needs `min_support`")?)?;
+    let min_confidence = v
+        .get("min_confidence")
+        .and_then(Json::as_f64)
+        .ok_or("mine needs a numeric `min_confidence`")?;
+    let mut params = MiningParams::new(min_support, min_confidence);
+    if let Some(k) = v.get("max_pattern_len") {
+        params.max_pattern_len =
+            Some(k.as_u64().ok_or("max_pattern_len must be a non-negative integer")? as usize);
+    }
+    let threads = match v.get("threads") {
+        Some(t) => t.as_u64().ok_or("threads must be a non-negative integer")? as usize,
+        None => 0,
+    };
+    let filter_r1 = match v.get("filter_r1") {
+        Some(b) => b.as_bool().ok_or("filter_r1 must be a boolean")?,
+        None => false,
+    };
+    Ok(MineRequest {
+        dataset,
+        miner: Miner::new(params).backend(backend).threads(threads).filter_r1(filter_r1),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Outcome serialization
+// ---------------------------------------------------------------------------
+
+/// Serialize a [`MiningOutcome`] to its wire object.
+pub fn outcome_to_json(outcome: &MiningOutcome) -> Json {
+    let itemsets = outcome
+        .result
+        .frequent_itemsets()
+        .into_iter()
+        .map(|(items, count)| {
+            Json::obj([
+                ("items", Json::Arr(items.iter().map(|i| Json::u64(*i as u64)).collect())),
+                ("count", Json::u64(count)),
+            ])
+        })
+        .collect();
+    let rules = outcome
+        .rules
+        .iter()
+        .map(|r| {
+            Json::obj([
+                (
+                    "antecedent",
+                    Json::Arr(r.antecedent.iter().map(|i| Json::u64(*i as u64)).collect()),
+                ),
+                ("consequent", Json::u64(r.consequent as u64)),
+                ("support_count", Json::u64(r.support_count)),
+                ("support", Json::Num(r.support)),
+                ("confidence", Json::Num(r.confidence)),
+            ])
+        })
+        .collect();
+    let trace = outcome
+        .result
+        .trace
+        .iter()
+        .map(|t| {
+            Json::obj([
+                ("k", Json::u64(t.k as u64)),
+                ("r_prime_tuples", Json::u64(t.r_prime_tuples)),
+                ("r_tuples", Json::u64(t.r_tuples)),
+                ("r_kbytes", Json::Num(t.r_kbytes)),
+                ("c_len", Json::u64(t.c_len)),
+                ("page_accesses", Json::u64(t.page_accesses)),
+                ("estimated_io_ms", Json::Num(t.estimated_io_ms)),
+            ])
+        })
+        .collect();
+    let report = match &outcome.report {
+        ExecutionReport::Memory => Json::obj([("backend", Json::str("memory"))]),
+        ExecutionReport::Engine(e) => Json::obj([
+            ("backend", Json::str("engine")),
+            ("page_accesses", Json::u64(e.page_accesses)),
+            ("estimated_io_ms", Json::Num(e.estimated_io_ms)),
+            (
+                "io",
+                Json::obj([
+                    ("seq_reads", Json::u64(e.io.seq_reads)),
+                    ("rand_reads", Json::u64(e.io.rand_reads)),
+                    ("seq_writes", Json::u64(e.io.seq_writes)),
+                    ("rand_writes", Json::u64(e.io.rand_writes)),
+                    ("cache_hits", Json::u64(e.io.cache_hits)),
+                ]),
+            ),
+        ]),
+        ExecutionReport::Sql(s) => Json::obj([
+            ("backend", Json::str("sql")),
+            ("statements", Json::Arr(s.statements.iter().map(Json::str).collect())),
+        ]),
+    };
+    Json::obj([
+        ("n_transactions", Json::u64(outcome.result.n_transactions)),
+        ("min_support_count", Json::u64(outcome.result.min_support_count)),
+        ("itemsets", Json::Arr(itemsets)),
+        ("rules", Json::Arr(rules)),
+        ("trace", Json::Arr(trace)),
+        ("report", report),
+    ])
+}
+
+/// A client-side decoded outcome — the wire form of [`MiningOutcome`],
+/// without the columnar `CountRelation` internals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutcomePayload {
+    pub n_transactions: u64,
+    pub min_support_count: u64,
+    /// Frequent itemsets with support counts, shortest first.
+    pub itemsets: Vec<(Vec<u32>, u64)>,
+    pub rules: Vec<RulePayload>,
+    pub trace: Vec<TracePayload>,
+    pub report: ReportPayload,
+}
+
+/// The wire form of a [`setm_core::Rule`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RulePayload {
+    pub antecedent: Vec<u32>,
+    pub consequent: u32,
+    pub support_count: u64,
+    pub support: f64,
+    pub confidence: f64,
+}
+
+/// The wire form of a [`setm_core::IterationTrace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracePayload {
+    pub k: usize,
+    pub r_prime_tuples: u64,
+    pub r_tuples: u64,
+    pub r_kbytes: f64,
+    pub c_len: u64,
+    pub page_accesses: u64,
+    pub estimated_io_ms: f64,
+}
+
+/// The wire form of an [`ExecutionReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportPayload {
+    Memory,
+    Engine {
+        page_accesses: u64,
+        estimated_io_ms: f64,
+        seq_reads: u64,
+        rand_reads: u64,
+        seq_writes: u64,
+        rand_writes: u64,
+        cache_hits: u64,
+    },
+    Sql { statements: Vec<String> },
+}
+
+impl ReportPayload {
+    /// The backend that produced this report.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            ReportPayload::Memory => "memory",
+            ReportPayload::Engine { .. } => "engine",
+            ReportPayload::Sql { .. } => "sql",
+        }
+    }
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(Json::as_u64).ok_or_else(|| format!("missing numeric field `{key}`"))
+}
+
+fn f64_field(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key).and_then(Json::as_f64).ok_or_else(|| format!("missing numeric field `{key}`"))
+}
+
+fn items_field(v: &Json, key: &str) -> Result<Vec<u32>, String> {
+    v.get(key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("missing array field `{key}`"))?
+        .iter()
+        .map(|i| i.as_u64().map(|i| i as u32).ok_or_else(|| format!("non-integer item in `{key}`")))
+        .collect()
+}
+
+/// Decode the wire object produced by [`outcome_to_json`].
+pub fn outcome_from_json(v: &Json) -> Result<OutcomePayload, String> {
+    let itemsets = v
+        .get("itemsets")
+        .and_then(Json::as_array)
+        .ok_or("missing `itemsets`")?
+        .iter()
+        .map(|e| Ok((items_field(e, "items")?, u64_field(e, "count")?)))
+        .collect::<Result<Vec<_>, String>>()?;
+    let rules = v
+        .get("rules")
+        .and_then(Json::as_array)
+        .ok_or("missing `rules`")?
+        .iter()
+        .map(|e| {
+            Ok(RulePayload {
+                antecedent: items_field(e, "antecedent")?,
+                consequent: u64_field(e, "consequent")? as u32,
+                support_count: u64_field(e, "support_count")?,
+                support: f64_field(e, "support")?,
+                confidence: f64_field(e, "confidence")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let trace = v
+        .get("trace")
+        .and_then(Json::as_array)
+        .ok_or("missing `trace`")?
+        .iter()
+        .map(|e| {
+            Ok(TracePayload {
+                k: u64_field(e, "k")? as usize,
+                r_prime_tuples: u64_field(e, "r_prime_tuples")?,
+                r_tuples: u64_field(e, "r_tuples")?,
+                r_kbytes: f64_field(e, "r_kbytes")?,
+                c_len: u64_field(e, "c_len")?,
+                page_accesses: u64_field(e, "page_accesses")?,
+                estimated_io_ms: f64_field(e, "estimated_io_ms")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let report = v.get("report").ok_or("missing `report`")?;
+    let report = match report.get("backend").and_then(Json::as_str) {
+        Some("memory") => ReportPayload::Memory,
+        Some("engine") => {
+            let io = report.get("io").ok_or("engine report missing `io`")?;
+            ReportPayload::Engine {
+                page_accesses: u64_field(report, "page_accesses")?,
+                estimated_io_ms: f64_field(report, "estimated_io_ms")?,
+                seq_reads: u64_field(io, "seq_reads")?,
+                rand_reads: u64_field(io, "rand_reads")?,
+                seq_writes: u64_field(io, "seq_writes")?,
+                rand_writes: u64_field(io, "rand_writes")?,
+                cache_hits: u64_field(io, "cache_hits")?,
+            }
+        }
+        Some("sql") => ReportPayload::Sql {
+            statements: report
+                .get("statements")
+                .and_then(Json::as_array)
+                .ok_or("sql report missing `statements`")?
+                .iter()
+                .map(|s| s.as_str().map(str::to_string).ok_or("non-string statement".to_string()))
+                .collect::<Result<Vec<_>, String>>()?,
+        },
+        _ => return Err("report missing a known `backend`".to_string()),
+    };
+    Ok(OutcomePayload {
+        n_transactions: u64_field(v, "n_transactions")?,
+        min_support_count: u64_field(v, "min_support_count")?,
+        itemsets,
+        rules,
+        trace,
+        report,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Error codes
+// ---------------------------------------------------------------------------
+
+/// A stable wire error: machine-readable code plus an HTTP-style status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErrorCode {
+    /// Stable snake_case identifier — the wire contract; never renamed.
+    pub code: &'static str,
+    /// HTTP-style status class (400 bad input, 404 not found, 409
+    /// cancelled, 429 backpressure, 500 backend fault, 503 draining).
+    pub status: u16,
+}
+
+/// Map a [`SetmError`] to its stable wire code.
+///
+/// The match is intentionally **exhaustive** (no `_` arm): adding a
+/// `SetmError` variant breaks this build until a code is chosen for it —
+/// the wire format can only grow deliberately, never by accident.
+pub fn setm_error_code(e: &SetmError) -> ErrorCode {
+    match e {
+        SetmError::InvalidSupportFraction { .. } => {
+            ErrorCode { code: "invalid_support_fraction", status: 400 }
+        }
+        SetmError::InvalidConfidence { .. } => {
+            ErrorCode { code: "invalid_confidence", status: 400 }
+        }
+        SetmError::InvalidMaxPatternLen => {
+            ErrorCode { code: "invalid_max_pattern_len", status: 400 }
+        }
+        SetmError::InvalidEngineConfig { .. } => {
+            ErrorCode { code: "invalid_engine_config", status: 400 }
+        }
+        SetmError::UnsupportedOption { .. } => {
+            ErrorCode { code: "unsupported_option", status: 400 }
+        }
+        SetmError::Engine(_) => ErrorCode { code: "engine_fault", status: 500 },
+        SetmError::Sql(_) => ErrorCode { code: "sql_fault", status: 500 },
+    }
+}
+
+/// Serve-layer error codes (not produced by mining itself).
+pub mod codes {
+    use super::ErrorCode;
+
+    /// Malformed JSON or a request that fails protocol validation.
+    pub const BAD_REQUEST: ErrorCode = ErrorCode { code: "bad_request", status: 400 };
+    /// The named dataset is not in the registry.
+    pub const UNKNOWN_DATASET: ErrorCode = ErrorCode { code: "unknown_dataset", status: 404 };
+    /// A registered dataset file failed to load or parse.
+    pub const DATASET_LOAD: ErrorCode = ErrorCode { code: "dataset_load", status: 500 };
+    /// The job queue is at capacity — retry later (the 429 of the protocol).
+    pub const QUEUE_FULL: ErrorCode = ErrorCode { code: "queue_full", status: 429 };
+    /// The server is draining and accepts no new work.
+    pub const SHUTTING_DOWN: ErrorCode = ErrorCode { code: "shutting_down", status: 503 };
+    /// The job was cancelled before it ran.
+    pub const CANCELLED: ErrorCode = ErrorCode { code: "cancelled", status: 409 };
+    /// The mining run panicked (a bug — mining errors are normally typed).
+    pub const INTERNAL: ErrorCode = ErrorCode { code: "internal", status: 500 };
+}
+
+/// Build an error response line.
+pub fn error_response(err: ErrorCode, message: &str, job: Option<u64>) -> Json {
+    let mut members = vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("code".to_string(), Json::str(err.code)),
+        ("status".to_string(), Json::u64(err.status as u64)),
+        ("error".to_string(), Json::str(message)),
+    ];
+    if let Some(job) = job {
+        members.push(("job".to_string(), Json::u64(job)));
+    }
+    Json::Obj(members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use setm_core::example;
+
+    #[test]
+    fn mine_request_round_trips_through_the_wire_form() {
+        let miner = Miner::new(MiningParams::new(MinSupport::Fraction(0.3), 0.7).with_max_len(3))
+            .backend(Backend::Engine(EngineConfig { cache_frames: 64, ..Default::default() }))
+            .threads(2)
+            .filter_r1(true);
+        let req = MineRequest { dataset: "retail-small".to_string(), miner };
+        let wire = req.to_json();
+        let parsed = parse_request(&wire).unwrap();
+        assert_eq!(parsed, Request::Mine(req));
+    }
+
+    #[test]
+    fn mine_request_defaults_apply() {
+        let v = crate::json::parse(
+            r#"{"op":"mine","dataset":"example","min_support":{"count":3},"min_confidence":0.7}"#,
+        )
+        .unwrap();
+        let Request::Mine(req) = parse_request(&v).unwrap() else { panic!("not a mine request") };
+        assert_eq!(req.miner.configured_backend(), Backend::Memory);
+        assert_eq!(req.miner.configured_threads(), 0);
+        assert!(!req.miner.configured_filter_r1());
+        assert_eq!(req.miner.params().max_pattern_len, None);
+    }
+
+    #[test]
+    fn admin_verbs_parse() {
+        let parse = |s: &str| parse_request(&crate::json::parse(s).unwrap());
+        assert_eq!(parse(r#"{"op":"list-datasets"}"#).unwrap(), Request::ListDatasets);
+        assert_eq!(parse(r#"{"op":"status"}"#).unwrap(), Request::Status);
+        assert_eq!(parse(r#"{"op":"cancel","job":7}"#).unwrap(), Request::Cancel { job: 7 });
+        assert_eq!(parse(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown);
+        assert!(parse(r#"{"op":"frobnicate"}"#).unwrap_err().contains("unknown op"));
+        assert!(parse(r#"{"noop":1}"#).unwrap_err().contains("op"));
+        assert!(parse(r#"{"op":"cancel"}"#).unwrap_err().contains("job"));
+    }
+
+    #[test]
+    fn bad_mine_requests_are_described() {
+        let parse = |s: &str| parse_request(&crate::json::parse(s).unwrap()).unwrap_err();
+        assert!(parse(r#"{"op":"mine"}"#).contains("dataset"));
+        assert!(parse(r#"{"op":"mine","dataset":"x"}"#).contains("min_support"));
+        assert!(
+            parse(r#"{"op":"mine","dataset":"x","min_support":{"pages":1},"min_confidence":0.5}"#)
+                .contains("min_support")
+        );
+        assert!(parse(
+            r#"{"op":"mine","dataset":"x","backend":"oracle","min_support":{"count":1},"min_confidence":0.5}"#
+        )
+        .contains("oracle"));
+        assert!(parse(
+            r#"{"op":"mine","dataset":"x","backend":"sql","engine_config":{},"min_support":{"count":1},"min_confidence":0.5}"#
+        )
+        .contains("engine_config"));
+    }
+
+    #[test]
+    fn outcomes_round_trip_bytewise_and_decode() {
+        let d = example::paper_example_dataset();
+        for backend in [Backend::Memory, Backend::Engine(EngineConfig::default()), Backend::Sql] {
+            let outcome =
+                Miner::new(example::paper_example_params()).backend(backend).run(&d).unwrap();
+            let wire = outcome_to_json(&outcome);
+            let text = wire.to_string();
+            let reparsed = crate::json::parse(&text).unwrap();
+            assert_eq!(reparsed.to_string(), text, "canonical serialization");
+
+            let payload = outcome_from_json(&reparsed).unwrap();
+            assert_eq!(payload.n_transactions, 10);
+            assert_eq!(payload.min_support_count, 3);
+            assert_eq!(payload.rules.len(), 11);
+            assert_eq!(payload.itemsets.len(), outcome.result.frequent_itemsets().len());
+            assert_eq!(payload.report.backend_name(), backend.name());
+            assert_eq!(payload.trace.len(), outcome.result.trace.len());
+            if let ReportPayload::Engine { page_accesses, .. } = &payload.report {
+                assert_eq!(Some(*page_accesses), outcome.report.page_accesses());
+            }
+            if let ReportPayload::Sql { statements } = &payload.report {
+                assert_eq!(statements.as_slice(), outcome.report.statements().unwrap());
+            }
+        }
+    }
+
+    /// Satellite 6: the wire contract. Every `SetmError` variant has a
+    /// pinned, stable code — and because `setm_error_code` matches
+    /// exhaustively, *adding* a variant breaks this crate's build until a
+    /// code is chosen, rather than silently changing the wire format.
+    #[test]
+    fn setm_error_codes_are_pinned() {
+        use setm_core::SetmError as E;
+        let table: [(E, &str, u16); 7] = [
+            (E::InvalidSupportFraction { fraction: 1.5 }, "invalid_support_fraction", 400),
+            (E::InvalidConfidence { confidence: 2.0 }, "invalid_confidence", 400),
+            (E::InvalidMaxPatternLen, "invalid_max_pattern_len", 400),
+            (E::InvalidEngineConfig { reason: "x".into() }, "invalid_engine_config", 400),
+            (E::UnsupportedOption { backend: "sql", option: "threads" }, "unsupported_option", 400),
+            (E::Engine(setm_relational::Error::NoSuchFile(1)), "engine_fault", 500),
+            (E::Sql(setm_sql::SqlError::Parse("x".into())), "sql_fault", 500),
+        ];
+        for (err, code, status) in table {
+            let c = setm_error_code(&err);
+            assert_eq!(c.code, code, "{err}");
+            assert_eq!(c.status, status, "{err}");
+        }
+    }
+
+    #[test]
+    fn error_responses_have_the_wire_shape() {
+        let v = error_response(codes::QUEUE_FULL, "queue is at capacity (4)", Some(9));
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("code").unwrap().as_str(), Some("queue_full"));
+        assert_eq!(v.get("status").unwrap().as_u64(), Some(429));
+        assert_eq!(v.get("job").unwrap().as_u64(), Some(9));
+        let v = error_response(codes::BAD_REQUEST, "nope", None);
+        assert!(v.get("job").is_none());
+    }
+}

@@ -1,0 +1,287 @@
+//! The dataset registry: named datasets, loaded once, shared by every
+//! concurrent job.
+//!
+//! A mining request names its dataset (`"dataset": "retail-small"`);
+//! the registry resolves the name to an `Arc<Dataset>`. Sources are
+//! either *builtin* generator configs (the calibrated retail stand-in,
+//! Quest workloads, the worked example — all deterministic under their
+//! seeds) or on-disk basket files parsed through `setm_core::io`. Every
+//! source is loaded lazily on first use and cached behind `Arc`, so N
+//! concurrent requests against the same name share one immutable copy —
+//! the set-oriented analogue of mining *inside* the database instead of
+//! shipping the relation to every client.
+//!
+//! Registration happens before serving starts (the registry is plain
+//! data once built); loading is synchronized per entry with `OnceLock`,
+//! so two first-touch requests do not generate the dataset twice.
+
+use setm_core::io::{self, FileFormat};
+use setm_core::Dataset;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+use setm_datagen::{QuestConfig, RetailConfig, UniformConfig};
+
+/// Where a registered dataset comes from.
+enum Source {
+    /// A deterministic generator (builtin names).
+    Builtin(fn() -> Dataset),
+    /// A basket file on disk, parsed via [`setm_core::io`].
+    File { path: PathBuf, format: FileFormat },
+    /// An already-materialized dataset (in-process registration).
+    Preloaded(Arc<Dataset>),
+}
+
+struct Entry {
+    description: String,
+    source: Source,
+    cell: OnceLock<Result<Arc<Dataset>, String>>,
+}
+
+/// A resolution failure: the name is unknown, or its source failed to
+/// load (file unreadable / unparsable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    UnknownDataset(String),
+    Load { name: String, message: String },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownDataset(name) => write!(f, "unknown dataset {name:?}"),
+            RegistryError::Load { name, message } => {
+                write!(f, "dataset {name:?} failed to load: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// One row of `list-datasets`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetInfo {
+    pub name: String,
+    pub description: String,
+    /// Whether the dataset has been materialized yet.
+    pub loaded: bool,
+    /// Set once loaded.
+    pub n_transactions: Option<u64>,
+    pub n_rows: Option<u64>,
+}
+
+/// The registry itself. Build it (builtins + any files), then hand it to
+/// the server; it is immutable and fully shareable afterwards.
+pub struct Registry {
+    entries: BTreeMap<String, Entry>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_builtins()
+    }
+}
+
+impl Registry {
+    /// An empty registry (no names resolve).
+    pub fn empty() -> Self {
+        Registry { entries: BTreeMap::new() }
+    }
+
+    /// The builtin catalog: the worked example plus the calibrated
+    /// synthetic workloads the benchmarks use. All deterministic.
+    pub fn with_builtins() -> Self {
+        let mut r = Registry::empty();
+        r.register_builtin(
+            "example",
+            "the paper's ten-transaction worked example (Section 4.2)",
+            setm_core::example::paper_example_dataset,
+        );
+        r.register_builtin(
+            "retail-small",
+            "retail stand-in scaled to 2,500 transactions (seed 11)",
+            || RetailConfig::small(2_500, 11).generate(),
+        );
+        r.register_builtin(
+            "retail-paper",
+            "retail stand-in at full paper scale: 46,873 transactions",
+            || RetailConfig::paper().generate(),
+        );
+        r.register_builtin("quest-t5", "Quest T5.I2, 10,000 transactions", || {
+            QuestConfig::t5_i2_d100k(10).generate()
+        });
+        r.register_builtin("quest-t10", "Quest T10.I4, 10,000 transactions", || {
+            QuestConfig::t10_i4_d100k(10).generate()
+        });
+        r.register_builtin(
+            "uniform-s100",
+            "Section 3.2 uniform retailing model at 1/100 scale",
+            || UniformConfig::paper_scaled(100).generate(),
+        );
+        r
+    }
+
+    fn insert(&mut self, name: &str, description: &str, source: Source) {
+        self.entries.insert(
+            name.to_string(),
+            Entry {
+                description: description.to_string(),
+                source,
+                cell: OnceLock::new(),
+            },
+        );
+    }
+
+    /// Register a builtin generator under `name` (replaces any previous
+    /// entry of that name).
+    pub fn register_builtin(&mut self, name: &str, description: &str, generate: fn() -> Dataset) {
+        self.insert(name, description, Source::Builtin(generate));
+    }
+
+    /// Register an on-disk basket file. The file is read lazily, on the
+    /// first request that names it.
+    pub fn register_file(&mut self, name: &str, path: impl Into<PathBuf>, format: FileFormat) {
+        let path = path.into();
+        let description = format!("{} file {}", format.name(), path.display());
+        self.insert(name, &description, Source::File { path, format });
+    }
+
+    /// Register an already-materialized dataset.
+    pub fn register_dataset(&mut self, name: &str, description: &str, dataset: Dataset) {
+        self.insert(name, description, Source::Preloaded(Arc::new(dataset)));
+    }
+
+    /// Resolve `name`, loading and caching on first use. Concurrent
+    /// callers share the one `Arc<Dataset>`.
+    pub fn get(&self, name: &str) -> Result<Arc<Dataset>, RegistryError> {
+        let entry = self
+            .entries
+            .get(name)
+            .ok_or_else(|| RegistryError::UnknownDataset(name.to_string()))?;
+        entry
+            .cell
+            .get_or_init(|| match &entry.source {
+                Source::Builtin(generate) => Ok(Arc::new(generate())),
+                Source::File { path, format } => io::load_path(path, *format)
+                    .map(Arc::new)
+                    .map_err(|e| e.to_string()),
+                Source::Preloaded(d) => Ok(Arc::clone(d)),
+            })
+            .clone()
+            .map_err(|message| RegistryError::Load { name: name.to_string(), message })
+    }
+
+    /// Every registered dataset, in name order.
+    pub fn list(&self) -> Vec<DatasetInfo> {
+        self.entries
+            .iter()
+            .map(|(name, entry)| {
+                let loaded = entry.cell.get().and_then(|r| r.as_ref().ok());
+                DatasetInfo {
+                    name: name.clone(),
+                    description: entry.description.clone(),
+                    loaded: loaded.is_some(),
+                    n_transactions: loaded.map(|d| d.n_transactions()),
+                    n_rows: loaded.map(|d| d.n_rows()),
+                }
+            })
+            .collect()
+    }
+
+    /// Number of registered names.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of datasets materialized so far.
+    pub fn loaded_count(&self) -> usize {
+        self.entries.values().filter(|e| matches!(e.cell.get(), Some(Ok(_)))).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_resolve_and_cache_one_copy() {
+        let r = Registry::with_builtins();
+        assert!(r.len() >= 6);
+        assert_eq!(r.loaded_count(), 0);
+        let a = r.get("example").unwrap();
+        let b = r.get("example").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "cached copies must be the same allocation");
+        assert_eq!(a.n_transactions(), 10);
+        assert_eq!(r.loaded_count(), 1);
+        let info = r.list();
+        let example = info.iter().find(|i| i.name == "example").unwrap();
+        assert!(example.loaded);
+        assert_eq!(example.n_transactions, Some(10));
+        let retail = info.iter().find(|i| i.name == "retail-paper").unwrap();
+        assert!(!retail.loaded);
+        assert_eq!(retail.n_transactions, None);
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors() {
+        let r = Registry::with_builtins();
+        assert_eq!(
+            r.get("nope").unwrap_err(),
+            RegistryError::UnknownDataset("nope".to_string())
+        );
+    }
+
+    #[test]
+    fn file_sources_load_lazily_and_report_failures() {
+        let dir = std::env::temp_dir().join(format!("setm-serve-reg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.fimi");
+        std::fs::write(&good, "1 2 3\n1 2\n2 3\n").unwrap();
+        let mut r = Registry::empty();
+        r.register_file("good", &good, FileFormat::Fimi);
+        r.register_file("missing", dir.join("missing.fimi"), FileFormat::Fimi);
+        let d = r.get("good").unwrap();
+        assert_eq!(d.n_transactions(), 3);
+        let err = r.get("missing").unwrap_err();
+        assert!(matches!(err, RegistryError::Load { .. }), "{err}");
+        // A load failure is cached too (the file is not re-probed).
+        assert_eq!(r.get("missing").unwrap_err(), err);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_first_touch_materializes_once() {
+        let r = Arc::new(Registry::with_builtins());
+        let copies: Vec<Arc<Dataset>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let r = Arc::clone(&r);
+                    s.spawn(move || r.get("quest-t5").unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for c in &copies[1..] {
+            assert!(Arc::ptr_eq(&copies[0], c));
+        }
+    }
+
+    #[test]
+    fn preloaded_datasets_resolve() {
+        let mut r = Registry::empty();
+        r.register_dataset(
+            "inline",
+            "test data",
+            Dataset::from_pairs([(1, 1), (1, 2), (2, 1)]),
+        );
+        assert_eq!(r.get("inline").unwrap().n_rows(), 3);
+        assert!(!r.is_empty());
+    }
+}

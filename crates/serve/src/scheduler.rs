@@ -1,0 +1,459 @@
+//! The job scheduler: a bounded worker pool in front of the `Miner`
+//! facade.
+//!
+//! Connection handlers submit [`MineJob`]s; a fixed pool of OS worker
+//! threads drains a bounded FIFO queue and runs each job's
+//! `Miner::run(dataset)`. The bounds are the backpressure story:
+//!
+//! * **queue full** → [`SubmitError::QueueFull`] immediately (the server
+//!   turns this into the protocol's 429-style `queue_full` error) — a
+//!   burst beyond `workers + queue_capacity` is *rejected*, not buffered
+//!   without limit;
+//! * **draining** → [`SubmitError::ShuttingDown`]; in-flight and queued
+//!   jobs still complete, new ones are refused.
+//!
+//! Every job gets a process-unique id at submission. A *queued* job can
+//! be cancelled by id ([`Scheduler::cancel`]); its submitter receives
+//! `JobResult::Cancelled`. A job already running is not preempted —
+//! mining passes are CPU-bound with no safe interruption points — and
+//! `cancel` reports that by returning `false`.
+
+use setm_core::{Dataset, Miner, MiningOutcome, SetmError};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work: one facade run against a shared dataset.
+pub struct MineJob {
+    /// The fully configured miner (backend, threads, params).
+    pub miner: Miner,
+    /// The dataset, shared with the registry cache (never copied).
+    pub dataset: Arc<Dataset>,
+    /// Test seam: a worker that picks this job up parks on the gate
+    /// until the test opens it, making "the worker is busy" a fact the
+    /// tests can establish instead of a race they must win.
+    #[cfg(test)]
+    gate: Option<Arc<tests::Gate>>,
+}
+
+impl MineJob {
+    /// A job for `miner` over `dataset`.
+    pub fn new(miner: Miner, dataset: Arc<Dataset>) -> Self {
+        MineJob {
+            miner,
+            dataset,
+            #[cfg(test)]
+            gate: None,
+        }
+    }
+}
+
+/// What a submitted job resolves to.
+#[derive(Debug)]
+pub enum JobResult {
+    /// The run finished (successfully or with a typed mining error).
+    Finished(Result<MiningOutcome, SetmError>),
+    /// The job was cancelled while still queued; it never ran.
+    Cancelled,
+    /// The run panicked. Mining bugs surface as typed errors, so this is
+    /// defense in depth: the worker survives (caught with
+    /// `catch_unwind`) and the pool keeps its size.
+    Panicked,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity — retry later.
+    QueueFull { capacity: usize },
+    /// The scheduler is draining; no new work is accepted.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "job queue is at capacity ({capacity}); retry later")
+            }
+            SubmitError::ShuttingDown => write!(f, "scheduler is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A submitted job: its id plus the receiver its result arrives on.
+#[derive(Debug)]
+pub struct Ticket {
+    /// Process-unique job id (echoed on the wire; target of `cancel`).
+    pub job: u64,
+    rx: mpsc::Receiver<JobResult>,
+}
+
+impl Ticket {
+    /// Block until the job resolves. A dead scheduler (drained while the
+    /// job was queued — cannot happen through the public API, which
+    /// drains only after the queue empties) surfaces as `Cancelled`.
+    pub fn wait(self) -> JobResult {
+        self.rx.recv().unwrap_or(JobResult::Cancelled)
+    }
+}
+
+struct QueuedJob {
+    id: u64,
+    job: MineJob,
+    reply: mpsc::Sender<JobResult>,
+}
+
+#[derive(Default)]
+struct State {
+    queue: VecDeque<QueuedJob>,
+    running: usize,
+    draining: bool,
+    next_id: u64,
+    // Lifetime counters for the `status` verb.
+    completed: u64,
+    rejected: u64,
+    cancelled: u64,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Signalled on enqueue and on drain; workers wait on it.
+    work: Condvar,
+    /// Signalled when a job finishes; `drain` waits on it.
+    idle: Condvar,
+    queue_capacity: usize,
+}
+
+/// Counters reported by the `status` verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerStatus {
+    pub workers: usize,
+    pub queue_capacity: usize,
+    pub queued: usize,
+    pub running: usize,
+    pub completed: u64,
+    pub rejected: u64,
+    pub cancelled: u64,
+    pub draining: bool,
+}
+
+/// The bounded worker pool. Dropping it drains gracefully.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    n_workers: usize,
+}
+
+impl Scheduler {
+    /// Start `workers` OS threads behind a queue of `queue_capacity`
+    /// pending jobs. Both bounds must be at least 1.
+    pub fn new(workers: usize, queue_capacity: usize) -> Self {
+        let workers = workers.max(1);
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            queue_capacity: queue_capacity.max(1),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Scheduler { inner, workers: Mutex::new(handles), n_workers: workers }
+    }
+
+    /// Submit a job. Returns its [`Ticket`] immediately; the result is
+    /// delivered through it when a worker finishes the run.
+    pub fn submit(&self, job: MineJob) -> Result<Ticket, SubmitError> {
+        let mut state = self.inner.state.lock().expect("scheduler lock");
+        if state.draining {
+            state.rejected += 1;
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.queue.len() >= self.inner.queue_capacity {
+            state.rejected += 1;
+            return Err(SubmitError::QueueFull { capacity: self.inner.queue_capacity });
+        }
+        state.next_id += 1;
+        let id = state.next_id;
+        let (tx, rx) = mpsc::channel();
+        state.queue.push_back(QueuedJob { id, job, reply: tx });
+        self.inner.work.notify_one();
+        Ok(Ticket { job: id, rx })
+    }
+
+    /// Cancel a *queued* job. Returns `true` if it was dequeued (its
+    /// submitter receives [`JobResult::Cancelled`]); `false` if it is
+    /// unknown or already running.
+    pub fn cancel(&self, job: u64) -> bool {
+        let mut state = self.inner.state.lock().expect("scheduler lock");
+        let Some(pos) = state.queue.iter().position(|q| q.id == job) else {
+            return false;
+        };
+        let queued = state.queue.remove(pos).expect("position just found");
+        state.cancelled += 1;
+        let _ = queued.reply.send(JobResult::Cancelled);
+        true
+    }
+
+    /// A point-in-time snapshot of the counters.
+    pub fn status(&self) -> SchedulerStatus {
+        let state = self.inner.state.lock().expect("scheduler lock");
+        SchedulerStatus {
+            workers: self.n_workers,
+            queue_capacity: self.inner.queue_capacity,
+            queued: state.queue.len(),
+            running: state.running,
+            completed: state.completed,
+            rejected: state.rejected,
+            cancelled: state.cancelled,
+            draining: state.draining,
+        }
+    }
+
+    /// Queued + running jobs (what a drain will wait for).
+    pub fn pending(&self) -> usize {
+        let state = self.inner.state.lock().expect("scheduler lock");
+        state.queue.len() + state.running
+    }
+
+    /// Start refusing new submissions without waiting for in-flight work
+    /// (the shutdown verb calls this; the accept loop's [`Scheduler::drain`]
+    /// does the blocking part).
+    pub fn begin_drain(&self) {
+        let mut state = self.inner.state.lock().expect("scheduler lock");
+        state.draining = true;
+        self.inner.work.notify_all();
+    }
+
+    /// Graceful drain: refuse new submissions, let every queued and
+    /// running job finish, then join the workers. Idempotent.
+    pub fn drain(&self) {
+        {
+            let mut state = self.inner.state.lock().expect("scheduler lock");
+            state.draining = true;
+            self.inner.work.notify_all();
+            while !state.queue.is_empty() || state.running > 0 {
+                state = self.inner.idle.wait(state).expect("scheduler lock");
+            }
+        }
+        let handles: Vec<_> = self.workers.lock().expect("worker handles").drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let queued = {
+            let mut state = inner.state.lock().expect("scheduler lock");
+            loop {
+                if let Some(q) = state.queue.pop_front() {
+                    state.running += 1;
+                    break q;
+                }
+                if state.draining {
+                    return;
+                }
+                state = inner.work.wait(state).expect("scheduler lock");
+            }
+        };
+        #[cfg(test)]
+        if let Some(gate) = &queued.job.gate {
+            gate.wait_open();
+        }
+        // Run outside the lock — this is the long, CPU-bound part. A
+        // panic must not kill the worker or leak the `running` counter
+        // (drain() waits on it), so it is caught and reported.
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            queued.job.miner.run(&queued.job.dataset)
+        }));
+        let result = match run {
+            Ok(outcome) => JobResult::Finished(outcome),
+            Err(_) => JobResult::Panicked,
+        };
+        let _ = queued.reply.send(result);
+        let mut state = inner.state.lock().expect("scheduler lock");
+        state.running -= 1;
+        state.completed += 1;
+        inner.idle.notify_all();
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use setm_core::{example, Backend, MinSupport, MiningParams};
+
+    /// The test seam workers park on: a worker holding a gated job
+    /// blocks in `wait_open` until the test calls `open`, so "the worker
+    /// is busy" is established deterministically, not raced.
+    pub(crate) struct Gate {
+        open: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl Gate {
+        fn new() -> Arc<Gate> {
+            Arc::new(Gate { open: Mutex::new(false), cv: Condvar::new() })
+        }
+
+        fn open(&self) {
+            *self.open.lock().expect("gate lock") = true;
+            self.cv.notify_all();
+        }
+
+        pub(crate) fn wait_open(&self) {
+            let mut open = self.open.lock().expect("gate lock");
+            while !*open {
+                open = self.cv.wait(open).expect("gate lock");
+            }
+        }
+    }
+
+    fn example_job() -> MineJob {
+        MineJob::new(
+            Miner::new(example::paper_example_params()),
+            Arc::new(example::paper_example_dataset()),
+        )
+    }
+
+    /// An example job whose worker parks on the returned gate.
+    fn gated_job() -> (MineJob, Arc<Gate>) {
+        let gate = Gate::new();
+        let mut job = example_job();
+        job.gate = Some(Arc::clone(&gate));
+        (job, gate)
+    }
+
+    /// Spin until the worker has dequeued the (gated) first job; the
+    /// gate guarantees it then *stays* busy.
+    fn wait_until_busy(s: &Scheduler) {
+        while s.status().running == 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn jobs_run_and_resolve_with_unique_ids() {
+        let s = Scheduler::new(2, 8);
+        let tickets: Vec<Ticket> = (0..4).map(|_| s.submit(example_job()).unwrap()).collect();
+        let ids: Vec<u64> = tickets.iter().map(|t| t.job).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4]);
+        for t in tickets {
+            match t.wait() {
+                JobResult::Finished(Ok(outcome)) => assert_eq!(outcome.rules.len(), 11),
+                other => panic!("unexpected result: {other:?}"),
+            }
+        }
+        s.drain(); // settle the counters (they land after delivery)
+        let st = s.status();
+        assert_eq!(st.completed, 4);
+        assert_eq!(st.queued, 0);
+        assert_eq!(st.rejected, 0);
+    }
+
+    #[test]
+    fn mining_errors_come_back_typed() {
+        let s = Scheduler::new(1, 4);
+        let bad = MineJob::new(
+            Miner::new(MiningParams::new(MinSupport::Fraction(2.0), 0.5)),
+            Arc::new(example::paper_example_dataset()),
+        );
+        match s.submit(bad).unwrap().wait() {
+            JobResult::Finished(Err(SetmError::InvalidSupportFraction { .. })) => {}
+            other => panic!("unexpected result: {other:?}"),
+        }
+    }
+
+    /// Backpressure: with the single worker blocked and the queue full,
+    /// the next submission is rejected with `QueueFull` (never buffered).
+    #[test]
+    fn full_queue_rejects_submissions() {
+        let s = Scheduler::new(1, 1);
+        let (job, gate) = gated_job();
+        let first = s.submit(job).unwrap();
+        // The worker parks on the gate, so the queue slot is genuinely
+        // free for the second job — and stays occupied for the third.
+        wait_until_busy(&s);
+        let second = s.submit(example_job()).unwrap();
+        let rejected = s.submit(example_job());
+        match rejected {
+            Err(SubmitError::QueueFull { capacity: 1 }) => {}
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        assert_eq!(s.status().rejected, 1);
+        gate.open();
+        assert!(matches!(first.wait(), JobResult::Finished(Ok(_))));
+        assert!(matches!(second.wait(), JobResult::Finished(Ok(_))));
+    }
+
+    #[test]
+    fn queued_jobs_cancel_but_running_jobs_do_not() {
+        let s = Scheduler::new(1, 4);
+        let (job, gate) = gated_job();
+        let first = s.submit(job).unwrap();
+        wait_until_busy(&s);
+        let second = s.submit(example_job()).unwrap();
+        assert!(s.cancel(second.job), "queued job must cancel");
+        assert!(!s.cancel(second.job), "already gone");
+        assert!(!s.cancel(first.job), "running job is not preempted");
+        assert!(!s.cancel(9999), "unknown id");
+        assert!(matches!(second.wait(), JobResult::Cancelled));
+        gate.open();
+        assert!(matches!(first.wait(), JobResult::Finished(Ok(_))));
+        assert_eq!(s.status().cancelled, 1);
+    }
+
+    #[test]
+    fn drain_finishes_pending_work_then_refuses_more() {
+        let s = Scheduler::new(2, 8);
+        let tickets: Vec<Ticket> = (0..6).map(|_| s.submit(example_job()).unwrap()).collect();
+        s.drain();
+        for t in tickets {
+            assert!(matches!(t.wait(), JobResult::Finished(Ok(_))), "drained jobs complete");
+        }
+        assert_eq!(s.submit(example_job()).unwrap_err(), SubmitError::ShuttingDown);
+        assert!(s.status().draining);
+        s.drain(); // idempotent
+    }
+
+    #[test]
+    fn concurrent_submitters_all_resolve() {
+        let s = Arc::new(Scheduler::new(4, 64));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        let t = s.submit(MineJob::new(
+                            Miner::new(example::paper_example_params()).backend(Backend::Sql),
+                            Arc::new(example::paper_example_dataset()),
+                        ));
+                        match t.unwrap().wait() {
+                            JobResult::Finished(Ok(o)) => assert_eq!(o.rules.len(), 11),
+                            other => panic!("unexpected: {other:?}"),
+                        }
+                    }
+                });
+            }
+        });
+        // The counter lands after the result is delivered; drain first so
+        // every worker has retired its job.
+        s.drain();
+        assert_eq!(s.status().completed, 32);
+    }
+}

@@ -1,0 +1,333 @@
+//! The TCP server: accept loop, per-connection protocol handling, and
+//! the graceful-drain shutdown path.
+//!
+//! Each accepted connection gets its own handler thread that reads
+//! newline-delimited JSON requests and writes response lines (see
+//! [`crate::protocol`]). Mining work never runs on connection threads:
+//! `mine` requests are submitted to the shared [`Scheduler`], so the
+//! worker-pool bound caps mining concurrency no matter how many clients
+//! connect, and a full queue surfaces to the client as the protocol's
+//! `queue_full` (429-style) rejection.
+//!
+//! Shutdown is a protocol verb. On `{"op":"shutdown"}` the server
+//! replies with the number of still-pending jobs, stops accepting
+//! connections and submissions, lets every queued and running job finish
+//! (their clients receive their outcomes), and then returns from
+//! [`Server::run`].
+
+use crate::json::{self, Json};
+use crate::protocol::{self, codes, MineRequest, Request};
+use crate::registry::{Registry, RegistryError};
+use crate::scheduler::{JobResult, MineJob, Scheduler, SubmitError};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; use port 0 to bind an ephemeral port (tests).
+    pub addr: String,
+    /// Mining worker threads (0 = the machine's available parallelism).
+    pub workers: usize,
+    /// Pending-job queue bound; beyond it submissions get `queue_full`.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { addr: "127.0.0.1:0".to_string(), workers: 0, queue_capacity: 32 }
+    }
+}
+
+/// A request line longer than this is rejected as `bad_request` and the
+/// connection closed — the protocol's requests are all tiny; only
+/// *responses* carry bulk data. Enforced *during* the read (the reader
+/// never buffers more than this plus one byte), so a newline-less
+/// stream cannot grow server memory.
+const MAX_REQUEST_LINE: usize = 1 << 20;
+
+struct Shared {
+    registry: Registry,
+    scheduler: Scheduler,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    workers: usize,
+}
+
+/// A bound, not-yet-running mining server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the listen socket and start the worker pool.
+    pub fn bind(config: ServeConfig, registry: Registry) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            registry,
+            scheduler: Scheduler::new(workers, config.queue_capacity),
+            shutdown: AtomicBool::new(false),
+            addr,
+            workers,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Serve until a client sends the `shutdown` verb, then drain and
+    /// return. Connection handlers run on their own threads; mining runs
+    /// on the scheduler's worker pool.
+    pub fn run(self) {
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || handle_connection(stream, &shared));
+        }
+        // Graceful drain: every queued and running job completes and its
+        // waiting client receives the outcome before we return.
+        self.shared.scheduler.drain();
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut writer = write_half;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // Cap the read itself, not just the parsed length: `take` stops
+        // buffering at the limit even if no newline ever arrives.
+        match (&mut reader).take(MAX_REQUEST_LINE as u64 + 1).read_line(&mut line) {
+            Ok(0) | Err(_) => return, // disconnect (or non-UTF-8 flood)
+            Ok(_) => {}
+        }
+        if line.len() > MAX_REQUEST_LINE {
+            let _ = write_line(
+                &mut writer,
+                &protocol::error_response(
+                    codes::BAD_REQUEST,
+                    &format!("request line exceeds {MAX_REQUEST_LINE} bytes"),
+                    None,
+                ),
+            );
+            return; // the rest of the over-long line is unrecoverable
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Responses are emitted as soon as they are ready: a mine
+        // request's `accepted` line is flushed *before* the handler
+        // blocks on the job, so the client can learn the id early
+        // enough to cancel from another connection.
+        let mut emit = |response: &Json| write_line(&mut writer, response);
+        if handle_line(&line, shared, &mut emit).is_err() {
+            return;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The shutdown verb was handled (possibly on this very
+            // connection); stop reading so the handler thread winds down.
+            return;
+        }
+    }
+}
+
+fn write_line(writer: &mut TcpStream, response: &Json) -> std::io::Result<()> {
+    let mut text = response.to_string();
+    text.push('\n');
+    writer.write_all(text.as_bytes())?;
+    writer.flush()
+}
+
+/// Writes one response line; `Err` means the connection is gone.
+type Emit<'a> = &'a mut dyn FnMut(&Json) -> std::io::Result<()>;
+
+/// Handle one request line, emitting its response line(s) as they become
+/// ready.
+fn handle_line(line: &str, shared: &Shared, emit: Emit<'_>) -> std::io::Result<()> {
+    let parsed = match json::parse(line.trim()) {
+        Ok(v) => v,
+        Err(e) => {
+            return emit(&protocol::error_response(codes::BAD_REQUEST, &e.to_string(), None));
+        }
+    };
+    let request = match protocol::parse_request(&parsed) {
+        Ok(r) => r,
+        Err(message) => {
+            return emit(&protocol::error_response(codes::BAD_REQUEST, &message, None));
+        }
+    };
+    match request {
+        Request::Mine(req) => handle_mine(req, shared, emit),
+        Request::ListDatasets => emit(&list_datasets_response(shared)),
+        Request::Status => emit(&status_response(shared)),
+        Request::Cancel { job } => emit(&cancel_response(job, shared)),
+        Request::Shutdown => emit(&shutdown_response(shared)),
+    }
+}
+
+fn handle_mine(req: MineRequest, shared: &Shared, emit: Emit<'_>) -> std::io::Result<()> {
+    let dataset = match shared.registry.get(&req.dataset) {
+        Ok(d) => d,
+        Err(RegistryError::UnknownDataset(name)) => {
+            return emit(&protocol::error_response(
+                codes::UNKNOWN_DATASET,
+                &format!("unknown dataset {name:?}"),
+                None,
+            ));
+        }
+        Err(e @ RegistryError::Load { .. }) => {
+            return emit(&protocol::error_response(codes::DATASET_LOAD, &e.to_string(), None));
+        }
+    };
+    // Validate before queueing: a malformed job should cost a worker
+    // nothing and fail fast for the client.
+    if let Err(e) = req.miner.validate() {
+        return emit(&protocol::error_response(
+            protocol::setm_error_code(&e),
+            &e.to_string(),
+            None,
+        ));
+    }
+    let ticket = match shared.scheduler.submit(MineJob::new(req.miner, dataset)) {
+        Ok(t) => t,
+        Err(e @ SubmitError::QueueFull { .. }) => {
+            return emit(&protocol::error_response(codes::QUEUE_FULL, &e.to_string(), None));
+        }
+        Err(e @ SubmitError::ShuttingDown) => {
+            return emit(&protocol::error_response(codes::SHUTTING_DOWN, &e.to_string(), None));
+        }
+    };
+    let job = ticket.job;
+    // Flush the accepted line *before* blocking on the job, so another
+    // connection can cancel it by id while it is still queued.
+    emit(&Json::obj([
+        ("ok", Json::Bool(true)),
+        ("event", Json::str("accepted")),
+        ("job", Json::u64(job)),
+        ("dataset", Json::str(&req.dataset)),
+        ("backend", Json::str(req.miner.configured_backend().name())),
+        ("threads", Json::u64(req.miner.configured_threads() as u64)),
+    ]))?;
+    // Block this connection thread (not a worker) until the job resolves.
+    let outcome_line = match ticket.wait() {
+        JobResult::Finished(Ok(outcome)) => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("event", Json::str("outcome")),
+            ("job", Json::u64(job)),
+            ("outcome", protocol::outcome_to_json(&outcome)),
+        ]),
+        JobResult::Finished(Err(e)) => {
+            protocol::error_response(protocol::setm_error_code(&e), &e.to_string(), Some(job))
+        }
+        JobResult::Cancelled => protocol::error_response(
+            codes::CANCELLED,
+            "job was cancelled before it ran",
+            Some(job),
+        ),
+        JobResult::Panicked => protocol::error_response(
+            codes::INTERNAL,
+            "the mining run panicked (this is a server bug)",
+            Some(job),
+        ),
+    };
+    emit(&outcome_line)
+}
+
+fn list_datasets_response(shared: &Shared) -> Json {
+    let datasets = shared
+        .registry
+        .list()
+        .into_iter()
+        .map(|info| {
+            let mut members = vec![
+                ("name".to_string(), Json::str(info.name)),
+                ("description".to_string(), Json::str(info.description)),
+                ("loaded".to_string(), Json::Bool(info.loaded)),
+            ];
+            if let (Some(t), Some(r)) = (info.n_transactions, info.n_rows) {
+                members.push(("n_transactions".to_string(), Json::u64(t)));
+                members.push(("n_rows".to_string(), Json::u64(r)));
+            }
+            Json::Obj(members)
+        })
+        .collect();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("event", Json::str("datasets")),
+        ("datasets", Json::Arr(datasets)),
+    ])
+}
+
+fn status_response(shared: &Shared) -> Json {
+    let s = shared.scheduler.status();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("event", Json::str("status")),
+        ("schema", Json::str(protocol::SCHEMA)),
+        ("workers", Json::u64(shared.workers as u64)),
+        ("queue_capacity", Json::u64(s.queue_capacity as u64)),
+        ("queued", Json::u64(s.queued as u64)),
+        ("running", Json::u64(s.running as u64)),
+        ("completed", Json::u64(s.completed)),
+        ("rejected", Json::u64(s.rejected)),
+        ("cancelled", Json::u64(s.cancelled)),
+        ("draining", Json::Bool(s.draining)),
+        ("datasets", Json::u64(shared.registry.len() as u64)),
+        ("datasets_loaded", Json::u64(shared.registry.loaded_count() as u64)),
+        (
+            "hardware_threads",
+            Json::u64(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as u64),
+        ),
+    ])
+}
+
+fn cancel_response(job: u64, shared: &Shared) -> Json {
+    let dequeued = shared.scheduler.cancel(job);
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("event", Json::str("cancel")),
+        ("job", Json::u64(job)),
+        ("dequeued", Json::Bool(dequeued)),
+    ])
+}
+
+fn shutdown_response(shared: &Shared) -> Json {
+    // Refuse new submissions immediately; report what is still in flight.
+    shared.scheduler.begin_drain();
+    let pending = shared.scheduler.pending();
+    shared.shutdown.store(true, Ordering::SeqCst);
+    // Wake the accept loop so `run` can notice the flag and drain. The
+    // connect itself is the wake-up; the stream is dropped immediately.
+    // A wildcard bind (0.0.0.0 / ::) is not connectable on every
+    // platform, so aim the wake-up at loopback on the bound port.
+    let mut wake = shared.addr;
+    if wake.ip().is_unspecified() {
+        wake.set_ip(match wake {
+            SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+            SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+        });
+    }
+    let _ = TcpStream::connect(wake);
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("event", Json::str("shutting-down")),
+        ("pending", Json::u64(pending as u64)),
+    ])
+}

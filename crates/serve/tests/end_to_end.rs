@@ -1,0 +1,316 @@
+//! End-to-end tests of the served mining path: real TCP connections,
+//! real concurrent clients, against an in-process server.
+//!
+//! The headline acceptance test: **N ≥ 8 concurrent clients mining mixed
+//! backends through the server receive byte-identical outcomes to direct
+//! `Miner::run` calls** — the serialization is canonical, so equality is
+//! literal string equality on the outcome object.
+
+use setm_core::{Backend, EngineConfig, MinSupport, Miner, MiningParams};
+use setm_serve::client::{Client, ClientError};
+use setm_serve::registry::Registry;
+use setm_serve::server::{ServeConfig, Server};
+use setm_serve::{outcome_to_json, ReportPayload};
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+
+/// Start a server with the builtin registry; returns its address and the
+/// handle that joins once the server has drained.
+fn start_server(workers: usize, queue_capacity: usize) -> (SocketAddr, JoinHandle<()>) {
+    let config = ServeConfig { addr: "127.0.0.1:0".to_string(), workers, queue_capacity };
+    let server = Server::bind(config, Registry::with_builtins()).expect("bind loopback");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn shutdown(addr: SocketAddr, server: JoinHandle<()>) {
+    let mut c = Client::connect(addr).expect("connect for shutdown");
+    c.shutdown().expect("shutdown verb");
+    server.join().expect("server thread");
+}
+
+/// The mixed workload of the acceptance test: every backend, two
+/// datasets, varying thread counts.
+fn mixed_miner(i: usize) -> (&'static str, Miner) {
+    let params = MiningParams::new(MinSupport::Fraction(0.3), 0.7);
+    let quest = MiningParams::new(MinSupport::Fraction(0.02), 0.5);
+    match i % 4 {
+        0 => ("example", Miner::new(params)),
+        1 => ("example", Miner::new(params).backend(Backend::Engine(EngineConfig::default()))),
+        2 => ("example", Miner::new(params).backend(Backend::Sql).threads(1)),
+        _ => ("quest-t5", Miner::new(quest).threads(2)),
+    }
+}
+
+/// Acceptance: 12 concurrent clients (3 rounds of 4 mixed configurations)
+/// all receive the bytes a local `Miner::run` + `outcome_to_json`
+/// produces.
+#[test]
+fn concurrent_clients_get_byte_identical_outcomes() {
+    let (addr, server) = start_server(4, 64);
+    let n_clients = 12;
+
+    let wire_outcomes: Vec<(usize, String)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n_clients)
+            .map(|i| {
+                s.spawn(move || {
+                    let (dataset, miner) = mixed_miner(i);
+                    let mut client = Client::connect(addr).expect("connect");
+                    let reply = client.mine(dataset, miner).expect("served mine");
+                    (i, reply.raw_outcome)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    // Direct runs, locally serialized with the same canonical serializer.
+    let registry = Registry::with_builtins();
+    for (i, wire) in &wire_outcomes {
+        let (dataset, miner) = mixed_miner(*i);
+        let local = miner.run(&registry.get(dataset).unwrap()).expect("local run");
+        let expected = outcome_to_json(&local).to_string();
+        assert_eq!(
+            wire, &expected,
+            "client {i} ({dataset}) must receive byte-identical outcome bytes"
+        );
+    }
+    shutdown(addr, server);
+}
+
+#[test]
+fn served_outcome_reports_match_the_backend() {
+    let (addr, server) = start_server(2, 16);
+    let params = MiningParams::new(MinSupport::Fraction(0.3), 0.7);
+    let mut client = Client::connect(addr).unwrap();
+
+    let mem = client.mine("example", Miner::new(params)).unwrap();
+    assert!(matches!(mem.outcome.report, ReportPayload::Memory));
+    assert_eq!(mem.outcome.rules.len(), 11);
+    assert_eq!(mem.outcome.trace.len(), 4);
+
+    let eng = client
+        .mine("example", Miner::new(params).backend(Backend::Engine(EngineConfig::default())))
+        .unwrap();
+    match &eng.outcome.report {
+        ReportPayload::Engine { page_accesses, seq_reads, .. } => {
+            assert!(*page_accesses > 0);
+            assert!(*seq_reads > 0);
+        }
+        other => panic!("expected engine report, got {other:?}"),
+    }
+
+    let sql = client.mine("example", Miner::new(params).backend(Backend::Sql)).unwrap();
+    match &sql.outcome.report {
+        ReportPayload::Sql { statements } => assert!(!statements.is_empty()),
+        other => panic!("expected sql report, got {other:?}"),
+    }
+    assert_eq!(mem.outcome.itemsets, eng.outcome.itemsets);
+    assert_eq!(mem.outcome.itemsets, sql.outcome.itemsets);
+    assert_eq!(mem.outcome.rules, sql.outcome.rules);
+
+    // One connection served three jobs; ids are distinct and increasing.
+    assert!(mem.job < eng.job && eng.job < sql.job);
+    shutdown(addr, server);
+}
+
+#[test]
+fn admin_verbs_work_over_the_wire() {
+    let (addr, server) = start_server(2, 8);
+    let mut client = Client::connect(addr).unwrap();
+
+    let datasets = client.list_datasets().unwrap();
+    assert!(datasets.iter().any(|d| d.name == "example"));
+    assert!(datasets.iter().any(|d| d.name == "retail-small"));
+    assert!(datasets.iter().all(|d| !d.loaded), "nothing mined yet");
+
+    let status = client.status().unwrap();
+    assert_eq!(status.schema, "setm-serve/v1");
+    assert_eq!(status.workers, 2);
+    assert_eq!(status.queue_capacity, 8);
+    assert_eq!(status.completed, 0);
+    assert!(status.hardware_threads >= 1);
+
+    let params = MiningParams::new(MinSupport::Fraction(0.3), 0.7);
+    client.mine("example", Miner::new(params)).unwrap();
+    let datasets = client.list_datasets().unwrap();
+    let example = datasets.iter().find(|d| d.name == "example").unwrap();
+    assert!(example.loaded);
+    assert_eq!(example.n_transactions, Some(10));
+    let status = client.status().unwrap();
+    assert_eq!(status.completed, 1);
+    assert_eq!(status.datasets_loaded, 1);
+
+    // Cancelling an unknown job is a clean `false`, not an error.
+    assert!(!client.cancel(4040).unwrap());
+    shutdown(addr, server);
+}
+
+/// Protocol-level errors: stable codes and HTTP-style statuses.
+#[test]
+fn error_codes_reach_the_client() {
+    let (addr, server) = start_server(1, 4);
+    let mut client = Client::connect(addr).unwrap();
+    let params = MiningParams::new(MinSupport::Fraction(0.3), 0.7);
+
+    let err = client.mine("no-such-dataset", Miner::new(params)).unwrap_err();
+    match err {
+        ClientError::Server { code, status, .. } => {
+            assert_eq!(code, "unknown_dataset");
+            assert_eq!(status, 404);
+        }
+        other => panic!("expected server error, got {other}"),
+    }
+
+    let bad = MiningParams::new(MinSupport::Fraction(1.5), 0.7);
+    let err = client.mine("example", Miner::new(bad)).unwrap_err();
+    match err {
+        ClientError::Server { code, status, .. } => {
+            assert_eq!(code, "invalid_support_fraction");
+            assert_eq!(status, 400);
+        }
+        other => panic!("expected server error, got {other}"),
+    }
+
+    let err = client
+        .mine("example", Miner::new(params).backend(Backend::Sql).threads(4))
+        .unwrap_err();
+    match err {
+        ClientError::Server { code, status, message } => {
+            assert_eq!(code, "unsupported_option");
+            assert_eq!(status, 400);
+            assert!(message.contains("threads"));
+        }
+        other => panic!("expected server error, got {other}"),
+    }
+
+    // The connection survives every rejected request.
+    assert_eq!(client.mine("example", Miner::new(params)).unwrap().outcome.rules.len(), 11);
+    shutdown(addr, server);
+}
+
+/// Backpressure over the wire: one worker, queue of one — the third
+/// concurrent request is rejected with the 429-style `queue_full`.
+#[test]
+fn saturated_queue_rejects_with_queue_full() {
+    let (addr, server) = start_server(1, 1);
+    // retail-paper mines for hundreds of ms even in release builds, so
+    // the worker is reliably still busy while we pile on.
+    let slow_params = MiningParams::new(MinSupport::Count(2), 0.5);
+    let fills: Vec<JoinHandle<()>> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let reply = c.mine("retail-paper", Miner::new(slow_params).threads(1)).unwrap();
+                assert!(!reply.outcome.itemsets.is_empty());
+            })
+        })
+        .collect();
+
+    // Wait until the worker is actually busy and the queue occupied.
+    let mut probe = Client::connect(addr).unwrap();
+    loop {
+        let s = probe.status().unwrap();
+        if s.running == 1 && s.queued == 1 {
+            break;
+        }
+        if s.completed >= 2 {
+            panic!("fill jobs finished before the saturation probe ran");
+        }
+        std::thread::yield_now();
+    }
+
+    let err = probe.mine("example", Miner::new(MiningParams::new(MinSupport::Count(3), 0.7)));
+    match err.unwrap_err() {
+        ClientError::Server { code, status, message } => {
+            assert_eq!(code, "queue_full");
+            assert_eq!(status, 429);
+            assert!(message.contains("capacity") || message.contains("retry"), "{message}");
+        }
+        other => panic!("expected queue_full, got {other}"),
+    }
+    for f in fills {
+        f.join().unwrap();
+    }
+    let rejected = probe.status().unwrap().rejected;
+    assert_eq!(rejected, 1);
+    shutdown(addr, server);
+}
+
+/// Cancellation from a second connection: submit on one connection, read
+/// the job id from the accepted line, cancel it from another while the
+/// single worker is still busy with a first job.
+#[test]
+fn queued_jobs_cancel_from_another_connection() {
+    let (addr, server) = start_server(1, 8);
+    let slow_params = MiningParams::new(MinSupport::Count(2), 0.5);
+
+    // retail-paper mines for >1s even in-memory, so the single worker is
+    // reliably still busy when the cancel round-trip runs.
+    let blocker = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.mine("retail-paper", Miner::new(slow_params).threads(1)).unwrap();
+    });
+    let mut admin = Client::connect(addr).unwrap();
+    loop {
+        let s = admin.status().unwrap();
+        if s.running == 1 {
+            break;
+        }
+        if s.completed >= 1 {
+            panic!("blocker finished before the cancel test ran");
+        }
+        std::thread::yield_now();
+    }
+
+    let mut victim = Client::connect(addr).unwrap();
+    let job = victim
+        .submit("example", Miner::new(MiningParams::new(MinSupport::Fraction(0.3), 0.7)))
+        .unwrap();
+    assert!(admin.cancel(job).unwrap(), "queued job must dequeue");
+    let err = victim.wait_outcome().unwrap_err();
+    match err {
+        ClientError::Server { code, status, .. } => {
+            assert_eq!(code, "cancelled");
+            assert_eq!(status, 409);
+        }
+        other => panic!("expected cancelled, got {other}"),
+    }
+    blocker.join().unwrap();
+    assert_eq!(admin.status().unwrap().cancelled, 1);
+    shutdown(addr, server);
+}
+
+/// Graceful drain: jobs in flight when `shutdown` arrives still complete
+/// and deliver their outcomes; the server then refuses new connections.
+#[test]
+fn shutdown_drains_in_flight_jobs() {
+    let (addr, server) = start_server(1, 8);
+    let slow_params = MiningParams::new(MinSupport::Count(2), 0.5);
+
+    let miner_thread = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.mine("retail-small", Miner::new(slow_params).threads(1)).unwrap()
+    });
+    let mut admin = Client::connect(addr).unwrap();
+    loop {
+        let s = admin.status().unwrap();
+        if s.running >= 1 {
+            break;
+        }
+        if s.completed >= 1 {
+            break; // already done; drain still must work
+        }
+        std::thread::yield_now();
+    }
+
+    admin.shutdown().unwrap();
+    // The in-flight job still completes with its full outcome.
+    let reply = miner_thread.join().unwrap();
+    assert!(!reply.outcome.itemsets.is_empty());
+    server.join().unwrap();
+
+    // After the drain the server is gone: new connections fail.
+    assert!(Client::connect(addr).is_err(), "listener must be closed after drain");
+}

@@ -17,6 +17,7 @@
 //! | [`baselines`] | `setm-baselines` | AIS, Apriori, Apriori-TID |
 //! | [`datagen`] | `setm-datagen` | uniform / retail-calibrated / Quest generators |
 //! | [`costmodel`] | `setm-costmodel` | the Sections 3.2 / 4.3 page-access arithmetic |
+//! | [`serve`] | `setm-serve` | the TCP mining service: NDJSON protocol, dataset registry, job scheduler, client |
 //!
 //! ## Quickstart
 //!
@@ -60,6 +61,7 @@ pub use setm_baselines as baselines;
 pub use setm_costmodel as costmodel;
 pub use setm_datagen as datagen;
 pub use setm_relational as relational;
+pub use setm_serve as serve;
 pub use setm_sql as sql;
 
 // The everyday API at the top level.
@@ -67,6 +69,7 @@ pub use setm_core::{
     example, generate_rules, rules, setm, Backend, CountRelation, Dataset, EngineConfig,
     EngineReport, ExecutionReport, IterationTrace, Item, ItemVec, MinSupport, Miner,
     MiningOutcome, MiningParams, PatternRelation, Rule, SetmError, SetmResult, SqlReport, TransId,
+    UnknownBackend,
 };
 
 #[cfg(test)]

@@ -82,6 +82,39 @@ fn miner_is_a_value_type_for_sweeps() {
     assert!(runs.windows(2).all(|w| w[0].rules == w[1].rules));
 }
 
+/// The serving layer is part of the umbrella surface: `setm::serve`
+/// re-exports the service types, the client speaks in the same `Miner`
+/// builder, and the wire error mapping is total over `SetmError`.
+#[test]
+fn serve_layer_is_reachable_through_the_umbrella() {
+    use setm::serve::{Registry, ServeConfig, Server};
+
+    assert_send_sync::<setm::serve::Registry>();
+    assert_send_sync::<setm::serve::Scheduler>();
+    assert_clone::<setm::serve::OutcomePayload>();
+    assert_error::<setm::serve::ClientError>();
+    assert_error::<setm::serve::RegistryError>();
+    assert_error::<setm::serve::SubmitError>();
+
+    // Every SetmError maps to a stable wire code with an HTTP-ish status.
+    let code = setm::serve::setm_error_code(&SetmError::InvalidMaxPatternLen);
+    assert_eq!(code.code, "invalid_max_pattern_len");
+    assert_eq!(code.status, 400);
+
+    // One round trip through a real loopback server, driven by the same
+    // builder the local API uses.
+    let server = Server::bind(ServeConfig::default(), Registry::with_builtins()).unwrap();
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = setm::serve::Client::connect(addr).unwrap();
+    let reply = client
+        .mine("example", Miner::new(setm::example::paper_example_params()))
+        .unwrap();
+    assert_eq!(reply.outcome.rules.len(), 11);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
 /// The 0.2 deprecation shims: the three pre-facade entry points still
 /// compile, still run, and still agree with the facade. They are
 /// scheduled for removal one release after 0.2 (see README "Migrating

@@ -109,6 +109,64 @@ fn empty_dataset_is_a_clean_empty_outcome_everywhere() {
     }
 }
 
+/// Satellite (PR 4): the facade under concurrent use — the serving
+/// layer's precondition. Eight OS threads mine the *same shared dataset*
+/// simultaneously, cycling through all three backends, and every outcome
+/// must be identical to the sequential reference run of the same
+/// configuration. Two full rounds, so every (thread, backend) pairing
+/// runs more than once.
+#[test]
+fn facade_is_safe_under_concurrent_mixed_backend_use() {
+    use std::sync::Arc;
+
+    let dataset = Arc::new(
+        setm::datagen::RetailConfig::small(600, 29).generate(),
+    );
+    let params = MiningParams::new(MinSupport::Fraction(0.01), 0.6);
+    let configs: Vec<(Miner, String)> = (0..8)
+        .map(|i| {
+            let (miner, label) = match i % 3 {
+                0 => (Miner::new(params).threads(1 + i % 4), "memory"),
+                1 => (
+                    Miner::new(params)
+                        .backend(Backend::Engine(EngineConfig::default()))
+                        .threads(1 + i % 4),
+                    "engine",
+                ),
+                _ => (Miner::new(params).backend(Backend::Sql).threads(1), "sql"),
+            };
+            (miner, format!("{label} (thread {i})"))
+        })
+        .collect();
+
+    // Sequential references, one per configuration.
+    let references: Vec<MiningOutcome> =
+        configs.iter().map(|(m, _)| m.run(&dataset).unwrap()).collect();
+
+    for round in 0..2 {
+        let outcomes: Vec<MiningOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = configs
+                .iter()
+                .map(|(miner, _)| {
+                    let dataset = Arc::clone(&dataset);
+                    s.spawn(move || miner.run(&dataset).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("mining thread")).collect()
+        });
+        for ((outcome, reference), (_, label)) in
+            outcomes.iter().zip(&references).zip(&configs)
+        {
+            assert_equivalent(reference, outcome, &format!("round {round}: {label}"));
+            assert_eq!(
+                outcome.report.backend_name(),
+                reference.report.backend_name(),
+                "round {round}: {label}"
+            );
+        }
+    }
+}
+
 /// "Where supported": the SQL execution is single-threaded, and the
 /// facade says so with a typed error instead of silently running on one
 /// thread.
