@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! setm-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
-//!            [--dataset NAME=PATH:FORMAT]...
+//!            [--max-conns N] [--dataset NAME=PATH:FORMAT]...
 //!
 //!   --addr       listen address        (default 127.0.0.1:7878)
 //!   --workers    mining worker threads (default 0 = available parallelism)
 //!   --queue-cap  pending-job bound     (default 32; beyond it: queue_full)
+//!   --max-conns  concurrent-connection bound (default 256; beyond it:
+//!                too_many_connections)
 //!   --dataset    register a basket file under NAME; FORMAT is fimi or
 //!                pairs (e.g. --dataset web=logs/web.fimi:fimi). The
 //!                builtin generator datasets are always registered.
@@ -22,7 +24,7 @@ fn usage_exit(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
         "usage: setm-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
-         [--dataset NAME=PATH:FORMAT]..."
+         [--max-conns N] [--dataset NAME=PATH:FORMAT]..."
     );
     std::process::exit(2);
 }
@@ -49,6 +51,13 @@ fn main() {
             "--queue-cap" => {
                 config.queue_capacity =
                     value().parse().unwrap_or_else(|_| usage_exit("--queue-cap needs a number"));
+            }
+            "--max-conns" => {
+                config.max_connections = value()
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .unwrap_or_else(|| usage_exit("--max-conns needs a number >= 1"));
             }
             "--dataset" => {
                 let spec = value();
@@ -77,14 +86,15 @@ fn main() {
         }
     };
     println!(
-        "listening on {} (workers={}, queue-cap={})",
+        "listening on {} (workers={}, queue-cap={}, max-conns={})",
         server.local_addr(),
         if config.workers == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
             config.workers
         },
-        config.queue_capacity
+        config.queue_capacity,
+        config.max_connections
     );
     server.run();
     println!("drained; bye");

@@ -90,6 +90,8 @@ pub struct ServerStatus {
     pub schema: String,
     pub workers: u64,
     pub queue_capacity: u64,
+    pub connections: u64,
+    pub max_connections: u64,
     pub queued: u64,
     pub running: u64,
     pub completed: u64,
@@ -229,6 +231,8 @@ impl Client {
             schema: v.get("schema").and_then(Json::as_str).unwrap_or("").to_string(),
             workers: u("workers"),
             queue_capacity: u("queue_capacity"),
+            connections: u("connections"),
+            max_connections: u("max_connections"),
             queued: u("queued"),
             running: u("running"),
             completed: u("completed"),

@@ -186,9 +186,17 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
+/// Maximum container nesting accepted by [`parse`]. The parser is
+/// recursive-descent — one stack frame per open `[`/`{` — so without a
+/// bound a line of a few hundred thousand `[`s (well under the server's
+/// request-line cap) would overflow the thread stack, which aborts the
+/// whole process in Rust. Past this depth the input is rejected with a
+/// [`JsonError`] instead; the protocol's own trees are ~4 levels deep.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parse one JSON document; trailing non-whitespace is an error.
 pub fn parse(text: &str) -> Result<Json, JsonError> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let value = p.value()?;
     p.skip_ws();
@@ -201,11 +209,23 @@ pub fn parse(text: &str) -> Result<Json, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
     fn err(&self, message: impl Into<String>) -> JsonError {
         JsonError { offset: self.pos, message: message.into() }
+    }
+
+    /// Bookkeeping on container entry; errors past [`MAX_DEPTH`]. The
+    /// matching decrements sit on the containers' success exits (an
+    /// error abandons the whole parse, so no unwinding is needed).
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting exceeds {MAX_DEPTH} levels")));
+        }
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -252,10 +272,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -266,6 +288,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected `,` or `]` in array")),
@@ -275,10 +298,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut members = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(members));
         }
         loop {
@@ -294,6 +319,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(members));
                 }
                 _ => return Err(self.err("expected `,` or `}` in object")),
@@ -511,6 +537,26 @@ mod tests {
                 err.offset
             );
         }
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // Exactly at the limit parses.
+        let at_limit = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&at_limit).is_ok());
+        // One level deeper is a parse error, not a stack overflow.
+        let over = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        let err = parse(&over).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // The attack shape: a flood of opens with no closes, far past
+        // the limit but well under the server's request-line cap.
+        assert!(parse(&"[".repeat(200_000)).is_err());
+        // Objects count toward the same budget.
+        let objs = "{\"k\":".repeat(MAX_DEPTH + 1) + "null" + &"}".repeat(MAX_DEPTH + 1);
+        assert!(parse(&objs).unwrap_err().message.contains("nesting"));
+        // Depth is nesting, not container count: siblings don't add up.
+        let wide = format!("[{}]", vec!["[1]"; 1000].join(","));
+        assert!(parse(&wide).is_ok());
     }
 
     #[test]

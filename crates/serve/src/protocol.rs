@@ -475,6 +475,9 @@ pub mod codes {
     pub const DATASET_LOAD: ErrorCode = ErrorCode { code: "dataset_load", status: 500 };
     /// The job queue is at capacity — retry later (the 429 of the protocol).
     pub const QUEUE_FULL: ErrorCode = ErrorCode { code: "queue_full", status: 429 };
+    /// The server is at its concurrent-connection bound — retry later.
+    pub const TOO_MANY_CONNECTIONS: ErrorCode =
+        ErrorCode { code: "too_many_connections", status: 429 };
     /// The server is draining and accepts no new work.
     pub const SHUTTING_DOWN: ErrorCode = ErrorCode { code: "shutting_down", status: 503 };
     /// The job was cancelled before it ran.

@@ -7,7 +7,10 @@
 //! `mine` requests are submitted to the shared [`Scheduler`], so the
 //! worker-pool bound caps mining concurrency no matter how many clients
 //! connect, and a full queue surfaces to the client as the protocol's
-//! `queue_full` (429-style) rejection.
+//! `queue_full` (429-style) rejection. The handler threads themselves
+//! are bounded too ([`ServeConfig::max_connections`]): past the cap a
+//! connection is answered with `too_many_connections` and closed
+//! without spawning anything.
 //!
 //! Shutdown is a protocol verb. On `{"op":"shutdown"}` the server
 //! replies with the number of still-pending jobs, stops accepting
@@ -21,7 +24,7 @@ use crate::registry::{Registry, RegistryError};
 use crate::scheduler::{JobResult, MineJob, Scheduler, SubmitError};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Server configuration.
@@ -33,19 +36,34 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Pending-job queue bound; beyond it submissions get `queue_full`.
     pub queue_capacity: usize,
+    /// Concurrent connection bound. Each connection gets a handler
+    /// thread; beyond this many the client is told
+    /// `too_many_connections` (429-style) and the socket closes, so idle
+    /// or slow clients cannot exhaust threads the way unbounded
+    /// accept-and-spawn would. Must be ≥ 1 ([`Server::bind`] clamps 0 up
+    /// to 1 — a server that admits nothing could never even receive the
+    /// `shutdown` verb).
+    pub max_connections: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { addr: "127.0.0.1:0".to_string(), workers: 0, queue_capacity: 32 }
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 32,
+            max_connections: 256,
+        }
     }
 }
 
-/// A request line longer than this is rejected as `bad_request` and the
-/// connection closed — the protocol's requests are all tiny; only
-/// *responses* carry bulk data. Enforced *during* the read (the reader
-/// never buffers more than this plus one byte), so a newline-less
-/// stream cannot grow server memory.
+/// A request payload longer than this (line terminator excluded — a
+/// request of *exactly* this many bytes is valid) is rejected as
+/// `bad_request` and the connection closed; the protocol's requests are
+/// all tiny, only *responses* carry bulk data. Enforced *during* the
+/// read (the reader never buffers more than this plus the two bytes a
+/// `\r\n` terminator needs), so a newline-less stream cannot grow
+/// server memory.
 const MAX_REQUEST_LINE: usize = 1 << 20;
 
 struct Shared {
@@ -54,6 +72,32 @@ struct Shared {
     shutdown: AtomicBool,
     addr: SocketAddr,
     workers: usize,
+    max_connections: usize,
+    connections: AtomicUsize,
+}
+
+/// RAII admission token for one connection-handler thread: acquired on
+/// the accept loop before spawning, released on drop — so a handler
+/// that returns early or panics still frees its slot.
+struct ConnectionSlot {
+    shared: Arc<Shared>,
+}
+
+impl ConnectionSlot {
+    /// Claim a slot, or hand the `Arc` back if the server is full.
+    fn acquire(shared: Arc<Shared>) -> Result<ConnectionSlot, Arc<Shared>> {
+        if shared.connections.fetch_add(1, Ordering::SeqCst) >= shared.max_connections {
+            shared.connections.fetch_sub(1, Ordering::SeqCst);
+            return Err(shared);
+        }
+        Ok(ConnectionSlot { shared })
+    }
+}
+
+impl Drop for ConnectionSlot {
+    fn drop(&mut self) {
+        self.shared.connections.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A bound, not-yet-running mining server.
@@ -78,6 +122,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             addr,
             workers,
+            max_connections: config.max_connections.max(1),
+            connections: AtomicUsize::new(0),
         });
         Ok(Server { listener, shared })
     }
@@ -95,9 +141,27 @@ impl Server {
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
-            let Ok(stream) = stream else { continue };
-            let shared = Arc::clone(&self.shared);
-            std::thread::spawn(move || handle_connection(stream, &shared));
+            let Ok(mut stream) = stream else { continue };
+            let slot = match ConnectionSlot::acquire(Arc::clone(&self.shared)) {
+                Ok(slot) => slot,
+                Err(shared) => {
+                    // Over the connection bound: a typed rejection, then
+                    // close — the accept loop never spawns past the cap.
+                    let _ = write_line(
+                        &mut stream,
+                        &protocol::error_response(
+                            codes::TOO_MANY_CONNECTIONS,
+                            &format!(
+                                "server is at its connection limit ({}); retry later",
+                                shared.max_connections
+                            ),
+                            None,
+                        ),
+                    );
+                    continue;
+                }
+            };
+            std::thread::spawn(move || handle_connection(stream, &slot.shared));
         }
         // Graceful drain: every queued and running job completes and its
         // waiting client receives the outcome before we return.
@@ -113,12 +177,37 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
     loop {
         line.clear();
         // Cap the read itself, not just the parsed length: `take` stops
-        // buffering at the limit even if no newline ever arrives.
-        match (&mut reader).take(MAX_REQUEST_LINE as u64 + 1).read_line(&mut line) {
-            Ok(0) | Err(_) => return, // disconnect (or non-UTF-8 flood)
+        // buffering at the limit even if no newline ever arrives. The
+        // two extra bytes leave room for the `\r\n` of a request of
+        // exactly MAX_REQUEST_LINE payload bytes.
+        match (&mut reader).take(MAX_REQUEST_LINE as u64 + 2).read_line(&mut line) {
+            Ok(0) => return, // clean disconnect
             Ok(_) => {}
+            Err(_) => {
+                // Unreadable bytes: non-UTF-8 input, or the cap above
+                // truncated a multi-byte character mid-sequence. Say so
+                // before closing instead of silently dropping the
+                // connection (if the peer is already gone the write
+                // fails harmlessly).
+                let _ = write_line(
+                    &mut writer,
+                    &protocol::error_response(
+                        codes::BAD_REQUEST,
+                        "request line is not valid UTF-8 or the connection broke mid-line",
+                        None,
+                    ),
+                );
+                return;
+            }
         }
-        if line.len() > MAX_REQUEST_LINE {
+        // The limit applies to the payload, line terminator excluded —
+        // a request of exactly MAX_REQUEST_LINE bytes is within bounds.
+        // Strip at most one `\n` (plus a preceding `\r`): payload bytes
+        // that merely *end* in CRs still count, so a cap-truncated
+        // over-long line cannot slip under the check by landing on them.
+        let payload = line.strip_suffix('\n').unwrap_or(&line);
+        let payload = payload.strip_suffix('\r').unwrap_or(payload);
+        if payload.len() > MAX_REQUEST_LINE {
             let _ = write_line(
                 &mut writer,
                 &protocol::error_response(
@@ -178,7 +267,14 @@ fn handle_line(line: &str, shared: &Shared, emit: Emit<'_>) -> std::io::Result<(
         Request::ListDatasets => emit(&list_datasets_response(shared)),
         Request::Status => emit(&status_response(shared)),
         Request::Cancel { job } => emit(&cancel_response(job, shared)),
-        Request::Shutdown => emit(&shutdown_response(shared)),
+        Request::Shutdown => {
+            // Flush the confirmation line *before* waking the accept
+            // loop: the wake-up lets `run` return and the process exit,
+            // and that must not race ahead of the client's reply.
+            let result = emit(&shutdown_response(shared));
+            finish_shutdown(shared);
+            result
+        }
     }
 }
 
@@ -283,6 +379,8 @@ fn status_response(shared: &Shared) -> Json {
         ("schema", Json::str(protocol::SCHEMA)),
         ("workers", Json::u64(shared.workers as u64)),
         ("queue_capacity", Json::u64(s.queue_capacity as u64)),
+        ("connections", Json::u64(shared.connections.load(Ordering::SeqCst) as u64)),
+        ("max_connections", Json::u64(shared.max_connections as u64)),
         ("queued", Json::u64(s.queued as u64)),
         ("running", Json::u64(s.running as u64)),
         ("completed", Json::u64(s.completed)),
@@ -312,11 +410,21 @@ fn shutdown_response(shared: &Shared) -> Json {
     // Refuse new submissions immediately; report what is still in flight.
     shared.scheduler.begin_drain();
     let pending = shared.scheduler.pending();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("event", Json::str("shutting-down")),
+        ("pending", Json::u64(pending as u64)),
+    ])
+}
+
+/// Set the shutdown flag and wake the accept loop so `run` can notice it
+/// and drain. Runs *after* the confirmation line is flushed (a write
+/// failure still shuts down — the verb was received).
+fn finish_shutdown(shared: &Shared) {
     shared.shutdown.store(true, Ordering::SeqCst);
-    // Wake the accept loop so `run` can notice the flag and drain. The
-    // connect itself is the wake-up; the stream is dropped immediately.
-    // A wildcard bind (0.0.0.0 / ::) is not connectable on every
-    // platform, so aim the wake-up at loopback on the bound port.
+    // The connect itself is the wake-up; the stream is dropped
+    // immediately. A wildcard bind (0.0.0.0 / ::) is not connectable on
+    // every platform, so aim the wake-up at loopback on the bound port.
     let mut wake = shared.addr;
     if wake.ip().is_unspecified() {
         wake.set_ip(match wake {
@@ -325,9 +433,4 @@ fn shutdown_response(shared: &Shared) -> Json {
         });
     }
     let _ = TcpStream::connect(wake);
-    Json::obj([
-        ("ok", Json::Bool(true)),
-        ("event", Json::str("shutting-down")),
-        ("pending", Json::u64(pending as u64)),
-    ])
 }

@@ -13,7 +13,12 @@ use setm::{Backend, EngineConfig, Miner};
 
 fn main() {
     let server = Server::bind(
-        ServeConfig { addr: "127.0.0.1:0".to_string(), workers: 2, queue_capacity: 16 },
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 16,
+            ..Default::default()
+        },
         Registry::with_builtins(),
     )
     .expect("bind a loopback port");
