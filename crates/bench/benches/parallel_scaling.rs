@@ -1,17 +1,18 @@
 //! Parallel sharded SETM: speedup vs shard count.
 //!
-//! Charts the wall-clock of the in-memory and paged-engine executions as
-//! the `threads` knob sweeps 1 → 8 on two workloads (the calibrated
-//! retail stand-in and a Quest T10.I4 basket set). Results are identical
-//! at every point — the sweep isolates the cost/benefit of sharding the
-//! merge-scan passes by `trans_id`.
+//! Charts the wall-clock of the in-memory, paged-engine, *and*
+//! SQL-driven executions as the `threads` knob sweeps the shard count on
+//! two workloads (the calibrated retail stand-in and a Quest T10.I4
+//! basket set). Results are identical at every point — the sweep
+//! isolates the cost/benefit of sharding the merge-scan passes (and, on
+//! the SQL path, the whole statement pipeline) by `trans_id`.
 //!
 //! Set `SETM_BENCH_TINY=1` to run a seconds-scale smoke configuration
 //! (used by CI to keep this target compiling and running).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use setm_core::setm::engine::{self, EngineConfig};
-use setm_core::setm::{memory, SetmOptions};
+use setm_core::setm::{memory, sql, SetmOptions};
 use setm_core::{Dataset, MinSupport, MiningParams};
 use setm_datagen::{QuestConfig, RetailConfig};
 use std::time::{Duration, Instant};
@@ -111,6 +112,27 @@ fn bench_parallel_scaling(c: &mut Criterion) {
                         engine::mine_with(&engine_dataset, &params, EngineConfig::default(), threads)
                             .expect("engine run")
                     })
+                },
+            );
+        }
+        group.finish();
+
+        // The SQL execution pays parsing + planning + heap-file
+        // materialization per statement on top of the mining itself, so
+        // its sweep runs on a reduced workload too (the partitioned
+        // statement pipeline is what is being charted, not raw speed).
+        let sql_dataset =
+            if tiny() { dataset.clone() } else { RetailConfig::small(2_000, 5).generate() };
+        let mut group = c.benchmark_group(format!("parallel_scaling_sql/{name}"));
+        group.warm_up_time(Duration::from_millis(300));
+        group.measurement_time(Duration::from_secs(2));
+        group.sample_size(10);
+        for threads in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| sql::mine_with(&sql_dataset, &params, threads).expect("sql run"))
                 },
             );
         }

@@ -18,8 +18,15 @@
 //!   serve      served mining throughput — an in-process `setm-serve`
 //!              server under a mixed-backend client sweep (1/4/16 clients)
 //!   baseline   write BENCH_baseline.json (machine info + per-workload
-//!              wall/I-O numbers, sequential vs parallel, plus the serve
-//!              sweep) for perf diffing
+//!              wall/I-O numbers, sequential vs parallel — including the
+//!              partitioned SQL series — plus the serve sweep and a
+//!              machine-independent `deterministic` counter section) for
+//!              perf diffing; honors SETM_BENCH_TINY=1
+//!   check-baseline [candidate] [reference]
+//!              compare the `deterministic` counters of a candidate
+//!              baseline (default ci_baseline.json) against a reference
+//!              (default BENCH_baseline.json); exit 1 on any drift.
+//!              Wall-clock fields are reported but never gated.
 //!   all        every report target above, in order (baseline excluded)
 //! ```
 //!
@@ -29,11 +36,14 @@
 //! sweeps — e.g. `repro -- example backend sql` mines the worked example
 //! by executing the paper's Section 4.1 SQL. Targets that *measure* a
 //! specific execution (`analysis`, `ablation`, `parallel`, `baseline`)
-//! pin their backends explicitly. The SQL execution is single-threaded,
-//! so the sweeps pin `threads = 1` when it is selected.
+//! pin their backends explicitly. All three executions honor the thread
+//! knob — the SQL execution shards its statement pipeline over
+//! `trans_id` partitions.
 //!
 //! `SETM_THREADS=<n>` pins the thread count used by the timing sweeps
-//! (`0`/unset = the machine's available parallelism).
+//! (`0`/unset = the machine's available parallelism). `SETM_BENCH_TINY=1`
+//! shrinks the `baseline` workloads to a seconds-scale CI configuration
+//! (the `deterministic` section is fixed-size and identical either way).
 
 use setm_baselines::{ais, apriori, apriori_tid};
 use setm_bench::loadgen::{
@@ -103,6 +113,9 @@ fn main() {
         "parallel" => repro_parallel(),
         "serve" => repro_serve(),
         "baseline" => repro_baseline(positional.get(1).cloned()),
+        "check-baseline" => {
+            repro_check_baseline(positional.get(1).cloned(), positional.get(2).cloned())
+        }
         "all" => {
             repro_example();
             repro_fig5();
@@ -132,11 +145,10 @@ fn threads_from_env() -> usize {
 }
 
 /// Run one mining workload through the unified facade on the selected
-/// backend. The SQL execution is single-threaded, so `threads` is pinned
-/// to 1 there; everywhere else it passes through.
+/// backend. Every backend honors `threads` (the SQL execution shards its
+/// statement pipeline), so the knob passes through unconditionally.
 fn run_miner(dataset: &setm_core::Dataset, params: &MiningParams, threads: usize) -> SetmResult {
     let b = backend();
-    let threads = if matches!(b, Backend::Sql) { 1 } else { threads };
     match Miner::new(*params).backend(b).threads(threads).run(dataset) {
         Ok(outcome) => outcome.result,
         Err(e) => {
@@ -305,6 +317,19 @@ fn run_on_engine(
             eprintln!("engine run failed: {e}");
             std::process::exit(1);
         })
+}
+
+/// A SQL-backed facade run with its report (the partitioned statement
+/// pipeline; `threads` shards it).
+fn run_on_sql(
+    dataset: &setm_core::Dataset,
+    params: &MiningParams,
+    threads: usize,
+) -> setm_core::MiningOutcome {
+    Miner::new(*params).backend(Backend::Sql).threads(threads).run(dataset).unwrap_or_else(|e| {
+        eprintln!("sql run failed: {e}");
+        std::process::exit(1);
+    })
 }
 
 fn repro_analysis() {
@@ -492,6 +517,31 @@ fn repro_parallel() {
             run.report.page_accesses().expect("engine report")
         );
     }
+
+    println!("\nSQL-driven (retail/20, 0.5%), statement pipeline sharded per thread:");
+    println!("  {:<10} {:>12} {:>12}", "threads", "wall", "statements");
+    let (base_t, reference) = best_of(3, || run_on_sql(&small, &params, 1));
+    println!(
+        "  {:<10} {:>12.2?} {:>12}",
+        1,
+        base_t,
+        reference.report.statements().expect("sql report").len()
+    );
+    for threads in PARALLEL_SWEEP.into_iter().skip(1) {
+        let (t, run) = best_of(3, || run_on_sql(&small, &params, threads));
+        assert_eq!(
+            run.result.frequent_itemsets(),
+            reference.result.frequent_itemsets(),
+            "partitioned SQL must be result-identical"
+        );
+        println!(
+            "  {:<10} {:>12.2?} {:>12}",
+            threads,
+            t,
+            run.report.statements().expect("sql report").len()
+        );
+    }
+
     println!("\nspeedup scales with real cores; on a single-core host the sweep");
     println!("only measures sharding overhead (results stay identical throughout).");
 }
@@ -539,12 +589,104 @@ impl Json {
     }
 }
 
+/// Whether the baseline should run the seconds-scale CI configuration.
+fn bench_tiny() -> bool {
+    std::env::var("SETM_BENCH_TINY").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// The machine-independent counter section of the baseline: fixed
+/// workloads (identical under `SETM_BENCH_TINY`), counters that depend
+/// only on the algorithms — |R'_k|/|R_k|/|C_k| traces, engine page
+/// accesses across the thread sweep, SQL statement counts across the
+/// thread sweep, and the nested-loop-vs-SETM I/O ratio. The CI
+/// bench-trajectory guard (`repro -- check-baseline`) fails on any
+/// drift in these; wall-clock fields are never gated.
+fn write_deterministic_section(j: &mut Json) {
+    println!("  deterministic counters (fixed workloads) ...");
+    j.field(1, "deterministic", "{", true);
+    j.field(
+        2,
+        "note",
+        "\"machine-independent; gated by `repro -- check-baseline` in CI\"",
+        false,
+    );
+
+    let retail = RetailConfig::small(1_500, 13).generate();
+    let params = MiningParams::new(MinSupport::Fraction(0.005), 0.5);
+    let mem = Miner::new(params).threads(1).run(&retail).expect("memory run");
+    j.field(2, "retail_small_1500", "{", true);
+    j.field(3, "patterns", &mem.result.frequent_itemsets().len().to_string(), false);
+    let trace: Vec<String> = mem
+        .result
+        .trace
+        .iter()
+        .map(|t| format!("[{}, {}, {}, {}]", t.k, t.r_prime_tuples, t.r_tuples, t.c_len))
+        .collect();
+    j.field(3, "trace_k_rprime_r_c", &format!("[{}]", trace.join(", ")), false);
+    let engine_accesses: Vec<String> = PARALLEL_SWEEP
+        .iter()
+        .map(|&threads| {
+            let run = run_on_engine(&retail, &params, EngineConfig::default(), threads);
+            assert_eq!(
+                run.result.frequent_itemsets(),
+                mem.result.frequent_itemsets(),
+                "engine threads={threads} must match memory"
+            );
+            format!(
+                "\"p{threads}\": {}",
+                run.report.page_accesses().expect("engine report")
+            )
+        })
+        .collect();
+    j.field(3, "engine_page_accesses", &format!("{{ {} }}", engine_accesses.join(", ")), false);
+    let sql_statements: Vec<String> = PARALLEL_SWEEP
+        .iter()
+        .map(|&threads| {
+            let run = run_on_sql(&retail, &params, threads);
+            assert_eq!(
+                run.result.frequent_itemsets(),
+                mem.result.frequent_itemsets(),
+                "sql threads={threads} must match memory"
+            );
+            format!("\"p{threads}\": {}", run.report.statements().expect("sql report").len())
+        })
+        .collect();
+    j.field(3, "sql_statements", &format!("{{ {} }}", sql_statements.join(", ")), true);
+    j.0.push_str("    },\n");
+
+    // Nested-loop vs SETM I/O on the engine (the paper's headline
+    // ratio), at 1/400 scale so the guard stays seconds-scale.
+    let uniform = UniformConfig::paper_scaled(400).generate();
+    let params = MiningParams::new(MinSupport::Fraction(0.005), 0.5).with_max_len(2);
+    let sm = run_on_engine(&uniform, &params, EngineConfig::default(), 1);
+    let nl =
+        mine_nested_loop(&uniform, &params, NestedLoopOptions::default()).expect("nested loop");
+    assert_eq!(sm.result.frequent_itemsets(), nl.result.frequent_itemsets());
+    j.field(2, "uniform_scaled400_max2", "{", true);
+    j.field(
+        3,
+        "setm_page_accesses",
+        &sm.report.page_accesses().expect("engine report").to_string(),
+        false,
+    );
+    j.field(3, "nested_loop_page_accesses", &nl.total_page_accesses.to_string(), true);
+    j.0.push_str("    }\n");
+    j.0.push_str("  },\n");
+}
+
 fn repro_baseline(path: Option<String>) {
-    banner("Recording perf baseline -> BENCH_baseline.json");
+    let tiny = bench_tiny();
+    banner(if tiny {
+        "Recording perf baseline (tiny CI config) -> BENCH_baseline.json"
+    } else {
+        "Recording perf baseline -> BENCH_baseline.json"
+    });
     let hw = setm_core::setm::shard::resolve_threads(0);
+    let reps = if tiny { 1 } else { 3 };
 
     let mut j = Json::new();
-    j.field(1, "schema", "\"setm-bench-baseline/v1\"", false);
+    j.field(1, "schema", "\"setm-bench-baseline/v2\"", false);
+    j.field(1, "config", if tiny { "\"tiny\"" } else { "\"full\"" }, false);
     j.field(1, "machine", "{", true);
     j.field(2, "available_parallelism", &hw.to_string(), false);
     j.field(2, "os", &format!("\"{}\"", std::env::consts::OS), false);
@@ -557,38 +699,49 @@ fn repro_baseline(path: Option<String>) {
     );
     j.0.push_str("  },\n");
 
+    write_deterministic_section(&mut j);
+
     let mine_mem = |dataset: &setm_core::Dataset, params: &MiningParams, threads: usize| {
         Miner::new(*params).threads(threads).run(dataset).expect("memory run").result
     };
 
     // In-memory path: retail table-1 sweep, sequential vs P in {1,2,4}.
-    let retail = RetailConfig::paper().generate();
+    let retail = if tiny {
+        RetailConfig::small(1_500, 13).generate()
+    } else {
+        RetailConfig::paper().generate()
+    };
+    let retail_supports: &[f64] = if tiny { &[0.005, 0.01] } else { &RETAIL_SUPPORTS };
     j.field(1, "memory_retail_paper", "[", true);
-    for (i, &frac) in RETAIL_SUPPORTS.iter().enumerate() {
+    for (i, &frac) in retail_supports.iter().enumerate() {
         let params = MiningParams::new(MinSupport::Fraction(frac), 0.5);
         let mut fields: Vec<String> = vec![format!("\"min_support\": {frac}")];
         let mut patterns = 0usize;
         for threads in PARALLEL_SWEEP {
-            let (t, r) = best_of(3, || mine_mem(&retail, &params, threads));
+            let (t, r) = best_of(reps, || mine_mem(&retail, &params, threads));
             patterns = r.frequent_itemsets().len();
             fields.push(format!("\"wall_ms_p{threads}\": {:.3}", t.as_secs_f64() * 1e3));
         }
         fields.push(format!("\"patterns\": {patterns}"));
-        let sep = if i + 1 == RETAIL_SUPPORTS.len() { "" } else { "," };
+        let sep = if i + 1 == retail_supports.len() { "" } else { "," };
         j.0.push_str(&format!("    {{ {} }}{}\n", fields.join(", "), sep));
         println!("  memory retail @{:.2}% done", frac * 100.0);
     }
     j.0.push_str("  ],\n");
 
-    // Quest T10-class workload.
-    let quest = QuestConfig::t10_i4_d100k(10).generate();
+    // Quest workload (T10-class; T5-class in tiny mode).
+    let quest = if tiny {
+        QuestConfig::t5_i2_d100k(200).generate()
+    } else {
+        QuestConfig::t10_i4_d100k(10).generate()
+    };
     j.field(1, "memory_quest_t10_i4_d10k", "[", true);
-    let quest_supports = [0.02, 0.01, 0.005];
+    let quest_supports: &[f64] = if tiny { &[0.02] } else { &[0.02, 0.01, 0.005] };
     for (i, &frac) in quest_supports.iter().enumerate() {
         let params = MiningParams::new(MinSupport::Fraction(frac), 0.5);
         let mut fields: Vec<String> = vec![format!("\"min_support\": {frac}")];
         for threads in PARALLEL_SWEEP {
-            let (t, _) = best_of(3, || mine_mem(&quest, &params, threads));
+            let (t, _) = best_of(reps, || mine_mem(&quest, &params, threads));
             fields.push(format!("\"wall_ms_p{threads}\": {:.3}", t.as_secs_f64() * 1e3));
         }
         let sep = if i + 1 == quest_supports.len() { "" } else { "," };
@@ -598,11 +751,16 @@ fn repro_baseline(path: Option<String>) {
     j.0.push_str("  ],\n");
 
     // Paged engine: wall + charged I/O, sequential vs sharded.
-    let small = RetailConfig::small(2_500, 11).generate();
+    let small = if tiny {
+        RetailConfig::small(1_000, 11).generate()
+    } else {
+        RetailConfig::small(2_500, 11).generate()
+    };
     let params = MiningParams::new(MinSupport::Fraction(0.005), 0.5);
     j.field(1, "engine_retail_small_2500", "[", true);
     for (i, &threads) in PARALLEL_SWEEP.iter().enumerate() {
-        let (t, run) = best_of(3, || run_on_engine(&small, &params, EngineConfig::default(), threads));
+        let (t, run) =
+            best_of(reps, || run_on_engine(&small, &params, EngineConfig::default(), threads));
         let sep = if i + 1 == PARALLEL_SWEEP.len() { "" } else { "," };
         j.0.push_str(&format!(
             "    {{ \"threads\": {}, \"wall_ms\": {:.3}, \"page_accesses\": {}, \"estimated_io_ms\": {:.1} }}{}\n",
@@ -616,14 +774,33 @@ fn repro_baseline(path: Option<String>) {
     }
     j.0.push_str("  ],\n");
 
+    // Partitioned SQL: wall + statement count, sequential vs sharded —
+    // the third backend's parallel series (tentpole of ISSUE 5).
+    j.field(1, "sql_retail_small", "[", true);
+    for (i, &threads) in PARALLEL_SWEEP.iter().enumerate() {
+        let (t, run) = best_of(reps, || run_on_sql(&small, &params, threads));
+        let sep = if i + 1 == PARALLEL_SWEEP.len() { "" } else { "," };
+        j.0.push_str(&format!(
+            "    {{ \"threads\": {}, \"wall_ms\": {:.3}, \"statements\": {} }}{}\n",
+            threads,
+            t.as_secs_f64() * 1e3,
+            run.report.statements().expect("sql report").len(),
+            sep
+        ));
+        println!("  sql retail/20 threads={threads} done");
+    }
+    j.0.push_str("  ],\n");
+
     // Served mining: requests/sec + tail latency under concurrent
     // clients, mixed backends. NOTE the hardware-thread count: on a
     // 1-thread container this measures scheduling/protocol overhead,
     // not parallel speedup (ROADMAP multicore caveat).
     let (addr, handle) = start_bench_server();
+    let serve_clients: &[usize] = if tiny { &[1, 4] } else { &SERVE_CLIENT_SWEEP };
+    let serve_requests = if tiny { 4 } else { SERVE_REQUESTS_PER_CLIENT };
     j.field(1, "serve_mixed_backends", "{", true);
     j.field(2, "hardware_threads", &hw.to_string(), false);
-    j.field(2, "requests_per_client", &SERVE_REQUESTS_PER_CLIENT.to_string(), false);
+    j.field(2, "requests_per_client", &serve_requests.to_string(), false);
     j.field(
         2,
         "note",
@@ -631,13 +808,13 @@ fn repro_baseline(path: Option<String>) {
         false,
     );
     j.field(2, "sweep", "[", true);
-    for (i, &clients) in SERVE_CLIENT_SWEEP.iter().enumerate() {
+    for (i, &clients) in serve_clients.iter().enumerate() {
         let report = run_load(
             addr,
-            LoadConfig { clients, requests_per_client: SERVE_REQUESTS_PER_CLIENT },
+            LoadConfig { clients, requests_per_client: serve_requests },
             mixed_request,
         );
-        let sep = if i + 1 == SERVE_CLIENT_SWEEP.len() { "" } else { "," };
+        let sep = if i + 1 == serve_clients.len() { "" } else { "," };
         j.0.push_str(&format!(
             "      {{ \"clients\": {}, \"requests\": {}, \"errors\": {}, \"rps\": {:.1}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2} }}{}\n",
             clients, report.completed, report.errors, report.rps, report.p50_ms, report.p99_ms, sep
@@ -647,13 +824,17 @@ fn repro_baseline(path: Option<String>) {
     j.0.push_str("    ]\n  },\n");
     stop_bench_server(addr, handle);
 
-    // Nested-loop vs SETM on the engine (the paper's headline ratio).
-    let uniform = UniformConfig::paper_scaled(100).generate();
+    // Nested-loop vs SETM on the engine (the paper's headline ratio);
+    // tiny mode shrinks the uniform model further (the scale is recorded
+    // so mismatched configs are visible in diffs).
+    let uniform_scale = if tiny { 400 } else { 100 };
+    let uniform = UniformConfig::paper_scaled(uniform_scale).generate();
     let params = MiningParams::new(MinSupport::Fraction(0.005), 0.5).with_max_len(2);
     let sm = run_on_engine(&uniform, &params, EngineConfig::default(), 1);
     let nl = mine_nested_loop(&uniform, &params, NestedLoopOptions::default())
         .expect("nested loop");
     j.field(1, "engine_uniform_scaled100_analysis", "{", true);
+    j.field(2, "scale_down", &uniform_scale.to_string(), false);
     j.field(
         2,
         "setm_page_accesses",
@@ -678,5 +859,145 @@ fn repro_baseline(path: Option<String>) {
             eprintln!("could not write {path}: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// The CI bench-trajectory guard: compare the `deterministic` counters
+/// of a freshly recorded baseline against the checked-in reference.
+/// Deterministic drift (page accesses, |C_k| traces, SQL statement
+/// counts, nested-loop vs SETM I/O) fails the run; wall-clock fields
+/// are reported for context but never gated.
+fn repro_check_baseline(candidate: Option<String>, reference: Option<String>) {
+    use setm_serve::json::{parse, Json as JsonValue};
+
+    banner("Bench-trajectory guard — deterministic counters vs baseline");
+    let cand_path = candidate.unwrap_or_else(|| "ci_baseline.json".to_string());
+    let ref_path = reference.unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let load = |path: &str| -> JsonValue {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("could not read {path}: {e}");
+            std::process::exit(2);
+        });
+        parse(&text).unwrap_or_else(|e| {
+            eprintln!("could not parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let cand = load(&cand_path);
+    let reference = load(&ref_path);
+
+    // Wall-clock context: same-path wall_ms leaves, side by side. Never
+    // gated — machine and config (tiny vs full) legitimately differ.
+    let mut ref_walls = Vec::new();
+    collect_wall_leaves("", &reference, &mut ref_walls);
+    let mut cand_walls = Vec::new();
+    collect_wall_leaves("", &cand, &mut cand_walls);
+    let common: Vec<(&String, f64, f64)> = ref_walls
+        .iter()
+        .filter_map(|(path, rv)| {
+            cand_walls.iter().find(|(p, _)| p == path).map(|(_, cv)| (path, *rv, *cv))
+        })
+        .collect();
+    if common.is_empty() {
+        println!("wall-clock: no directly comparable fields (configs differ) — not gated\n");
+    } else {
+        println!("wall-clock (reported, never gated):");
+        println!("  {:<58} {:>10} {:>10} {:>7}", "field", "baseline", "candidate", "ratio");
+        for (path, rv, cv) in common {
+            println!("  {:<58} {:>10.2} {:>10.2} {:>6.2}x", path, rv, cv, cv / rv.max(1e-9));
+        }
+        println!();
+    }
+
+    let (Some(r), Some(c)) = (reference.get("deterministic"), cand.get("deterministic")) else {
+        eprintln!(
+            "missing `deterministic` section in {} — regenerate with `repro -- baseline`",
+            if reference.get("deterministic").is_none() { &ref_path } else { &cand_path }
+        );
+        std::process::exit(1);
+    };
+    let mut drifts: Vec<String> = Vec::new();
+    diff_deterministic("deterministic", r, c, &mut drifts);
+    if drifts.is_empty() {
+        println!("OK: every deterministic counter matches {ref_path}.");
+    } else {
+        eprintln!("{} deterministic counter(s) drifted from {ref_path}:", drifts.len());
+        for d in &drifts {
+            eprintln!("  {d}");
+        }
+        eprintln!("\nif the drift is an intended algorithm change, regenerate the");
+        eprintln!("baseline (`repro -- baseline`) in the same commit and say why.");
+        std::process::exit(1);
+    }
+}
+
+/// Recursive exact comparison of the deterministic subtree; every
+/// mismatch (value drift, missing key, extra key, shape change) is one
+/// human-readable line.
+fn diff_deterministic(
+    path: &str,
+    reference: &setm_serve::json::Json,
+    candidate: &setm_serve::json::Json,
+    drifts: &mut Vec<String>,
+) {
+    use setm_serve::json::Json as J;
+    match (reference, candidate) {
+        (J::Obj(rm), J::Obj(cm)) => {
+            for (key, rv) in rm {
+                match candidate.get(key) {
+                    Some(cv) => diff_deterministic(&format!("{path}.{key}"), rv, cv, drifts),
+                    None => drifts.push(format!("{path}.{key}: missing from candidate")),
+                }
+            }
+            for (key, _) in cm {
+                if reference.get(key).is_none() {
+                    drifts.push(format!(
+                        "{path}.{key}: present in candidate but not in the baseline"
+                    ));
+                }
+            }
+        }
+        (J::Arr(ra), J::Arr(ca)) => {
+            if ra.len() != ca.len() {
+                drifts.push(format!(
+                    "{path}: length {} != baseline length {}",
+                    ca.len(),
+                    ra.len()
+                ));
+            } else {
+                for (i, (rv, cv)) in ra.iter().zip(ca.iter()).enumerate() {
+                    diff_deterministic(&format!("{path}[{i}]"), rv, cv, drifts);
+                }
+            }
+        }
+        (rv, cv) => {
+            if rv != cv {
+                drifts.push(format!("{path}: {cv:?} != baseline {rv:?}"));
+            }
+        }
+    }
+}
+
+/// Collect `(path, value)` pairs for wall-clock-ish numeric leaves.
+fn collect_wall_leaves(path: &str, value: &setm_serve::json::Json, out: &mut Vec<(String, f64)>) {
+    use setm_serve::json::Json as J;
+    match value {
+        J::Obj(members) => {
+            for (key, v) in members {
+                collect_wall_leaves(&format!("{path}.{key}"), v, out);
+            }
+        }
+        J::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                collect_wall_leaves(&format!("{path}[{i}]"), v, out);
+            }
+        }
+        J::Num(n) => {
+            let leaf = path.rsplit('.').next().unwrap_or(path);
+            if leaf.contains("wall_ms") || leaf == "rps" || leaf.contains("p50") || leaf.contains("p99") {
+                out.push((path.to_string(), *n));
+            }
+        }
+        _ => {}
     }
 }

@@ -24,8 +24,7 @@ pub enum SetmError {
     /// the 3-page minimum a two-phase external sort needs).
     InvalidEngineConfig { reason: String },
     /// An execution knob the selected backend cannot honor (e.g.
-    /// `filter_r1` on the SQL backend, `threads > 1` on the — still
-    /// single-threaded — SQL execution).
+    /// `filter_r1` on the SQL or engine backends).
     UnsupportedOption { backend: &'static str, option: &'static str },
     /// The paged storage engine failed (media fault, corrupt state, …).
     Engine(setm_relational::Error),
@@ -77,7 +76,10 @@ impl From<setm_sql::SqlError> for SetmError {
     fn from(e: setm_sql::SqlError) -> Self {
         // A SQL error that merely wraps an engine error is an engine
         // error; unwrap one level so matching stays uniform across
-        // backends (the fault-injection tests rely on this).
+        // backends (the fault-injection tests rely on this). A
+        // `SqlError::Shard` wrapper is *not* unwrapped, even when its
+        // cause is an engine fault: which shard of a partitioned SQL run
+        // failed is information the facade must not discard.
         match e {
             setm_sql::SqlError::Engine(inner) => SetmError::Engine(inner),
             other => SetmError::Sql(other),
@@ -116,5 +118,22 @@ mod tests {
         let nested: SetmError =
             setm_sql::SqlError::Engine(setm_relational::Error::Corrupt("bad page".into())).into();
         assert!(matches!(nested, SetmError::Engine(setm_relational::Error::Corrupt(_))));
+    }
+
+    #[test]
+    fn shard_failures_stay_sql_errors_naming_the_shard() {
+        // Even when the cause three layers down is an engine fault, the
+        // shard attribution of a partitioned SQL run must survive the
+        // conversion to the facade error.
+        let e: SetmError = setm_sql::SqlError::Shard {
+            shard: 3,
+            source: Box::new(setm_sql::SqlError::Engine(setm_relational::Error::Corrupt(
+                "media fault".into(),
+            ))),
+        }
+        .into();
+        assert!(matches!(e, SetmError::Sql(setm_sql::SqlError::Shard { shard: 3, .. })));
+        assert!(e.to_string().contains("shard 3"), "{e}");
+        assert!(e.to_string().contains("media fault"), "{e}");
     }
 }

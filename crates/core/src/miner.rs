@@ -104,6 +104,9 @@ pub struct EngineReport {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SqlReport {
     /// Every SQL statement executed, in order — the Section 4.1 text.
+    /// A partitioned run (`threads > 1`) records each round's per-shard
+    /// statements (tables named `…_SHARD_<i>` / `…_PART_<i>`, in shard
+    /// order) followed by the coordinator's `SUM`-merge statements.
     pub statements: Vec<String>,
 }
 
@@ -224,8 +227,11 @@ impl Miner {
     /// Worker threads for the sharded parallel executions: `0` (the
     /// default) resolves to the machine's available parallelism, `1`
     /// forces the paper's sequential plan. Results are identical for
-    /// every value. The SQL backend is still single-threaded
-    /// (ROADMAP item); asking it for `threads > 1` is a typed error.
+    /// every value on every backend — the SQL execution shards its
+    /// statement pipeline over `trans_id` partitions (per-shard
+    /// `INSERT INTO R_k_SHARD_<i> SELECT …` run concurrently, merged by
+    /// a global `HAVING SUM(cnt) >= :minsupport`), so `threads(n)` means
+    /// the same thing everywhere.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -309,12 +315,6 @@ impl Miner {
                         option: "filter_r1",
                     });
                 }
-                if self.threads > 1 {
-                    return Err(SetmError::UnsupportedOption {
-                        backend: "sql",
-                        option: "threads",
-                    });
-                }
             }
         }
         Ok(())
@@ -342,7 +342,7 @@ impl Miner {
                 (run.result, report)
             }
             Backend::Sql => {
-                let run = sql::mine_with(dataset, &self.params)?;
+                let run = sql::mine_with(dataset, &self.params, self.threads)?;
                 (run.result, ExecutionReport::Sql(SqlReport { statements: run.statements }))
             }
         };
@@ -408,10 +408,11 @@ mod tests {
     fn unsupported_options_are_reported_per_backend() {
         let d = example::paper_example_dataset();
         let params = example::paper_example_params();
-        let e = Miner::new(params).backend(Backend::Sql).threads(4).run(&d);
-        assert!(
-            matches!(e, Err(SetmError::UnsupportedOption { backend: "sql", option: "threads" }))
-        );
+        // threads is an execution knob every backend honors — the SQL
+        // execution shards its statement pipeline (it used to be a typed
+        // error here).
+        let ok = Miner::new(params).backend(Backend::Sql).threads(4).run(&d).unwrap();
+        assert_eq!(ok.rules.len(), 11);
         let e = Miner::new(params).backend(Backend::Sql).filter_r1(true).run(&d);
         assert!(
             matches!(e, Err(SetmError::UnsupportedOption { backend: "sql", option: "filter_r1" }))

@@ -68,35 +68,6 @@ impl Default for EngineConfig {
     }
 }
 
-/// Execution knobs for the engine-backed run.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `EngineConfig` (threads moved to the `Miner` builder / `mine_with`)"
-)]
-#[derive(Debug, Clone, Copy)]
-pub struct EngineOptions {
-    /// Workspace for the external sorts, in pages.
-    pub sort_buffer_pages: usize,
-    /// Buffer-cache frames (0 = every access charged).
-    pub cache_frames: usize,
-    /// Track sort order across iterations (Section 4.1 optimization).
-    pub track_sort_order: bool,
-    /// Worker threads / `trans_id` shards (0 = available parallelism).
-    pub threads: usize,
-}
-
-#[allow(deprecated)]
-impl Default for EngineOptions {
-    fn default() -> Self {
-        EngineOptions {
-            sort_buffer_pages: 256,
-            cache_frames: 0,
-            track_sort_order: true,
-            threads: 0,
-        }
-    }
-}
-
 /// Outcome of an engine run: the mining result (with per-iteration I/O in
 /// the trace) plus the total page accesses.
 #[derive(Debug)]
@@ -132,26 +103,6 @@ pub fn mine_with(
     } else {
         mine_sharded(dataset, params, config, threads)
     }
-}
-
-/// Mine `dataset` on a fresh paged engine (one pager per shard).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Miner::new(params).backend(Backend::Engine(config)).run(dataset)` \
-            or the low-level `engine::mine_with`"
-)]
-#[allow(deprecated)]
-pub fn mine_on_engine(
-    dataset: &Dataset,
-    params: &MiningParams,
-    opts: EngineOptions,
-) -> Result<EngineRun> {
-    let config = EngineConfig {
-        sort_buffer_pages: opts.sort_buffer_pages,
-        cache_frames: opts.cache_frames,
-        track_sort_order: opts.track_sort_order,
-    };
-    mine_with(dataset, params, config, opts.threads)
 }
 
 /// The paper's sequential plan on a single pager.

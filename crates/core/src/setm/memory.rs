@@ -502,7 +502,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(eng.result.frequent_itemsets(), r.frequent_itemsets());
-        let sql = crate::setm::sql::mine_with(&d, &params).unwrap();
+        let sql = crate::setm::sql::mine_with(&d, &params, 1).unwrap();
         assert_eq!(sql.result.frequent_itemsets(), r.frequent_itemsets());
     }
 

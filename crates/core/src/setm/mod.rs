@@ -34,7 +34,6 @@ pub mod memory;
 pub mod shard;
 pub mod sql;
 
-use crate::data::{Dataset, MiningParams};
 use crate::itemvec::ItemVec;
 use crate::pattern::CountRelation;
 
@@ -122,20 +121,10 @@ impl SetmResult {
     }
 }
 
-/// Mine with the in-memory execution.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Miner::new(params).run(dataset)` (the unified facade) \
-            or the low-level `memory::mine`"
-)]
-pub fn mine(dataset: &Dataset, params: &MiningParams) -> SetmResult {
-    memory::mine(dataset, params)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::data::MinSupport;
+    use crate::data::{Dataset, MinSupport, MiningParams};
 
     #[test]
     fn result_accessors() {

@@ -11,17 +11,59 @@
 //!
 //! The emitted statements are recorded verbatim in [`SqlRun::statements`]
 //! so examples and tests can display exactly what was executed.
+//!
+//! # Partitioned parallel execution
+//!
+//! With more than one worker thread (the `threads` argument of
+//! [`mine_with`] / `Miner::threads`) the statement pipeline itself is
+//! sharded over contiguous `trans_id` partitions — the same
+//! weight-balanced partitioner as the in-memory and paged-engine
+//! executions ([`crate::setm::shard`]). Each shard is its own
+//! [`SqlEngine`] session on its own pager (one connection and one disk
+//! per worker, via [`setm_sql::ShardPool`]) holding only its slice of
+//! `SALES`; every iteration runs, concurrently on all shards,
+//!
+//! ```text
+//! INSERT INTO Rk_PRIME_SHARD_<i> SELECT p.trans_id, .., q.item FROM .. ;
+//! INSERT INTO Ck_PART_<i>  SELECT .., COUNT(*) .. GROUP BY ..          ;   -- no HAVING
+//! ```
+//!
+//! then ships the shard-local count partials to a coordinator session
+//! (a `UNION ALL` realized as bulk data movement, like the initial
+//! `SALES` load) where the *global* threshold is applied by one merge
+//! statement —
+//!
+//! ```text
+//! INSERT INTO Ck SELECT p.item_1, .., SUM(p.cnt) FROM Ck_PARTS p
+//! GROUP BY p.item_1, .. HAVING SUM(p.cnt) >= :minsupport
+//! ```
+//!
+//! — and finally broadcasts the merged `C_k` back so each shard filters
+//! and `ORDER BY`-sorts its own `R_k` in parallel. Because the shards
+//! partition transactions exactly, itemsets, rules, and the
+//! `|R'_k|`/`|R_k|`/`|C_k|` trace series are identical to the sequential
+//! plan at every thread count (`tests/sql_equivalence.rs` proves it);
+//! the recorded statement trace interleaves each round's per-shard
+//! statements (in shard order) with the coordinator's merge statements.
+//! A failing shard statement surfaces as a typed
+//! [`SqlError::Shard`](setm_sql::SqlError) naming the shard; statement
+//! atomicity (an `INSERT` either fully replaces its target table or
+//! leaves it untouched) means no partially-populated result table is
+//! ever observable afterwards.
 
 use crate::data::{Dataset, MiningParams};
 use crate::pattern::CountRelation;
+use crate::setm::shard::{partition_by_weight, resolve_threads};
 use crate::setm::{IterationTrace, SetmResult};
-use setm_sql::{ExecOutcome, Params, Result, SqlEngine};
+use setm_sql::{ExecOutcome, Params, Result, ShardPool, SqlEngine};
 
 /// Outcome of a SQL-driven run.
 #[derive(Debug)]
 pub struct SqlRun {
     pub result: SetmResult,
-    /// Every SQL statement executed, in order.
+    /// Every SQL statement executed, in order. In a partitioned run each
+    /// round lists the per-shard statements in shard order, then the
+    /// coordinator's merge statements.
     pub statements: Vec<String>,
 }
 
@@ -39,13 +81,48 @@ fn item_cols(qualifier: &str, k: usize) -> String {
         .join(", ")
 }
 
+/// Column names `item_1, .., item_k, cnt` (the shape of every count
+/// table), owned, for bulk loads.
+fn count_table_cols(k: usize) -> Vec<String> {
+    (1..=k).map(|i| format!("item_{i}")).chain(std::iter::once("cnt".to_string())).collect()
+}
+
 /// Mine `dataset` by generating and executing the paper's SQL.
 ///
-/// This is the low-level execution function behind
-/// [`crate::Backend::Sql`]; prefer driving it through the
-/// [`crate::Miner`] facade, which validates inputs and returns the
-/// shared [`crate::MiningOutcome`] / [`crate::SetmError`] types.
-pub fn mine_with(dataset: &Dataset, params: &MiningParams) -> Result<SqlRun> {
+/// `threads` = 0 resolves to the machine's available parallelism, 1
+/// forces the paper's sequential plan; mined results and the trace
+/// series are identical for every value. This is the low-level
+/// execution function behind [`crate::Backend::Sql`]; prefer driving it
+/// through the [`crate::Miner`] facade, which validates inputs and
+/// returns the shared [`crate::MiningOutcome`] / [`crate::SetmError`]
+/// types.
+pub fn mine_with(dataset: &Dataset, params: &MiningParams, threads: usize) -> Result<SqlRun> {
+    let threads = resolve_threads(threads).min(dataset.n_transactions().max(1) as usize);
+    if threads <= 1 {
+        mine_sequential(dataset, params)
+    } else {
+        mine_sharded(dataset, params, threads, &|_, _| {})
+    }
+}
+
+/// Test seam: run the partitioned plan with a per-shard preparation hook
+/// (e.g. injecting pager faults into one shard). Not part of the stable
+/// API.
+#[doc(hidden)]
+pub fn mine_sharded_with_prepare(
+    dataset: &Dataset,
+    params: &MiningParams,
+    threads: usize,
+    prepare: &(dyn Fn(usize, &mut SqlEngine) + Sync),
+) -> Result<SqlRun> {
+    let threads = resolve_threads(threads).min(dataset.n_transactions().max(1) as usize);
+    mine_sharded(dataset, params, threads.max(1), prepare)
+}
+
+/// The paper's sequential Section 4.1 plan on a single session. The
+/// emitted statement text is byte-identical to the pre-parallel
+/// releases' — `threads(1)` *is* the paper's plan.
+fn mine_sequential(dataset: &Dataset, params: &MiningParams) -> Result<SqlRun> {
     let mut engine = SqlEngine::new();
     let mut statements: Vec<String> = Vec::new();
     let n_txns = dataset.n_transactions();
@@ -80,15 +157,7 @@ pub fn mine_with(dataset: &Dataset, params: &MiningParams) -> Result<SqlRun> {
             .into(),
     )?;
     let c1 = read_counts(&mut engine, 1)?;
-    trace.push(IterationTrace {
-        k: 1,
-        r_prime_tuples: dataset.n_rows(),
-        r_tuples: dataset.n_rows(),
-        r_kbytes: dataset.n_rows() as f64 * 8.0 / 1024.0,
-        c_len: c1.len() as u64,
-        page_accesses: 0,
-        estimated_io_ms: 0.0,
-    });
+    trace.push(iteration_one_trace(dataset, &c1));
     if !c1.is_empty() {
         counts.push(c1);
     }
@@ -173,15 +242,7 @@ pub fn mine_with(dataset: &Dataset, params: &MiningParams) -> Result<SqlRun> {
             // R'_k is consumed; the paper discards it.
             run(&mut engine, &mut statements, format!("DROP TABLE {rk_prime}"))?;
 
-            trace.push(IterationTrace {
-                k,
-                r_prime_tuples,
-                r_tuples,
-                r_kbytes: r_tuples as f64 * ((k + 1) * 4) as f64 / 1024.0,
-                c_len: c_k.len() as u64,
-                page_accesses: 0,
-                estimated_io_ms: 0.0,
-            });
+            trace.push(iteration_trace(k, r_prime_tuples, r_tuples, c_k.len() as u64));
 
             let done = r_tuples == 0 || k >= max_len;
             if !c_k.is_empty() {
@@ -199,14 +260,298 @@ pub fn mine_with(dataset: &Dataset, params: &MiningParams) -> Result<SqlRun> {
     })
 }
 
-/// Mine `dataset` by generating and executing the paper's SQL.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Miner::new(params).backend(Backend::Sql).run(dataset)` \
-            or the low-level `sql::mine_with`"
-)]
-pub fn mine_via_sql(dataset: &Dataset, params: &MiningParams) -> Result<SqlRun> {
-    mine_with(dataset, params)
+/// The partitioned Section 4.1 plan: per-shard statement pipelines run
+/// concurrently (one session per shard), shard-local counts merged by a
+/// coordinator `GROUP BY … HAVING SUM(cnt) >= :minsupport`, the merged
+/// `C_k` broadcast back for the per-shard filter. See the module docs.
+fn mine_sharded(
+    dataset: &Dataset,
+    params: &MiningParams,
+    threads: usize,
+    prepare: &(dyn Fn(usize, &mut SqlEngine) + Sync),
+) -> Result<SqlRun> {
+    let n_txns = dataset.n_transactions();
+    let min_count = params.min_support.to_count(n_txns.max(1));
+    let max_len = params.max_pattern_len.unwrap_or(usize::MAX);
+    let bind = Params::new().with("minsupport", min_count);
+
+    // Contiguous trans_id shards, weight-balanced by row count — the
+    // same partitioner as the in-memory and paged-engine executions.
+    let weights: Vec<usize> = dataset.transactions().map(|(_, items)| items.len()).collect();
+    let ranges = partition_by_weight(&weights, threads);
+    let mut pool = ShardPool::new(ranges.len());
+    {
+        let mut txns = dataset.transactions();
+        for (i, range) in ranges.iter().enumerate() {
+            let mut rows: Vec<[u32; 2]> = Vec::new();
+            for (tid, items) in txns.by_ref().take(range.len()) {
+                rows.extend(items.iter().map(|&it| [tid, it]));
+            }
+            // Each shard's slice of SALES — data preparation, like the
+            // sequential load.
+            pool.shard_mut(i).load_table(
+                "SALES",
+                &["trans_id", "item"],
+                rows.iter().map(|r| r.as_slice()),
+            )?;
+            prepare(i, pool.shard_mut(i));
+        }
+    }
+    // The coordinator session: merges shard-local count partials and
+    // holds the authoritative C_k tables.
+    let mut merge = SqlEngine::new();
+    let mut statements: Vec<String> = Vec::new();
+
+    let mut counts: Vec<CountRelation> = Vec::new();
+    let mut trace: Vec<IterationTrace> = Vec::new();
+
+    // k = 1 — shard-local item counts, *without* HAVING: the support
+    // threshold is global, so it applies only at the coordinator merge.
+    let shard_stmts = pool.run(|i, engine| {
+        let mut stmts = Vec::new();
+        exec_on(engine, &mut stmts, &bind, format!("CREATE TABLE C1_PART_{i} (item_1 INT, cnt INT)"))?;
+        exec_on(
+            engine,
+            &mut stmts,
+            &bind,
+            format!(
+                "INSERT INTO C1_PART_{i}\n\
+                 SELECT r1.item, COUNT(*)\n\
+                 FROM SALES r1\n\
+                 GROUP BY r1.item"
+            ),
+        )?;
+        Ok(stmts)
+    })?;
+    statements.extend(shard_stmts.into_iter().flatten());
+    let c1 = merge_shard_counts(&mut merge, &mut pool, &mut statements, &bind, 1)?;
+    trace.push(iteration_one_trace(dataset, &c1));
+    if !c1.is_empty() {
+        counts.push(c1);
+    }
+
+    let mut k = 1usize;
+    if max_len > 1 && n_txns > 0 {
+        loop {
+            k += 1;
+            let cols: String =
+                (1..=k).map(|i| format!("item_{i} INT")).collect::<Vec<_>>().join(", ");
+            let items = item_cols("p", k);
+
+            // Phase 1 (parallel): extension join + local counts per shard.
+            let phase1 = pool.run(|i, engine| {
+                let mut stmts = Vec::new();
+                let prev = if k == 2 {
+                    "SALES".to_string()
+                } else {
+                    format!("R{}_SHARD_{i}", k - 1)
+                };
+                let prev_items =
+                    if k == 2 { "p.item".to_string() } else { item_cols("p", k - 1) };
+                let prev_last =
+                    if k == 2 { "p.item".to_string() } else { format!("p.item_{}", k - 1) };
+                let rk_prime = format!("R{k}_PRIME_SHARD_{i}");
+                exec_on(
+                    engine,
+                    &mut stmts,
+                    &bind,
+                    format!("CREATE TABLE {rk_prime} (trans_id INT, {cols})"),
+                )?;
+                let inserted = exec_on(
+                    engine,
+                    &mut stmts,
+                    &bind,
+                    format!(
+                        "INSERT INTO {rk_prime}\n\
+                         SELECT p.trans_id, {prev_items}, q.item\n\
+                         FROM {prev} p, SALES q\n\
+                         WHERE q.trans_id = p.trans_id AND q.item > {prev_last}"
+                    ),
+                )?;
+                let r_prime_rows = match inserted {
+                    ExecOutcome::Inserted(n) => n,
+                    _ => 0,
+                };
+                exec_on(
+                    engine,
+                    &mut stmts,
+                    &bind,
+                    format!("CREATE TABLE C{k}_PART_{i} ({cols}, cnt INT)"),
+                )?;
+                exec_on(
+                    engine,
+                    &mut stmts,
+                    &bind,
+                    format!(
+                        "INSERT INTO C{k}_PART_{i}\n\
+                         SELECT {items}, COUNT(*)\n\
+                         FROM {rk_prime} p\n\
+                         GROUP BY {items}"
+                    ),
+                )?;
+                Ok((stmts, r_prime_rows))
+            })?;
+            let r_prime_tuples: u64 = phase1.iter().map(|(_, n)| n).sum();
+            statements.extend(phase1.into_iter().flat_map(|(stmts, _)| stmts));
+
+            // Global C_k: union the partials, SUM-merge under the
+            // threshold on the coordinator.
+            let c_k = merge_shard_counts(&mut merge, &mut pool, &mut statements, &bind, k)?;
+
+            // Phase 2 (parallel): broadcast C_k (data movement, like the
+            // SALES load), filter + ORDER BY per shard, drop R'_k.
+            let c_rows = c_k.to_engine_rows();
+            let bcast_cols = count_table_cols(k);
+            let phase2 = pool.run(|i, engine| {
+                let mut stmts = Vec::new();
+                let col_refs: Vec<&str> = bcast_cols.iter().map(String::as_str).collect();
+                engine.load_table(
+                    &format!("C{k}"),
+                    &col_refs,
+                    c_rows.iter().map(|r| r.as_slice()),
+                )?;
+                let rk_prime = format!("R{k}_PRIME_SHARD_{i}");
+                let r_k = format!("R{k}_SHARD_{i}");
+                exec_on(
+                    engine,
+                    &mut stmts,
+                    &bind,
+                    format!("CREATE TABLE {r_k} (trans_id INT, {cols})"),
+                )?;
+                let join_cond: String = (1..=k)
+                    .map(|c| format!("p.item_{c} = q.item_{c}"))
+                    .collect::<Vec<_>>()
+                    .join(" AND ");
+                let inserted = exec_on(
+                    engine,
+                    &mut stmts,
+                    &bind,
+                    format!(
+                        "INSERT INTO {r_k}\n\
+                         SELECT p.trans_id, {items}\n\
+                         FROM {rk_prime} p, C{k} q\n\
+                         WHERE {join_cond}\n\
+                         ORDER BY p.trans_id, {items}"
+                    ),
+                )?;
+                let r_rows = match inserted {
+                    ExecOutcome::Inserted(n) => n,
+                    _ => 0,
+                };
+                // R'_k is consumed; the paper discards it.
+                exec_on(engine, &mut stmts, &bind, format!("DROP TABLE {rk_prime}"))?;
+                Ok((stmts, r_rows))
+            })?;
+            let r_tuples: u64 = phase2.iter().map(|(_, n)| n).sum();
+            statements.extend(phase2.into_iter().flat_map(|(stmts, _)| stmts));
+
+            trace.push(iteration_trace(k, r_prime_tuples, r_tuples, c_k.len() as u64));
+
+            let done = r_tuples == 0 || k >= max_len;
+            if !c_k.is_empty() {
+                counts.push(c_k);
+            }
+            if done {
+                break;
+            }
+        }
+    }
+
+    Ok(SqlRun {
+        result: SetmResult { counts, trace, n_transactions: n_txns, min_support_count: min_count },
+        statements,
+    })
+}
+
+/// Execute one statement on a session, recording its text (recorded even
+/// on failure, so a trace always shows the statement that broke).
+fn exec_on(
+    engine: &mut SqlEngine,
+    statements: &mut Vec<String>,
+    bind: &Params,
+    sql: String,
+) -> Result<ExecOutcome> {
+    let outcome = engine.execute(&sql, bind);
+    statements.push(sql);
+    outcome
+}
+
+/// The coordinator half of a partitioned `GROUP BY`: ship every shard's
+/// `C{k}_PART_{i}` rows into one `C{k}_PARTS` table (the `UNION ALL`,
+/// done as bulk data movement), then apply the global threshold with one
+/// `GROUP BY … HAVING SUM(cnt) >= :minsupport` merge statement and read
+/// the result back.
+fn merge_shard_counts(
+    merge: &mut SqlEngine,
+    pool: &mut ShardPool,
+    statements: &mut Vec<String>,
+    bind: &Params,
+    k: usize,
+) -> Result<CountRelation> {
+    let mut union_rows: Vec<Vec<u32>> = Vec::new();
+    for i in 0..pool.len() {
+        // Reading a shard's partials touches that shard's storage, so a
+        // fault here must still name the shard (same contract as
+        // `ShardPool::run`).
+        let shard_err = |e: setm_sql::SqlError| setm_sql::SqlError::Shard {
+            shard: i,
+            source: Box::new(e),
+        };
+        let table = pool
+            .shard_mut(i)
+            .database()
+            .table(&format!("C{k}_PART_{i}"))
+            .map_err(|e| shard_err(e.into()))?;
+        union_rows.extend(table.file.rows().map_err(|e| shard_err(e.into()))?);
+    }
+    let col_names = count_table_cols(k);
+    let col_refs: Vec<&str> = col_names.iter().map(String::as_str).collect();
+    merge.load_table(&format!("C{k}_PARTS"), &col_refs, union_rows.iter().map(|r| r.as_slice()))?;
+
+    let cols: String = (1..=k).map(|i| format!("item_{i} INT")).collect::<Vec<_>>().join(", ");
+    let items = item_cols("p", k);
+    exec_on(merge, statements, bind, format!("CREATE TABLE C{k} ({cols}, cnt INT)"))?;
+    exec_on(
+        merge,
+        statements,
+        bind,
+        format!(
+            "INSERT INTO C{k}\n\
+             SELECT {items}, SUM(p.cnt)\n\
+             FROM C{k}_PARTS p\n\
+             GROUP BY {items}\n\
+             HAVING SUM(p.cnt) >= :minsupport"
+        ),
+    )?;
+    exec_on(merge, statements, bind, format!("DROP TABLE C{k}_PARTS"))?;
+    read_counts(merge, k)
+}
+
+/// The k = 1 trace row (identical fields on the sequential and
+/// partitioned plans: the paper never filters the sales relation).
+fn iteration_one_trace(dataset: &Dataset, c1: &CountRelation) -> IterationTrace {
+    IterationTrace {
+        k: 1,
+        r_prime_tuples: dataset.n_rows(),
+        r_tuples: dataset.n_rows(),
+        r_kbytes: dataset.n_rows() as f64 * 8.0 / 1024.0,
+        c_len: c1.len() as u64,
+        page_accesses: 0,
+        estimated_io_ms: 0.0,
+    }
+}
+
+/// A k >= 2 trace row (the SQL execution does not meter page accesses).
+fn iteration_trace(k: usize, r_prime_tuples: u64, r_tuples: u64, c_len: u64) -> IterationTrace {
+    IterationTrace {
+        k,
+        r_prime_tuples,
+        r_tuples,
+        r_kbytes: r_tuples as f64 * ((k + 1) * 4) as f64 / 1024.0,
+        c_len,
+        page_accesses: 0,
+        estimated_io_ms: 0.0,
+    }
 }
 
 /// Read `C_k` back into memory. Its rows are already in lexicographic
@@ -233,7 +578,7 @@ mod tests {
         let d = example::paper_example_dataset();
         let params = example::paper_example_params();
         let mem = memory::mine(&d, &params);
-        let sql = mine_with(&d, &params).unwrap();
+        let sql = mine_with(&d, &params, 1).unwrap();
         assert_eq!(sql.result.frequent_itemsets(), mem.frequent_itemsets());
         // Tuple counts per iteration agree (|R'_k|, |R_k|, |C_k|).
         for (a, b) in mem.trace.iter().zip(sql.result.trace.iter()) {
@@ -247,7 +592,7 @@ mod tests {
     #[test]
     fn emitted_sql_is_the_papers_text() {
         let d = example::paper_example_dataset();
-        let sql = mine_with(&d, &example::paper_example_params()).unwrap();
+        let sql = mine_with(&d, &example::paper_example_params(), 1).unwrap();
         let all = sql.statements.join("\n---\n");
         // The Section 3.1 C1 query.
         assert!(all.contains("HAVING COUNT(*) >= :minsupport"));
@@ -257,6 +602,44 @@ mod tests {
         assert!(all.contains("ORDER BY p.trans_id"));
         // Three iterations of tables were created.
         assert!(all.contains("CREATE TABLE R3"));
+        // The sequential plan stays the paper's: no shard tables.
+        assert!(!all.contains("SHARD"));
+    }
+
+    #[test]
+    fn partitioned_run_matches_sequential_on_worked_example() {
+        let d = example::paper_example_dataset();
+        let params = example::paper_example_params();
+        let seq = mine_with(&d, &params, 1).unwrap();
+        for threads in [2usize, 3, 4, 8] {
+            let par = mine_with(&d, &params, threads).unwrap();
+            assert_eq!(
+                par.result.frequent_itemsets(),
+                seq.result.frequent_itemsets(),
+                "threads={threads}"
+            );
+            assert_eq!(par.result.trace.len(), seq.result.trace.len());
+            for (a, b) in seq.result.trace.iter().zip(par.result.trace.iter()) {
+                assert_eq!(
+                    (a.k, a.r_prime_tuples, a.r_tuples, a.c_len),
+                    (b.k, b.r_prime_tuples, b.r_tuples, b.c_len),
+                    "threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_statements_name_shards_and_merge_with_sum() {
+        let d = example::paper_example_dataset();
+        let sql = mine_with(&d, &example::paper_example_params(), 2).unwrap();
+        let all = sql.statements.join("\n---\n");
+        assert!(all.contains("R2_PRIME_SHARD_0"), "{all}");
+        assert!(all.contains("R2_PRIME_SHARD_1"), "{all}");
+        assert!(all.contains("C1_PART_0"), "{all}");
+        assert!(all.contains("HAVING SUM(p.cnt) >= :minsupport"), "{all}");
+        // Shard-local counts carry no threshold — it is global.
+        assert!(!all.contains("COUNT(*)\nFROM R2_PRIME_SHARD_0 p\nGROUP BY p.item_1, p.item_2\nHAVING"));
     }
 
     #[test]
@@ -276,14 +659,23 @@ mod tests {
         let d = Dataset::from_transactions(txns.iter().map(|(t, i)| (*t, i.as_slice())));
         let params = MiningParams::new(MinSupport::Fraction(0.15), 0.5);
         let mem = memory::mine(&d, &params);
-        let sql = mine_with(&d, &params).unwrap();
-        assert_eq!(sql.result.frequent_itemsets(), mem.frequent_itemsets());
+        for threads in [1usize, 4] {
+            let sql = mine_with(&d, &params, threads).unwrap();
+            assert_eq!(
+                sql.result.frequent_itemsets(),
+                mem.frequent_itemsets(),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]
     fn empty_dataset_is_handled() {
         let d = Dataset::from_pairs(std::iter::empty());
-        let run = mine_with(&d, &MiningParams::new(MinSupport::Count(1), 0.5)).unwrap();
-        assert_eq!(run.result.max_pattern_len(), 0);
+        for threads in [1usize, 4] {
+            let run = mine_with(&d, &MiningParams::new(MinSupport::Count(1), 0.5), threads)
+                .unwrap();
+            assert_eq!(run.result.max_pattern_len(), 0);
+        }
     }
 }

@@ -23,6 +23,8 @@ pub enum Error {
     RecordTooLarge { record_bytes: usize, page_bytes: usize },
     /// The operation required sorted input but the input was not sorted.
     NotSorted,
+    /// An aggregate's value exceeded what a u32 cell can hold.
+    AggregateOverflow { value: u64 },
     /// Generic invariant violation with a message.
     Corrupt(String),
 }
@@ -45,6 +47,9 @@ impl fmt::Display for Error {
                 write!(f, "record of {record_bytes} bytes too large for {page_bytes}-byte page")
             }
             Error::NotSorted => write!(f, "input relation is not sorted as required"),
+            Error::AggregateOverflow { value } => {
+                write!(f, "aggregate value {value} exceeds the u32 column range")
+            }
             Error::Corrupt(msg) => write!(f, "corrupt state: {msg}"),
         }
     }

@@ -600,7 +600,7 @@ mod tests {
             (E::InvalidConfidence { confidence: 2.0 }, "invalid_confidence", 400),
             (E::InvalidMaxPatternLen, "invalid_max_pattern_len", 400),
             (E::InvalidEngineConfig { reason: "x".into() }, "invalid_engine_config", 400),
-            (E::UnsupportedOption { backend: "sql", option: "threads" }, "unsupported_option", 400),
+            (E::UnsupportedOption { backend: "sql", option: "filter_r1" }, "unsupported_option", 400),
             (E::Engine(setm_relational::Error::NoSuchFile(1)), "engine_fault", 500),
             (E::Sql(setm_sql::SqlError::Parse("x".into())), "sql_fault", 500),
         ];

@@ -83,6 +83,9 @@ pub enum SelectItem {
     Column(ColumnRef),
     /// `COUNT(*)`.
     CountStar,
+    /// `SUM(column)` — the merge aggregate of the partitioned plan
+    /// (shard-local `COUNT(*)` partials re-aggregated globally).
+    SumCol(ColumnRef),
     /// `*` (all columns of all FROM tables, in order).
     Wildcard,
 }
@@ -101,9 +104,20 @@ impl TableRef {
     }
 }
 
-/// `HAVING COUNT(*) op term` — the only HAVING shape the dialect needs.
+/// The aggregate on the left-hand side of a `HAVING` comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HavingAgg {
+    /// `HAVING COUNT(*) op term` — the paper's support filter.
+    CountStar,
+    /// `HAVING SUM(col) op term` — the partitioned plan's global filter
+    /// over unioned shard-local counts.
+    Sum(ColumnRef),
+}
+
+/// `HAVING <agg> op term` — the only HAVING shapes the dialect needs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Having {
+    pub agg: HavingAgg,
     pub op: CmpOp,
     pub rhs: Scalar,
 }

@@ -17,6 +17,10 @@ pub enum SqlError {
     Unsupported(String),
     /// Underlying storage-engine error.
     Engine(setm_relational::Error),
+    /// A statement failed on one shard of a partitioned execution. The
+    /// wrapper survives conversion into `setm_core::SetmError` (it stays
+    /// a SQL error) so callers always learn *which* shard failed.
+    Shard { shard: usize, source: Box<SqlError> },
 }
 
 impl fmt::Display for SqlError {
@@ -28,11 +32,20 @@ impl fmt::Display for SqlError {
             SqlError::UnboundParam(p) => write!(f, "unbound parameter :{p}"),
             SqlError::Unsupported(m) => write!(f, "unsupported SQL: {m}"),
             SqlError::Engine(e) => write!(f, "engine error: {e}"),
+            SqlError::Shard { shard, source } => write!(f, "shard {shard}: {source}"),
         }
     }
 }
 
-impl std::error::Error for SqlError {}
+impl std::error::Error for SqlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SqlError::Shard { source, .. } => Some(source.as_ref()),
+            SqlError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<setm_relational::Error> for SqlError {
     fn from(e: setm_relational::Error) -> Self {
@@ -53,5 +66,15 @@ mod tests {
         assert!(SqlError::UnboundParam("minsupport".into()).to_string().contains(":minsupport"));
         let e: SqlError = setm_relational::Error::NoSuchTable("X".into()).into();
         assert!(e.to_string().contains("X"));
+    }
+
+    #[test]
+    fn shard_errors_name_the_shard_and_chain_to_the_cause() {
+        use std::error::Error as _;
+        let inner = SqlError::Engine(setm_relational::Error::Corrupt("bad page".into()));
+        let e = SqlError::Shard { shard: 2, source: Box::new(inner) };
+        assert!(e.to_string().contains("shard 2"), "{e}");
+        assert!(e.to_string().contains("bad page"), "{e}");
+        assert!(e.source().is_some());
     }
 }

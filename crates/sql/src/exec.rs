@@ -15,7 +15,7 @@
 use crate::ast::*;
 use crate::error::{Result, SqlError};
 use crate::parser::parse;
-use setm_relational::agg::{filter_project, grouped_count};
+use setm_relational::agg::{filter_project, grouped_count, grouped_sum};
 use setm_relational::engine::Database;
 use setm_relational::heap::{HeapFile, HeapFileBuilder};
 use setm_relational::join::{index_nested_loop_join, merge_scan_join};
@@ -205,9 +205,10 @@ impl SqlEngine {
                 plan.cross_filters.len()
             ));
         }
-        if plan.has_count || !plan.group_cols.is_empty() {
+        if plan.has_agg() || !plan.group_cols.is_empty() {
             out.push_str(&format!(
-                "sort + group count on columns {:?}{}\n",
+                "sort + group {} on columns {:?}{}\n",
+                if plan.sum_col.is_some() { "sum" } else { "count" },
                 plan.group_cols,
                 if plan.having_rhs.is_some() { " with HAVING" } else { "" }
             ));
@@ -361,10 +362,10 @@ impl SqlEngine {
             bool,
             Option<Vec<usize>>,
         );
-        if plan.has_count || !plan.group_cols.is_empty() {
+        if plan.has_agg() || !plan.group_cols.is_empty() {
             let grouped = self.group_and_count(&current, plan, select, params, sort_opts)?;
             current.free()?;
-            // Project SELECT items out of (group cols..., count).
+            // Project SELECT items out of (group cols..., aggregate).
             let mut positions = Vec::with_capacity(plan.items.len());
             let mut names = Vec::with_capacity(plan.items.len());
             for item in &plan.items {
@@ -376,6 +377,10 @@ impl SqlEngine {
                     ResolvedItem::Count => {
                         positions.push(plan.group_cols.len());
                         names.push("count".to_string());
+                    }
+                    ResolvedItem::Sum => {
+                        positions.push(plan.group_cols.len());
+                        names.push("sum".to_string());
                     }
                     ResolvedItem::FlatCol(..) => {
                         return Err(SqlError::Plan(
@@ -407,7 +412,9 @@ impl SqlEngine {
                         positions.push(*i);
                         names.push(name.clone());
                     }
-                    ResolvedItem::Count | ResolvedItem::GroupCol(..) => unreachable!(),
+                    ResolvedItem::Count | ResolvedItem::Sum | ResolvedItem::GroupCol(..) => {
+                        unreachable!()
+                    }
                 }
             }
             let identity =
@@ -584,20 +591,27 @@ impl SqlEngine {
             Working { file: f, owned: true, sorted_by: None }
         };
 
-        // HAVING COUNT(*) >= x is pushed into the counting scan; other
+        // HAVING <agg> >= x is pushed into the aggregating scan; other
         // comparison ops are applied afterwards.
-        let (min_count, post) = match (&select.having, &plan.having_rhs) {
+        let (threshold, post) = match (&select.having, &plan.having_rhs) {
             (Some(h), Some(rhs)) => {
                 let v = eval_const(rhs, params)?;
                 match h.op {
-                    CmpOp::Ge => (v, None),
-                    CmpOp::Gt => (v + 1, None),
-                    op => (1, Some((op, v))),
+                    CmpOp::Ge => (Some(v), None),
+                    CmpOp::Gt => (Some(v + 1), None),
+                    op => (None, Some((op, v))),
                 }
             }
-            _ => (1, None),
+            _ => (None, None),
         };
-        let counted = grouped_count(&sorted.file, &plan.group_cols, min_count.max(1))?;
+        let counted = match plan.sum_col {
+            // Every group has >= 1 row, so a count threshold of 1 is "no
+            // filter"; a sum can legitimately be 0, so its floor is 0.
+            None => grouped_count(&sorted.file, &plan.group_cols, threshold.unwrap_or(1).max(1))?,
+            Some(sum_col) => {
+                grouped_sum(&sorted.file, &plan.group_cols, sum_col, threshold.unwrap_or(0))?
+            }
+        };
         sorted.free()?;
         match post {
             None => Ok(counted),
@@ -616,6 +630,74 @@ impl SqlEngine {
 impl Default for SqlEngine {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Independent SQL sessions, one per shard of a partitioned execution.
+///
+/// Each shard owns its own [`Database`] on its own pager — a
+/// disk-per-worker deployment, mirroring the sharded paged-engine
+/// execution. [`ShardPool::run`] drives all shards concurrently (one
+/// scoped worker thread per shard) and wraps any shard's failure in
+/// [`SqlError::Shard`], so an error always names the shard it came from.
+/// This is the execution substrate of the partitioned Section 4.1 plan:
+/// per-shard `INSERT INTO R_k_SHARD_<i> SELECT ...` statements run in
+/// parallel, and a coordinator session merges the shard-local counts.
+pub struct ShardPool {
+    shards: Vec<SqlEngine>,
+}
+
+impl ShardPool {
+    /// A pool of `n` fresh sessions (at least one).
+    pub fn new(n: usize) -> Self {
+        ShardPool { shards: (0..n.max(1)).map(|_| SqlEngine::new()).collect() }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the pool has no shards (never true — `new` floors at 1).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Exclusive access to one shard's session (loading shard tables,
+    /// inspecting state, injecting faults in tests).
+    pub fn shard_mut(&mut self, shard: usize) -> &mut SqlEngine {
+        &mut self.shards[shard]
+    }
+
+    /// Run `f(shard_index, session)` on every shard concurrently, one
+    /// scoped worker thread per shard. Results come back in shard order;
+    /// on failure the lowest-indexed shard's error wins, wrapped in
+    /// [`SqlError::Shard`] (statement-level atomicity means a failed
+    /// shard's tables are never left partially populated — an `INSERT`
+    /// either fully replaces its target or leaves it untouched).
+    pub fn run<T, F>(&mut self, f: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize, &mut SqlEngine) -> Result<T> + Sync,
+    {
+        std::thread::scope(|s| {
+            let f = &f;
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .enumerate()
+                .map(|(i, engine)| {
+                    s.spawn(move || {
+                        f(i, engine)
+                            .map_err(|e| SqlError::Shard { shard: i, source: Box::new(e) })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("SQL shard worker panicked"))
+                .collect()
+        })
     }
 }
 
@@ -688,6 +770,9 @@ enum ResolvedItem {
     GroupCol(usize, String),
     /// COUNT(*).
     Count,
+    /// SUM(col) — the summed column's flat position is `sum_col` on the
+    /// plan (one SUM per query).
+    Sum,
 }
 
 struct ResolvedSelect {
@@ -703,6 +788,16 @@ struct ResolvedSelect {
     items: Vec<ResolvedItem>,
     order_positions: Vec<usize>,
     has_count: bool,
+    /// Flat position of the `SUM(col)` argument, when the aggregate is a
+    /// sum (mutually exclusive with `has_count`).
+    sum_col: Option<usize>,
+}
+
+impl ResolvedSelect {
+    /// Whether the query aggregates at all (COUNT(*) or SUM).
+    fn has_agg(&self) -> bool {
+        self.has_count || self.sum_col.is_some()
+    }
 }
 
 struct ConstFilter {
@@ -843,10 +938,39 @@ impl<'a> Resolver<'a> {
             let (_, flat, _) = resolve_col(g)?;
             group_cols.push(flat);
         }
-        let has_count = select.items.iter().any(|i| matches!(i, SelectItem::CountStar))
-            || select.having.is_some();
-        if has_count && group_cols.is_empty() && select.items.len() > 1 {
-            return Err(SqlError::Plan("COUNT(*) without GROUP BY alongside columns".into()));
+        // Aggregate classification: COUNT(*) and SUM(col) are supported,
+        // but only one aggregate kind (and one summed column) per query.
+        let mut sum_cols: Vec<usize> = Vec::new();
+        for item in &select.items {
+            if let SelectItem::SumCol(c) = item {
+                let (_, flat, _) = resolve_col(c)?;
+                if !sum_cols.contains(&flat) {
+                    sum_cols.push(flat);
+                }
+            }
+        }
+        let mut has_count = select.items.iter().any(|i| matches!(i, SelectItem::CountStar));
+        if let Some(h) = &select.having {
+            match &h.agg {
+                HavingAgg::CountStar => has_count = true,
+                HavingAgg::Sum(c) => {
+                    let (_, flat, _) = resolve_col(c)?;
+                    if !sum_cols.contains(&flat) {
+                        sum_cols.push(flat);
+                    }
+                }
+            }
+        }
+        if sum_cols.len() > 1 {
+            return Err(SqlError::Unsupported("more than one SUM column per query".into()));
+        }
+        if has_count && !sum_cols.is_empty() {
+            return Err(SqlError::Unsupported("mixing COUNT(*) and SUM in one query".into()));
+        }
+        let sum_col = sum_cols.first().copied();
+        let has_agg = has_count || sum_col.is_some();
+        if has_agg && group_cols.is_empty() && select.items.len() > 1 {
+            return Err(SqlError::Plan("aggregate without GROUP BY alongside columns".into()));
         }
 
         // Select items.
@@ -854,8 +978,9 @@ impl<'a> Resolver<'a> {
         for item in &select.items {
             match item {
                 SelectItem::CountStar => items.push(ResolvedItem::Count),
+                SelectItem::SumCol(_) => items.push(ResolvedItem::Sum),
                 SelectItem::Wildcard => {
-                    if has_count || !group_cols.is_empty() {
+                    if has_agg || !group_cols.is_empty() {
                         return Err(SqlError::Plan("* in an aggregate query".into()));
                     }
                     for b in &bindings {
@@ -866,7 +991,7 @@ impl<'a> Resolver<'a> {
                 }
                 SelectItem::Column(c) => {
                     let (_, flat, name) = resolve_col(c)?;
-                    if has_count || !group_cols.is_empty() {
+                    if has_agg || !group_cols.is_empty() {
                         let gi = group_cols.iter().position(|&g| g == flat).ok_or_else(|| {
                             SqlError::Plan(format!("column {c} is not in GROUP BY"))
                         })?;
@@ -882,7 +1007,7 @@ impl<'a> Resolver<'a> {
         let mut order_positions = Vec::new();
         for o in &select.order_by {
             let (_, flat, _) = resolve_col(o)?;
-            let pos = if has_count || !group_cols.is_empty() {
+            let pos = if has_agg || !group_cols.is_empty() {
                 let gi = group_cols.iter().position(|&g| g == flat).ok_or_else(|| {
                     SqlError::Plan(format!("ORDER BY column {o} is not in GROUP BY"))
                 })?;
@@ -916,6 +1041,7 @@ impl<'a> Resolver<'a> {
             items,
             order_positions,
             has_count,
+            sum_col,
         })
     }
 }
@@ -1078,6 +1204,56 @@ mod tests {
     }
 
     #[test]
+    fn sum_merges_partial_counts_like_the_partitioned_plan() {
+        // Two shards' C2 partials, unioned into one table; the global
+        // merge is GROUP BY + SUM + HAVING — the partitioned plan's
+        // coordinator statement.
+        let mut e = SqlEngine::new();
+        let p = Params::new();
+        e.execute("CREATE TABLE C2_PARTS (item_1 INT, item_2 INT, cnt INT)", &p).unwrap();
+        e.execute(
+            "INSERT INTO C2_PARTS VALUES (1, 2, 2), (4, 5, 1), (1, 2, 1), (4, 5, 2), (7, 8, 1)",
+            &p,
+        )
+        .unwrap();
+        let r = e
+            .query(
+                "SELECT p.item_1, p.item_2, SUM(p.cnt)
+                 FROM C2_PARTS p
+                 GROUP BY p.item_1, p.item_2
+                 HAVING SUM(p.cnt) >= :minsupport",
+                &Params::new().with("minsupport", 3),
+            )
+            .unwrap();
+        assert_eq!(r.columns, vec!["item_1", "item_2", "sum"]);
+        assert_eq!(r.rows, vec![vec![1, 2, 3], vec![4, 5, 3]]);
+    }
+
+    #[test]
+    fn sum_without_having_keeps_every_group() {
+        let mut e = SqlEngine::new();
+        let p = Params::new();
+        e.execute("CREATE TABLE t (k INT, v INT)", &p).unwrap();
+        e.execute("INSERT INTO t VALUES (1, 0), (1, 0), (2, 5)", &p).unwrap();
+        let r = e.query("SELECT k, SUM(v) FROM t GROUP BY k", &p).unwrap();
+        // A zero sum is a real group, not a filtered one.
+        assert_eq!(r.rows, vec![vec![1, 0], vec![2, 5]]);
+    }
+
+    #[test]
+    fn mixed_aggregates_are_rejected() {
+        let mut e = SqlEngine::new();
+        let p = Params::new();
+        e.execute("CREATE TABLE t (k INT, v INT)", &p).unwrap();
+        let err = e.query("SELECT k, COUNT(*), SUM(v) FROM t GROUP BY k", &p).unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported(_)), "{err:?}");
+        let err = e
+            .query("SELECT k, SUM(k) FROM t GROUP BY k HAVING SUM(v) >= 1", &p)
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported(_)), "{err:?}");
+    }
+
+    #[test]
     fn count_star_without_group_by() {
         let mut e = sales_engine();
         let r = e.query("SELECT COUNT(*) FROM SALES", &Params::new()).unwrap();
@@ -1159,6 +1335,45 @@ mod tests {
         e.execute("CREATE TABLE t (a INT)", &p).unwrap();
         e.execute("DROP TABLE t", &p).unwrap();
         assert!(e.query("SELECT a FROM t", &p).is_err());
+    }
+
+    #[test]
+    fn shard_pool_runs_statements_concurrently_and_in_order() {
+        let mut pool = ShardPool::new(4);
+        assert_eq!(pool.len(), 4);
+        // Load a different slice into each shard, then count in parallel.
+        for i in 0..4u32 {
+            let rows: Vec<[u32; 2]> = (0..=i).map(|t| [t, 7]).collect();
+            pool.shard_mut(i as usize)
+                .load_table("SALES", &["trans_id", "item"], rows.iter().map(|r| r.as_slice()))
+                .unwrap();
+        }
+        let p = Params::new();
+        let counts = pool
+            .run(|_, engine| {
+                let r = engine.query("SELECT COUNT(*) FROM SALES", &p)?;
+                Ok(r.rows[0][0])
+            })
+            .unwrap();
+        assert_eq!(counts, vec![1, 2, 3, 4], "results come back in shard order");
+    }
+
+    #[test]
+    fn shard_pool_wraps_failures_with_the_shard_index() {
+        let mut pool = ShardPool::new(3);
+        let p = Params::new();
+        let err = pool
+            .run(|i, engine| {
+                if i == 1 {
+                    engine.execute("SELECT nope FROM missing", &p).map(|_| ())
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        let SqlError::Shard { shard, source } = err else { panic!("expected Shard error") };
+        assert_eq!(shard, 1);
+        assert!(matches!(*source, SqlError::Engine(setm_relational::Error::NoSuchTable(_))));
     }
 
     #[test]

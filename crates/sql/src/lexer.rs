@@ -38,7 +38,7 @@ pub enum Token {
 
 const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "AND", "GROUP", "BY", "HAVING", "ORDER", "INSERT", "INTO",
-    "VALUES", "CREATE", "TABLE", "DROP", "COUNT", "AS", "INT", "INTEGER", "ASC", "DESC",
+    "VALUES", "CREATE", "TABLE", "DROP", "COUNT", "SUM", "AS", "INT", "INTEGER", "ASC", "DESC",
 ];
 
 /// Tokenize a statement.

@@ -3,8 +3,16 @@
 //! A SQL subset engine over `setm-relational`, sized exactly to the
 //! queries of *Houtsma & Swami (ICDE 1995)*: `CREATE TABLE` with integer
 //! columns, `INSERT INTO … VALUES / SELECT`, and single-block `SELECT`
-//! with multi-table `FROM`, conjunctive `WHERE`, `GROUP BY` + `COUNT(*)` +
-//! `HAVING`, `ORDER BY`, and named parameters (`:minsupport`).
+//! with multi-table `FROM`, conjunctive `WHERE`, `GROUP BY` + `COUNT(*)`
+//! / `SUM(col)` + `HAVING`, `ORDER BY`, and named parameters
+//! (`:minsupport`). `SUM` exists for the partitioned plan: shard-local
+//! `COUNT(*)` relations union into a coordinator table and re-aggregate
+//! with `GROUP BY … HAVING SUM(cnt) >= :minsupport`.
+//!
+//! For partitioned execution, [`ShardPool`] holds one independent
+//! session per shard (each on its own pager — a disk per worker) and
+//! runs per-shard statements concurrently under `std::thread::scope`,
+//! wrapping any failure in [`SqlError::Shard`] so errors name the shard.
 //!
 //! The planner realizes both strategies the paper analyzes from the same
 //! SQL text: [`JoinPreference::SortMerge`] produces the Section 4 plan
@@ -36,5 +44,5 @@ pub mod parser;
 
 pub use ast::Statement;
 pub use error::{Result, SqlError};
-pub use exec::{ExecOptions, ExecOutcome, JoinPreference, Params, QueryResult, SqlEngine};
+pub use exec::{ExecOptions, ExecOutcome, JoinPreference, Params, QueryResult, ShardPool, SqlEngine};
 pub use parser::{parse, parse_script};

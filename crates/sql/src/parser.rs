@@ -230,13 +230,21 @@ impl Parser {
             }
         }
         let having = if self.try_keyword("HAVING") {
-            self.expect_keyword("COUNT")?;
-            self.expect(&Token::LParen)?;
-            self.expect(&Token::Star)?;
-            self.expect(&Token::RParen)?;
+            let agg = if self.try_keyword("COUNT") {
+                self.expect(&Token::LParen)?;
+                self.expect(&Token::Star)?;
+                self.expect(&Token::RParen)?;
+                HavingAgg::CountStar
+            } else {
+                self.expect_keyword("SUM")?;
+                self.expect(&Token::LParen)?;
+                let col = self.column_ref()?;
+                self.expect(&Token::RParen)?;
+                HavingAgg::Sum(col)
+            };
             let op = self.cmp_op()?;
             let rhs = self.scalar()?;
-            Some(Having { op, rhs })
+            Some(Having { agg, op, rhs })
         } else {
             None
         };
@@ -268,6 +276,13 @@ impl Parser {
                 self.expect(&Token::Star)?;
                 self.expect(&Token::RParen)?;
                 Ok(SelectItem::CountStar)
+            }
+            Some(Token::Keyword(k)) if k == "SUM" => {
+                self.pos += 1;
+                self.expect(&Token::LParen)?;
+                let col = self.column_ref()?;
+                self.expect(&Token::RParen)?;
+                Ok(SelectItem::SumCol(col))
             }
             _ => Ok(SelectItem::Column(self.column_ref()?)),
         }
@@ -394,6 +409,38 @@ mod tests {
         let Statement::InsertSelect { select, .. } = s else { panic!() };
         assert_eq!(select.items.len(), 4);
         assert_eq!(select.predicates[1].op, CmpOp::Gt);
+    }
+
+    #[test]
+    fn parses_the_partitioned_merge_query() {
+        // The parallel plan's global merge over unioned shard counts.
+        let s = parse(
+            "INSERT INTO C2
+             SELECT p.item_1, p.item_2, SUM(p.cnt)
+             FROM C2_PARTS p
+             GROUP BY p.item_1, p.item_2
+             HAVING SUM(p.cnt) >= :minsupport",
+        )
+        .unwrap();
+        let Statement::InsertSelect { select, .. } = s else { panic!() };
+        assert_eq!(
+            select.items[2],
+            SelectItem::SumCol(ColumnRef { qualifier: Some("p".into()), column: "cnt".into() })
+        );
+        let h = select.having.unwrap();
+        assert_eq!(
+            h.agg,
+            HavingAgg::Sum(ColumnRef { qualifier: Some("p".into()), column: "cnt".into() })
+        );
+        assert_eq!(h.op, CmpOp::Ge);
+        assert_eq!(h.rhs, Scalar::Param("minsupport".into()));
+    }
+
+    #[test]
+    fn rejects_malformed_aggregates() {
+        assert!(parse("SELECT SUM(*) FROM t").is_err());
+        assert!(parse("SELECT a FROM t GROUP BY a HAVING SUM >= 2").is_err());
+        assert!(parse("SELECT COUNT(a) FROM t").is_err());
     }
 
     #[test]

@@ -4,9 +4,14 @@
 //! shapes of the facade hold: the builder chain reads exactly as the
 //! README writes it, the outcome types cross thread boundaries, the
 //! error type is a real `std::error::Error` with the documented
-//! conversions, and the 0.2 deprecation shims still exist and agree
-//! with the facade. If a refactor breaks any of these, this file stops
-//! compiling — that is the point.
+//! conversions, and the low-level per-execution `mine_with` functions
+//! agree with the facade. If a refactor breaks any of these, this file
+//! stops compiling — that is the point.
+//!
+//! (The 0.1 entry-point shims — `setm::setm::mine`,
+//! `engine::mine_on_engine` + `EngineOptions`, `sql::mine_via_sql` —
+//! were `#[deprecated]` for the one-release window promised in 0.2 and
+//! are removed in 0.3.0.)
 
 use setm::{
     Backend, Dataset, EngineConfig, ExecutionReport, MinSupport, Miner, MiningOutcome,
@@ -115,28 +120,42 @@ fn serve_layer_is_reachable_through_the_umbrella() {
     handle.join().unwrap();
 }
 
-/// The 0.2 deprecation shims: the three pre-facade entry points still
-/// compile, still run, and still agree with the facade. They are
-/// scheduled for removal one release after 0.2 (see README "Migrating
-/// from the 0.1 API").
-#[allow(deprecated)]
+/// The low-level per-execution entry points (what the 0.1 shims
+/// forwarded to, before their removal in 0.3.0): still public, still in
+/// agreement with the facade, and uniformly parameterized on `threads`
+/// — including the SQL execution, whose `mine_with` now takes the same
+/// thread knob as the other two.
 #[test]
-fn deprecated_shims_still_work_and_agree() {
+fn low_level_entry_points_agree_with_the_facade() {
+    use setm::core::setm::{engine, memory, sql, SetmOptions};
+
     let d = setm::example::paper_example_dataset();
     let params = setm::example::paper_example_params();
     let reference = Miner::new(params).run(&d).unwrap();
 
-    let old_memory = setm::setm::mine(&d, &params);
-    assert_eq!(old_memory.frequent_itemsets(), reference.result.frequent_itemsets());
+    let mem = memory::mine_with(&d, &params, SetmOptions { threads: 2, ..Default::default() });
+    assert_eq!(mem.frequent_itemsets(), reference.result.frequent_itemsets());
 
-    let old_engine = setm::core::setm::engine::mine_on_engine(
-        &d,
-        &params,
-        setm::core::setm::engine::EngineOptions::default(),
-    )
-    .unwrap();
-    assert_eq!(old_engine.result.frequent_itemsets(), reference.result.frequent_itemsets());
+    let eng = engine::mine_with(&d, &params, EngineConfig::default(), 2).unwrap();
+    assert_eq!(eng.result.frequent_itemsets(), reference.result.frequent_itemsets());
 
-    let old_sql = setm::core::setm::sql::mine_via_sql(&d, &params).unwrap();
-    assert_eq!(old_sql.result.frequent_itemsets(), reference.result.frequent_itemsets());
+    let via_sql = sql::mine_with(&d, &params, 2).unwrap();
+    assert_eq!(via_sql.result.frequent_itemsets(), reference.result.frequent_itemsets());
+}
+
+/// `Miner::threads(n)` means the same thing on every backend — the gap
+/// the SQL execution used to carve out (`UnsupportedOption`) is closed.
+#[test]
+fn threads_knob_is_honored_on_every_backend() {
+    let d = setm::example::paper_example_dataset();
+    let miner = Miner::new(setm::example::paper_example_params()).threads(4);
+    for backend in [Backend::Memory, Backend::Engine(EngineConfig::default()), Backend::Sql] {
+        let outcome = miner.backend(backend).run(&d).unwrap();
+        assert_eq!(outcome.rules.len(), 11, "{}", backend.name());
+    }
+    // A partitioned SQL run reports its per-shard statements + merge.
+    let sql = miner.backend(Backend::Sql).run(&d).unwrap();
+    let statements = sql.report.statements().unwrap().join("\n");
+    assert!(statements.contains("_SHARD_"), "per-shard statements recorded");
+    assert!(statements.contains("SUM(p.cnt)"), "coordinator merge recorded");
 }

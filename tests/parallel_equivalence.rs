@@ -1,19 +1,31 @@
 //! Property: the sharded parallel executions are observationally
 //! identical to the sequential ones — frequent itemsets, rule sets, and
 //! the per-iteration `|R'_k|` / `|R_k|` / `|C_k|` trace series — for every
-//! thread count, on both the in-memory and the paged-engine paths.
+//! thread count, on the in-memory, paged-engine, *and* SQL-driven paths.
 //!
 //! (Parallel *engine* runs are allowed to differ in `page_accesses`: the
 //! decoupled filter step pays one extra scan per shard — see the module
 //! docs of `setm::core::setm::engine` — so only the logical trace columns
 //! are compared there.)
+//!
+//! `SETM_TEST_THREADS=<n>` pins the exercised thread count (the CI
+//! `parallel` job's matrix); unset, the default spread below runs.
 
 use proptest::prelude::*;
 use setm::core::setm::engine::{self, EngineConfig};
-use setm::core::setm::{memory, SetmOptions};
+use setm::core::setm::{memory, sql, SetmOptions};
 use setm::{generate_rules, Dataset, MinSupport, MiningParams, SetmResult};
 
-const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+const DEFAULT_THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// Thread counts to exercise: the `SETM_TEST_THREADS` pin, or the
+/// default spread.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("SETM_TEST_THREADS") {
+        Ok(v) => vec![v.parse().expect("SETM_TEST_THREADS must be an unsigned integer")],
+        Err(_) => DEFAULT_THREAD_COUNTS.to_vec(),
+    }
+}
 
 /// Strategy: a small random basket database.
 fn dataset_strategy() -> impl Strategy<Value = Dataset> {
@@ -57,7 +69,7 @@ proptest! {
             &params,
             SetmOptions { threads: 1, ..Default::default() },
         );
-        for threads in THREAD_COUNTS {
+        for threads in thread_counts() {
             let par = memory::mine_with(
                 &d,
                 &params,
@@ -72,9 +84,21 @@ proptest! {
     fn engine_parallel_equals_sequential(d in dataset_strategy(), min_count in 1u64..=5) {
         let params = MiningParams::new(MinSupport::Count(min_count), 0.5);
         let seq = engine::mine_with(&d, &params, EngineConfig::default(), 1).unwrap();
-        for threads in THREAD_COUNTS {
+        for threads in thread_counts() {
             let par = engine::mine_with(&d, &params, EngineConfig::default(), threads).unwrap();
             assert_equivalent(&seq.result, &par.result, &format!("engine threads={threads}"));
+        }
+    }
+
+    /// SQL-driven path: the partitioned statement pipeline mines the
+    /// identical result at every shard count.
+    #[test]
+    fn sql_parallel_equals_sequential(d in dataset_strategy(), min_count in 1u64..=5) {
+        let params = MiningParams::new(MinSupport::Count(min_count), 0.5);
+        let seq = sql::mine_with(&d, &params, 1).unwrap();
+        for threads in thread_counts() {
+            let par = sql::mine_with(&d, &params, threads).unwrap();
+            assert_equivalent(&seq.result, &par.result, &format!("sql threads={threads}"));
         }
     }
 
@@ -98,6 +122,8 @@ proptest! {
         assert_equivalent(&seq, &par, &format!("max_len={cap}"));
         let eng = engine::mine_with(&d, &params, EngineConfig::default(), 4).unwrap();
         assert_equivalent(&seq, &eng.result, &format!("engine max_len={cap}"));
+        let sq = sql::mine_with(&d, &params, 4).unwrap();
+        assert_equivalent(&seq, &sq.result, &format!("sql max_len={cap}"));
     }
 }
 
@@ -108,10 +134,12 @@ fn worked_example_invariant_across_all_paths_and_threads() {
     let d = setm::example::paper_example_dataset();
     let params = setm::example::paper_example_params();
     let reference = memory::mine(&d, &params);
-    for threads in THREAD_COUNTS {
+    for threads in DEFAULT_THREAD_COUNTS {
         let mem = memory::mine_with(&d, &params, SetmOptions { threads, ..Default::default() });
         assert_equivalent(&reference, &mem, &format!("memory threads={threads}"));
         let eng = engine::mine_with(&d, &params, EngineConfig::default(), threads).unwrap();
         assert_equivalent(&reference, &eng.result, &format!("engine threads={threads}"));
+        let sq = sql::mine_with(&d, &params, threads).unwrap();
+        assert_equivalent(&reference, &sq.result, &format!("sql threads={threads}"));
     }
 }

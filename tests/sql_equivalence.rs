@@ -1,10 +1,167 @@
 //! The paper's thesis as an integration test: mining executed purely
 //! through SQL equals the special-purpose implementations, on realistic
-//! workloads and under both physical plans.
+//! workloads, under both physical plans, and — since the partitioned
+//! plan — at every thread count. Sharding the Section 4.1 statement
+//! pipeline over `trans_id` partitions must be *invisible* in every
+//! observable output: itemsets, rules, the `|R'_k|`/`|R_k|`/`|C_k|`
+//! trace series, and the resolved threshold are identical to the
+//! sequential plan.
+//!
+//! `SETM_TEST_THREADS=<n>` pins the exercised thread count (the CI
+//! `parallel` job's matrix); unset, the default spread below runs.
 
+use proptest::prelude::*;
+use setm::core::setm::{memory, sql};
 use setm::datagen::{QuestConfig, RetailConfig};
 use setm::sql::{ExecOptions, JoinPreference, Params, SqlEngine};
-use setm::{Backend, MinSupport, Miner, MiningParams};
+use setm::{Backend, Dataset, MinSupport, Miner, MiningParams, SetmResult};
+
+const DEFAULT_THREAD_COUNTS: [usize; 3] = [2, 4, 7];
+
+/// Thread counts to exercise: the `SETM_TEST_THREADS` pin, or the
+/// default spread.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("SETM_TEST_THREADS") {
+        Ok(v) => vec![v.parse().expect("SETM_TEST_THREADS must be an unsigned integer")],
+        Err(_) => DEFAULT_THREAD_COUNTS.to_vec(),
+    }
+}
+
+/// Strategy: a small random basket database.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    // 1..=20 transactions of 1..=6 items drawn from a 1..=10 universe.
+    prop::collection::vec(prop::collection::vec(1u32..=10, 1..=6), 1..=20).prop_map(|txns| {
+        Dataset::from_transactions(
+            txns.iter().enumerate().map(|(tid, items)| (tid as u32 + 1, items.as_slice())),
+        )
+    })
+}
+
+/// The observable-equivalence contract between two SETM results.
+fn assert_equivalent(seq: &SetmResult, par: &SetmResult, label: &str) {
+    assert_eq!(par.frequent_itemsets(), seq.frequent_itemsets(), "{label}: itemsets");
+    assert_eq!(par.min_support_count, seq.min_support_count, "{label}: threshold");
+    assert_eq!(par.trace.len(), seq.trace.len(), "{label}: trace length");
+    for (a, b) in seq.trace.iter().zip(par.trace.iter()) {
+        assert_eq!(a.k, b.k, "{label}: k");
+        assert_eq!(a.r_prime_tuples, b.r_prime_tuples, "{label}: |R'_{}|", a.k);
+        assert_eq!(a.r_tuples, b.r_tuples, "{label}: |R_{}|", a.k);
+        assert_eq!(a.c_len, b.c_len, "{label}: |C_{}|", a.k);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The partitioned plan is observationally identical to the
+    /// sequential one, and both to the in-memory oracle.
+    #[test]
+    fn partitioned_sql_equals_sequential_and_memory(
+        d in dataset_strategy(),
+        min_count in 1u64..=5,
+    ) {
+        let params = MiningParams::new(MinSupport::Count(min_count), 0.5);
+        let oracle = memory::mine(&d, &params);
+        let seq = sql::mine_with(&d, &params, 1).unwrap();
+        assert_equivalent(&oracle, &seq.result, "sequential sql vs memory");
+        for threads in thread_counts() {
+            let par = sql::mine_with(&d, &params, threads).unwrap();
+            assert_equivalent(&seq.result, &par.result, &format!("sql threads={threads}"));
+        }
+    }
+
+    /// The partitioned statement trace always carries the two halves of
+    /// the plan: per-shard pipelines and the coordinator's SUM merge
+    /// under the global threshold.
+    #[test]
+    fn partitioned_trace_records_shards_and_merge(d in dataset_strategy()) {
+        let params = MiningParams::new(MinSupport::Count(2), 0.5);
+        let run = sql::mine_with(&d, &params, 3).unwrap();
+        let all = run.statements.join("\n");
+        // A single-transaction dataset clamps to one shard and runs the
+        // sequential plan — the shard shapes only appear past that.
+        if d.n_transactions() >= 2 {
+            prop_assert!(all.contains("C1_PART_0"), "shard-local counts recorded");
+            prop_assert!(
+                all.contains("HAVING SUM(p.cnt) >= :minsupport"),
+                "global SUM-merge threshold recorded"
+            );
+        }
+        // The shard-local GROUP BY must not apply the threshold — support
+        // is a global property.
+        for stmt in &run.statements {
+            if stmt.contains("_PART_") && stmt.contains("GROUP BY") {
+                prop_assert!(!stmt.contains("HAVING"), "local counts must be threshold-free");
+            }
+        }
+    }
+
+    /// threads = 1 emits the paper's sequential text: no shard tables,
+    /// no SUM — exactly the statements earlier releases emitted.
+    #[test]
+    fn sequential_plan_is_untouched_by_the_parallel_feature(d in dataset_strategy()) {
+        let params = MiningParams::new(MinSupport::Count(2), 0.5);
+        let run = sql::mine_with(&d, &params, 1).unwrap();
+        let all = run.statements.join("\n");
+        prop_assert!(!all.contains("SHARD"));
+        prop_assert!(!all.contains("SUM("));
+        prop_assert!(all.contains("HAVING COUNT(*) >= :minsupport"));
+    }
+}
+
+/// Acceptance (ISSUE 5): through the facade, SQL × threads ∈ {1, 2, 4}
+/// all succeed and agree with the other two backends on the worked
+/// example.
+#[test]
+fn facade_sql_thread_sweep_on_the_worked_example() {
+    let d = setm::example::paper_example_dataset();
+    let params = setm::example::paper_example_params();
+    let reference = Miner::new(params).run(&d).unwrap();
+    assert_eq!(reference.rules.len(), 11);
+    for threads in [1usize, 2, 4] {
+        let outcome = Miner::new(params).backend(Backend::Sql).threads(threads).run(&d).unwrap();
+        assert_eq!(outcome.rules, reference.rules, "threads={threads}");
+        assert_equivalent(
+            &reference.result,
+            &outcome.result,
+            &format!("facade sql threads={threads}"),
+        );
+    }
+}
+
+/// More shards than transactions degrades gracefully (the partitioner
+/// caps the shard count at the transaction count).
+#[test]
+fn more_threads_than_transactions_is_fine() {
+    let d = Dataset::from_transactions([
+        (1u32, [1u32, 2, 3].as_slice()),
+        (2, [1, 2, 3].as_slice()),
+        (3, [1, 2].as_slice()),
+    ]);
+    let params = MiningParams::new(MinSupport::Count(2), 0.5);
+    let seq = sql::mine_with(&d, &params, 1).unwrap();
+    let par = sql::mine_with(&d, &params, 64).unwrap();
+    assert_equivalent(&seq.result, &par.result, "threads=64 on 3 transactions");
+}
+
+/// The partitioned plan on a realistic workload: retail sample across
+/// the thread matrix, against the in-memory reference.
+#[test]
+fn partitioned_sql_matches_memory_on_retail_sample() {
+    let d = RetailConfig::small(800, 21).generate();
+    let params = MiningParams::new(MinSupport::Fraction(0.02), 0.5);
+    let miner = Miner::new(params);
+    let reference = miner.run(&d).unwrap();
+    for threads in [2usize, 4] {
+        let run = miner.backend(Backend::Sql).threads(threads).run(&d).unwrap();
+        assert_eq!(
+            run.result.frequent_itemsets(),
+            reference.result.frequent_itemsets(),
+            "threads={threads}"
+        );
+        assert_eq!(run.rules, reference.rules, "threads={threads}");
+    }
+}
 
 #[test]
 fn sql_driven_setm_matches_memory_on_retail_sample() {
