@@ -52,8 +52,9 @@ use setm_bench::loadgen::{
 use setm_core::nested_loop::{mine_nested_loop, NestedLoopOptions};
 use setm_core::setm::engine::EngineConfig;
 use setm_core::{Backend, MinSupport, Miner, MiningParams, SetmResult};
+use setm_core::setm::plan::{PhysicalPlan, PlanMode};
 use setm_costmodel::ComparisonReport;
-use setm_datagen::{DatasetStats, QuestConfig, RetailConfig, UniformConfig};
+use setm_datagen::{DatasetStats, NeedleConfig, QuestConfig, RetailConfig, UniformConfig};
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
@@ -623,6 +624,11 @@ fn write_deterministic_section(j: &mut Json) {
         .map(|t| format!("[{}, {}, {}, {}]", t.k, t.r_prime_tuples, t.r_tuples, t.c_len))
         .collect();
     j.field(3, "trace_k_rprime_r_c", &format!("[{}]", trace.join(", ")), false);
+    // v3: the planner's per-iteration decisions — a plan change is
+    // drift, exactly like a cardinality change.
+    let plans: Vec<String> =
+        mem.result.trace.iter().map(|t| format!("\"{}\"", t.plan_string())).collect();
+    j.field(3, "plans", &format!("[{}]", plans.join(", ")), false);
     let engine_accesses: Vec<String> = PARALLEL_SWEEP
         .iter()
         .map(|&threads| {
@@ -670,6 +676,35 @@ fn write_deterministic_section(j: &mut Json) {
         false,
     );
     j.field(3, "nested_loop_page_accesses", &nl.total_page_accesses.to_string(), true);
+    j.0.push_str("    },\n");
+
+    // v3: the planner's acceptance workload — the Auto planner must
+    // keep switching to the nested-loop join mid-run on the needle and
+    // keep beating an all-merge-scan plan in measured page accesses
+    // (`tests/cost_model_vs_measured.rs` asserts the same invariant;
+    // this entry makes a regression visible as baseline drift too).
+    let needle = NeedleConfig::bench().generate();
+    let params = MiningParams::new(MinSupport::Count(5), 0.5);
+    let auto = run_on_engine(&needle, &params, EngineConfig::default(), 1);
+    let fixed = Miner::new(params)
+        .backend(Backend::Engine(EngineConfig::default()))
+        .threads(1)
+        .plan_mode(PlanMode::Forced(PhysicalPlan::merge_scan()))
+        .run(&needle)
+        .expect("forced merge-scan run");
+    assert_eq!(auto.result.frequent_itemsets(), fixed.result.frequent_itemsets());
+    let auto_accesses = auto.report.page_accesses().expect("engine report");
+    let fixed_accesses = fixed.report.page_accesses().expect("engine report");
+    assert!(
+        auto_accesses < fixed_accesses,
+        "auto plan ({auto_accesses}) must beat all-merge-scan ({fixed_accesses}) on the needle"
+    );
+    j.field(2, "needle_bench", "{", true);
+    let plans: Vec<String> =
+        auto.result.trace.iter().map(|t| format!("\"{}\"", t.plan_string())).collect();
+    j.field(3, "plans", &format!("[{}]", plans.join(", ")), false);
+    j.field(3, "auto_page_accesses", &auto_accesses.to_string(), false);
+    j.field(3, "merge_scan_page_accesses", &fixed_accesses.to_string(), true);
     j.0.push_str("    }\n");
     j.0.push_str("  },\n");
 }
@@ -685,7 +720,7 @@ fn repro_baseline(path: Option<String>) {
     let reps = if tiny { 1 } else { 3 };
 
     let mut j = Json::new();
-    j.field(1, "schema", "\"setm-bench-baseline/v2\"", false);
+    j.field(1, "schema", "\"setm-bench-baseline/v3\"", false);
     j.field(1, "config", if tiny { "\"tiny\"" } else { "\"full\"" }, false);
     j.field(1, "machine", "{", true);
     j.field(2, "available_parallelism", &hw.to_string(), false);
@@ -916,8 +951,23 @@ fn repro_check_baseline(candidate: Option<String>, reference: Option<String>) {
         );
         std::process::exit(1);
     };
+    // Schema bridge: a v2 reference predates the planner, so it has no
+    // plan fields. Comparing a v3 candidate against it must not flag
+    // the new fields as drift — it still gates everything v2 knew
+    // about. (v3 vs v3 gates plans like any other counter.)
+    let schema_of = |v: &JsonValue| {
+        v.get("schema").and_then(JsonValue::as_str).unwrap_or("setm-bench-baseline/v1").to_string()
+    };
+    let ref_schema = schema_of(&reference);
+    let reference_is_pre_plan = ref_schema != "setm-bench-baseline/v3";
+    if reference_is_pre_plan {
+        println!(
+            "note: reference schema {ref_schema} predates plan recording; new v3 fields \
+             (plans, needle_bench) are reported but not gated.\n"
+        );
+    }
     let mut drifts: Vec<String> = Vec::new();
-    diff_deterministic("deterministic", r, c, &mut drifts);
+    diff_deterministic("deterministic", r, c, reference_is_pre_plan, &mut drifts);
     if drifts.is_empty() {
         println!("OK: every deterministic counter matches {ref_path}.");
     } else {
@@ -933,24 +983,38 @@ fn repro_check_baseline(candidate: Option<String>, reference: Option<String>) {
 
 /// Recursive exact comparison of the deterministic subtree; every
 /// mismatch (value drift, missing key, extra key, shape change) is one
-/// human-readable line.
+/// human-readable line. `tolerate_plan_fields` is the v2→v3 schema
+/// bridge: candidate-only keys introduced by the planner (`plans`,
+/// `needle_bench`) are skipped when the reference predates them.
 fn diff_deterministic(
     path: &str,
     reference: &setm_serve::json::Json,
     candidate: &setm_serve::json::Json,
+    tolerate_plan_fields: bool,
     drifts: &mut Vec<String>,
 ) {
     use setm_serve::json::Json as J;
+    const PLAN_FIELDS: [&str; 2] = ["plans", "needle_bench"];
     match (reference, candidate) {
         (J::Obj(rm), J::Obj(cm)) => {
             for (key, rv) in rm {
                 match candidate.get(key) {
-                    Some(cv) => diff_deterministic(&format!("{path}.{key}"), rv, cv, drifts),
+                    Some(cv) => diff_deterministic(
+                        &format!("{path}.{key}"),
+                        rv,
+                        cv,
+                        tolerate_plan_fields,
+                        drifts,
+                    ),
                     None => drifts.push(format!("{path}.{key}: missing from candidate")),
                 }
             }
             for (key, _) in cm {
                 if reference.get(key).is_none() {
+                    if tolerate_plan_fields && PLAN_FIELDS.contains(&key.as_str()) {
+                        println!("  {path}.{key}: new in v3 — not gated against this reference");
+                        continue;
+                    }
                     drifts.push(format!(
                         "{path}.{key}: present in candidate but not in the baseline"
                     ));
@@ -966,7 +1030,13 @@ fn diff_deterministic(
                 ));
             } else {
                 for (i, (rv, cv)) in ra.iter().zip(ca.iter()).enumerate() {
-                    diff_deterministic(&format!("{path}[{i}]"), rv, cv, drifts);
+                    diff_deterministic(
+                        &format!("{path}[{i}]"),
+                        rv,
+                        cv,
+                        tolerate_plan_fields,
+                        drifts,
+                    );
                 }
             }
         }

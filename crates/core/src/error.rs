@@ -26,6 +26,10 @@ pub enum SetmError {
     /// An execution knob the selected backend cannot honor (e.g.
     /// `filter_r1` on the SQL or engine backends).
     UnsupportedOption { backend: &'static str, option: &'static str },
+    /// A physical plan no execution can honor (zero shards, a sort
+    /// workspace below the external-sort minimum, or an unparseable
+    /// `SETM_FORCE_PLAN` string).
+    InvalidPlan { reason: String },
     /// The paged storage engine failed (media fault, corrupt state, …).
     Engine(setm_relational::Error),
     /// The SQL layer failed (parse / plan / execution error).
@@ -49,6 +53,9 @@ impl fmt::Display for SetmError {
             }
             SetmError::UnsupportedOption { backend, option } => {
                 write!(f, "the {backend} backend does not support the `{option}` option")
+            }
+            SetmError::InvalidPlan { reason } => {
+                write!(f, "invalid physical plan: {reason}")
             }
             SetmError::Engine(e) => write!(f, "storage engine error: {e}"),
             SetmError::Sql(e) => write!(f, "SQL error: {e}"),

@@ -37,6 +37,7 @@ pub use pattern::{CountRelation, PatternRelation};
 pub use classes::{mine_by_class, ClassedDataset, ClassedMiningResult, ClassedRule};
 pub use rules::{generate_extended_rules, generate_rules, ExtendedRule, Rule};
 pub use setm::engine::EngineConfig;
+pub use setm::plan::{JoinStrategy, LiveStats, PhysicalPlan, PlanMode, Planner, PlannerConfig};
 pub use setm::{IterationTrace, SetmResult};
 
 #[cfg(test)]

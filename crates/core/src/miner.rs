@@ -24,6 +24,7 @@ use crate::data::{Dataset, MinSupport, MiningParams};
 use crate::error::SetmError;
 use crate::rules::{generate_rules, Rule};
 use crate::setm::engine::{self, EngineConfig};
+use crate::setm::plan::PlanMode;
 use crate::setm::{memory, sql, SetmOptions, SetmResult};
 use setm_relational::pager::IoStats;
 
@@ -209,13 +210,20 @@ pub struct Miner {
     backend: Backend,
     threads: usize,
     filter_r1: bool,
+    plan_mode: PlanMode,
 }
 
 impl Miner {
     /// A miner with the given parameters, on the default in-memory
     /// backend.
     pub fn new(params: MiningParams) -> Self {
-        Miner { params, backend: Backend::Memory, threads: 0, filter_r1: false }
+        Miner {
+            params,
+            backend: Backend::Memory,
+            threads: 0,
+            filter_r1: false,
+            plan_mode: PlanMode::Auto,
+        }
     }
 
     /// Select the physical execution (default: [`Backend::Memory`]).
@@ -243,6 +251,21 @@ impl Miner {
     /// typed error, not a silent no-op.
     pub fn filter_r1(mut self, filter_r1: bool) -> Self {
         self.filter_r1 = filter_r1;
+        self
+    }
+
+    /// Select how each iteration's physical plan is chosen (default:
+    /// [`PlanMode::Auto`], the cost-based planner). A
+    /// [`PlanMode::Forced`] plan is executed verbatim on every iteration
+    /// — the same itemsets, rules, and trace cardinalities come out
+    /// regardless (cross-checked by `tests/plan_equivalence.rs`); only
+    /// the access pattern changes.
+    ///
+    /// The `SETM_FORCE_PLAN` environment variable forces a plan for runs
+    /// that left this knob at `Auto`; an explicit `Forced` set here wins
+    /// over the environment.
+    pub fn plan_mode(mut self, plan_mode: PlanMode) -> Self {
+        self.plan_mode = plan_mode;
         self
     }
 
@@ -287,9 +310,33 @@ impl Miner {
         self.filter_r1
     }
 
+    /// The configured plan-selection mode (what [`Miner::plan_mode`]
+    /// set; the `SETM_FORCE_PLAN` environment override is resolved at
+    /// `run` time, not here).
+    pub fn configured_plan_mode(&self) -> PlanMode {
+        self.plan_mode
+    }
+
+    /// The plan mode [`Miner::run`] will hand the backend: an explicit
+    /// [`PlanMode::Forced`] wins; otherwise `SETM_FORCE_PLAN` is
+    /// consulted (a malformed value is a typed
+    /// [`SetmError::InvalidPlan`], never silently ignored).
+    fn effective_plan_mode(&self) -> Result<PlanMode, SetmError> {
+        match self.plan_mode {
+            forced @ PlanMode::Forced(_) => Ok(forced),
+            PlanMode::Auto => Ok(match PlanMode::forced_from_env()? {
+                Some(plan) => PlanMode::Forced(plan),
+                None => PlanMode::Auto,
+            }),
+        }
+    }
+
     /// Validate the configuration without running anything.
     pub fn validate(&self) -> Result<(), SetmError> {
         self.params.validate()?;
+        if let PlanMode::Forced(plan) = self.plan_mode {
+            plan.validate()?;
+        }
         match &self.backend {
             Backend::Memory => {}
             Backend::Engine(cfg) => {
@@ -327,13 +374,14 @@ impl Miner {
     /// (no itemsets, no rules, `support_fraction` of 0 — never NaN).
     pub fn run(&self, dataset: &Dataset) -> Result<MiningOutcome, SetmError> {
         self.validate()?;
+        let mode = self.effective_plan_mode()?;
         let (result, report) = match &self.backend {
             Backend::Memory => {
                 let opts = SetmOptions { filter_r1: self.filter_r1, threads: self.threads };
-                (memory::mine_with(dataset, &self.params, opts), ExecutionReport::Memory)
+                (memory::mine_planned(dataset, &self.params, opts, mode), ExecutionReport::Memory)
             }
             Backend::Engine(cfg) => {
-                let run = engine::mine_with(dataset, &self.params, *cfg, self.threads)?;
+                let run = engine::mine_planned(dataset, &self.params, *cfg, self.threads, mode)?;
                 let report = ExecutionReport::Engine(EngineReport {
                     page_accesses: run.total_page_accesses,
                     estimated_io_ms: run.total_estimated_ms,
@@ -342,7 +390,7 @@ impl Miner {
                 (run.result, report)
             }
             Backend::Sql => {
-                let run = sql::mine_with(dataset, &self.params, self.threads)?;
+                let run = sql::mine_planned(dataset, &self.params, self.threads, mode)?;
                 (run.result, ExecutionReport::Sql(SqlReport { statements: run.statements }))
             }
         };
@@ -355,6 +403,7 @@ impl Miner {
 mod tests {
     use super::*;
     use crate::example;
+    use crate::setm::plan::{JoinStrategy, PhysicalPlan, FORCE_PLAN_ENV};
 
     #[test]
     fn builder_runs_every_backend_to_the_same_rules() {
@@ -461,7 +510,80 @@ mod tests {
         assert_eq!(miner.configured_backend(), Backend::Sql);
         assert_eq!(miner.configured_threads(), 3);
         assert!(miner.configured_filter_r1());
+        assert_eq!(miner.configured_plan_mode(), PlanMode::Auto);
+        let forced = miner.plan_mode(PlanMode::Forced(PhysicalPlan::merge_scan()));
+        assert_eq!(
+            forced.configured_plan_mode(),
+            PlanMode::Forced(PhysicalPlan::merge_scan())
+        );
         assert_eq!(miner.params(), &params);
+    }
+
+    #[test]
+    fn forced_plans_flow_through_the_facade_on_every_backend() {
+        let d = example::paper_example_dataset();
+        let params = example::paper_example_params();
+        let reference = Miner::new(params).run(&d).unwrap();
+        let plan = PhysicalPlan {
+            join: JoinStrategy::NestedLoop,
+            reuse_sort: false,
+            shards: 1,
+            sort_buffer_pages: 64,
+        };
+        for backend in [Backend::Memory, Backend::Engine(EngineConfig::default()), Backend::Sql] {
+            let forced = Miner::new(params)
+                .backend(backend)
+                .threads(1)
+                .plan_mode(PlanMode::Forced(plan))
+                .run(&d)
+                .unwrap();
+            assert_eq!(
+                forced.frequent_itemsets(),
+                reference.frequent_itemsets(),
+                "{}",
+                backend.name()
+            );
+            assert_eq!(forced.rules, reference.rules, "{}", backend.name());
+            for t in forced.result.trace.iter().filter(|t| t.k >= 2) {
+                assert_eq!(t.plan, Some(plan), "{} k={}", backend.name(), t.k);
+            }
+        }
+    }
+
+    #[test]
+    fn an_illegal_forced_plan_is_a_typed_error() {
+        let d = example::paper_example_dataset();
+        let params = example::paper_example_params();
+        let bad = PhysicalPlan { shards: 0, ..PhysicalPlan::merge_scan() };
+        let err = Miner::new(params).plan_mode(PlanMode::Forced(bad)).run(&d);
+        assert!(matches!(err, Err(SetmError::InvalidPlan { .. })));
+        // validate() alone catches it too — nothing has to run.
+        let err = Miner::new(params).plan_mode(PlanMode::Forced(bad)).validate();
+        assert!(matches!(err, Err(SetmError::InvalidPlan { .. })));
+    }
+
+    #[test]
+    fn force_plan_env_overrides_auto_but_not_an_explicit_forced_plan() {
+        let d = example::paper_example_dataset();
+        let params = example::paper_example_params();
+        let env_plan: PhysicalPlan = "merge-scan,reuse=0,shards=1,buf=32".parse().unwrap();
+        std::env::set_var(FORCE_PLAN_ENV, env_plan.to_string());
+        let from_env = Miner::new(params).threads(1).run(&d);
+        let explicit = Miner::new(params)
+            .threads(1)
+            .plan_mode(PlanMode::Forced(PhysicalPlan::merge_scan()))
+            .run(&d);
+        std::env::remove_var(FORCE_PLAN_ENV);
+
+        let from_env = from_env.unwrap();
+        assert_eq!(from_env.rules.len(), 11);
+        for t in from_env.result.trace.iter().filter(|t| t.k >= 2) {
+            assert_eq!(t.plan, Some(env_plan), "env-forced plan must reach the trace");
+        }
+        let explicit = explicit.unwrap();
+        for t in explicit.result.trace.iter().filter(|t| t.k >= 2) {
+            assert_eq!(t.plan, Some(PhysicalPlan::merge_scan()), "builder knob must win");
+        }
     }
 
     #[test]

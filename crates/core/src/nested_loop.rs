@@ -27,9 +27,56 @@ use crate::pattern::CountRelation;
 use crate::setm::{IterationTrace, SetmResult};
 use setm_relational::btree::{BTree, BulkLoader};
 use setm_relational::heap::{HeapFile, HeapFileBuilder};
+use setm_relational::join::index_nested_loop_join;
 use setm_relational::pager::Pager;
 use setm_relational::sort::{external_sort, SortOptions};
 use setm_relational::Result;
+
+/// The nested-loop extension step promoted to a reusable physical
+/// operator, so the per-iteration planner can swap it in for the
+/// merge-scan join inside the SETM loop.
+///
+/// Wraps a B+-tree on the tid-sorted `SALES` heap file (the Section 3.2
+/// transaction index, internal nodes pinned). [`SalesIndex::extend_join`]
+/// probes it once per `R_{k-1}` tuple and emits exactly the rows the
+/// merge-scan join would — in the same order, because `scan_prefix`
+/// yields entries in `(trans_id, item)` key order and the outer relation
+/// is scanned in its own (tid-sorted) order. Only the access pattern
+/// differs: random leaf fetches instead of a sequential scan of `SALES`.
+pub struct SalesIndex {
+    btree: BTree,
+}
+
+impl SalesIndex {
+    /// Build the index over a `(trans_id, item)`-sorted `SALES` heap
+    /// file and pin its internal nodes (the paper assumes non-leaf index
+    /// pages are memory-resident).
+    pub fn build(sales: &HeapFile) -> Result<SalesIndex> {
+        let mut btree = BTree::from_sorted_heapfile(sales)?;
+        btree.cache_internal_nodes()?;
+        Ok(SalesIndex { btree })
+    }
+
+    /// `R'_k := R_{k-1} join SALES` by index probes: for each tuple of
+    /// `r_prev` (arity `k`, tid-sorted), fetch the transaction's items
+    /// greater than the tuple's last item and append each as a new
+    /// column. Output arity is `k + 1`; rows and order are identical to
+    /// the merge-scan join on the same inputs.
+    pub fn extend_join(&self, r_prev: &HeapFile, k: usize) -> Result<HeapFile> {
+        let k_prev = k - 1;
+        index_nested_loop_join(
+            r_prev,
+            &self.btree,
+            &[0],
+            k + 1,
+            |l, r| r[1] > l[k_prev],
+            |l, r, out| {
+                out.extend_from_slice(l);
+                out.push(r[1]);
+            },
+        )
+    }
+}
 
 /// Knobs for the nested-loop run.
 #[derive(Debug, Clone, Copy)]
@@ -114,6 +161,7 @@ pub fn mine_nested_loop(
         c_len: c1.len() as u64,
         page_accesses: delta.accesses(),
         estimated_io_ms: delta.estimated_ms(&pager.lock().cost_model()),
+        plan: None,
     });
     let mut c_prev = c1;
     if !c_prev.is_empty() {
@@ -175,6 +223,7 @@ pub fn mine_nested_loop(
             c_len: c_k.len() as u64,
             page_accesses: delta.accesses(),
             estimated_io_ms: delta.estimated_ms(&pager.lock().cost_model()),
+            plan: None,
         });
 
         c_prev = c_k;

@@ -1,7 +1,7 @@
 //! Algorithm SETM on the paged storage engine.
 //!
 //! The same loop as [`crate::setm::memory`], but every relation is a heap
-//! file on a simulated disk and every sort, merge-scan, and filter goes
+//! file on a simulated disk and every sort, join, and filter goes
 //! through `setm-relational` — so each iteration's page accesses are
 //! measured and can be compared with the Section 4.3 formula. Differences
 //! from the analytical bound are expected and documented: the paper
@@ -9,33 +9,56 @@
 //! materializes every intermediate (the bound's "2·Σ‖R'_i‖" becomes a
 //! measured read+write per sort pass).
 //!
-//! The `track_sort_order` knob implements the Section 4.1 remark that the
-//! final `ORDER BY` of the filter step makes the loop-top sort redundant
-//! *if the optimizer tracks sort order across iterations*; switching it
-//! off re-sorts `R_{k-1}` every iteration, exactly what a naive plan would
-//! do. This is ablation E8.
+//! # Plan-driven execution
 //!
-//! # Parallel sharded execution
+//! Every iteration `k ≥ 2` executes a [`PhysicalPlan`] chosen by the
+//! [`Planner`] (see [`crate::setm::plan`]) — cost-based in
+//! [`PlanMode::Auto`], pinned in [`PlanMode::Forced`]:
 //!
-//! With more than one worker thread (the `threads` argument of
-//! [`mine_with`] / `Miner::threads`) the `SALES` relation is split into
-//! contiguous `trans_id` shards, **each on its own pager** (its own
-//! simulated disk — mirroring a disk-per-worker deployment). Every
-//! iteration runs the sort → merge-scan → sort → local-count pipeline of
-//! all shards in parallel under [`std::thread::scope`], merges the
-//! per-shard counts into the global `C_k`
-//! ([`CountRelation::merge_sum_filter`]), then filters each shard's
-//! `R'_k` against it. Mined results and the tuple-count trace series are
-//! identical to the sequential run; per-iteration `page_accesses` /
-//! `estimated_io_ms` are the *sums* over all shard pagers (the parallel
-//! plan pays one extra scan of each sorted `R'_k` for the decoupled
-//! filter step, so its access totals differ from the sequential plan's —
-//! wall-clock I/O time would divide by the number of disks).
+//! [`PhysicalPlan`]: crate::setm::plan::PhysicalPlan
+//! [`Planner`]: crate::setm::plan::Planner
+//! [`PlanMode::Auto`]: crate::setm::plan::PlanMode::Auto
+//! [`PlanMode::Forced`]: crate::setm::plan::PlanMode::Forced
+//!
+//! * `join` — the Figure 4 merge-scan against the local `SALES`, or the
+//!   Section 3.2 index-nested-loop probing a `(trans_id, item)` B+-tree
+//!   ([`SalesIndex`], built lazily per shard and kept for the rest of the
+//!   run; the build is excluded from the meter, as the paper treats
+//!   indices as maintained ahead of time, while every probe is charged).
+//! * `reuse_sort` — skip the loop-top re-sort of `R_{k-1}` (the closing
+//!   ORDER BY of the previous iteration already ordered it); `false`
+//!   replays Figure 4 literally. This subsumes the `track_sort_order`
+//!   knob, which now feeds the planner (ablation E8).
+//! * `shards` — `trans_id`-range partitions, **each on its own pager**
+//!   (its own simulated disk — mirroring a disk-per-worker deployment).
+//!   When the plan's shard count changes between iterations the engine
+//!   repartitions: `R_{k-1}` is drained (charged) and redistributed
+//!   (writes charged) while the `SALES` slices are re-laid-out off-meter
+//!   like the initial load.
+//! * `sort_buffer_pages` — the external-sort workspace for this
+//!   iteration's sorts.
+//!
+//! A single-shard iteration runs the paper's fused sequential pipeline
+//! (`C_k` and `R_k` from one counting pass). A multi-shard iteration runs
+//! phase 1 (sort → join → sort → threshold-free local count) on all
+//! shards in parallel under [`std::thread::scope`], merges the local
+//! counts into the global `C_k` ([`CountRelation::merge_sum_filter`]),
+//! then filters each shard's `R'_k` against it — one extra scan per
+//! shard, so parallel access totals differ from the sequential plan's
+//! (wall-clock I/O time would divide by the number of disks). Mined
+//! results and the tuple-count trace series are identical for every plan;
+//! per-iteration `page_accesses` / `estimated_io_ms` are the sums over
+//! all shard pagers.
 
 use crate::data::{Dataset, MiningParams};
+use crate::nested_loop::SalesIndex;
 use crate::pattern::CountRelation;
+use crate::setm::plan::{JoinStrategy, LiveStats, PlanMode, Planner, PlannerConfig};
+#[cfg(test)]
+use crate::setm::plan::PhysicalPlan;
 use crate::setm::shard::{partition_by_weight, resolve_threads};
 use crate::setm::{IterationTrace, SetmResult};
+use setm_costmodel::DbParams;
 use setm_relational::heap::{HeapFile, HeapFileBuilder};
 use setm_relational::join::merge_scan_join;
 use setm_relational::pager::{IoStats, Pager, SharedPager};
@@ -49,15 +72,17 @@ use setm_relational::Result;
 /// knob drives every backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
-    /// Workspace for the external sorts, in pages (a two-phase external
-    /// sort needs at least 3).
+    /// Workspace ceiling for the external sorts, in pages (a two-phase
+    /// external sort needs at least 3). The planner may size an
+    /// iteration's workspace below this, never above.
     pub sort_buffer_pages: usize,
     /// Buffer-cache frames (0 = every page access is charged, the
     /// worst-case accounting the paper's formulas use). A parallel run
     /// divides the frame budget evenly across shard pagers.
     pub cache_frames: usize,
     /// Track sort order across iterations (Section 4.1 optimization).
-    /// When false, the loop-top sort re-sorts `R_{k-1}` even though the
+    /// When false, the auto planner emits `reuse_sort = 0` plans from
+    /// k = 3 on: the loop-top sort re-sorts `R_{k-1}` even though the
     /// filter step's `ORDER BY` already ordered it.
     pub track_sort_order: bool,
 }
@@ -68,13 +93,13 @@ impl Default for EngineConfig {
     }
 }
 
-/// Outcome of an engine run: the mining result (with per-iteration I/O in
-/// the trace) plus the total page accesses.
+/// Outcome of an engine run: the mining result (with per-iteration I/O
+/// and the executed plan in the trace) plus the total page accesses.
 #[derive(Debug)]
 pub struct EngineRun {
     pub result: SetmResult,
-    /// Total page accesses during mining (loading `SALES` excluded);
-    /// summed over all shard pagers in a parallel run.
+    /// Total page accesses during mining (loading `SALES` and building
+    /// the optional probe index excluded); summed over all shard pagers.
     pub total_page_accesses: u64,
     /// Estimated milliseconds under the pager's cost model.
     pub total_estimated_ms: f64,
@@ -83,7 +108,7 @@ pub struct EngineRun {
     pub io: IoStats,
 }
 
-/// Mine `dataset` on a fresh paged engine (one pager per shard).
+/// Mine `dataset` on a fresh paged engine with cost-based planning.
 ///
 /// `threads` = 0 resolves to the machine's available parallelism, 1
 /// forces the paper's sequential plan; mined results are identical for
@@ -97,349 +122,161 @@ pub fn mine_with(
     config: EngineConfig,
     threads: usize,
 ) -> Result<EngineRun> {
-    let threads = resolve_threads(threads).min(dataset.n_transactions().max(1) as usize);
-    if threads <= 1 {
-        mine_sequential(dataset, params, config)
-    } else {
-        mine_sharded(dataset, params, config, threads)
-    }
+    mine_planned(dataset, params, config, threads, PlanMode::Auto)
 }
 
-/// The paper's sequential plan on a single pager.
-fn mine_sequential(
-    dataset: &Dataset,
-    params: &MiningParams,
-    config: EngineConfig,
-) -> Result<EngineRun> {
-    let pager = Pager::shared();
-    pager.lock().set_cache_frames(config.cache_frames);
-    let n_txns = dataset.n_transactions();
-    let min_count = params.min_support.to_count(n_txns.max(1));
-    let max_len = params.max_pattern_len.unwrap_or(usize::MAX);
-    let sort_opts = SortOptions { buffer_pages: config.sort_buffer_pages };
-
-    // Load SALES (already in (tid, item) order), then start the meter.
-    let sales_rows = dataset.sales_rows();
-    let sales = HeapFile::from_rows(pager.clone(), 2, sales_rows.iter().map(|r| r.as_slice()))?;
-    pager.lock().reset_stats();
-
-    let mut counts: Vec<CountRelation> = Vec::new();
-    let mut trace: Vec<IterationTrace> = Vec::new();
-    let mut last_stats = pager.lock().stats();
-
-    // k = 1: sort R1 on item; C1 := generate counts from R1. The paper
-    // never filters the sales relation, so no filtered output is built.
-    let by_item = external_sort(&sales, &[1], sort_opts)?;
-    let c1 = count_sorted_groups(&by_item, &[1], min_count, false)?.counts;
-    by_item.free()?;
-    let stats = pager.lock().stats();
-    let delta = stats.since(&last_stats);
-    last_stats = stats;
-    trace.push(IterationTrace {
-        k: 1,
-        r_prime_tuples: sales.n_records(),
-        r_tuples: sales.n_records(),
-        r_kbytes: sales.data_bytes() as f64 / 1024.0,
-        c_len: c1.len() as u64,
-        page_accesses: delta.accesses(),
-        estimated_io_ms: delta.estimated_ms(&pager.lock().cost_model()),
-    });
-    if !c1.is_empty() {
-        counts.push(c1);
-    }
-
-    let mut r_prev = sales.clone();
-    let mut prev_sorted_by_tid = true; // SALES arrives (tid, item)-sorted.
-    let mut k = 1usize;
-    if max_len > 1 && n_txns > 0 {
-        loop {
-            k += 1;
-            let k_prev = k - 1;
-
-            // sort R_{k-1} on (trans_id, item_1, .., item_{k-1}) — skipped
-            // when the previous iteration's ORDER BY is tracked.
-            if !prev_sorted_by_tid {
-                let key: Vec<usize> = (0..=k_prev).collect();
-                let sorted = external_sort(&r_prev, &key, sort_opts)?;
-                free_unless_sales(&r_prev, &sales)?;
-                r_prev = sorted;
-            }
-
-            // R'_k := merge-scan R_{k-1}, R_1  (q.item > p.item_{k-1}).
-            let r_prime = merge_scan_join(
-                &r_prev,
-                &sales,
-                &[0],
-                &[0],
-                k + 1,
-                |l, r| r[1] > l[k_prev],
-                |l, r, out| {
-                    out.extend_from_slice(l);
-                    out.push(r[1]);
-                },
-            )?;
-            free_unless_sales(&r_prev, &sales)?;
-
-            // sort R'_k on (item_1, .., item_k).
-            let item_key: Vec<usize> = (1..=k).collect();
-            let sorted_prime = external_sort(&r_prime, &item_key, sort_opts)?;
-            let r_prime_tuples = r_prime.n_records();
-            r_prime.free()?;
-
-            // C_k := generate counts; R_k := filter R'_k (one fused pass,
-            // C_k kept in memory per Section 4.3's accounting).
-            let scan = count_sorted_groups(&sorted_prime, &item_key, min_count, true)?;
-            sorted_prime.free()?;
-            let c_k = scan.counts;
-            let r_k = scan.filtered.expect("filter output requested");
-
-            // The paper's final step: ORDER BY (trans_id, item_1, ..,
-            // item_k). Performed in both modes — the ablation is whether
-            // the *next* iteration trusts it.
-            let r_k = if r_k.n_records() > 0 {
-                let key: Vec<usize> = (0..=k).collect();
-                let sorted = external_sort(&r_k, &key, sort_opts)?;
-                r_k.free()?;
-                sorted
-            } else {
-                r_k
-            };
-            prev_sorted_by_tid = config.track_sort_order;
-
-            let stats = pager.lock().stats();
-            let delta = stats.since(&last_stats);
-            last_stats = stats;
-            trace.push(IterationTrace {
-                k,
-                r_prime_tuples,
-                r_tuples: r_k.n_records(),
-                r_kbytes: r_k.data_bytes() as f64 / 1024.0,
-                c_len: c_k.len() as u64,
-                page_accesses: delta.accesses(),
-                estimated_io_ms: delta.estimated_ms(&pager.lock().cost_model()),
-            });
-
-            let done = r_k.n_records() == 0 || k >= max_len;
-            if !c_k.is_empty() {
-                counts.push(c_k);
-            }
-            if done {
-                r_k.free()?;
-                break;
-            }
-            r_prev = r_k;
-        }
-    }
-
-    let total = pager.lock().stats();
-    let total_ms = total.estimated_ms(&pager.lock().cost_model());
-    Ok(EngineRun {
-        result: SetmResult {
-            counts,
-            trace,
-            n_transactions: n_txns,
-            min_support_count: min_count,
-        },
-        total_page_accesses: total.accesses(),
-        total_estimated_ms: total_ms,
-        io: total,
-    })
-}
-
-/// One `trans_id` shard of the parallel engine run: its own simulated
-/// disk, its slice of `SALES`, its `R_{k-1}`, and per-iteration outputs.
-struct EngineShard {
-    pager: SharedPager,
-    sales: HeapFile,
-    r_prev: HeapFile,
-    last_stats: IoStats,
-    /// Items-sorted `R'_k` awaiting the global filter.
-    sorted_prime: Option<HeapFile>,
-    /// Local (threshold-free) group counts of `sorted_prime`.
-    local_counts: CountRelation,
-    r_prime_tuples: u64,
-}
-
-impl EngineShard {
-    /// k = 1: sort the local `SALES` on item and count every item group
-    /// (the threshold applies only to the merged global counts).
-    fn count_items(&mut self, sort_opts: SortOptions) -> Result<()> {
-        let by_item = external_sort(&self.sales, &[1], sort_opts)?;
-        self.local_counts = count_sorted_groups(&by_item, &[1], 1, false)?.counts;
-        by_item.free()
-    }
-
-    /// Iteration phase 1: (re)sort `R_{k-1}`, merge-scan against the
-    /// local `SALES`, sort `R'_k` on items, count its groups locally.
-    fn extend_and_count(
-        &mut self,
-        k: usize,
-        resort_prev: bool,
-        sort_opts: SortOptions,
-    ) -> Result<()> {
-        let k_prev = k - 1;
-        if resort_prev {
-            let key: Vec<usize> = (0..=k_prev).collect();
-            let sorted = external_sort(&self.r_prev, &key, sort_opts)?;
-            self.free_prev()?;
-            self.r_prev = sorted;
-        }
-        let r_prime = merge_scan_join(
-            &self.r_prev,
-            &self.sales,
-            &[0],
-            &[0],
-            k + 1,
-            |l, r| r[1] > l[k_prev],
-            |l, r, out| {
-                out.extend_from_slice(l);
-                out.push(r[1]);
-            },
-        )?;
-        self.free_prev()?;
-        self.r_prev = self.sales.clone(); // placeholder until the filter installs R_k
-        let item_key: Vec<usize> = (1..=k).collect();
-        let sorted_prime = external_sort(&r_prime, &item_key, sort_opts)?;
-        self.r_prime_tuples = r_prime.n_records();
-        r_prime.free()?;
-        self.local_counts = count_sorted_groups(&sorted_prime, &item_key, 1, false)?.counts;
-        self.sorted_prime = Some(sorted_prime);
-        Ok(())
-    }
-
-    /// Iteration phase 2: filter the local `R'_k` against the global
-    /// `C_k`, then ORDER BY (trans_id, items) as the paper's loop does.
-    fn filter(&mut self, k: usize, c_k: &CountRelation, sort_opts: SortOptions) -> Result<()> {
-        let sorted_prime = self.sorted_prime.take().expect("phase 1 ran");
-        let r_k = filter_by_counts(&sorted_prime, c_k)?;
-        sorted_prime.free()?;
-        let r_k = if r_k.n_records() > 0 {
-            let key: Vec<usize> = (0..=k).collect();
-            let sorted = external_sort(&r_k, &key, sort_opts)?;
-            r_k.free()?;
-            sorted
-        } else {
-            r_k
-        };
-        self.r_prev = r_k;
-        Ok(())
-    }
-
-    fn free_prev(&mut self) -> Result<()> {
-        if self.r_prev.file_id() != self.sales.file_id() {
-            self.r_prev.clone().free()?;
-        }
-        Ok(())
-    }
-
-    /// Stats delta since the last call, for per-iteration attribution.
-    fn take_delta(&mut self) -> IoStats {
-        let stats = self.pager.lock().stats();
-        let delta = stats.since(&self.last_stats);
-        self.last_stats = stats;
-        delta
-    }
-}
-
-/// The sharded parallel plan: one pager per shard, scoped worker threads
-/// per iteration phase, global counts by k-way merge.
-fn mine_sharded(
+/// [`mine_with`] with an explicit plan-selection mode. Every legal
+/// [`PlanMode::Forced`] plan mines the identical result; only the access
+/// pattern — and therefore the measured I/O — changes.
+pub fn mine_planned(
     dataset: &Dataset,
     params: &MiningParams,
     config: EngineConfig,
     threads: usize,
+    mode: PlanMode,
 ) -> Result<EngineRun> {
     let n_txns = dataset.n_transactions();
     let min_count = params.min_support.to_count(n_txns.max(1));
     let max_len = params.max_pattern_len.unwrap_or(usize::MAX);
-    let sort_opts = SortOptions { buffer_pages: config.sort_buffer_pages };
+    let max_shards = resolve_threads(threads).min(n_txns.max(1) as usize);
+    let planner = Planner::new(
+        mode,
+        PlannerConfig {
+            max_shards,
+            sort_buffer_cap: config.sort_buffer_pages,
+            reuse_sort_order: config.track_sort_order,
+            db: DbParams::paper(),
+        },
+    );
 
-    // Contiguous trans_id ranges balanced by row count.
+    // Dataset-wide statistics the planner sees every iteration.
     let weights: Vec<usize> = dataset.transactions().map(|(_, items)| items.len()).collect();
-    let ranges = partition_by_weight(&weights, threads);
-    let frames_per_shard = config.cache_frames / ranges.len();
+    let sales_tuples: u64 = weights.iter().map(|&w| w as u64).sum();
+    let max_txn_len = weights.iter().copied().max().unwrap_or(0) as u64;
+    let live = |r_prev_tuples: u64, c_prev_len: u64| LiveStats {
+        n_txns,
+        sales_tuples,
+        max_txn_len,
+        r_prev_tuples,
+        c_prev_len,
+    };
 
-    let mut shards: Vec<EngineShard> = Vec::with_capacity(ranges.len());
-    let mut txns = dataset.transactions();
-    for range in &ranges {
-        let pager = Pager::shared();
-        pager.lock().set_cache_frames(frames_per_shard);
-        let mut rows: Vec<[u32; 2]> = Vec::new();
-        for (tid, items) in txns.by_ref().take(range.len()) {
-            rows.extend(items.iter().map(|&it| [tid, it]));
-        }
-        let sales =
-            HeapFile::from_rows(pager.clone(), 2, rows.iter().map(|r| r.as_slice()))?;
-        pager.lock().reset_stats();
-        let last_stats = pager.lock().stats();
-        shards.push(EngineShard {
-            pager,
-            r_prev: sales.clone(),
-            sales,
-            last_stats,
-            sorted_prime: None,
-            local_counts: CountRelation::new(1),
-            r_prime_tuples: 0,
-        });
-    }
+    // The k = 1 count precedes any live observation, so `SALES` is laid
+    // out for the plan the first real iteration will run (the shard
+    // dimension never depends on the yet-unknown |C_1|).
+    let mut layout_shards = planner.plan_iteration(2, &live(sales_tuples, 1)).shards;
+    let mut shards = build_shards(dataset, &weights, layout_shards, config.cache_frames)?;
+    let cost_model = shards[0].pager.lock().cost_model();
+    let mut retired = IoStats::default();
 
     let mut counts: Vec<CountRelation> = Vec::new();
     let mut trace: Vec<IterationTrace> = Vec::new();
-    let cost_model = shards[0].pager.lock().cost_model();
+    let k1_sort = SortOptions { buffer_pages: config.sort_buffer_pages };
 
-    // k = 1 (parallel): local item counts, merged under the threshold.
-    run_on_shards(&mut shards, |sh| sh.count_items(sort_opts))?;
-    let locals = take_local_counts(&mut shards);
-    let c1 = CountRelation::merge_sum_filter(&locals, min_count);
-    let total_rows: u64 = shards.iter().map(|sh| sh.sales.n_records()).sum();
+    // k = 1: sort R1 on item; C1 := generate counts from R1. The paper
+    // never filters the sales relation, so no filtered output is built.
+    let c1 = if shards.len() == 1 {
+        let sh = &mut shards[0];
+        let by_item = external_sort(&sh.sales, &[1], k1_sort)?;
+        let c1 = count_sorted_groups(&by_item, &[1], min_count, false)?.counts;
+        by_item.free()?;
+        c1
+    } else {
+        run_on_shards(&mut shards, |sh| sh.count_items(k1_sort))?;
+        let locals = take_local_counts(&mut shards);
+        CountRelation::merge_sum_filter(&locals, min_count)
+    };
     let delta = sum_deltas(&mut shards);
     trace.push(IterationTrace {
         k: 1,
-        r_prime_tuples: total_rows,
-        r_tuples: total_rows,
+        r_prime_tuples: sales_tuples,
+        r_tuples: sales_tuples,
         r_kbytes: shards.iter().map(|sh| sh.sales.data_bytes()).sum::<u64>() as f64 / 1024.0,
         c_len: c1.len() as u64,
         page_accesses: delta.accesses(),
         estimated_io_ms: delta.estimated_ms(&cost_model),
+        plan: None,
     });
+    let mut c_prev_len = c1.len() as u64;
     if !c1.is_empty() {
         counts.push(c1);
     }
 
-    let mut prev_sorted_by_tid = true; // SALES arrives (tid, item)-sorted.
+    let mut r_prev_tuples = sales_tuples;
     let mut k = 1usize;
     if max_len > 1 && n_txns > 0 {
         loop {
             k += 1;
-            let resort = !prev_sorted_by_tid;
+            let stats = live(r_prev_tuples, c_prev_len);
+            let plan = planner.plan_iteration(k, &stats);
+            let sort_opts = SortOptions { buffer_pages: plan.sort_buffer_pages };
 
-            // Phase 1 (parallel): join + sort + local count per shard.
-            run_on_shards(&mut shards, |sh| sh.extend_and_count(k, resort, sort_opts))?;
+            // Re-shard when the plan's parallelism changed. The move I/O
+            // is attributed to this iteration's trace row.
+            let mut iter_delta = IoStats::default();
+            if plan.shards != layout_shards {
+                let (moved, new_shards) = repartition(
+                    dataset,
+                    &weights,
+                    shards,
+                    plan.shards,
+                    config.cache_frames,
+                    &mut retired,
+                )?;
+                shards = new_shards;
+                layout_shards = plan.shards;
+                iter_delta = moved;
+            }
 
-            // Global C_k: k-way merge of the sorted local counts.
-            let locals = take_local_counts(&mut shards);
-            let c_k = CountRelation::merge_sum_filter(&locals, min_count);
-            let r_prime_tuples: u64 = shards.iter().map(|sh| sh.r_prime_tuples).sum();
+            // Figure 4 replays the loop-top sort literally when the plan
+            // does not reuse the standing (trans_id, items) order; the
+            // previous iteration's closing ORDER BY makes it the
+            // identity, so results never depend on this bit.
+            let resort = !plan.reuse_sort;
+            let item_key: Vec<usize> = (1..=k).collect();
 
-            // Phase 2 (parallel): filter each shard's R'_k against C_k.
-            let c_ref = &c_k;
-            run_on_shards(&mut shards, |sh| sh.filter(k, c_ref, sort_opts))?;
-            let r_tuples: u64 = shards.iter().map(|sh| sh.r_prev.n_records()).sum();
-            let r_kbytes =
-                shards.iter().map(|sh| sh.r_prev.data_bytes()).sum::<u64>() as f64 / 1024.0;
-            prev_sorted_by_tid = config.track_sort_order;
+            let (c_k, r_tuples, r_kbytes, r_prime_total) = if shards.len() == 1 {
+                // The paper's fused sequential pipeline: C_k and R_k come
+                // from one counting pass (C_k kept in memory per Section
+                // 4.3's accounting).
+                let sh = &mut shards[0];
+                let sorted_prime = sh.extend_sorted(k, resort, plan.join, sort_opts)?;
+                let scan = count_sorted_groups(&sorted_prime, &item_key, min_count, true)?;
+                sorted_prime.free()?;
+                let c_k = scan.counts;
+                let r_k = scan.filtered.expect("filter output requested");
+                let r_k = order_by_tid_items(r_k, k, sort_opts)?;
+                let (n, bytes) = (r_k.n_records(), r_k.data_bytes());
+                sh.install_r_prev(r_k)?;
+                (c_k, n, bytes as f64 / 1024.0, sh.r_prime_tuples)
+            } else {
+                // Decoupled parallel pipeline: threshold-free local
+                // counts, global k-way merge, per-shard filter.
+                run_on_shards(&mut shards, |sh| sh.phase1(k, resort, plan.join, sort_opts))?;
+                let locals = take_local_counts(&mut shards);
+                let c_k = CountRelation::merge_sum_filter(&locals, min_count);
+                let r_prime_total: u64 = shards.iter().map(|sh| sh.r_prime_tuples).sum();
+                let c_ref = &c_k;
+                run_on_shards(&mut shards, |sh| sh.filter(k, c_ref, sort_opts))?;
+                let n: u64 = shards.iter().map(|sh| sh.r_prev.n_records()).sum();
+                let bytes: u64 = shards.iter().map(|sh| sh.r_prev.data_bytes()).sum();
+                (c_k, n, bytes as f64 / 1024.0, r_prime_total)
+            };
 
-            let delta = sum_deltas(&mut shards);
+            let delta = iter_delta.plus(&sum_deltas(&mut shards));
             trace.push(IterationTrace {
                 k,
-                r_prime_tuples,
+                r_prime_tuples: r_prime_total,
                 r_tuples,
                 r_kbytes,
                 c_len: c_k.len() as u64,
                 page_accesses: delta.accesses(),
                 estimated_io_ms: delta.estimated_ms(&cost_model),
+                plan: Some(plan),
             });
 
+            r_prev_tuples = r_tuples;
+            c_prev_len = c_k.len() as u64;
             let done = r_tuples == 0 || k >= max_len;
             if !c_k.is_empty() {
                 counts.push(c_k);
@@ -453,10 +290,13 @@ fn mine_sharded(
         }
     }
 
-    let total = shards
-        .iter()
-        .map(|sh| sh.pager.lock().stats())
-        .fold(IoStats::default(), |acc, s| acc.plus(&s));
+    // Every charged access was returned by exactly one `take_delta` and
+    // attributed to exactly one trace row, so the total is the sum of
+    // the per-iteration deltas by construction.
+    let mut total = retired;
+    for sh in &shards {
+        total = total.plus(&sh.measured);
+    }
     Ok(EngineRun {
         result: SetmResult {
             counts,
@@ -468,6 +308,252 @@ fn mine_sharded(
         total_estimated_ms: total.estimated_ms(&cost_model),
         io: total,
     })
+}
+
+/// Lay `SALES` out across `n_shards` contiguous `trans_id` ranges
+/// balanced by row count, one pager per shard. The load itself is
+/// excluded from the meter (the paper's accounting starts with the data
+/// resident).
+fn build_shards(
+    dataset: &Dataset,
+    weights: &[usize],
+    n_shards: usize,
+    cache_frames: usize,
+) -> Result<Vec<EngineShard>> {
+    let ranges = partition_by_weight(weights, n_shards);
+    let frames_per_shard = cache_frames / ranges.len();
+    let mut shards: Vec<EngineShard> = Vec::with_capacity(ranges.len());
+    let mut txns = dataset.transactions();
+    for range in &ranges {
+        let pager = Pager::shared();
+        pager.lock().set_cache_frames(frames_per_shard);
+        let mut rows: Vec<[u32; 2]> = Vec::new();
+        for (tid, items) in txns.by_ref().take(range.len()) {
+            rows.extend(items.iter().map(|&it| [tid, it]));
+        }
+        let sales = HeapFile::from_rows(pager.clone(), 2, rows.iter().map(|r| r.as_slice()))?;
+        pager.lock().reset_stats();
+        let last_stats = pager.lock().stats();
+        shards.push(EngineShard {
+            pager,
+            r_prev: sales.clone(),
+            sales,
+            index: None,
+            last_stats,
+            measured: IoStats::default(),
+            sorted_prime: None,
+            local_counts: CountRelation::new(1),
+            r_prime_tuples: 0,
+        });
+    }
+    Ok(shards)
+}
+
+/// Move to a new shard count: drain every shard's `R_{k-1}` (reads
+/// charged), retire the old pagers into `retired`, rebuild the `SALES`
+/// slices on fresh pagers (off-meter, like the initial load), and write
+/// each new shard's `R_{k-1}` slice (writes charged). Returns the I/O
+/// charged on the old pagers while draining, for attribution to the
+/// current iteration; the redistribution writes land in the new shards'
+/// next delta. `R_{k-1}` rows stay in global `(trans_id, items)` order.
+fn repartition(
+    dataset: &Dataset,
+    weights: &[usize],
+    mut old: Vec<EngineShard>,
+    n_shards: usize,
+    cache_frames: usize,
+    retired: &mut IoStats,
+) -> Result<(IoStats, Vec<EngineShard>)> {
+    let arity = old[0].r_prev.arity();
+    let mut rows: Vec<Vec<u32>> = Vec::new();
+    for sh in &mut old {
+        let mut cursor = sh.r_prev.cursor();
+        while let Some(row) = cursor.next_row()? {
+            rows.push(row.to_vec());
+        }
+        sh.free_prev()?;
+    }
+    let mut moved = IoStats::default();
+    for sh in &mut old {
+        moved = moved.plus(&sh.take_delta());
+        *retired = retired.plus(&sh.measured);
+    }
+    drop(old);
+
+    let mut shards = build_shards(dataset, weights, n_shards, cache_frames)?;
+    let ranges = partition_by_weight(weights, n_shards);
+    let tids: Vec<u32> = dataset.transactions().map(|(tid, _)| tid).collect();
+    let mut ri = 0usize;
+    let last_shard = shards.len() - 1;
+    for (i, (sh, range)) in shards.iter_mut().zip(&ranges).enumerate() {
+        let hi = range.end.checked_sub(1).map(|e| tids[e]);
+        let mut b = HeapFileBuilder::new(sh.pager.clone(), arity);
+        while ri < rows.len() {
+            let in_range = i == last_shard || matches!(hi, Some(h) if rows[ri][0] <= h);
+            if !in_range {
+                break;
+            }
+            b.push(&rows[ri])?;
+            ri += 1;
+        }
+        let r_prev = b.finish()?;
+        sh.free_prev()?;
+        sh.r_prev = r_prev;
+    }
+    Ok((moved, shards))
+}
+
+/// The paper's closing step: ORDER BY (trans_id, item_1, .., item_k).
+fn order_by_tid_items(r_k: HeapFile, k: usize, sort_opts: SortOptions) -> Result<HeapFile> {
+    if r_k.n_records() == 0 {
+        return Ok(r_k);
+    }
+    let key: Vec<usize> = (0..=k).collect();
+    let sorted = external_sort(&r_k, &key, sort_opts)?;
+    r_k.free()?;
+    Ok(sorted)
+}
+
+/// One `trans_id` shard: its own simulated disk, its slice of `SALES`,
+/// its `R_{k-1}`, the optional probe index, and per-iteration outputs.
+struct EngineShard {
+    pager: SharedPager,
+    sales: HeapFile,
+    /// Lazily built `(trans_id, item)` B+-tree over the local `SALES`,
+    /// for nested-loop plans. Kept for the rest of the run once built.
+    index: Option<SalesIndex>,
+    r_prev: HeapFile,
+    last_stats: IoStats,
+    /// Sum of every delta this shard has reported — its contribution to
+    /// the run total.
+    measured: IoStats,
+    /// Items-sorted `R'_k` awaiting the global filter (parallel plan).
+    sorted_prime: Option<HeapFile>,
+    /// Local (threshold-free) group counts of `sorted_prime`.
+    local_counts: CountRelation,
+    r_prime_tuples: u64,
+}
+
+impl EngineShard {
+    /// k = 1 on a multi-shard layout: sort the local `SALES` on item and
+    /// count every item group (the threshold applies only to the merged
+    /// global counts).
+    fn count_items(&mut self, sort_opts: SortOptions) -> Result<()> {
+        let by_item = external_sort(&self.sales, &[1], sort_opts)?;
+        self.local_counts = count_sorted_groups(&by_item, &[1], 1, false)?.counts;
+        by_item.free()
+    }
+
+    /// Build the probe index on first use. The build cost is excluded
+    /// from the meter (the paper's Section 3 assumes the indices already
+    /// exist, "maintained as part of normal operation"); every probe
+    /// against it is charged.
+    fn ensure_index(&mut self) -> Result<&SalesIndex> {
+        if self.index.is_none() {
+            let before = self.pager.lock().stats();
+            let built = SalesIndex::build(&self.sales)?;
+            let after = self.pager.lock().stats();
+            self.last_stats = self.last_stats.plus(&after.since(&before));
+            self.index = Some(built);
+        }
+        Ok(self.index.as_ref().expect("just built"))
+    }
+
+    /// (Re)sort `R_{k-1}`, run the plan's extension join against the
+    /// local `SALES`, and return `R'_k` sorted on its item columns.
+    /// Leaves `r_prev` pointing at `SALES` as a placeholder until the
+    /// filter step installs `R_k`.
+    fn extend_sorted(
+        &mut self,
+        k: usize,
+        resort: bool,
+        join: JoinStrategy,
+        sort_opts: SortOptions,
+    ) -> Result<HeapFile> {
+        let k_prev = k - 1;
+        if resort {
+            let key: Vec<usize> = (0..=k_prev).collect();
+            let sorted = external_sort(&self.r_prev, &key, sort_opts)?;
+            self.free_prev()?;
+            self.r_prev = sorted;
+        }
+        let r_prime = match join {
+            JoinStrategy::MergeScan => merge_scan_join(
+                &self.r_prev,
+                &self.sales,
+                &[0],
+                &[0],
+                k + 1,
+                |l, r| r[1] > l[k_prev],
+                |l, r, out| {
+                    out.extend_from_slice(l);
+                    out.push(r[1]);
+                },
+            )?,
+            JoinStrategy::NestedLoop => {
+                self.ensure_index()?;
+                let index = self.index.as_ref().expect("ensured");
+                index.extend_join(&self.r_prev, k)?
+            }
+        };
+        self.free_prev()?;
+        self.r_prev = self.sales.clone(); // placeholder until R_k lands
+        let item_key: Vec<usize> = (1..=k).collect();
+        let sorted_prime = external_sort(&r_prime, &item_key, sort_opts)?;
+        self.r_prime_tuples = r_prime.n_records();
+        r_prime.free()?;
+        Ok(sorted_prime)
+    }
+
+    /// Parallel-plan phase 1: extension join, item sort, local count.
+    fn phase1(
+        &mut self,
+        k: usize,
+        resort: bool,
+        join: JoinStrategy,
+        sort_opts: SortOptions,
+    ) -> Result<()> {
+        let sorted_prime = self.extend_sorted(k, resort, join, sort_opts)?;
+        let item_key: Vec<usize> = (1..=k).collect();
+        self.local_counts = count_sorted_groups(&sorted_prime, &item_key, 1, false)?.counts;
+        self.sorted_prime = Some(sorted_prime);
+        Ok(())
+    }
+
+    /// Parallel-plan phase 2: filter the local `R'_k` against the global
+    /// `C_k`, then ORDER BY (trans_id, items) as the paper's loop does.
+    fn filter(&mut self, k: usize, c_k: &CountRelation, sort_opts: SortOptions) -> Result<()> {
+        let sorted_prime = self.sorted_prime.take().expect("phase 1 ran");
+        let r_k = filter_by_counts(&sorted_prime, c_k)?;
+        sorted_prime.free()?;
+        let r_k = order_by_tid_items(r_k, k, sort_opts)?;
+        self.install_r_prev(r_k)
+    }
+
+    /// Install the iteration's `R_k` as the next `R_{k-1}`.
+    fn install_r_prev(&mut self, r_k: HeapFile) -> Result<()> {
+        self.free_prev()?;
+        self.r_prev = r_k;
+        Ok(())
+    }
+
+    fn free_prev(&mut self) -> Result<()> {
+        if self.r_prev.file_id() != self.sales.file_id() {
+            self.r_prev.clone().free()?;
+        }
+        Ok(())
+    }
+
+    /// Stats delta since the last call, for per-iteration attribution;
+    /// accumulated into `measured` so the run total is exactly the sum
+    /// of the attributed deltas.
+    fn take_delta(&mut self) -> IoStats {
+        let stats = self.pager.lock().stats();
+        let delta = stats.since(&self.last_stats);
+        self.last_stats = stats;
+        self.measured = self.measured.plus(&delta);
+        delta
+    }
 }
 
 /// Run `f` on every shard, one scoped worker thread per shard, and
@@ -495,13 +581,6 @@ fn take_local_counts(shards: &mut [EngineShard]) -> Vec<CountRelation> {
 
 fn sum_deltas(shards: &mut [EngineShard]) -> IoStats {
     shards.iter_mut().map(|sh| sh.take_delta()).fold(IoStats::default(), |acc, d| acc.plus(&d))
-}
-
-fn free_unless_sales(file: &HeapFile, sales: &HeapFile) -> Result<()> {
-    if file.file_id() != sales.file_id() {
-        file.clone().free()?;
-    }
-    Ok(())
 }
 
 /// Retain the rows of an items-sorted pattern file whose pattern appears
@@ -744,6 +823,81 @@ mod tests {
         let params = MiningParams::new(MinSupport::Count(1), 0.5);
         let run = mine_with(&d, &params, cfg(), 0).unwrap();
         assert_eq!(run.result.max_pattern_len(), 0);
+    }
+
+    /// Every iteration of the planned loop records the plan it executed;
+    /// the k = 1 count is unplanned.
+    #[test]
+    fn trace_records_the_executed_plan() {
+        let d = example::paper_example_dataset();
+        let params = example::paper_example_params();
+        let run = mine_with(&d, &params, cfg(), 1).unwrap();
+        assert_eq!(run.result.trace[0].plan, None);
+        assert_eq!(run.result.trace[0].plan_string(), "-");
+        for t in &run.result.trace[1..] {
+            let plan = t.plan.expect("iterations k >= 2 carry a plan");
+            assert!(plan.validate().is_ok());
+            assert_eq!(t.plan_string(), plan.to_string());
+        }
+    }
+
+    /// A forced nested-loop plan mines the identical result as the
+    /// forced merge-scan plan — only the I/O shape moves (probes are
+    /// random reads).
+    #[test]
+    fn forced_nested_loop_plan_matches_merge_scan_results() {
+        let d = example::paper_example_dataset();
+        let params = example::paper_example_params();
+        let ms = mine_planned(
+            &d,
+            &params,
+            cfg(),
+            1,
+            PlanMode::Forced(PhysicalPlan::merge_scan()),
+        )
+        .unwrap();
+        let nl = mine_planned(
+            &d,
+            &params,
+            cfg(),
+            1,
+            PlanMode::Forced(PhysicalPlan {
+                join: JoinStrategy::NestedLoop,
+                ..PhysicalPlan::merge_scan()
+            }),
+        )
+        .unwrap();
+        assert_eq!(nl.result.frequent_itemsets(), ms.result.frequent_itemsets());
+        for (a, b) in ms.result.trace.iter().zip(nl.result.trace.iter()) {
+            assert_eq!(a.r_prime_tuples, b.r_prime_tuples, "k={}", a.k);
+            assert_eq!(a.r_tuples, b.r_tuples, "k={}", a.k);
+            assert_eq!(a.c_len, b.c_len, "k={}", a.k);
+        }
+        assert!(nl.io.rand_reads > ms.io.rand_reads, "probes are random reads");
+    }
+
+    /// When the auto planner collapses a tiny residue to one shard
+    /// mid-run, the engine repartitions: results still match the
+    /// sequential run and the per-iteration deltas still sum to the
+    /// total.
+    #[test]
+    fn midrun_shard_collapse_repartitions_consistently() {
+        // 80 transactions of {1,2,3} plus a unique cold item each:
+        // R_2 = 240 tuples (under a page at k = 3), so a 4-shard run
+        // collapses to 1 shard from k = 3 on.
+        let txns: Vec<(u32, Vec<u32>)> =
+            (0..80u32).map(|t| (t, vec![1, 2, 3, 100 + t])).collect();
+        let d = Dataset::from_transactions(txns.iter().map(|(t, i)| (*t, i.as_slice())));
+        let params = MiningParams::new(MinSupport::Count(40), 0.5);
+        let seq = mine_with(&d, &params, cfg(), 1).unwrap();
+        let par = mine_with(&d, &params, cfg(), 4).unwrap();
+        assert_eq!(par.result.frequent_itemsets(), seq.result.frequent_itemsets());
+        let k2 = par.result.trace[1].plan.unwrap();
+        let k3 = par.result.trace[2].plan.unwrap();
+        assert_eq!(k2.shards, 4, "full fan-out while R_1 is large");
+        assert_eq!(k3.shards, 1, "page-sized residue collapses");
+        let sum: u64 = par.result.trace.iter().map(|t| t.page_accesses).sum();
+        assert_eq!(sum, par.total_page_accesses, "repartition I/O stays attributed");
     }
 
     /// Satellite regression: a single hot itemset must not accumulate its

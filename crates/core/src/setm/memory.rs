@@ -22,17 +22,33 @@
 
 use crate::data::{Dataset, Item, MiningParams, TransId};
 use crate::pattern::{CountRelation, PatternRelation};
+use crate::setm::plan::{JoinStrategy, LiveStats, PhysicalPlan, PlanMode, Planner, PlannerConfig};
 use crate::setm::shard::{partition_by_weight, resolve_threads};
 use crate::setm::{IterationTrace, SetmOptions, SetmResult};
 use std::collections::HashSet;
+use std::ops::Range;
 
 /// Mine `dataset` with default options.
 pub fn mine(dataset: &Dataset, params: &MiningParams) -> SetmResult {
     mine_with(dataset, params, SetmOptions::default())
 }
 
-/// Mine `dataset`, exposing execution knobs.
+/// Mine `dataset`, exposing execution knobs, under the cost-based
+/// auto-planner.
 pub fn mine_with(dataset: &Dataset, params: &MiningParams, opts: SetmOptions) -> SetmResult {
+    mine_planned(dataset, params, opts, PlanMode::Auto)
+}
+
+/// Mine `dataset` under an explicit plan-selection mode. The in-memory
+/// execution honors the plan's `join`, `shards`, and `reuse_sort`
+/// dimensions; `sort_buffer_pages` is recorded in the trace but has no
+/// effect (there is no paged sorter here).
+pub fn mine_planned(
+    dataset: &Dataset,
+    params: &MiningParams,
+    opts: SetmOptions,
+    mode: PlanMode,
+) -> SetmResult {
     let n_txns = dataset.n_transactions();
     let min_count = params.min_support.to_count(n_txns.max(1));
     let max_len = params.max_pattern_len.unwrap_or(usize::MAX);
@@ -50,6 +66,7 @@ pub fn mine_with(dataset: &Dataset, params: &MiningParams, opts: SetmOptions) ->
         c_len: c1.len() as u64,
         page_accesses: 0,
         estimated_io_ms: 0.0,
+        plan: None,
     });
     if !c1.is_empty() {
         counts.push(c1);
@@ -82,19 +99,28 @@ pub fn mine_with(dataset: &Dataset, params: &MiningParams, opts: SetmOptions) ->
         dataset.transactions().map(|(tid, items)| (tid, items.to_vec())).collect()
     };
 
-    let threads = resolve_threads(opts.threads).min(sales.len().max(1));
-    if threads <= 1 {
-        run_sequential(&sales, min_count, max_len, &mut counts, &mut trace);
-    } else {
-        run_sharded(sales, threads, min_count, max_len, &mut counts, &mut trace);
-    }
+    let planner = Planner::new(
+        mode,
+        PlannerConfig::with_max_shards(resolve_threads(opts.threads).min(sales.len().max(1))),
+    );
+    run_planned(&sales, &planner, min_count, max_len, &mut counts, &mut trace);
 
     SetmResult { counts, trace, n_transactions: n_txns, min_support_count: min_count }
 }
 
-/// The Figure 4 loop from k = 2, single-threaded (the paper's plan).
-fn run_sequential(
+/// The Figure 4 loop from k = 2, re-planned every iteration.
+///
+/// `R_{k-1}` is kept as one global relation; when an iteration's plan
+/// asks for `shards > 1` it is partitioned by `trans_id` range on the
+/// fly (phase 1: join + items-sort + local count per shard in parallel;
+/// merge; phase 2: filter per shard in parallel). Because group counts
+/// are algebraic and every shard holds whole transactions, the counts,
+/// the filtered `R_k`, and the trace series are identical to the
+/// one-shard run — `tests/plan_equivalence.rs` proves it for the full
+/// forced-plan matrix.
+fn run_planned(
     sales: &[(TransId, Vec<Item>)],
+    planner: &Planner,
     min_count: u64,
     max_len: usize,
     counts: &mut Vec<CountRelation>,
@@ -108,154 +134,185 @@ fn run_sequential(
             r_prev.push(*tid, &[it]);
         }
     }
+    let max_txn_len = sales.iter().map(|(_, items)| items.len()).max().unwrap_or(0) as u64;
+    let mut c_prev_len = counts.first().map(|c| c.len()).unwrap_or(0) as u64;
+    // R_1 is built in transaction order, hence already tid-sorted.
+    let mut tid_sorted = true;
 
     let mut k = 1usize;
     loop {
         k += 1;
-        // sort R_{k-1} on (trans_id, item_1, .., item_{k-1}). The filter
-        // step below leaves R_k sorted by items, so this restores the join
-        // order, exactly as the paper's loop does.
-        r_prev.sort_by_tid_items();
+        let stats = LiveStats {
+            n_txns: sales.len() as u64,
+            sales_tuples: n_rows as u64,
+            max_txn_len,
+            r_prev_tuples: r_prev.n_tuples() as u64,
+            c_prev_len,
+        };
+        let plan = planner.plan_iteration(k, &stats);
 
-        // R'_k := merge-scan R_{k-1}, R_1 (q.item > p.item_{k-1}).
-        let mut r_prime = merge_scan_extend(&r_prev, sales);
+        // sort R_{k-1} on (trans_id, item_1, .., item_{k-1}) — unless the
+        // previous iteration's closing ORDER BY left it in that order and
+        // the plan reuses it.
+        if !tid_sorted {
+            r_prev.sort_by_tid_items();
+        }
 
-        // sort R'_k on (item_1, .., item_k); C_k := generate counts;
-        // R_k := filter R'_k to retain supported patterns.
-        r_prime.sort_by_items();
-        let (c_k, r_k) = count_and_filter(&r_prime, min_count);
+        let (c_k, mut r_k, r_prime_tuples) = if plan.shards <= 1 {
+            iterate_one_shard(&r_prev, sales, plan.join, min_count)
+        } else {
+            iterate_sharded(&r_prev, sales, &plan, min_count)
+        };
 
         trace.push(IterationTrace {
             k,
-            r_prime_tuples: r_prime.n_tuples() as u64,
+            r_prime_tuples,
             r_tuples: r_k.n_tuples() as u64,
             r_kbytes: r_k.kbytes(),
             c_len: c_k.len() as u64,
             page_accesses: 0,
             estimated_io_ms: 0.0,
+            plan: Some(plan),
         });
 
         let done = r_k.is_empty() || k >= max_len;
+        c_prev_len = c_k.len() as u64;
         if !c_k.is_empty() {
             counts.push(c_k);
         }
         if done {
             break;
+        }
+        // The paper's closing "ORDER BY trans_id, item_1, .., item_k":
+        // performed here when the plan maintains the standing order for
+        // the next loop-top sort to reuse, deferred to the next loop top
+        // otherwise (the literal Figure 4 replay). Either way the join
+        // sees the same deterministic order.
+        if plan.reuse_sort {
+            r_k.sort_by_tid_items();
+            tid_sorted = true;
+        } else {
+            tid_sorted = false;
         }
         r_prev = r_k;
     }
 }
 
-/// One `trans_id` shard of the parallel run: its slice of `SALES`, its
-/// slice of `R_{k-1}`, and the per-iteration intermediates.
-struct MemShard {
-    sales: Vec<(TransId, Vec<Item>)>,
-    r_prev: PatternRelation,
-    /// Items-sorted `R'_k` of the current iteration (input to the filter).
-    r_prime: PatternRelation,
-    /// Local (unfiltered) group counts of `r_prime`.
-    local_counts: CountRelation,
-}
-
-impl MemShard {
-    /// Phase 1 of an iteration: sort, merge-scan, sort, local count.
-    fn extend_and_count(&mut self) {
-        self.r_prev.sort_by_tid_items();
-        self.r_prime = merge_scan_extend(&self.r_prev, &self.sales);
-        self.r_prime.sort_by_items();
-        self.local_counts = count_groups(&self.r_prime);
-    }
-
-    /// Phase 2: filter the local `R'_k` against the *global* `C_k`.
-    fn filter(&mut self, c_k: &CountRelation) {
-        self.r_prev = filter_supported(&self.r_prime, c_k);
-        self.r_prime = PatternRelation::new(1); // release R'_k eagerly
-    }
-}
-
-/// The sharded parallel loop: identical results, P-way partitioned work.
-fn run_sharded(
-    sales: Vec<(TransId, Vec<Item>)>,
-    threads: usize,
+/// One unpartitioned iteration: join, items-sort, then the fused
+/// count-and-filter pass.
+fn iterate_one_shard(
+    r_prev: &PatternRelation,
+    sales: &[(TransId, Vec<Item>)],
+    join: JoinStrategy,
     min_count: u64,
-    max_len: usize,
-    counts: &mut Vec<CountRelation>,
-    trace: &mut Vec<IterationTrace>,
-) {
+) -> (CountRelation, PatternRelation, u64) {
+    let mut r_prime = extend(r_prev, 0..r_prev.n_tuples(), sales, join);
+    r_prime.sort_by_items();
+    let (c_k, r_k) = count_and_filter(&r_prime, min_count);
+    (c_k, r_k, r_prime.n_tuples() as u64)
+}
+
+/// One partitioned iteration: contiguous `trans_id` shards, counted
+/// locally and merged under the global threshold.
+fn iterate_sharded(
+    r_prev: &PatternRelation,
+    sales: &[(TransId, Vec<Item>)],
+    plan: &PhysicalPlan,
+    min_count: u64,
+) -> (CountRelation, PatternRelation, u64) {
     let weights: Vec<usize> = sales.iter().map(|(_, items)| items.len()).collect();
-    let ranges = partition_by_weight(&weights, threads);
-    let mut txns = sales.into_iter();
-    let mut shards: Vec<MemShard> = ranges
-        .iter()
-        .map(|range| {
-            let sales: Vec<(TransId, Vec<Item>)> = txns.by_ref().take(range.len()).collect();
-            let rows: usize = sales.iter().map(|(_, items)| items.len()).sum();
-            let mut r_prev = PatternRelation::with_capacity(1, rows);
-            for (tid, items) in &sales {
-                for &it in items {
-                    r_prev.push(*tid, &[it]);
-                }
-            }
-            MemShard {
-                sales,
-                r_prev,
-                r_prime: PatternRelation::new(1),
-                local_counts: CountRelation::new(1),
-            }
-        })
-        .collect();
+    let ranges = partition_by_weight(&weights, plan.shards);
 
-    let mut k = 1usize;
-    loop {
-        k += 1;
-        // Phase 1 (parallel): join + local count per shard.
-        std::thread::scope(|s| {
-            let handles: Vec<_> = shards
-                .iter_mut()
-                .map(|sh| s.spawn(move || sh.extend_and_count()))
-                .collect();
-            for h in handles {
-                h.join().expect("SETM shard worker panicked");
-            }
-        });
+    // Map each shard's transaction range to its row range of the
+    // tid-sorted `R_{k-1}`.
+    let mut tasks: Vec<(Range<usize>, Range<usize>)> = Vec::with_capacity(ranges.len());
+    let mut row_start = 0usize;
+    for range in &ranges {
+        let row_end = if range.end < sales.len() {
+            let boundary = sales[range.end].0;
+            upper_row_bound(r_prev, row_start, boundary)
+        } else {
+            r_prev.n_tuples()
+        };
+        tasks.push((range.clone(), row_start..row_end));
+        row_start = row_end;
+    }
 
-        // Merge the sorted per-shard counts and apply the global support
-        // threshold in one k-way pass.
-        let locals: Vec<CountRelation> = shards
-            .iter_mut()
-            .map(|sh| std::mem::replace(&mut sh.local_counts, CountRelation::new(1)))
+    // Phase 1 (parallel): join + items-sort + local count per shard.
+    let mut shards: Vec<(PatternRelation, CountRelation)> = std::thread::scope(|s| {
+        let handles: Vec<_> = tasks
+            .iter()
+            .map(|(txn_range, row_range)| {
+                let join = plan.join;
+                s.spawn(move || {
+                    let mut r_prime =
+                        extend(r_prev, row_range.clone(), &sales[txn_range.clone()], join);
+                    r_prime.sort_by_items();
+                    let local = count_groups(&r_prime);
+                    (r_prime, local)
+                })
+            })
             .collect();
-        let c_k = CountRelation::merge_sum_filter(&locals, min_count);
-        let r_prime_tuples: u64 = shards.iter().map(|sh| sh.r_prime.n_tuples() as u64).sum();
+        handles.into_iter().map(|h| h.join().expect("SETM shard worker panicked")).collect()
+    });
 
-        // Phase 2 (parallel): filter each shard's R'_k against C_k.
-        std::thread::scope(|s| {
-            let c_ref = &c_k;
-            let handles: Vec<_> =
-                shards.iter_mut().map(|sh| s.spawn(move || sh.filter(c_ref))).collect();
-            for h in handles {
-                h.join().expect("SETM shard worker panicked");
-            }
-        });
-        let r_tuples: u64 = shards.iter().map(|sh| sh.r_prev.n_tuples() as u64).sum();
+    // Merge the sorted per-shard counts and apply the global support
+    // threshold in one k-way pass.
+    let locals: Vec<CountRelation> =
+        shards.iter_mut().map(|(_, c)| std::mem::replace(c, CountRelation::new(1))).collect();
+    let c_k = CountRelation::merge_sum_filter(&locals, min_count);
+    let r_prime_tuples: u64 = shards.iter().map(|(r, _)| r.n_tuples() as u64).sum();
 
-        trace.push(IterationTrace {
-            k,
-            r_prime_tuples,
-            r_tuples,
-            r_kbytes: r_tuples as f64 * ((k + 1) * 4) as f64 / 1024.0,
-            c_len: c_k.len() as u64,
-            page_accesses: 0,
-            estimated_io_ms: 0.0,
-        });
-
-        let done = r_tuples == 0 || k >= max_len;
-        if !c_k.is_empty() {
-            counts.push(c_k);
+    // Phase 2 (parallel): filter each shard's R'_k against the global
+    // C_k, then concatenate in shard order (restoring one relation; the
+    // next loop-top or closing sort re-establishes the canonical order).
+    let parts: Vec<PatternRelation> = std::thread::scope(|s| {
+        let c_ref = &c_k;
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|(r_prime, _)| s.spawn(move || filter_supported(r_prime, c_ref)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("SETM shard worker panicked")).collect()
+    });
+    let total: usize = parts.iter().map(|p| p.n_tuples()).sum();
+    let mut r_k = PatternRelation::with_capacity(r_prev.k() + 1, total);
+    for part in &parts {
+        for (tid, items) in part.iter() {
+            r_k.push(tid, items);
         }
-        if done {
-            break;
+    }
+    (c_k, r_k, r_prime_tuples)
+}
+
+/// First row of the tid-sorted `r_prev` at or after `boundary`, searching
+/// from `from`.
+fn upper_row_bound(r_prev: &PatternRelation, from: usize, boundary: TransId) -> usize {
+    let mut lo = from;
+    let mut hi = r_prev.n_tuples();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if r_prev.row(mid).0 < boundary {
+            lo = mid + 1;
+        } else {
+            hi = mid;
         }
+    }
+    lo
+}
+
+/// The extension join under either access path. Both walk the `R_{k-1}`
+/// rows in order and emit extensions in ascending item order, so the
+/// output rows and their order are identical — the plan-equivalence
+/// contract.
+fn extend(
+    r_prev: &PatternRelation,
+    rows: Range<usize>,
+    sales: &[(TransId, Vec<Item>)],
+    join: JoinStrategy,
+) -> PatternRelation {
+    match join {
+        JoinStrategy::MergeScan => merge_scan_extend(r_prev, rows, sales),
+        JoinStrategy::NestedLoop => nested_loop_extend(r_prev, rows, sales),
     }
 }
 
@@ -282,15 +339,20 @@ fn count_items(dataset: &Dataset, min_count: u64) -> CountRelation {
 }
 
 /// The merge-scan join of Figure 4: both inputs ordered by `trans_id`;
-/// within each transaction, extend every `R_{k-1}` tuple with every sales
-/// item greater than its last item (preserving lexicographic patterns).
-fn merge_scan_extend(r_prev: &PatternRelation, sales: &[(TransId, Vec<Item>)]) -> PatternRelation {
+/// within each transaction, extend every `R_{k-1}` tuple (of the given
+/// row range) with every sales item greater than its last item
+/// (preserving lexicographic patterns).
+fn merge_scan_extend(
+    r_prev: &PatternRelation,
+    rows: Range<usize>,
+    sales: &[(TransId, Vec<Item>)],
+) -> PatternRelation {
     let k_prev = r_prev.k();
-    let mut out = PatternRelation::with_capacity(k_prev + 1, r_prev.n_tuples());
+    let mut out = PatternRelation::with_capacity(k_prev + 1, rows.len());
     let mut buf: Vec<Item> = vec![0; k_prev + 1];
     let mut s = 0usize; // cursor into sales (sorted by tid)
-    let mut row = 0usize;
-    let n = r_prev.n_tuples();
+    let mut row = rows.start;
+    let n = rows.end;
     while row < n {
         let (tid, _) = r_prev.row(row);
         // Advance the sales cursor to this transaction.
@@ -325,6 +387,53 @@ fn merge_scan_extend(r_prev: &PatternRelation, sales: &[(TransId, Vec<Item>)]) -
                 out.push(tid, &buf);
             }
             row += 1;
+        }
+    }
+    out
+}
+
+/// The nested-loop access path: one index probe per `R_{k-1}` tuple
+/// instead of a full `SALES` scan. The sorted transaction vector *is*
+/// the `(trans_id, item)` index here — `binary_search_by_key` plays the
+/// B+-tree descent. Probing in `R_{k-1}` row order with extensions
+/// emitted in ascending item order produces the identical `R'_k` rows,
+/// in the identical order, as [`merge_scan_extend`].
+fn nested_loop_extend(
+    r_prev: &PatternRelation,
+    rows: Range<usize>,
+    sales: &[(TransId, Vec<Item>)],
+) -> PatternRelation {
+    let k_prev = r_prev.k();
+    let mut out = PatternRelation::with_capacity(k_prev + 1, rows.len());
+    let mut buf: Vec<Item> = vec![0; k_prev + 1];
+    let mut cached: Option<(TransId, usize)> = None;
+    for row in rows {
+        let (tid, pattern) = r_prev.row(row);
+        // R_{k-1} rows of one transaction are adjacent; probe once per
+        // transaction.
+        let hit = match cached {
+            Some((t, s)) if t == tid => Some(s),
+            _ => match sales.binary_search_by_key(&tid, |(t, _)| *t) {
+                Ok(s) => {
+                    cached = Some((tid, s));
+                    Some(s)
+                }
+                Err(_) => {
+                    // Transaction vanished from the (possibly filtered)
+                    // sales side.
+                    cached = None;
+                    None
+                }
+            },
+        };
+        let Some(s) = hit else { continue };
+        let items = &sales[s].1;
+        let last = pattern[k_prev - 1];
+        let start = items.partition_point(|&it| it <= last);
+        for &ext in &items[start..] {
+            buf[..k_prev].copy_from_slice(pattern);
+            buf[k_prev] = ext;
+            out.push(tid, &buf);
         }
     }
     out
@@ -598,6 +707,58 @@ mod tests {
         let seq = mine_with(&d, &params, SetmOptions { filter_r1: true, threads: 1 });
         let par = mine_with(&d, &params, SetmOptions { filter_r1: true, threads: 4 });
         assert_eq!(par.frequent_itemsets(), seq.frequent_itemsets());
+    }
+
+    /// Every legal plan shape must reproduce the auto-planned run
+    /// exactly (the full matrix runs in `tests/plan_equivalence.rs`).
+    #[test]
+    fn forced_plans_match_auto() {
+        use crate::setm::plan::{JoinStrategy, PhysicalPlan, PlanMode};
+        let txns: Vec<(u32, Vec<u32>)> = (0..40u32)
+            .map(|t| {
+                let mut items = vec![1, 2, 3];
+                if t % 3 == 0 {
+                    items.push(4 + t % 4);
+                }
+                (t + 1, items)
+            })
+            .collect();
+        let d = Dataset::from_transactions(txns.iter().map(|(t, i)| (*t, i.as_slice())));
+        let params = MiningParams::new(MinSupport::Count(5), 0.5);
+        let auto = mine_with(&d, &params, SetmOptions::default());
+        for join in [JoinStrategy::MergeScan, JoinStrategy::NestedLoop] {
+            for reuse_sort in [true, false] {
+                for shards in [1usize, 3] {
+                    let plan =
+                        PhysicalPlan { join, reuse_sort, shards, sort_buffer_pages: 256 };
+                    let forced = mine_planned(
+                        &d,
+                        &params,
+                        SetmOptions::default(),
+                        PlanMode::Forced(plan),
+                    );
+                    assert_eq!(
+                        forced.frequent_itemsets(),
+                        auto.frequent_itemsets(),
+                        "plan {plan}"
+                    );
+                    assert_eq!(forced.trace.len(), auto.trace.len(), "plan {plan}");
+                    for (a, b) in auto.trace.iter().zip(forced.trace.iter()) {
+                        assert_eq!(
+                            (a.r_prime_tuples, a.r_tuples, a.c_len),
+                            (b.r_prime_tuples, b.r_tuples, b.c_len),
+                            "plan {plan} k={}",
+                            a.k
+                        );
+                    }
+                    // The executed plan is recorded on every k >= 2 row.
+                    for t in &forced.trace[1..] {
+                        let got = t.plan.expect("planned iteration records its plan");
+                        assert_eq!(got.join, join);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

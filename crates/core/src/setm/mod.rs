@@ -31,11 +31,13 @@
 
 pub mod engine;
 pub mod memory;
+pub mod plan;
 pub mod shard;
 pub mod sql;
 
 use crate::itemvec::ItemVec;
 use crate::pattern::CountRelation;
+use plan::PhysicalPlan;
 
 /// Execution knobs that do not change the mined result.
 #[derive(Debug, Clone, Copy, Default)]
@@ -74,6 +76,21 @@ pub struct IterationTrace {
     /// Estimated I/O milliseconds under the pager's cost model (engine
     /// execution only).
     pub estimated_io_ms: f64,
+    /// The physical plan this iteration executed. `None` for k = 1 (the
+    /// initial `C_1` count precedes the planned loop).
+    pub plan: Option<PhysicalPlan>,
+}
+
+impl IterationTrace {
+    /// The canonical plan string recorded in the serve JSON and the
+    /// `check-baseline` deterministic section: the plan's
+    /// `Display` form, or `-` for the unplanned k = 1 iteration.
+    pub fn plan_string(&self) -> String {
+        match &self.plan {
+            Some(p) => p.to_string(),
+            None => "-".to_string(),
+        }
+    }
 }
 
 /// The output of a SETM run: every count relation plus the iteration

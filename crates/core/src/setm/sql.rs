@@ -53,9 +53,56 @@
 
 use crate::data::{Dataset, MiningParams};
 use crate::pattern::CountRelation;
+use crate::setm::plan::{
+    JoinStrategy, LiveStats, PhysicalPlan, PlanMode, Planner, PlannerConfig,
+};
 use crate::setm::shard::{partition_by_weight, resolve_threads};
 use crate::setm::{IterationTrace, SetmResult};
-use setm_sql::{ExecOutcome, Params, Result, ShardPool, SqlEngine};
+use setm_sql::{ExecOptions, ExecOutcome, JoinPreference, Params, Result, ShardPool, SqlEngine};
+
+/// The probe index a nested-loop plan creates on each session's `SALES`
+/// (the Section 3.2 transaction index). Recorded in the statement trace
+/// the first time a session builds it.
+const SALES_INDEX: &str = "SALES_TID_ITEM";
+
+/// Build the `(trans_id, item)` index on a session's `SALES` if it does
+/// not exist yet, recording the DDL in the statement trace; then aim the
+/// planner preference at it for the next statement.
+fn prepare_nested_loop(
+    engine: &mut SqlEngine,
+    statements: &mut Vec<String>,
+    sort_buffer_pages: usize,
+) -> Result<()> {
+    if engine.database().find_index_on("SALES", &[0]).is_none() {
+        engine.database_mut().create_index(SALES_INDEX, "SALES", &["trans_id", "item"])?;
+        statements.push(format!("CREATE INDEX {SALES_INDEX} ON SALES (trans_id, item)"));
+    }
+    engine.set_options(ExecOptions { join: JoinPreference::IndexNestedLoop, sort_buffer_pages });
+    Ok(())
+}
+
+/// Per-iteration session options for everything except a nested-loop
+/// extension join: explicit sort-merge (what the default preference
+/// resolves to on an index-free session) at the plan's sort workspace.
+fn merge_options(sort_buffer_pages: usize) -> ExecOptions {
+    ExecOptions { join: JoinPreference::SortMerge, sort_buffer_pages }
+}
+
+/// The fixed dataset statistics plus the live `|R_{k-1}|` / `|C_{k-1}|`
+/// observations from the previous round of statements.
+fn live_stats(dataset: &Dataset, max_txn_len: u64, r_prev: u64, c_prev: u64) -> LiveStats {
+    LiveStats {
+        n_txns: dataset.n_transactions(),
+        sales_tuples: dataset.n_rows(),
+        max_txn_len,
+        r_prev_tuples: r_prev,
+        c_prev_len: c_prev,
+    }
+}
+
+fn max_txn_len(dataset: &Dataset) -> u64 {
+    dataset.transactions().map(|(_, items)| items.len() as u64).max().unwrap_or(0)
+}
 
 /// Outcome of a SQL-driven run.
 #[derive(Debug)]
@@ -97,11 +144,34 @@ fn count_table_cols(k: usize) -> Vec<String> {
 /// returns the shared [`crate::MiningOutcome`] / [`crate::SetmError`]
 /// types.
 pub fn mine_with(dataset: &Dataset, params: &MiningParams, threads: usize) -> Result<SqlRun> {
-    let threads = resolve_threads(threads).min(dataset.n_transactions().max(1) as usize);
-    if threads <= 1 {
-        mine_sequential(dataset, params)
+    mine_planned(dataset, params, threads, PlanMode::Auto)
+}
+
+/// [`mine_with`] with an explicit plan-selection mode.
+///
+/// The session topology (one connection per shard) is fixed when the
+/// first statement runs, so the plan's shard dimension is taken from the
+/// k = 2 plan and held for the whole script; recorded per-iteration plans
+/// carry the actual session count. The join strategy and sort workspace
+/// are honored per iteration ([`SqlEngine::set_options`], plus a
+/// `CREATE INDEX` on `SALES` the first time a session runs a nested-loop
+/// extension join). `reuse_sort` is recorded but has no SQL-level
+/// realization: the Section 4.1 script never re-sorts `R_{k-1}` — the
+/// closing `ORDER BY` is its only ordering step.
+pub fn mine_planned(
+    dataset: &Dataset,
+    params: &MiningParams,
+    threads: usize,
+    mode: PlanMode,
+) -> Result<SqlRun> {
+    let max_shards = resolve_threads(threads).min(dataset.n_transactions().max(1) as usize);
+    let planner = Planner::new(mode, PlannerConfig::with_max_shards(max_shards));
+    let boot = live_stats(dataset, max_txn_len(dataset), dataset.n_rows(), 1);
+    let layout = planner.plan_iteration(2, &boot).shards;
+    if layout <= 1 {
+        mine_sequential(dataset, params, &planner)
     } else {
-        mine_sharded(dataset, params, threads, &|_, _| {})
+        mine_sharded(dataset, params, layout, &planner, &|_, _| {})
     }
 }
 
@@ -116,13 +186,16 @@ pub fn mine_sharded_with_prepare(
     prepare: &(dyn Fn(usize, &mut SqlEngine) + Sync),
 ) -> Result<SqlRun> {
     let threads = resolve_threads(threads).min(dataset.n_transactions().max(1) as usize);
-    mine_sharded(dataset, params, threads.max(1), prepare)
+    let planner = Planner::new(PlanMode::Auto, PlannerConfig::with_max_shards(threads.max(1)));
+    mine_sharded(dataset, params, threads.max(1), &planner, prepare)
 }
 
 /// The paper's sequential Section 4.1 plan on a single session. The
 /// emitted statement text is byte-identical to the pre-parallel
-/// releases' — `threads(1)` *is* the paper's plan.
-fn mine_sequential(dataset: &Dataset, params: &MiningParams) -> Result<SqlRun> {
+/// releases' whenever the planner keeps the merge-scan join —
+/// `threads(1)` *is* the paper's plan; a nested-loop iteration adds only
+/// its `CREATE INDEX` DDL to the trace.
+fn mine_sequential(dataset: &Dataset, params: &MiningParams, planner: &Planner) -> Result<SqlRun> {
     let mut engine = SqlEngine::new();
     let mut statements: Vec<String> = Vec::new();
     let n_txns = dataset.n_transactions();
@@ -158,6 +231,9 @@ fn mine_sequential(dataset: &Dataset, params: &MiningParams) -> Result<SqlRun> {
     )?;
     let c1 = read_counts(&mut engine, 1)?;
     trace.push(iteration_one_trace(dataset, &c1));
+    let mut c_prev_len = c1.len() as u64;
+    let mut prev_rows = dataset.n_rows();
+    let longest = max_txn_len(dataset);
     if !c1.is_empty() {
         counts.push(c1);
     }
@@ -166,12 +242,21 @@ fn mine_sequential(dataset: &Dataset, params: &MiningParams) -> Result<SqlRun> {
     if max_len > 1 && n_txns > 0 {
         loop {
             k += 1;
+            let stats = live_stats(dataset, longest, prev_rows, c_prev_len);
+            let plan = {
+                // One session: the shard dimension is pinned to it.
+                let mut p = planner.plan_iteration(k, &stats);
+                p.shards = 1;
+                p
+            };
+            engine.set_options(merge_options(plan.sort_buffer_pages));
             let prev = if k == 2 { "SALES".to_string() } else { format!("R{}", k - 1) };
             let prev_items = if k == 2 { "p.item".to_string() } else { item_cols("p", k - 1) };
             let prev_last =
                 if k == 2 { "p.item".to_string() } else { format!("p.item_{}", k - 1) };
 
-            // R'_k — the extension merge-scan join (Section 4.1).
+            // R'_k — the Section 4.1 extension join, via the plan's
+            // access path.
             let rk_prime = format!("R{k}_PRIME");
             let cols: String =
                 (1..=k).map(|i| format!("item_{i} INT")).collect::<Vec<_>>().join(", ");
@@ -180,6 +265,9 @@ fn mine_sequential(dataset: &Dataset, params: &MiningParams) -> Result<SqlRun> {
                 &mut statements,
                 format!("CREATE TABLE {rk_prime} (trans_id INT, {cols})"),
             )?;
+            if plan.join == JoinStrategy::NestedLoop {
+                prepare_nested_loop(&mut engine, &mut statements, plan.sort_buffer_pages)?;
+            }
             let inserted = run(
                 &mut engine,
                 &mut statements,
@@ -190,6 +278,7 @@ fn mine_sequential(dataset: &Dataset, params: &MiningParams) -> Result<SqlRun> {
                      WHERE q.trans_id = p.trans_id AND q.item > {prev_last}"
                 ),
             )?;
+            engine.set_options(merge_options(plan.sort_buffer_pages));
             let r_prime_tuples = match inserted {
                 ExecOutcome::Inserted(n) => n,
                 _ => 0,
@@ -242,7 +331,9 @@ fn mine_sequential(dataset: &Dataset, params: &MiningParams) -> Result<SqlRun> {
             // R'_k is consumed; the paper discards it.
             run(&mut engine, &mut statements, format!("DROP TABLE {rk_prime}"))?;
 
-            trace.push(iteration_trace(k, r_prime_tuples, r_tuples, c_k.len() as u64));
+            trace.push(iteration_trace(k, r_prime_tuples, r_tuples, c_k.len() as u64, plan));
+            prev_rows = r_tuples;
+            c_prev_len = c_k.len() as u64;
 
             let done = r_tuples == 0 || k >= max_len;
             if !c_k.is_empty() {
@@ -268,6 +359,7 @@ fn mine_sharded(
     dataset: &Dataset,
     params: &MiningParams,
     threads: usize,
+    planner: &Planner,
     prepare: &(dyn Fn(usize, &mut SqlEngine) + Sync),
 ) -> Result<SqlRun> {
     let n_txns = dataset.n_transactions();
@@ -326,6 +418,9 @@ fn mine_sharded(
     statements.extend(shard_stmts.into_iter().flatten());
     let c1 = merge_shard_counts(&mut merge, &mut pool, &mut statements, &bind, 1)?;
     trace.push(iteration_one_trace(dataset, &c1));
+    let mut c_prev_len = c1.len() as u64;
+    let mut prev_rows = dataset.n_rows();
+    let longest = max_txn_len(dataset);
     if !c1.is_empty() {
         counts.push(c1);
     }
@@ -334,13 +429,23 @@ fn mine_sharded(
     if max_len > 1 && n_txns > 0 {
         loop {
             k += 1;
+            let stats = live_stats(dataset, longest, prev_rows, c_prev_len);
+            let plan = {
+                // The session topology is fixed at connect time: the
+                // shard dimension is pinned to the pool.
+                let mut p = planner.plan_iteration(k, &stats);
+                p.shards = pool.len();
+                p
+            };
             let cols: String =
                 (1..=k).map(|i| format!("item_{i} INT")).collect::<Vec<_>>().join(", ");
             let items = item_cols("p", k);
 
-            // Phase 1 (parallel): extension join + local counts per shard.
+            // Phase 1 (parallel): extension join + local counts per
+            // shard, via the plan's access path.
             let phase1 = pool.run(|i, engine| {
                 let mut stmts = Vec::new();
+                engine.set_options(merge_options(plan.sort_buffer_pages));
                 let prev = if k == 2 {
                     "SALES".to_string()
                 } else {
@@ -357,6 +462,9 @@ fn mine_sharded(
                     &bind,
                     format!("CREATE TABLE {rk_prime} (trans_id INT, {cols})"),
                 )?;
+                if plan.join == JoinStrategy::NestedLoop {
+                    prepare_nested_loop(engine, &mut stmts, plan.sort_buffer_pages)?;
+                }
                 let inserted = exec_on(
                     engine,
                     &mut stmts,
@@ -368,6 +476,7 @@ fn mine_sharded(
                          WHERE q.trans_id = p.trans_id AND q.item > {prev_last}"
                     ),
                 )?;
+                engine.set_options(merge_options(plan.sort_buffer_pages));
                 let r_prime_rows = match inserted {
                     ExecOutcome::Inserted(n) => n,
                     _ => 0,
@@ -404,6 +513,7 @@ fn mine_sharded(
             let bcast_cols = count_table_cols(k);
             let phase2 = pool.run(|i, engine| {
                 let mut stmts = Vec::new();
+                engine.set_options(merge_options(plan.sort_buffer_pages));
                 let col_refs: Vec<&str> = bcast_cols.iter().map(String::as_str).collect();
                 engine.load_table(
                     &format!("C{k}"),
@@ -445,7 +555,9 @@ fn mine_sharded(
             let r_tuples: u64 = phase2.iter().map(|(_, n)| n).sum();
             statements.extend(phase2.into_iter().flat_map(|(stmts, _)| stmts));
 
-            trace.push(iteration_trace(k, r_prime_tuples, r_tuples, c_k.len() as u64));
+            trace.push(iteration_trace(k, r_prime_tuples, r_tuples, c_k.len() as u64, plan));
+            prev_rows = r_tuples;
+            c_prev_len = c_k.len() as u64;
 
             let done = r_tuples == 0 || k >= max_len;
             if !c_k.is_empty() {
@@ -538,11 +650,18 @@ fn iteration_one_trace(dataset: &Dataset, c1: &CountRelation) -> IterationTrace 
         c_len: c1.len() as u64,
         page_accesses: 0,
         estimated_io_ms: 0.0,
+        plan: None,
     }
 }
 
 /// A k >= 2 trace row (the SQL execution does not meter page accesses).
-fn iteration_trace(k: usize, r_prime_tuples: u64, r_tuples: u64, c_len: u64) -> IterationTrace {
+fn iteration_trace(
+    k: usize,
+    r_prime_tuples: u64,
+    r_tuples: u64,
+    c_len: u64,
+    plan: PhysicalPlan,
+) -> IterationTrace {
     IterationTrace {
         k,
         r_prime_tuples,
@@ -551,6 +670,7 @@ fn iteration_trace(k: usize, r_prime_tuples: u64, r_tuples: u64, c_len: u64) -> 
         c_len,
         page_accesses: 0,
         estimated_io_ms: 0.0,
+        plan: Some(plan),
     }
 }
 

@@ -14,12 +14,20 @@
 //!   for the substitution argument.
 //! * [`quest`] — an IBM Quest-style `T·I·D` generator (Agrawal & Srikant,
 //!   VLDB'94) used by the baseline-comparison extension benchmarks.
+//!
+//! Plus one deterministic adversarial workload:
+//!
+//! * [`needle`] — a planted itemset in otherwise unique-item
+//!   transactions, built so the optimal join strategy *changes
+//!   mid-run*; it is the planner's acceptance workload.
 
+pub mod needle;
 pub mod quest;
 pub mod retail;
 pub mod stats;
 pub mod uniform;
 
+pub use needle::NeedleConfig;
 pub use quest::QuestConfig;
 pub use retail::RetailConfig;
 pub use stats::DatasetStats;

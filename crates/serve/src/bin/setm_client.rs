@@ -157,8 +157,8 @@ fn run_mine(client: &mut Client, options: &[String]) -> CmdResult {
     println!("{} frequent itemsets, {} rules", o.itemsets.len(), o.rules.len());
     for t in &o.trace {
         println!(
-            "  k={}: |R'_{}|={:<8} |R_{}|={:<8} |C_{}|={}",
-            t.k, t.k, t.r_prime_tuples, t.k, t.r_tuples, t.k, t.c_len
+            "  k={}: |R'_{}|={:<8} |R_{}|={:<8} |C_{}|={:<8} plan={}",
+            t.k, t.k, t.r_prime_tuples, t.k, t.r_tuples, t.k, t.c_len, t.plan
         );
     }
     match &o.report {

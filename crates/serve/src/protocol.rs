@@ -231,6 +231,7 @@ pub fn outcome_to_json(outcome: &MiningOutcome) -> Json {
                 ("c_len", Json::u64(t.c_len)),
                 ("page_accesses", Json::u64(t.page_accesses)),
                 ("estimated_io_ms", Json::Num(t.estimated_io_ms)),
+                ("plan", Json::str(t.plan_string())),
             ])
         })
         .collect();
@@ -299,6 +300,10 @@ pub struct TracePayload {
     pub c_len: u64,
     pub page_accesses: u64,
     pub estimated_io_ms: f64,
+    /// The physical plan the iteration executed, in
+    /// `PhysicalPlan` display form — `"-"` where no plan applies
+    /// (the `k = 1` scan) or when talking to a pre-plan server.
+    pub plan: String,
 }
 
 /// The wire form of an [`ExecutionReport`].
@@ -383,6 +388,13 @@ pub fn outcome_from_json(v: &Json) -> Result<OutcomePayload, String> {
                 c_len: u64_field(e, "c_len")?,
                 page_accesses: u64_field(e, "page_accesses")?,
                 estimated_io_ms: f64_field(e, "estimated_io_ms")?,
+                // Absent when decoding a pre-plan server's response —
+                // tolerate it rather than failing the whole outcome.
+                plan: e
+                    .get("plan")
+                    .and_then(Json::as_str)
+                    .unwrap_or("-")
+                    .to_string(),
             })
         })
         .collect::<Result<Vec<_>, String>>()?;
@@ -458,6 +470,7 @@ pub fn setm_error_code(e: &SetmError) -> ErrorCode {
         SetmError::UnsupportedOption { .. } => {
             ErrorCode { code: "unsupported_option", status: 400 }
         }
+        SetmError::InvalidPlan { .. } => ErrorCode { code: "invalid_plan", status: 400 },
         SetmError::Engine(_) => ErrorCode { code: "engine_fault", status: 500 },
         SetmError::Sql(_) => ErrorCode { code: "sql_fault", status: 500 },
     }
@@ -579,6 +592,15 @@ mod tests {
             assert_eq!(payload.itemsets.len(), outcome.result.frequent_itemsets().len());
             assert_eq!(payload.report.backend_name(), backend.name());
             assert_eq!(payload.trace.len(), outcome.result.trace.len());
+            for (wire, local) in payload.trace.iter().zip(outcome.result.trace.iter()) {
+                assert_eq!(wire.plan, local.plan_string(), "plan must survive the wire");
+            }
+            // Every mining iteration carries its executed plan; only the
+            // k = 1 scan reports none.
+            assert!(payload
+                .trace
+                .iter()
+                .all(|t| (t.k == 1) == (t.plan == "-")), "{}", backend.name());
             if let ReportPayload::Engine { page_accesses, .. } = &payload.report {
                 assert_eq!(Some(*page_accesses), outcome.report.page_accesses());
             }
@@ -595,12 +617,13 @@ mod tests {
     #[test]
     fn setm_error_codes_are_pinned() {
         use setm_core::SetmError as E;
-        let table: [(E, &str, u16); 7] = [
+        let table: [(E, &str, u16); 8] = [
             (E::InvalidSupportFraction { fraction: 1.5 }, "invalid_support_fraction", 400),
             (E::InvalidConfidence { confidence: 2.0 }, "invalid_confidence", 400),
             (E::InvalidMaxPatternLen, "invalid_max_pattern_len", 400),
             (E::InvalidEngineConfig { reason: "x".into() }, "invalid_engine_config", 400),
             (E::UnsupportedOption { backend: "sql", option: "filter_r1" }, "unsupported_option", 400),
+            (E::InvalidPlan { reason: "x".into() }, "invalid_plan", 400),
             (E::Engine(setm_relational::Error::NoSuchFile(1)), "engine_fault", 500),
             (E::Sql(setm_sql::SqlError::Parse("x".into())), "sql_fault", 500),
         ];
