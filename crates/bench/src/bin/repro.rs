@@ -17,16 +17,25 @@
 //!              the in-memory and paged-engine paths
 //!   serve      served mining throughput — an in-process `setm-serve`
 //!              server under a mixed-backend client sweep (1/4/16 clients)
+//!   poolscale  paper-scale trajectory — Quest T20.I6 at 100K-1M
+//!              transactions across the memory / engine / SQL backends,
+//!              charting where they diverge (engine and SQL are cut off
+//!              at the scale where a run stops being minutes-scale)
 //!   baseline   write BENCH_baseline.json (machine info + per-workload
 //!              wall/I-O numbers, sequential vs parallel — including the
-//!              partitioned SQL series — plus the serve sweep and a
-//!              machine-independent `deterministic` counter section) for
-//!              perf diffing; honors SETM_BENCH_TINY=1
+//!              partitioned SQL series — plus the serve sweep, the
+//!              poolscale trajectory, and a machine-independent
+//!              `deterministic` counter section with a shared-pool vs
+//!              even-split ablation) for perf diffing; honors
+//!              SETM_BENCH_TINY=1
 //!   check-baseline [candidate] [reference]
 //!              compare the `deterministic` counters of a candidate
 //!              baseline (default ci_baseline.json) against a reference
 //!              (default BENCH_baseline.json); exit 1 on any drift.
-//!              Wall-clock fields are reported but never gated.
+//!              Wall-clock fields are reported but never gated. Schema
+//!              bridge: v4 pool fields are reported, not gated, against
+//!              a v3-or-older reference (as v3 plan fields are against
+//!              v2).
 //!   all        every report target above, in order (baseline excluded)
 //! ```
 //!
@@ -113,6 +122,7 @@ fn main() {
         "ablation" => repro_ablation(),
         "parallel" => repro_parallel(),
         "serve" => repro_serve(),
+        "poolscale" => repro_poolscale(),
         "baseline" => repro_baseline(positional.get(1).cloned()),
         "check-baseline" => {
             repro_check_baseline(positional.get(1).cloned(), positional.get(2).cloned())
@@ -127,6 +137,7 @@ fn main() {
             repro_ablation();
             repro_parallel();
             repro_serve();
+            repro_poolscale();
         }
         other => {
             eprintln!("unknown target {other}; see the source header for targets");
@@ -576,6 +587,113 @@ fn repro_serve() {
     println!("host the sweep measures scheduling + protocol overhead (ROADMAP caveat).");
 }
 
+/// Minimum support for the paper-scale trajectory: 1% keeps T20.I6 runs
+/// to three iterations while still mining >1,000 patterns.
+const POOLSCALE_SUPPORT: f64 = 0.01;
+
+/// One scale point of the T20.I6 trajectory. `engine` and `sql` are
+/// `None` past their cutoffs (where a run stops being minutes-scale).
+struct PoolscaleRow {
+    n_txns: u32,
+    n_rows: u64,
+    patterns: usize,
+    memory_ms: f64,
+    engine: Option<(f64, u64)>,
+    sql: Option<(f64, usize)>,
+}
+
+/// The trajectory's transaction counts and per-backend cutoffs:
+/// `(scales, engine_max, sql_max)`. The full config runs memory to 1M
+/// transactions (~21M SALES rows), the engine — which pays simulated
+/// page charging on top — to 300K, and the SQL statement interpreter to
+/// 100K; tiny mode shrinks everything to seconds-scale.
+fn poolscale_scales() -> (Vec<u32>, u32, u32) {
+    if bench_tiny() {
+        (vec![5_000, 20_000], 20_000, 5_000)
+    } else {
+        (vec![100_000, 300_000, 1_000_000], 300_000, 100_000)
+    }
+}
+
+/// Run the trajectory (single rep per cell — the big scales dominate
+/// wall clock, so best-of-n would triple a minutes-scale sweep).
+fn poolscale_rows(threads: usize) -> Vec<PoolscaleRow> {
+    let (scales, engine_max, sql_max) = poolscale_scales();
+    let params = MiningParams::new(MinSupport::Fraction(POOLSCALE_SUPPORT), 0.5);
+    scales
+        .into_iter()
+        .map(|n| {
+            let dataset = QuestConfig::t20_i6(n).generate();
+            let t0 = Instant::now();
+            let mem = Miner::new(params)
+                .threads(threads)
+                .run(&dataset)
+                .expect("memory run");
+            let memory_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let patterns = mem.result.frequent_itemsets().len();
+            let engine = (n <= engine_max).then(|| {
+                let t0 = Instant::now();
+                let run = run_on_engine(&dataset, &params, EngineConfig::default(), threads);
+                assert_eq!(
+                    run.result.frequent_itemsets().len(),
+                    patterns,
+                    "engine at {n} txns must match memory"
+                );
+                (
+                    t0.elapsed().as_secs_f64() * 1e3,
+                    run.report.page_accesses().expect("engine report"),
+                )
+            });
+            let sql = (n <= sql_max).then(|| {
+                let t0 = Instant::now();
+                let run = run_on_sql(&dataset, &params, threads);
+                assert_eq!(
+                    run.result.frequent_itemsets().len(),
+                    patterns,
+                    "sql at {n} txns must match memory"
+                );
+                (
+                    t0.elapsed().as_secs_f64() * 1e3,
+                    run.report.statements().expect("sql report").len(),
+                )
+            });
+            println!("  poolscale {n} txns done (memory {:.1}s)", memory_ms / 1e3);
+            PoolscaleRow { n_txns: n, n_rows: dataset.n_rows(), patterns, memory_ms, engine, sql }
+        })
+        .collect()
+}
+
+fn repro_poolscale() {
+    banner("Paper-scale trajectory — Quest T20.I6, memory vs engine vs SQL");
+    let (_, engine_max, sql_max) = poolscale_scales();
+    println!(
+        "min support {:.1}%; engine benched to {engine_max} txns, SQL to {sql_max}\n",
+        POOLSCALE_SUPPORT * 100.0
+    );
+    let rows = poolscale_rows(threads_from_env());
+    println!(
+        "\n{:>10} {:>10} {:>9} {:>11} {:>11} {:>14} {:>11}",
+        "txns", "rows", "patterns", "memory (s)", "engine (s)", "page accesses", "sql (s)"
+    );
+    let cell = |v: Option<f64>| v.map_or("-".to_string(), |ms| format!("{:.1}", ms / 1e3));
+    for r in &rows {
+        println!(
+            "{:>10} {:>10} {:>9} {:>11.1} {:>11} {:>14} {:>11}",
+            r.n_txns,
+            r.n_rows,
+            r.patterns,
+            r.memory_ms / 1e3,
+            cell(r.engine.map(|(ms, _)| ms)),
+            r.engine.map_or("-".to_string(), |(_, a)| a.to_string()),
+            cell(r.sql.map(|(ms, _)| ms)),
+        );
+    }
+    println!("\nthe three executions diverge with scale: the in-memory operators grow");
+    println!("linearly, the paged engine adds the charged-I/O constant, and the SQL");
+    println!("interpreter's per-tuple overhead prices it out first — the paper's");
+    println!("ranking (Section 6), now visible on one chart.");
+}
+
 /// A minimal JSON writer for the baseline file (no serde in the tree).
 struct Json(String);
 
@@ -595,13 +713,23 @@ fn bench_tiny() -> bool {
     std::env::var("SETM_BENCH_TINY").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
+/// The engine config the legacy deterministic counters are pinned to:
+/// caching off, as every baseline up to v3 measured (the pool became the
+/// default after v3, so the historical numbers stay byte-identical under
+/// this explicit config).
+fn uncached() -> EngineConfig {
+    EngineConfig { cache_frames: 0, ..Default::default() }
+}
+
 /// The machine-independent counter section of the baseline: fixed
 /// workloads (identical under `SETM_BENCH_TINY`), counters that depend
 /// only on the algorithms — |R'_k|/|R_k|/|C_k| traces, engine page
-/// accesses across the thread sweep, SQL statement counts across the
-/// thread sweep, and the nested-loop-vs-SETM I/O ratio. The CI
-/// bench-trajectory guard (`repro -- check-baseline`) fails on any
-/// drift in these; wall-clock fields are never gated.
+/// accesses across the thread sweep (uncached, matching v3, plus the
+/// v4 shared-pool series), SQL statement counts across the thread
+/// sweep, the nested-loop-vs-SETM I/O ratio, and the v4 shared-pool
+/// vs even-split ablation. The CI bench-trajectory guard
+/// (`repro -- check-baseline`) fails on any drift in these; wall-clock
+/// fields are never gated.
 fn write_deterministic_section(j: &mut Json) {
     println!("  deterministic counters (fixed workloads) ...");
     j.field(1, "deterministic", "{", true);
@@ -629,22 +757,52 @@ fn write_deterministic_section(j: &mut Json) {
     let plans: Vec<String> =
         mem.result.trace.iter().map(|t| format!("\"{}\"", t.plan_string())).collect();
     j.field(3, "plans", &format!("[{}]", plans.join(", ")), false);
+    let mut uncached_by_threads: Vec<(usize, u64)> = Vec::new();
     let engine_accesses: Vec<String> = PARALLEL_SWEEP
+        .iter()
+        .map(|&threads| {
+            let run = run_on_engine(&retail, &params, uncached(), threads);
+            assert_eq!(
+                run.result.frequent_itemsets(),
+                mem.result.frequent_itemsets(),
+                "engine threads={threads} must match memory"
+            );
+            let accesses = run.report.page_accesses().expect("engine report");
+            uncached_by_threads.push((threads, accesses));
+            format!("\"p{threads}\": {accesses}")
+        })
+        .collect();
+    j.field(3, "engine_page_accesses", &format!("{{ {} }}", engine_accesses.join(", ")), false);
+    // v4: the same sweep under the default shared pool. The pool must
+    // strictly beat the uncached accounting at every parallel thread
+    // count — that is the tentpole's acceptance bar.
+    let pooled_accesses: Vec<String> = PARALLEL_SWEEP
         .iter()
         .map(|&threads| {
             let run = run_on_engine(&retail, &params, EngineConfig::default(), threads);
             assert_eq!(
                 run.result.frequent_itemsets(),
                 mem.result.frequent_itemsets(),
-                "engine threads={threads} must match memory"
+                "pooled engine threads={threads} must match memory"
             );
-            format!(
-                "\"p{threads}\": {}",
-                run.report.page_accesses().expect("engine report")
-            )
+            let accesses = run.report.page_accesses().expect("engine report");
+            let (_, cold) = uncached_by_threads
+                .iter()
+                .find(|(t, _)| *t == threads)
+                .expect("same sweep");
+            assert!(
+                accesses < *cold,
+                "shared pool at threads={threads} must strictly beat uncached: {accesses} vs {cold}"
+            );
+            format!("\"p{threads}\": {accesses}")
         })
         .collect();
-    j.field(3, "engine_page_accesses", &format!("{{ {} }}", engine_accesses.join(", ")), false);
+    j.field(
+        3,
+        "engine_page_accesses_pool",
+        &format!("{{ {} }}", pooled_accesses.join(", ")),
+        false,
+    );
     let sql_statements: Vec<String> = PARALLEL_SWEEP
         .iter()
         .map(|&threads| {
@@ -664,7 +822,7 @@ fn write_deterministic_section(j: &mut Json) {
     // ratio), at 1/400 scale so the guard stays seconds-scale.
     let uniform = UniformConfig::paper_scaled(400).generate();
     let params = MiningParams::new(MinSupport::Fraction(0.005), 0.5).with_max_len(2);
-    let sm = run_on_engine(&uniform, &params, EngineConfig::default(), 1);
+    let sm = run_on_engine(&uniform, &params, uncached(), 1);
     let nl =
         mine_nested_loop(&uniform, &params, NestedLoopOptions::default()).expect("nested loop");
     assert_eq!(sm.result.frequent_itemsets(), nl.result.frequent_itemsets());
@@ -685,9 +843,9 @@ fn write_deterministic_section(j: &mut Json) {
     // this entry makes a regression visible as baseline drift too).
     let needle = NeedleConfig::bench().generate();
     let params = MiningParams::new(MinSupport::Count(5), 0.5);
-    let auto = run_on_engine(&needle, &params, EngineConfig::default(), 1);
+    let auto = run_on_engine(&needle, &params, uncached(), 1);
     let fixed = Miner::new(params)
-        .backend(Backend::Engine(EngineConfig::default()))
+        .backend(Backend::Engine(uncached()))
         .threads(1)
         .plan_mode(PlanMode::Forced(PhysicalPlan::merge_scan()))
         .run(&needle)
@@ -705,6 +863,57 @@ fn write_deterministic_section(j: &mut Json) {
     j.field(3, "plans", &format!("[{}]", plans.join(", ")), false);
     j.field(3, "auto_page_accesses", &auto_accesses.to_string(), false);
     j.field(3, "merge_scan_page_accesses", &fixed_accesses.to_string(), true);
+    j.0.push_str("    },\n");
+
+    // v4: the shared-pool vs even-split ablation at the default frame
+    // budget, on both guard workloads. The pool may never do more I/O
+    // than the even split — idle shards' frames are stealable, the
+    // split's are not. `tests/pool_equivalence.rs` pins the same
+    // invariant; this entry makes a regression visible as baseline
+    // drift under `SETM_BENCH_TINY=1` too.
+    let retail_params = MiningParams::new(MinSupport::Fraction(0.005), 0.5);
+    let needle_params = MiningParams::new(MinSupport::Count(5), 0.5);
+    j.field(2, "pool_ablation", "{", true);
+    j.field(3, "cache_frames", &EngineConfig::default().cache_frames.to_string(), false);
+    let workloads: [(&str, &setm_core::Dataset, &MiningParams); 2] =
+        [("retail_small_1500", &retail, &retail_params), ("needle_bench", &needle, &needle_params)];
+    for (w, (name, dataset, params)) in workloads.iter().enumerate() {
+        let measure = |shared_pool: bool| -> Vec<u64> {
+            PARALLEL_SWEEP
+                .iter()
+                .map(|&threads| {
+                    let config = EngineConfig { shared_pool, ..Default::default() };
+                    let run = run_on_engine(dataset, params, config, threads);
+                    run.report.page_accesses().expect("engine report")
+                })
+                .collect()
+        };
+        let (pooled, split) = (measure(true), measure(false));
+        for ((&threads, &p), &s) in PARALLEL_SWEEP.iter().zip(&pooled).zip(&split) {
+            assert!(
+                p <= s,
+                "{name} threads={threads}: shared pool ({p}) must not exceed even split ({s})"
+            );
+        }
+        let fmt = |vals: &[u64]| -> String {
+            PARALLEL_SWEEP
+                .iter()
+                .zip(vals)
+                .map(|(t, v)| format!("\"p{t}\": {v}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        j.field(
+            3,
+            name,
+            &format!(
+                "{{ \"pooled\": {{ {} }}, \"even_split\": {{ {} }} }}",
+                fmt(&pooled),
+                fmt(&split)
+            ),
+            w + 1 == workloads.len(),
+        );
+    }
     j.0.push_str("    }\n");
     j.0.push_str("  },\n");
 }
@@ -720,10 +929,18 @@ fn repro_baseline(path: Option<String>) {
     let reps = if tiny { 1 } else { 3 };
 
     let mut j = Json::new();
-    j.field(1, "schema", "\"setm-bench-baseline/v3\"", false);
+    j.field(1, "schema", "\"setm-bench-baseline/v4\"", false);
     j.field(1, "config", if tiny { "\"tiny\"" } else { "\"full\"" }, false);
     j.field(1, "machine", "{", true);
     j.field(2, "available_parallelism", &hw.to_string(), false);
+    if hw == 1 {
+        j.field(
+            2,
+            "parallel_note",
+            "\"parallel columns measure overhead: 1 hardware thread, no real speedup possible\"",
+            false,
+        );
+    }
     j.field(2, "os", &format!("\"{}\"", std::env::consts::OS), false);
     j.field(2, "arch", &format!("\"{}\"", std::env::consts::ARCH), false);
     j.field(
@@ -859,6 +1076,36 @@ fn repro_baseline(path: Option<String>) {
     j.0.push_str("    ]\n  },\n");
     stop_bench_server(addr, handle);
 
+    // The paper-scale trajectory (v4): T20.I6 across the backends, with
+    // the scale and per-backend cutoffs recorded so mismatched configs
+    // are visible in diffs. Wall clock — reported, never gated.
+    let (_, engine_max, sql_max) = poolscale_scales();
+    j.field(1, "poolscale_t20_i6", "{", true);
+    j.field(2, "min_support", &POOLSCALE_SUPPORT.to_string(), false);
+    j.field(2, "engine_max_txns", &engine_max.to_string(), false);
+    j.field(2, "sql_max_txns", &sql_max.to_string(), false);
+    j.field(2, "sweep", "[", true);
+    let rows = poolscale_rows(threads_from_env());
+    for (i, r) in rows.iter().enumerate() {
+        let mut fields = vec![
+            format!("\"n_txns\": {}", r.n_txns),
+            format!("\"n_rows\": {}", r.n_rows),
+            format!("\"patterns\": {}", r.patterns),
+            format!("\"memory_wall_ms\": {:.1}", r.memory_ms),
+        ];
+        if let Some((ms, accesses)) = r.engine {
+            fields.push(format!("\"engine_wall_ms\": {ms:.1}"));
+            fields.push(format!("\"engine_page_accesses\": {accesses}"));
+        }
+        if let Some((ms, stmts)) = r.sql {
+            fields.push(format!("\"sql_wall_ms\": {ms:.1}"));
+            fields.push(format!("\"sql_statements\": {stmts}"));
+        }
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        j.0.push_str(&format!("      {{ {} }}{}\n", fields.join(", "), sep));
+    }
+    j.0.push_str("    ]\n  },\n");
+
     // Nested-loop vs SETM on the engine (the paper's headline ratio);
     // tiny mode shrinks the uniform model further (the scale is recorded
     // so mismatched configs are visible in diffs).
@@ -951,23 +1198,34 @@ fn repro_check_baseline(candidate: Option<String>, reference: Option<String>) {
         );
         std::process::exit(1);
     };
-    // Schema bridge: a v2 reference predates the planner, so it has no
-    // plan fields. Comparing a v3 candidate against it must not flag
-    // the new fields as drift — it still gates everything v2 knew
-    // about. (v3 vs v3 gates plans like any other counter.)
+    // Schema bridge: an older reference predates some counters — a v2
+    // file has no plan fields, a v3 file no pool fields. Comparing a
+    // newer candidate against it must not flag those fields as drift;
+    // everything the reference *does* know about is still gated.
     let schema_of = |v: &JsonValue| {
         v.get("schema").and_then(JsonValue::as_str).unwrap_or("setm-bench-baseline/v1").to_string()
     };
     let ref_schema = schema_of(&reference);
-    let reference_is_pre_plan = ref_schema != "setm-bench-baseline/v3";
+    let reference_is_pre_plan =
+        ref_schema != "setm-bench-baseline/v3" && ref_schema != "setm-bench-baseline/v4";
+    let reference_is_pre_pool = ref_schema != "setm-bench-baseline/v4";
+    let mut tolerated: Vec<&str> = Vec::new();
     if reference_is_pre_plan {
+        tolerated.extend(PLAN_FIELDS);
         println!(
-            "note: reference schema {ref_schema} predates plan recording; new v3 fields \
+            "note: reference schema {ref_schema} predates plan recording; v3 fields \
              (plans, needle_bench) are reported but not gated.\n"
         );
     }
+    if reference_is_pre_pool {
+        tolerated.extend(POOL_FIELDS);
+        println!(
+            "note: reference schema {ref_schema} predates the shared buffer pool; v4 \
+             fields (engine_page_accesses_pool, pool_ablation) are reported but not gated.\n"
+        );
+    }
     let mut drifts: Vec<String> = Vec::new();
-    diff_deterministic("deterministic", r, c, reference_is_pre_plan, &mut drifts);
+    diff_deterministic("deterministic", r, c, &tolerated, &mut drifts);
     if drifts.is_empty() {
         println!("OK: every deterministic counter matches {ref_path}.");
     } else {
@@ -981,20 +1239,24 @@ fn repro_check_baseline(candidate: Option<String>, reference: Option<String>) {
     }
 }
 
+/// Deterministic counters introduced by the v3 schema (the planner).
+const PLAN_FIELDS: [&str; 2] = ["plans", "needle_bench"];
+/// Deterministic counters introduced by the v4 schema (the shared pool).
+const POOL_FIELDS: [&str; 2] = ["engine_page_accesses_pool", "pool_ablation"];
+
 /// Recursive exact comparison of the deterministic subtree; every
 /// mismatch (value drift, missing key, extra key, shape change) is one
-/// human-readable line. `tolerate_plan_fields` is the v2→v3 schema
-/// bridge: candidate-only keys introduced by the planner (`plans`,
-/// `needle_bench`) are skipped when the reference predates them.
+/// human-readable line. `tolerated` is the schema bridge: candidate-only
+/// keys introduced by a schema the reference predates (plan fields for
+/// v2, pool fields for v3) are skipped instead of flagged.
 fn diff_deterministic(
     path: &str,
     reference: &setm_serve::json::Json,
     candidate: &setm_serve::json::Json,
-    tolerate_plan_fields: bool,
+    tolerated: &[&str],
     drifts: &mut Vec<String>,
 ) {
     use setm_serve::json::Json as J;
-    const PLAN_FIELDS: [&str; 2] = ["plans", "needle_bench"];
     match (reference, candidate) {
         (J::Obj(rm), J::Obj(cm)) => {
             for (key, rv) in rm {
@@ -1003,7 +1265,7 @@ fn diff_deterministic(
                         &format!("{path}.{key}"),
                         rv,
                         cv,
-                        tolerate_plan_fields,
+                        tolerated,
                         drifts,
                     ),
                     None => drifts.push(format!("{path}.{key}: missing from candidate")),
@@ -1011,8 +1273,10 @@ fn diff_deterministic(
             }
             for (key, _) in cm {
                 if reference.get(key).is_none() {
-                    if tolerate_plan_fields && PLAN_FIELDS.contains(&key.as_str()) {
-                        println!("  {path}.{key}: new in v3 — not gated against this reference");
+                    if tolerated.contains(&key.as_str()) {
+                        println!(
+                            "  {path}.{key}: newer than the reference schema — not gated"
+                        );
                         continue;
                     }
                     drifts.push(format!(
@@ -1030,13 +1294,7 @@ fn diff_deterministic(
                 ));
             } else {
                 for (i, (rv, cv)) in ra.iter().zip(ca.iter()).enumerate() {
-                    diff_deterministic(
-                        &format!("{path}[{i}]"),
-                        rv,
-                        cv,
-                        tolerate_plan_fields,
-                        drifts,
-                    );
+                    diff_deterministic(&format!("{path}[{i}]"), rv, cv, tolerated, drifts);
                 }
             }
         }

@@ -97,8 +97,12 @@ pub struct EngineReport {
     /// Estimated milliseconds under the pager's cost model.
     pub estimated_io_ms: f64,
     /// The full I/O breakdown (sequential vs random reads/writes,
-    /// cache hits).
+    /// cache hits, pool steals).
     pub io: IoStats,
+    /// Effective buffer frames the run ended with, summed over shard
+    /// pagers — equals the configured `cache_frames` (no frame is
+    /// silently dropped by the per-shard split).
+    pub cache_frames: usize,
 }
 
 /// What the SQL backend executed while mining.
@@ -386,6 +390,7 @@ impl Miner {
                     page_accesses: run.total_page_accesses,
                     estimated_io_ms: run.total_estimated_ms,
                     io: run.io,
+                    cache_frames: run.cache_frames,
                 });
                 (run.result, report)
             }

@@ -29,6 +29,7 @@ use setm_relational::btree::{BTree, BulkLoader};
 use setm_relational::heap::{HeapFile, HeapFileBuilder};
 use setm_relational::join::index_nested_loop_join;
 use setm_relational::pager::Pager;
+use setm_relational::pool::BufferPool;
 use setm_relational::sort::{external_sort, SortOptions};
 use setm_relational::Result;
 
@@ -81,10 +82,13 @@ impl SalesIndex {
 /// Knobs for the nested-loop run.
 #[derive(Debug, Clone, Copy)]
 pub struct NestedLoopOptions {
-    /// Buffer-cache frames (0 = every access charged). The paper's
-    /// analysis assumes only non-leaf index pages are cached; internal
-    /// B+-tree nodes are always pinned, this knob adds a general cache on
-    /// top.
+    /// Buffer-cache frames (0 = every access charged, matching the
+    /// paper's Section 3.2 accounting and the checked-in baseline). The
+    /// paper's analysis assumes only non-leaf index pages are cached;
+    /// internal B+-tree nodes are always pinned, this knob adds a general
+    /// cache on top — served from a single-owner [`BufferPool`] region so
+    /// index probes and sort runs share the same frames the SETM engine
+    /// pools.
     pub cache_frames: usize,
     /// Workspace for the counting sort, in pages.
     pub sort_buffer_pages: usize,
@@ -113,7 +117,11 @@ pub fn mine_nested_loop(
     opts: NestedLoopOptions,
 ) -> Result<NestedLoopRun> {
     let pager = Pager::shared();
-    pager.lock().set_cache_frames(opts.cache_frames);
+    if opts.cache_frames > 0 {
+        let pool = BufferPool::new(opts.cache_frames);
+        let handle = pool.attach_weighted(&[1]).pop().expect("one owner");
+        pager.lock().attach_pool(handle);
+    }
     let n_txns = dataset.n_transactions();
     let min_count = params.min_support.to_count(n_txns.max(1));
     let max_len = params.max_pattern_len.unwrap_or(usize::MAX);
@@ -161,6 +169,8 @@ pub fn mine_nested_loop(
         c_len: c1.len() as u64,
         page_accesses: delta.accesses(),
         estimated_io_ms: delta.estimated_ms(&pager.lock().cost_model()),
+        cache_hits: delta.cache_hits,
+        pool_steals: delta.pool_steals,
         plan: None,
     });
     let mut c_prev = c1;
@@ -223,6 +233,8 @@ pub fn mine_nested_loop(
             c_len: c_k.len() as u64,
             page_accesses: delta.accesses(),
             estimated_io_ms: delta.estimated_ms(&pager.lock().cost_model()),
+            cache_hits: delta.cache_hits,
+            pool_steals: delta.pool_steals,
             plan: None,
         });
 

@@ -62,6 +62,7 @@ use setm_costmodel::DbParams;
 use setm_relational::heap::{HeapFile, HeapFileBuilder};
 use setm_relational::join::merge_scan_join;
 use setm_relational::pager::{IoStats, Pager, SharedPager};
+use setm_relational::pool::{split_frames_evenly, BufferPool};
 use setm_relational::sort::{external_sort, SortOptions};
 use setm_relational::Result;
 
@@ -77,9 +78,18 @@ pub struct EngineConfig {
     /// iteration's workspace below this, never above.
     pub sort_buffer_pages: usize,
     /// Buffer-cache frames (0 = every page access is charged, the
-    /// worst-case accounting the paper's formulas use). A parallel run
-    /// divides the frame budget evenly across shard pagers.
+    /// worst-case accounting the paper's formulas use). With
+    /// `shared_pool` the budget is one [`BufferPool`] all shard pagers
+    /// attach to; without it each shard gets a private cache slice
+    /// ([`split_frames_evenly`], remainder to the heaviest shards).
     pub cache_frames: usize,
+    /// Share `cache_frames` through one weighted buffer pool instead of
+    /// private per-shard slices. Admission quotas follow shard weight,
+    /// rebalanced between iterations from the live `|R_{k-1}|` sizes, so
+    /// idle shards' frames migrate to the shards still carrying tuples.
+    /// Results are identical either way (pool-vs-split equivalence
+    /// suite); only the charged access counts differ.
+    pub shared_pool: bool,
     /// Track sort order across iterations (Section 4.1 optimization).
     /// When false, the auto planner emits `reuse_sort = 0` plans from
     /// k = 3 on: the loop-top sort re-sorts `R_{k-1}` even though the
@@ -89,7 +99,12 @@ pub struct EngineConfig {
 
 impl Default for EngineConfig {
     fn default() -> Self {
-        EngineConfig { sort_buffer_pages: 256, cache_frames: 0, track_sort_order: true }
+        EngineConfig {
+            sort_buffer_pages: 256,
+            cache_frames: 256,
+            shared_pool: true,
+            track_sort_order: true,
+        }
     }
 }
 
@@ -104,8 +119,13 @@ pub struct EngineRun {
     /// Estimated milliseconds under the pager's cost model.
     pub total_estimated_ms: f64,
     /// The full I/O breakdown behind `total_page_accesses` (sequential
-    /// vs random reads/writes, cache hits), summed over shard pagers.
+    /// vs random reads/writes, cache hits, pool steals), summed over
+    /// shard pagers — plus the adaptive rebalance moves in `pool_steals`.
     pub io: IoStats,
+    /// Effective buffer frames at the end of the run, summed over shard
+    /// pagers. Equals the configured `cache_frames` — the frame-remainder
+    /// regression test pins that no frame is silently dropped.
+    pub cache_frames: usize,
 }
 
 /// Mine `dataset` on a fresh paged engine with cost-based planning.
@@ -145,9 +165,15 @@ pub fn mine_planned(
             max_shards,
             sort_buffer_cap: config.sort_buffer_pages,
             reuse_sort_order: config.track_sort_order,
+            pool_frames: config.cache_frames,
             db: DbParams::paper(),
         },
     );
+
+    // One shared pool for the whole run (when enabled); shard pagers
+    // attach weighted regions on every (re)layout.
+    let pool = (config.shared_pool && config.cache_frames > 0)
+        .then(|| BufferPool::new(config.cache_frames));
 
     // Dataset-wide statistics the planner sees every iteration.
     let weights: Vec<usize> = dataset.transactions().map(|(_, items)| items.len()).collect();
@@ -165,7 +191,7 @@ pub fn mine_planned(
     // out for the plan the first real iteration will run (the shard
     // dimension never depends on the yet-unknown |C_1|).
     let mut layout_shards = planner.plan_iteration(2, &live(sales_tuples, 1)).shards;
-    let mut shards = build_shards(dataset, &weights, layout_shards, config.cache_frames)?;
+    let mut shards = build_shards(dataset, &weights, layout_shards, &config, pool.as_ref())?;
     let cost_model = shards[0].pager.lock().cost_model();
     let mut retired = IoStats::default();
 
@@ -195,6 +221,8 @@ pub fn mine_planned(
         c_len: c1.len() as u64,
         page_accesses: delta.accesses(),
         estimated_io_ms: delta.estimated_ms(&cost_model),
+        cache_hits: delta.cache_hits,
+        pool_steals: delta.pool_steals,
         plan: None,
     });
     let mut c_prev_len = c1.len() as u64;
@@ -220,12 +248,27 @@ pub fn mine_planned(
                     &weights,
                     shards,
                     plan.shards,
-                    config.cache_frames,
+                    &config,
+                    pool.as_ref(),
                     &mut retired,
                 )?;
                 shards = new_shards;
                 layout_shards = plan.shards;
                 iter_delta = moved;
+            } else if let Some(pool) = &pool {
+                // Adaptive admission: re-divide the pool's frames in
+                // proportion to the live |R_{k-1}| each shard carries
+                // into this iteration. Runs on this thread between
+                // parallel phases, so charged accesses stay
+                // deterministic; the moved frames are the iteration's
+                // steal count.
+                if shards.len() > 1 {
+                    let live_weights: Vec<u64> =
+                        shards.iter().map(|sh| sh.r_prev.n_records().max(1)).collect();
+                    let moved = pool.rebalance(&live_weights);
+                    iter_delta.pool_steals += moved;
+                    retired.pool_steals += moved;
+                }
             }
 
             // Figure 4 replays the loop-top sort literally when the plan
@@ -272,6 +315,8 @@ pub fn mine_planned(
                 c_len: c_k.len() as u64,
                 page_accesses: delta.accesses(),
                 estimated_io_ms: delta.estimated_ms(&cost_model),
+                cache_hits: delta.cache_hits,
+                pool_steals: delta.pool_steals,
                 plan: Some(plan),
             });
 
@@ -297,6 +342,7 @@ pub fn mine_planned(
     for sh in &shards {
         total = total.plus(&sh.measured);
     }
+    let effective_frames: usize = shards.iter().map(|sh| sh.pager.lock().cache_frames()).sum();
     Ok(EngineRun {
         result: SetmResult {
             counts,
@@ -307,26 +353,42 @@ pub fn mine_planned(
         total_page_accesses: total.accesses(),
         total_estimated_ms: total.estimated_ms(&cost_model),
         io: total,
+        cache_frames: effective_frames,
     })
 }
 
 /// Lay `SALES` out across `n_shards` contiguous `trans_id` ranges
 /// balanced by row count, one pager per shard. The load itself is
 /// excluded from the meter (the paper's accounting starts with the data
-/// resident).
+/// resident). Shard pagers either attach weighted regions of the shared
+/// pool or get private [`split_frames_evenly`] cache slices — both grant
+/// every configured frame (the old `cache_frames / n` dropped the
+/// remainder on the floor).
 fn build_shards(
     dataset: &Dataset,
     weights: &[usize],
     n_shards: usize,
-    cache_frames: usize,
+    config: &EngineConfig,
+    pool: Option<&BufferPool>,
 ) -> Result<Vec<EngineShard>> {
     let ranges = partition_by_weight(weights, n_shards);
-    let frames_per_shard = cache_frames / ranges.len();
+    let range_weights: Vec<u64> = ranges
+        .iter()
+        .map(|r| weights[r.clone()].iter().map(|&w| w as u64).sum())
+        .collect();
+    let mut pool_handles: Vec<_> = match pool {
+        Some(pool) => pool.attach_weighted(&range_weights).into_iter().map(Some).collect(),
+        None => (0..ranges.len()).map(|_| None).collect(),
+    };
+    let private_frames = split_frames_evenly(config.cache_frames, &range_weights);
     let mut shards: Vec<EngineShard> = Vec::with_capacity(ranges.len());
     let mut txns = dataset.transactions();
-    for range in &ranges {
+    for (i, range) in ranges.iter().enumerate() {
         let pager = Pager::shared();
-        pager.lock().set_cache_frames(frames_per_shard);
+        match pool_handles[i].take() {
+            Some(handle) => pager.lock().attach_pool(handle),
+            None => pager.lock().set_cache_frames(private_frames[i]),
+        }
         let mut rows: Vec<[u32; 2]> = Vec::new();
         for (tid, items) in txns.by_ref().take(range.len()) {
             rows.extend(items.iter().map(|&it| [tid, it]));
@@ -361,7 +423,8 @@ fn repartition(
     weights: &[usize],
     mut old: Vec<EngineShard>,
     n_shards: usize,
-    cache_frames: usize,
+    config: &EngineConfig,
+    pool: Option<&BufferPool>,
     retired: &mut IoStats,
 ) -> Result<(IoStats, Vec<EngineShard>)> {
     let arity = old[0].r_prev.arity();
@@ -378,9 +441,12 @@ fn repartition(
         moved = moved.plus(&sh.take_delta());
         *retired = retired.plus(&sh.measured);
     }
+    // Dropping the old shards detaches their pool regions, so the whole
+    // frame budget is back in the free reserve before the new layout
+    // attaches.
     drop(old);
 
-    let mut shards = build_shards(dataset, weights, n_shards, cache_frames)?;
+    let mut shards = build_shards(dataset, weights, n_shards, config, pool)?;
     let ranges = partition_by_weight(weights, n_shards);
     let tids: Vec<u32> = dataset.transactions().map(|(tid, _)| tid).collect();
     let mut ri = 0usize;
@@ -848,10 +914,13 @@ mod tests {
     fn forced_nested_loop_plan_matches_merge_scan_results() {
         let d = example::paper_example_dataset();
         let params = example::paper_example_params();
+        // Uncached: the I/O-shape assertion below is about the disk
+        // access pattern, which a warm pool would absorb.
+        let uncached = EngineConfig { cache_frames: 0, ..cfg() };
         let ms = mine_planned(
             &d,
             &params,
-            cfg(),
+            uncached,
             1,
             PlanMode::Forced(PhysicalPlan::merge_scan()),
         )
@@ -859,7 +928,7 @@ mod tests {
         let nl = mine_planned(
             &d,
             &params,
-            cfg(),
+            uncached,
             1,
             PlanMode::Forced(PhysicalPlan {
                 join: JoinStrategy::NestedLoop,

@@ -66,6 +66,8 @@ pub fn mine_planned(
         c_len: c1.len() as u64,
         page_accesses: 0,
         estimated_io_ms: 0.0,
+        cache_hits: 0,
+        pool_steals: 0,
         plan: None,
     });
     if !c1.is_empty() {
@@ -172,6 +174,8 @@ fn run_planned(
             c_len: c_k.len() as u64,
             page_accesses: 0,
             estimated_io_ms: 0.0,
+            cache_hits: 0,
+            pool_steals: 0,
             plan: Some(plan),
         });
 

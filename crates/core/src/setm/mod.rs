@@ -76,6 +76,13 @@ pub struct IterationTrace {
     /// Estimated I/O milliseconds under the pager's cost model (engine
     /// execution only).
     pub estimated_io_ms: f64,
+    /// Page reads absorbed by the buffer cache / pool this iteration
+    /// (engine execution only; never counted in `page_accesses`).
+    pub cache_hits: u64,
+    /// Buffer-pool frames that changed owner this iteration — reserve
+    /// steals plus adaptive rebalance moves (engine execution with a
+    /// shared pool only).
+    pub pool_steals: u64,
     /// The physical plan this iteration executed. `None` for k = 1 (the
     /// initial `C_1` count precedes the planned loop).
     pub plan: Option<PhysicalPlan>,

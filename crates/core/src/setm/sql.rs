@@ -650,6 +650,8 @@ fn iteration_one_trace(dataset: &Dataset, c1: &CountRelation) -> IterationTrace 
         c_len: c1.len() as u64,
         page_accesses: 0,
         estimated_io_ms: 0.0,
+        cache_hits: 0,
+        pool_steals: 0,
         plan: None,
     }
 }
@@ -670,6 +672,8 @@ fn iteration_trace(
         c_len,
         page_accesses: 0,
         estimated_io_ms: 0.0,
+        cache_hits: 0,
+        pool_steals: 0,
         plan: Some(plan),
     }
 }

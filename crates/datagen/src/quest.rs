@@ -62,6 +62,18 @@ impl QuestConfig {
         }
     }
 
+    /// The heaviest classic workload, `T20.I6`, at an explicit
+    /// transaction count — the paper-scale trajectory (100K–1M
+    /// transactions) benched by `repro -- poolscale`.
+    pub fn t20_i6(n_txns: u32) -> Self {
+        QuestConfig {
+            avg_txn_len: 20.0,
+            avg_pattern_len: 6.0,
+            n_txns,
+            ..Self::t5_i2_d100k(1)
+        }
+    }
+
     /// Generate the dataset.
     pub fn generate(&self) -> Dataset {
         let mut rng = SmallRng::seed_from_u64(self.seed);
@@ -178,6 +190,14 @@ mod tests {
         assert_eq!(cfg.generate(), cfg.generate());
         let other = QuestConfig { seed: 1, ..cfg };
         assert_ne!(cfg.generate(), other.generate());
+    }
+
+    #[test]
+    fn t20_i6_takes_an_explicit_transaction_count() {
+        let d = QuestConfig { n_items: 200, ..QuestConfig::t20_i6(500) }.generate();
+        let s = DatasetStats::of(&d);
+        assert_eq!(s.n_transactions, 500);
+        assert!(s.avg_transaction_len > 10.0, "T20 avg len {}", s.avg_transaction_len);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! * [`btree::BTree`] — bulk-loaded key-only B+-trees matching the
 //!   Section 3.2 index layout;
 //! * [`agg::grouped_count`] — the `GROUP BY … HAVING COUNT(*) >= s` step;
+//! * [`pool::BufferPool`] — a shared, weight-partitioned page cache that
+//!   sharded parallel runs attach their pagers to (Design notes §11);
 //! * [`engine::Database`] — a catalog tying it all together, with
 //!   sort-order tracking across iterations (the Section 4.1 optimization).
 //!
@@ -32,6 +34,7 @@ pub mod heap;
 pub mod join;
 pub mod page;
 pub mod pager;
+pub mod pool;
 pub mod schema;
 pub mod sort;
 pub mod tuple;
@@ -41,5 +44,6 @@ pub use errors::{Error, Result};
 pub use heap::{HeapFile, HeapFileBuilder};
 pub use page::{Page, PAGE_SIZE};
 pub use pager::{CostModel, FileId, IoStats, Pager, SharedPager};
+pub use pool::{distribute_frames, split_frames_evenly, BufferPool, PoolHandle};
 pub use schema::Schema;
 pub use sort::{external_sort, SortOptions};

@@ -10,10 +10,17 @@
 //! An optional buffer cache (CLOCK eviction, write-through) models the
 //! "non-leaf index pages reside in memory" assumption of Section 3.2 and
 //! supports the buffer-size ablation (E8; see docs/REPRODUCTION.md,
-//! Design notes §3).
+//! Design notes §3). The cache is either *private* to the pager
+//! ([`Pager::set_cache_frames`]; `0` frames disables caching entirely —
+//! every access is charged, the worst-case accounting the paper's
+//! formulas assume) or an attachment to a shared [`BufferPool`]
+//! ([`Pager::attach_pool`]; see [`crate::pool`], Design notes §11).
+//!
+//! [`BufferPool`]: crate::pool::BufferPool
 
 use crate::errors::{Error, Result};
 use crate::page::Page;
+use crate::pool::PoolHandle;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -51,6 +58,10 @@ pub struct IoStats {
     pub rand_writes: u64,
     /// Reads absorbed by the buffer cache (not charged as I/O).
     pub cache_hits: u64,
+    /// Frames this pager's shared-pool owner stole from the pool's free
+    /// reserve on admission (see [`crate::pool`]). Zero for private
+    /// caches. Not an I/O access — never charged.
+    pub pool_steals: u64,
 }
 
 impl IoStats {
@@ -83,6 +94,7 @@ impl IoStats {
             seq_writes: self.seq_writes + other.seq_writes,
             rand_writes: self.rand_writes + other.rand_writes,
             cache_hits: self.cache_hits + other.cache_hits,
+            pool_steals: self.pool_steals + other.pool_steals,
         }
     }
 
@@ -94,6 +106,7 @@ impl IoStats {
             seq_writes: self.seq_writes - earlier.seq_writes,
             rand_writes: self.rand_writes - earlier.rand_writes,
             cache_hits: self.cache_hits - earlier.cache_hits,
+            pool_steals: self.pool_steals - earlier.pool_steals,
         }
     }
 }
@@ -110,8 +123,10 @@ struct CacheEntry {
     referenced: bool,
 }
 
-/// CLOCK (second-chance) page cache, write-through.
-struct Cache {
+/// CLOCK (second-chance) page cache, write-through. Private per-pager
+/// caches use it directly; the shared [`crate::pool::BufferPool`] runs
+/// one per attached owner, resizing it as frames move between owners.
+pub(crate) struct Cache {
     capacity: usize,
     map: HashMap<(FileId, u32), usize>,
     slots: Vec<Option<((FileId, u32), CacheEntry)>>,
@@ -119,18 +134,71 @@ struct Cache {
 }
 
 impl Cache {
-    fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize) -> Self {
         Cache { capacity, map: HashMap::new(), slots: Vec::new(), hand: 0 }
     }
 
-    fn get(&mut self, key: (FileId, u32)) -> Option<&Page> {
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Occupied frames.
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether every frame of the current capacity is occupied (a
+    /// further `put` of a non-resident page would evict).
+    pub(crate) fn is_full(&self) -> bool {
+        self.len() >= self.capacity
+    }
+
+    pub(crate) fn contains(&self, key: (FileId, u32)) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    /// Resize the cache. Shrinking below the resident page count evicts
+    /// in CLOCK order until the new capacity fits.
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        while self.len() > capacity {
+            self.evict_one();
+        }
+        self.capacity = capacity;
+        self.compact();
+    }
+
+    /// Evict one page chosen by the CLOCK sweep, leaving a hole.
+    fn evict_one(&mut self) {
+        debug_assert!(self.len() > 0);
+        loop {
+            let slot = self.hand;
+            self.hand = (self.hand + 1) % self.slots.len().max(1);
+            match self.slots[slot].as_mut() {
+                None => continue,
+                Some(occupant) => {
+                    if occupant.1.referenced {
+                        occupant.1.referenced = false;
+                    } else {
+                        self.map.remove(&occupant.0);
+                        self.slots[slot] = None;
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn get(&mut self, key: (FileId, u32)) -> Option<&Page> {
         let &slot = self.map.get(&key)?;
         let entry = self.slots[slot].as_mut().expect("mapped slot must be occupied");
         entry.1.referenced = true;
         Some(&entry.1.page)
     }
 
-    fn put(&mut self, key: (FileId, u32), page: Page) {
+    pub(crate) fn put(&mut self, key: (FileId, u32), page: Page) {
+        if self.capacity == 0 {
+            return;
+        }
         if let Some(&slot) = self.map.get(&key) {
             let entry = self.slots[slot].as_mut().expect("mapped slot must be occupied");
             entry.1.page = page;
@@ -158,7 +226,7 @@ impl Cache {
         }
     }
 
-    fn evict_file(&mut self, fid: FileId) {
+    pub(crate) fn evict_file(&mut self, fid: FileId) {
         for slot in self.slots.iter_mut() {
             if let Some((key, _)) = slot {
                 if key.0 == fid {
@@ -167,12 +235,15 @@ impl Cache {
                 }
             }
         }
-        // Compact: drop trailing empty slots so `slots.len() < capacity`
-        // re-enables the cheap insertion path.
+        self.compact();
+    }
+
+    /// Remove holes left by eviction so `slots.len() < capacity`
+    /// re-enables the cheap insertion path (rare: file free, resize).
+    fn compact(&mut self) {
         while matches!(self.slots.last(), Some(None)) {
             self.slots.pop();
         }
-        // Remaining holes: rebuild densely (rare path, only on file free).
         if self.slots.iter().any(Option::is_none) {
             let kept: Vec<_> = self.slots.drain(..).flatten().collect();
             self.map.clear();
@@ -185,12 +256,21 @@ impl Cache {
     }
 }
 
+/// Where a pager's buffer cache lives: nowhere (every access charged),
+/// in a private CLOCK cache, or in an owner region of a shared
+/// [`crate::pool::BufferPool`].
+enum CacheBackend {
+    None,
+    Private(Cache),
+    Pooled(PoolHandle),
+}
+
 /// The simulated disk. All engine components share one pager via
 /// [`SharedPager`].
 pub struct Pager {
     files: Vec<File>,
     stats: IoStats,
-    cache: Option<Cache>,
+    cache: CacheBackend,
     cost: CostModel,
     /// Fault injection: when set, the access countdown decrements on
     /// every disk read/write and the access that reaches zero fails.
@@ -228,7 +308,7 @@ impl Pager {
         Pager {
             files: Vec::new(),
             stats: IoStats::default(),
-            cache: None,
+            cache: CacheBackend::None,
             cost: CostModel::paper(),
             fail_after: None,
         }
@@ -257,9 +337,34 @@ impl Pager {
         SharedPager::new(Pager::new())
     }
 
-    /// Install a buffer cache of `frames` pages (0 disables caching).
+    /// Install a private buffer cache of `frames` pages.
+    ///
+    /// `frames == 0` means **no cache at all** — every page access
+    /// reaches the simulated disk and is charged, which is the
+    /// worst-case accounting the paper's Section 3.2 / 4.3 formulas
+    /// assume. (Pinned by the `zero_frames_means_no_cache` test; any
+    /// previously installed cache or pool attachment is dropped.)
     pub fn set_cache_frames(&mut self, frames: usize) {
-        self.cache = if frames == 0 { None } else { Some(Cache::new(frames)) };
+        self.cache =
+            if frames == 0 { CacheBackend::None } else { CacheBackend::Private(Cache::new(frames)) };
+    }
+
+    /// Attach this pager to a shared [`crate::pool::BufferPool`] region,
+    /// replacing any private cache. The handle's frames return to the
+    /// pool when the pager (or a later `set_cache_frames`) drops it.
+    pub fn attach_pool(&mut self, handle: PoolHandle) {
+        self.cache = CacheBackend::Pooled(handle);
+    }
+
+    /// The effective buffer-cache frame count of this pager right now: 0
+    /// when uncached, the private cache's capacity, or the pool owner
+    /// region's current allocation (quota plus stolen frames).
+    pub fn cache_frames(&self) -> usize {
+        match &self.cache {
+            CacheBackend::None => 0,
+            CacheBackend::Private(cache) => cache.capacity(),
+            CacheBackend::Pooled(handle) => handle.frames(),
+        }
     }
 
     /// Replace the cost model used by [`IoStats::estimated_ms`] reporting.
@@ -286,8 +391,10 @@ impl Pager {
         file.pages.clear();
         file.pages.shrink_to_fit();
         file.live = false;
-        if let Some(cache) = &mut self.cache {
-            cache.evict_file(fid);
+        match &mut self.cache {
+            CacheBackend::None => {}
+            CacheBackend::Private(cache) => cache.evict_file(fid),
+            CacheBackend::Pooled(handle) => handle.evict_file(fid),
         }
         Ok(())
     }
@@ -310,17 +417,34 @@ impl Pager {
         self.files.iter().filter(|f| f.live).map(|f| f.pages.len() as u64).sum()
     }
 
+    /// Look up a page in whichever cache backend is installed.
+    fn cache_get(&mut self, fid: FileId, pno: u32) -> Option<Page> {
+        match &mut self.cache {
+            CacheBackend::None => None,
+            CacheBackend::Private(cache) => cache.get((fid, pno)).cloned(),
+            CacheBackend::Pooled(handle) => handle.get(fid, pno),
+        }
+    }
+
+    /// Admit a page into the cache backend, recording pool steals.
+    fn cache_put(&mut self, fid: FileId, pno: u32, page: Page) {
+        match &mut self.cache {
+            CacheBackend::None => {}
+            CacheBackend::Private(cache) => cache.put((fid, pno), page),
+            CacheBackend::Pooled(handle) => {
+                self.stats.pool_steals += handle.put(fid, pno, page);
+            }
+        }
+    }
+
     /// Read a page, charging sequential or random I/O (or a cache hit).
     pub fn read_page(&mut self, fid: FileId, pno: u32) -> Result<Page> {
-        if let Some(cache) = &mut self.cache {
-            if let Some(page) = cache.get((fid, pno)) {
-                let page = page.clone();
-                self.stats.cache_hits += 1;
-                // A cache hit still advances the head position: a subsequent
-                // miss on the next page is physically sequential.
-                self.file_mut(fid)?.last_read = Some(pno);
-                return Ok(page);
-            }
+        if let Some(page) = self.cache_get(fid, pno) {
+            self.stats.cache_hits += 1;
+            // A cache hit still advances the head position: a subsequent
+            // miss on the next page is physically sequential.
+            self.file_mut(fid)?.last_read = Some(pno);
+            return Ok(page);
         }
         self.tick_fault()?;
         let file = self.file_mut(fid)?;
@@ -340,9 +464,7 @@ impl Pager {
         } else {
             self.stats.rand_reads += 1;
         }
-        if let Some(cache) = &mut self.cache {
-            cache.put((fid, pno), page.clone());
-        }
+        self.cache_put(fid, pno, page.clone());
         Ok(page)
     }
 
@@ -363,10 +485,8 @@ impl Pager {
             self.stats.rand_writes += 1;
         }
         // Appends go through the cache too (write-through).
-        if let Some(cache) = &mut self.cache {
-            let page = self.files[fid.0 as usize].pages[pno as usize].clone();
-            cache.put((fid, pno), page);
-        }
+        let page = self.files[fid.0 as usize].pages[pno as usize].clone();
+        self.cache_put(fid, pno, page);
         Ok(pno)
     }
 
@@ -390,9 +510,7 @@ impl Pager {
         } else {
             self.stats.rand_writes += 1;
         }
-        if let Some(cache) = &mut self.cache {
-            cache.put((fid, pno), page);
-        }
+        self.cache_put(fid, pno, page);
         Ok(())
     }
 
@@ -495,8 +613,14 @@ mod tests {
     #[test]
     fn estimated_ms_uses_paper_constants() {
         let model = CostModel::paper();
-        let stats =
-            IoStats { seq_reads: 3, rand_reads: 2, seq_writes: 1, rand_writes: 0, cache_hits: 9 };
+        let stats = IoStats {
+            seq_reads: 3,
+            rand_reads: 2,
+            seq_writes: 1,
+            rand_writes: 0,
+            cache_hits: 9,
+            pool_steals: 0,
+        };
         // 4 sequential * 10ms + 2 random * 20ms = 80ms; hits are free.
         assert_eq!(stats.estimated_ms(&model), 80.0);
     }
@@ -537,6 +661,37 @@ mod tests {
     }
 
     #[test]
+    fn zero_frames_means_no_cache() {
+        // `set_cache_frames(0)` disables caching entirely: every read is
+        // charged as disk I/O and no hit is ever recorded — including
+        // after shrinking away a previously installed cache.
+        let mut pager = Pager::new();
+        pager.set_cache_frames(4);
+        let f = pager.create_file();
+        pager.append_page(f, page_with(1)).unwrap();
+        pager.set_cache_frames(0);
+        assert_eq!(pager.cache_frames(), 0);
+        pager.reset_stats();
+        pager.read_page(f, 0).unwrap();
+        pager.read_page(f, 0).unwrap();
+        let s = pager.stats();
+        assert_eq!(s.reads(), 2, "uncached reads all reach the disk");
+        assert_eq!(s.cache_hits, 0);
+    }
+
+    #[test]
+    fn cache_frames_reports_the_effective_backend_size() {
+        let mut pager = Pager::new();
+        assert_eq!(pager.cache_frames(), 0);
+        pager.set_cache_frames(8);
+        assert_eq!(pager.cache_frames(), 8);
+        let pool = crate::pool::BufferPool::new(12);
+        let mut handles = pool.attach_weighted(&[1]);
+        pager.attach_pool(handles.remove(0));
+        assert_eq!(pager.cache_frames(), 12);
+    }
+
+    #[test]
     fn freed_files_reject_access_and_drop_footprint() {
         let mut pager = Pager::new();
         let f = pager.create_file();
@@ -550,12 +705,27 @@ mod tests {
 
     #[test]
     fn stats_plus_aggregates_shards() {
-        let a = IoStats { seq_reads: 1, rand_reads: 2, seq_writes: 3, rand_writes: 4, cache_hits: 5 };
-        let b = IoStats { seq_reads: 10, rand_reads: 20, seq_writes: 30, rand_writes: 40, cache_hits: 50 };
+        let a = IoStats {
+            seq_reads: 1,
+            rand_reads: 2,
+            seq_writes: 3,
+            rand_writes: 4,
+            cache_hits: 5,
+            pool_steals: 6,
+        };
+        let b = IoStats {
+            seq_reads: 10,
+            rand_reads: 20,
+            seq_writes: 30,
+            rand_writes: 40,
+            cache_hits: 50,
+            pool_steals: 60,
+        };
         let s = a.plus(&b);
         assert_eq!(s.reads(), 33);
         assert_eq!(s.writes(), 77);
         assert_eq!(s.cache_hits, 55);
+        assert_eq!(s.pool_steals, 66);
     }
 
     #[test]

@@ -106,6 +106,7 @@ fn engine_config_to_json(cfg: &EngineConfig) -> Json {
     Json::obj([
         ("sort_buffer_pages", Json::u64(cfg.sort_buffer_pages as u64)),
         ("cache_frames", Json::u64(cfg.cache_frames as u64)),
+        ("pool", Json::Bool(cfg.shared_pool)),
         ("track_sort_order", Json::Bool(cfg.track_sort_order)),
     ])
 }
@@ -119,6 +120,11 @@ fn engine_config_from_json(v: &Json) -> Result<EngineConfig, String> {
     if let Some(n) = v.get("cache_frames") {
         cfg.cache_frames =
             n.as_u64().ok_or("cache_frames must be a non-negative integer")? as usize;
+    }
+    // Optional: pre-pool clients never send it, and `cache_frames` alone
+    // keeps working (it sizes the shared pool by default).
+    if let Some(b) = v.get("pool") {
+        cfg.shared_pool = b.as_bool().ok_or("pool must be a boolean")?;
     }
     if let Some(b) = v.get("track_sort_order") {
         cfg.track_sort_order = b.as_bool().ok_or("track_sort_order must be a boolean")?;
@@ -231,6 +237,8 @@ pub fn outcome_to_json(outcome: &MiningOutcome) -> Json {
                 ("c_len", Json::u64(t.c_len)),
                 ("page_accesses", Json::u64(t.page_accesses)),
                 ("estimated_io_ms", Json::Num(t.estimated_io_ms)),
+                ("cache_hits", Json::u64(t.cache_hits)),
+                ("pool_steals", Json::u64(t.pool_steals)),
                 ("plan", Json::str(t.plan_string())),
             ])
         })
@@ -241,6 +249,7 @@ pub fn outcome_to_json(outcome: &MiningOutcome) -> Json {
             ("backend", Json::str("engine")),
             ("page_accesses", Json::u64(e.page_accesses)),
             ("estimated_io_ms", Json::Num(e.estimated_io_ms)),
+            ("cache_frames", Json::u64(e.cache_frames as u64)),
             (
                 "io",
                 Json::obj([
@@ -249,6 +258,7 @@ pub fn outcome_to_json(outcome: &MiningOutcome) -> Json {
                     ("seq_writes", Json::u64(e.io.seq_writes)),
                     ("rand_writes", Json::u64(e.io.rand_writes)),
                     ("cache_hits", Json::u64(e.io.cache_hits)),
+                    ("pool_steals", Json::u64(e.io.pool_steals)),
                 ]),
             ),
         ]),
@@ -300,6 +310,12 @@ pub struct TracePayload {
     pub c_len: u64,
     pub page_accesses: u64,
     pub estimated_io_ms: f64,
+    /// Page reads absorbed by the buffer cache / pool. Zero when talking
+    /// to a pre-pool server.
+    pub cache_hits: u64,
+    /// Pool frames that changed owner this iteration. Zero when talking
+    /// to a pre-pool server.
+    pub pool_steals: u64,
     /// The physical plan the iteration executed, in
     /// `PhysicalPlan` display form — `"-"` where no plan applies
     /// (the `k = 1` scan) or when talking to a pre-plan server.
@@ -313,11 +329,16 @@ pub enum ReportPayload {
     Engine {
         page_accesses: u64,
         estimated_io_ms: f64,
+        /// Effective buffer frames the run ended with (0 from a pre-pool
+        /// server).
+        cache_frames: u64,
         seq_reads: u64,
         rand_reads: u64,
         seq_writes: u64,
         rand_writes: u64,
         cache_hits: u64,
+        /// Pool frames that changed owner (0 from a pre-pool server).
+        pool_steals: u64,
     },
     Sql { statements: Vec<String> },
 }
@@ -388,6 +409,9 @@ pub fn outcome_from_json(v: &Json) -> Result<OutcomePayload, String> {
                 c_len: u64_field(e, "c_len")?,
                 page_accesses: u64_field(e, "page_accesses")?,
                 estimated_io_ms: f64_field(e, "estimated_io_ms")?,
+                // Pre-pool servers omit the cache counters — default 0.
+                cache_hits: e.get("cache_hits").and_then(Json::as_u64).unwrap_or(0),
+                pool_steals: e.get("pool_steals").and_then(Json::as_u64).unwrap_or(0),
                 // Absent when decoding a pre-plan server's response —
                 // tolerate it rather than failing the whole outcome.
                 plan: e
@@ -406,11 +430,14 @@ pub fn outcome_from_json(v: &Json) -> Result<OutcomePayload, String> {
             ReportPayload::Engine {
                 page_accesses: u64_field(report, "page_accesses")?,
                 estimated_io_ms: f64_field(report, "estimated_io_ms")?,
+                // Pre-pool servers omit the pool fields — default 0.
+                cache_frames: report.get("cache_frames").and_then(Json::as_u64).unwrap_or(0),
                 seq_reads: u64_field(io, "seq_reads")?,
                 rand_reads: u64_field(io, "rand_reads")?,
                 seq_writes: u64_field(io, "seq_writes")?,
                 rand_writes: u64_field(io, "rand_writes")?,
                 cache_hits: u64_field(io, "cache_hits")?,
+                pool_steals: io.get("pool_steals").and_then(Json::as_u64).unwrap_or(0),
             }
         }
         Some("sql") => ReportPayload::Sql {

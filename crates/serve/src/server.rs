@@ -393,6 +393,14 @@ fn status_response(shared: &Shared) -> Json {
             "hardware_threads",
             Json::u64(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as u64),
         ),
+        // The buffer budget an engine-backed request gets unless its
+        // `engine_config` overrides it; per-run effective frames are on
+        // the outcome report (`report.cache_frames`).
+        (
+            "engine_cache_frames",
+            Json::u64(setm_core::EngineConfig::default().cache_frames as u64),
+        ),
+        ("engine_shared_pool", Json::Bool(setm_core::EngineConfig::default().shared_pool)),
     ])
 }
 

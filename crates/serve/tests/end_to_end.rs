@@ -95,9 +95,30 @@ fn served_outcome_reports_match_the_backend() {
         .mine("example", Miner::new(params).backend(Backend::Engine(EngineConfig::default())))
         .unwrap();
     match &eng.outcome.report {
-        ReportPayload::Engine { page_accesses, seq_reads, .. } => {
+        ReportPayload::Engine { page_accesses, seq_writes, cache_frames, cache_hits, .. } => {
             assert!(*page_accesses > 0);
+            // The tiny example fits entirely in the default shared pool:
+            // every read-back is a hit, but writes still touch the disk.
+            assert!(*seq_writes > 0);
+            assert!(*cache_hits > 0);
+            assert_eq!(*cache_frames, EngineConfig::default().cache_frames as u64);
+        }
+        other => panic!("expected engine report, got {other:?}"),
+    }
+
+    // With caching disabled over the wire, the reads reappear on disk.
+    let cold = client
+        .mine(
+            "example",
+            Miner::new(params)
+                .backend(Backend::Engine(EngineConfig { cache_frames: 0, ..Default::default() })),
+        )
+        .unwrap();
+    match &cold.outcome.report {
+        ReportPayload::Engine { seq_reads, cache_frames, cache_hits, .. } => {
             assert!(*seq_reads > 0);
+            assert_eq!(*cache_hits, 0);
+            assert_eq!(*cache_frames, 0);
         }
         other => panic!("expected engine report, got {other:?}"),
     }
