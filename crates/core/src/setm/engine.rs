@@ -165,7 +165,13 @@ pub fn mine_planned(
             max_shards,
             sort_buffer_cap: config.sort_buffer_pages,
             reuse_sort_order: config.track_sort_order,
-            pool_frames: config.cache_frames,
+            // The join runs per shard, each probing through its own cache
+            // region, so the warm-probe discount must see one shard's
+            // slice of the frame budget — the whole budget would price
+            // probes as warm when no single region can hold the working
+            // set. The even slice is also the pool's expected share under
+            // balanced weights (rebalance can only grow it).
+            pool_frames: config.cache_frames / max_shards.max(1),
             db: DbParams::paper(),
         },
     );

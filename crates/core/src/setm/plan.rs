@@ -241,13 +241,16 @@ pub struct PlannerConfig {
     /// the Figure 4 loop-top re-sort is replayed literally on every
     /// iteration after the first.
     pub reuse_sort_order: bool,
-    /// Buffer-pool frames available to the run (0 = uncached, the
-    /// memory/SQL backends and the paper's own accounting). Consulted
-    /// only when pricing the k ≥ 3 nested-loop join: once the probe
-    /// working set — the index leaf level plus `R_{k-1}` — fits in the
-    /// pool, a leaf page is fetched at most once, so the charged random
-    /// fetches are bounded by the distinct leaf count instead of the
-    /// probe count.
+    /// Buffer frames available to *one shard* (0 = uncached, the
+    /// memory/SQL backends and the paper's own accounting). The engine
+    /// passes its per-shard slice of the frame budget, not the run
+    /// total — each shard probes through its own cache region, whether
+    /// a private slice or a weighted pool quota. Consulted only when
+    /// pricing the k ≥ 3 nested-loop join: once the probe working set —
+    /// the index leaf level plus `R_{k-1}` — fits in a shard's frames, a
+    /// leaf page is fetched at most once, so the charged random fetches
+    /// are bounded by the distinct leaf count instead of the probe
+    /// count.
     pub pool_frames: usize,
     /// Cost-model constants (page sizes, sequential/random access
     /// milliseconds).
@@ -363,10 +366,13 @@ impl Planner {
         let leaves_per_probe =
             1.0 + index.leaf_pages as f64 / stats.n_txns.max(1) as f64;
         let probe_fetches = stats.r_prev_tuples as f64 * leaves_per_probe;
-        // With a buffer pool large enough to hold the leaf level plus the
-        // probing relation, every leaf is fetched at most once (repeat
-        // probes hit the pool) — the Section 3.2 "non-leaf pages reside
-        // in memory" assumption extended to the measured cache.
+        // With a shard's buffer frames large enough to hold the leaf
+        // level plus the probing relation, every leaf is fetched at most
+        // once (repeat probes hit the cache) — the Section 3.2 "non-leaf
+        // pages reside in memory" assumption extended to the measured
+        // cache. `pool_frames` is the per-shard slice (see
+        // `PlannerConfig::pool_frames`), so the bound holds for every
+        // shard's own probe stream.
         let pooled = self.config.pool_frames as u64 >= index.leaf_pages + p_prev;
         let charged_fetches =
             if pooled { probe_fetches.min(index.leaf_pages as f64) } else { probe_fetches };

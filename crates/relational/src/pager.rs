@@ -170,6 +170,9 @@ impl Cache {
     /// Evict one page chosen by the CLOCK sweep, leaving a hole.
     fn evict_one(&mut self) {
         debug_assert!(self.len() > 0);
+        // A trailing-pop compact can leave the hand past the shortened
+        // slot vector; re-enter the ring before indexing (see `compact`).
+        self.hand %= self.slots.len().max(1);
         loop {
             let slot = self.hand;
             self.hand = (self.hand + 1) % self.slots.len().max(1);
@@ -210,10 +213,16 @@ impl Cache {
             self.slots.push(Some((key, CacheEntry { page, referenced: true })));
             return;
         }
-        // CLOCK sweep: clear reference bits until an unreferenced victim is found.
+        // CLOCK sweep: clear reference bits until an unreferenced victim
+        // is found. The sweep only runs with every slot occupied
+        // (`slots.len() == capacity`), but the hand may be stale after a
+        // trailing-pop compact followed by a capacity shrink (pool
+        // rebalance / detach), so clamp it before indexing and advance
+        // modulo the live slot count, never the nominal capacity.
+        self.hand %= self.slots.len();
         loop {
             let slot = self.hand;
-            self.hand = (self.hand + 1) % self.capacity;
+            self.hand = (self.hand + 1) % self.slots.len();
             let occupant = self.slots[slot].as_mut().expect("cache slots are all occupied");
             if occupant.1.referenced {
                 occupant.1.referenced = false;
@@ -240,6 +249,13 @@ impl Cache {
 
     /// Remove holes left by eviction so `slots.len() < capacity`
     /// re-enables the cheap insertion path (rare: file free, resize).
+    ///
+    /// The trailing-pop path can leave `hand >= slots.len()`; it is NOT
+    /// clamped here so that the sweep position is preserved when the
+    /// vector grows back to its old length (the common, capacity-stable
+    /// case). Both sweeps (`put`, `evict_one`) clamp the hand on entry,
+    /// which is where a stale value could otherwise index out of bounds
+    /// after a capacity shrink.
     fn compact(&mut self) {
         while matches!(self.slots.last(), Some(None)) {
             self.slots.pop();
@@ -658,6 +674,41 @@ mod tests {
         let s = pager.stats();
         assert_eq!(s.reads(), 3);
         assert_eq!(s.cache_hits, 1);
+    }
+
+    #[test]
+    fn stale_hand_survives_trailing_evict_then_shrink() {
+        // Regression: `evict_file` that only pops trailing slots used to
+        // leave the CLOCK hand pointing past the shortened slot vector;
+        // a subsequent capacity shrink (pool rebalance or detach) then
+        // made the next sweep index out of bounds and panic.
+        let mut cache = Cache::new(4);
+        let keep = FileId(0);
+        let gone = FileId(1);
+        // Fill: [k0, k1, g0, g1], all referenced, hand = 0.
+        cache.put((keep, 0), page_with(0));
+        cache.put((keep, 1), page_with(1));
+        cache.put((gone, 0), page_with(2));
+        cache.put((gone, 1), page_with(3));
+        // Three sweeps advance the hand to 3 and leave (gone, 1) as the
+        // sole trailing occupant of the evictable file.
+        cache.put((keep, 2), page_with(4)); // full pass + evict slot 0, hand = 1
+        cache.put((keep, 3), page_with(5)); // evict slot 1, hand = 2
+        cache.put((keep, 4), page_with(6)); // evict slot 2, hand = 3
+        // Trailing pop only: slots.len() drops to 3, hand stays at 3.
+        cache.evict_file(gone);
+        assert_eq!(cache.len(), 3);
+        // Shrink at-or-below the stale hand, then force a sweep.
+        cache.set_capacity(3);
+        cache.put((keep, 5), page_with(7)); // used to panic: slots[3] of len 3
+        assert!(cache.contains((keep, 5)));
+        assert_eq!(cache.len(), 3, "capacity still honored after the shrink");
+        // And the shrink-eviction path (`evict_one`) with the same stale
+        // hand: rebuild the state, then shrink below the resident count.
+        cache.set_capacity(2);
+        assert_eq!(cache.len(), 2);
+        cache.put((keep, 6), page_with(8));
+        assert!(cache.contains((keep, 6)));
     }
 
     #[test]

@@ -13,9 +13,14 @@
 //!   is bit-for-bit the old cache.
 //! * **Sharded locking.** Frames are partitioned by owner and each
 //!   owner's region sits behind its own mutex, so concurrent shard
-//!   workers never contend; the only shared state is the free-frame
-//!   reserve, touched exclusively from deterministic single-threaded
-//!   points (attach, release, rebalance) in the engine's use.
+//!   workers never contend. The free-frame reserve is a lock-free atomic
+//!   counter, so no path ever holds two locks in conflicting order
+//!   (admission steals touch it while holding a region lock; rebalance
+//!   and detach touch it around region locks — with a mutex reserve that
+//!   was a latent deadlock). The only nested locking left is
+//!   [`BufferPool::rebalance`] taking the owner list before each region,
+//!   a single fixed order. Quota *re-division* (attach, rebalance) still
+//!   runs from deterministic single-threaded points in the engine's use.
 //! * **Stealing.** Frames not claimed by any live owner sit in a free
 //!   reserve. An owner whose quota is exhausted *steals* from the
 //!   reserve before evicting its own pages, and [`BufferPool::rebalance`]
@@ -33,6 +38,7 @@
 
 use crate::page::Page;
 use crate::pager::{Cache, FileId};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 
 /// Split `total` frames proportionally to `weights` (largest-remainder
@@ -94,8 +100,10 @@ struct OwnerRegion {
 
 struct PoolInner {
     frames: usize,
-    /// Frames claimed by no live owner — the steal reserve.
-    free: Mutex<usize>,
+    /// Frames claimed by no live owner — the steal reserve. Atomic (not
+    /// a mutex) so it can be touched while a region lock is held without
+    /// establishing a lock order ([`take_up_to`]).
+    free: AtomicUsize,
     /// Live owners in attach order, for `rebalance`. Weak: an owner's
     /// frames return to `free` when its handle drops, not when the pool
     /// forgets it.
@@ -115,7 +123,7 @@ impl BufferPool {
         BufferPool {
             inner: Arc::new(PoolInner {
                 frames,
-                free: Mutex::new(frames),
+                free: AtomicUsize::new(frames),
                 owners: Mutex::new(Vec::new()),
             }),
         }
@@ -128,7 +136,7 @@ impl BufferPool {
 
     /// Frames currently in the steal reserve (claimed by no owner).
     pub fn free_frames(&self) -> usize {
-        *lock(&self.inner.free)
+        self.inner.free.load(Ordering::SeqCst)
     }
 
     /// Attach one owner per weight, dividing the *currently free* frames
@@ -136,14 +144,17 @@ impl BufferPool {
     /// per shard layout — on a fresh pool, or after the previous layout's
     /// handles dropped — so the whole budget is always (re)granted.
     pub fn attach_weighted(&self, weights: &[u64]) -> Vec<PoolHandle> {
-        let mut free = lock(&self.inner.free);
-        let quotas = distribute_frames(*free, weights);
         let mut owners = lock(&self.inner.owners);
         owners.retain(|w| w.strong_count() > 0);
+        let quotas = distribute_frames(self.free_frames(), weights);
         let mut handles = Vec::with_capacity(quotas.len());
         for quota in quotas {
-            *free -= quota;
-            let region = Arc::new(Mutex::new(OwnerRegion { cache: Cache::new(quota) }));
+            let granted = take_up_to(&self.inner.free, quota);
+            debug_assert_eq!(
+                granted, quota,
+                "attach must not race concurrent steals (single-threaded convention)"
+            );
+            let region = Arc::new(Mutex::new(OwnerRegion { cache: Cache::new(granted) }));
             owners.push(Arc::downgrade(&region));
             handles.push(PoolHandle { pool: Arc::clone(&self.inner), region });
         }
@@ -165,9 +176,8 @@ impl BufferPool {
         if regions.len() != weights.len() {
             return 0; // caller's weight list is stale; keep the layout
         }
-        let mut free = lock(&self.inner.free);
         let held: usize = regions.iter().map(|r| lock(r).cache.capacity()).sum();
-        let targets = distribute_frames(held + *free, weights);
+        let targets = distribute_frames(held + self.free_frames(), weights);
         let mut moved = 0u64;
         // Shrink first so the freed frames are available to the growers.
         for (region, &target) in regions.iter().zip(&targets) {
@@ -175,15 +185,14 @@ impl BufferPool {
             let have = region.cache.capacity();
             if target < have {
                 region.cache.set_capacity(target);
-                *free += have - target;
+                self.inner.free.fetch_add(have - target, Ordering::SeqCst);
             }
         }
         for (region, &target) in regions.iter().zip(&targets) {
             let mut region = lock(region);
             let have = region.cache.capacity();
             if target > have {
-                let gain = (target - have).min(*free);
-                *free -= gain;
+                let gain = take_up_to(&self.inner.free, target - have);
                 moved += gain as u64;
                 region.cache.set_capacity(have + gain);
             }
@@ -216,9 +225,9 @@ impl PoolHandle {
         let mut region = lock(&self.region);
         let mut stole = 0u64;
         if region.cache.is_full() && !region.cache.contains((fid, pno)) {
-            let mut free = lock(&self.pool.free);
-            if *free > 0 {
-                *free -= 1;
+            // Lock-free reserve claim: safe under the region lock because
+            // it can never block (no lock order with detach/rebalance).
+            if take_up_to(&self.pool.free, 1) == 1 {
                 let cap = region.cache.capacity();
                 region.cache.set_capacity(cap + 1);
                 stole = 1;
@@ -242,15 +251,26 @@ impl PoolHandle {
 
 impl Drop for PoolHandle {
     fn drop(&mut self) {
-        let mut free = lock(&self.pool.free);
         let mut region = lock(&self.region);
-        *free += region.cache.capacity();
+        let freed = region.cache.capacity();
         region.cache.set_capacity(0);
+        self.pool.free.fetch_add(freed, Ordering::SeqCst);
     }
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Claim up to `want` frames from the free reserve, returning how many
+/// were taken. Lock-free, so callers may hold a region lock.
+fn take_up_to(free: &AtomicUsize, want: usize) -> usize {
+    let mut taken = 0;
+    let _ = free.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |f| {
+        taken = f.min(want);
+        Some(f - taken)
+    });
+    taken
 }
 
 #[cfg(test)]
@@ -341,6 +361,35 @@ mod tests {
         // Equal weights move them back.
         assert_eq!(pool.rebalance(&[1, 1]), 3);
         assert_eq!(handles[0].frames(), 4);
+    }
+
+    #[test]
+    fn rebalance_shrink_after_evict_file_does_not_panic() {
+        // Regression: freeing a file whose pages sat in the trailing
+        // cache slots left the owner's CLOCK hand past the shortened
+        // slot vector; a rebalance shrink then indexed out of bounds.
+        let pool = BufferPool::new(8);
+        let handles = pool.attach_weighted(&[1, 1]);
+        let keep = FileId(0);
+        let gone = FileId(1);
+        // Fill owner 0's 4 frames and walk the hand to the last slot,
+        // leaving `gone`'s page as the trailing occupant.
+        handles[0].put(keep, 0, Page::new());
+        handles[0].put(keep, 1, Page::new());
+        handles[0].put(keep, 2, Page::new());
+        handles[0].put(gone, 0, Page::new());
+        handles[0].put(keep, 3, Page::new()); // sweep: hand -> 1
+        handles[0].put(keep, 4, Page::new()); // sweep: hand -> 2
+        handles[0].put(keep, 5, Page::new()); // sweep: hand -> 3
+        handles[0].evict_file(gone); // trailing pop, hand stays at 3
+        // Shrink owner 0 at-or-below the stale hand via rebalance.
+        let moved = pool.rebalance(&[1, 3]);
+        assert_eq!(moved, 2);
+        assert_eq!(handles[0].frames(), 2);
+        assert_eq!(handles[1].frames(), 6);
+        // The survivor region still admits and serves pages.
+        assert_eq!(handles[0].put(keep, 6, Page::new()), 0);
+        assert!(handles[0].get(keep, 6).is_some());
     }
 
     #[test]
