@@ -322,7 +322,7 @@ fn extend(
 
 /// C1: per-item transaction counts with the minimum-support filter
 /// ("SELECT item, COUNT(*) FROM SALES GROUP BY item HAVING COUNT(*) >= s").
-fn count_items(dataset: &Dataset, min_count: u64) -> CountRelation {
+pub fn count_items(dataset: &Dataset, min_count: u64) -> CountRelation {
     let mut items: Vec<Item> = dataset.items().to_vec();
     items.sort_unstable();
     let mut c1 = CountRelation::new(1);
@@ -346,7 +346,7 @@ fn count_items(dataset: &Dataset, min_count: u64) -> CountRelation {
 /// within each transaction, extend every `R_{k-1}` tuple (of the given
 /// row range) with every sales item greater than its last item
 /// (preserving lexicographic patterns).
-fn merge_scan_extend(
+pub fn merge_scan_extend(
     r_prev: &PatternRelation,
     rows: Range<usize>,
     sales: &[(TransId, Vec<Item>)],
@@ -475,7 +475,7 @@ fn count_and_filter(r_prime: &PatternRelation, min_count: u64) -> (CountRelation
 /// Count every group of an items-sorted `R'_k` with no support filter —
 /// the shard-local half of the parallel counting step (the threshold can
 /// only be applied to the merged global counts).
-fn count_groups(r_prime: &PatternRelation) -> CountRelation {
+pub fn count_groups(r_prime: &PatternRelation) -> CountRelation {
     let k = r_prime.k();
     let n = r_prime.n_tuples();
     let mut c = CountRelation::new(k);
@@ -495,7 +495,7 @@ fn count_groups(r_prime: &PatternRelation) -> CountRelation {
 /// Retain the tuples of `r_prime` whose pattern appears in `c_k`. Both
 /// sides are pattern-sorted, so membership is one monotone merge cursor —
 /// O(1) amortized per group, no binary searches.
-fn filter_supported(r_prime: &PatternRelation, c_k: &CountRelation) -> PatternRelation {
+pub fn filter_supported(r_prime: &PatternRelation, c_k: &CountRelation) -> PatternRelation {
     let k = r_prime.k();
     let n = r_prime.n_tuples();
     let mut out = PatternRelation::new(k);

@@ -10,6 +10,12 @@
 //!          X parses as an absolute count when integral ("3") and as a
 //!          fraction otherwise ("0.005"). --json dumps the raw outcome
 //!          object instead of the human summary.
+//!   register-dataset --name NAME (--file PATH:FORMAT | --transactions SPEC)
+//!          create NAME at version 1 from a basket file (fimi or pairs)
+//!          or an inline SPEC of the form "tid:item,item;tid:item,...".
+//!   append-batch --name NAME (--file PATH:FORMAT | --transactions SPEC)
+//!          append new transactions to NAME, bumping its version; old
+//!          versions stay mineable as NAME@V.
 //!   datasets        list the registry
 //!   status          scheduler + registry counters
 //!   cancel JOB      cancel a queued job by id
@@ -22,7 +28,8 @@ use setm_serve::client::Client;
 fn usage_exit(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
-        "usage: setm-client [--addr HOST:PORT] <mine|datasets|status|cancel|shutdown> [options]"
+        "usage: setm-client [--addr HOST:PORT] <mine|register-dataset|append-batch|datasets|\
+         status|cancel|shutdown> [options]"
     );
     std::process::exit(2);
 }
@@ -65,6 +72,8 @@ fn main() {
     };
     let result = match verb.as_str() {
         "mine" => run_mine(&mut client, &rest[1..]),
+        "register-dataset" => run_mutation(&mut client, &rest[1..], true),
+        "append-batch" => run_mutation(&mut client, &rest[1..], false),
         "datasets" | "list-datasets" => run_datasets(&mut client),
         "status" => run_status(&mut client),
         "cancel" => {
@@ -147,6 +156,9 @@ fn run_mine(client: &mut Client, options: &[String]) -> CmdResult {
         return Ok(());
     }
     let o = &reply.outcome;
+    if let Some(via) = &reply.served_via {
+        println!("served via: {via}");
+    }
     println!(
         "job {} on {}: {} transactions, min support count {}",
         reply.job,
@@ -183,6 +195,80 @@ fn run_mine(client: &mut Client, options: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// Parse an inline transaction spec: `tid:item,item;tid:item,...`.
+fn parse_transactions_spec(spec: &str) -> Vec<(u32, Vec<u32>)> {
+    spec.split(';')
+        .filter(|t| !t.trim().is_empty())
+        .map(|t| {
+            let Some((tid, items)) = t.split_once(':') else {
+                usage_exit(&format!("bad transaction {t:?}; expected tid:item,item"));
+            };
+            let tid = tid
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| usage_exit(&format!("bad trans_id {tid:?}")));
+            let items = items
+                .split(',')
+                .filter(|i| !i.trim().is_empty())
+                .map(|i| {
+                    i.trim().parse().unwrap_or_else(|_| usage_exit(&format!("bad item {i:?}")))
+                })
+                .collect();
+            (tid, items)
+        })
+        .collect()
+}
+
+/// Load transactions from `PATH:FORMAT` via the same readers the server
+/// uses for `--dataset`.
+fn load_transactions_file(spec: &str) -> Vec<(u32, Vec<u32>)> {
+    let Some((path, format)) = spec.rsplit_once(':') else {
+        usage_exit("--file needs PATH:FORMAT (fimi or pairs)");
+    };
+    let format = format.parse().unwrap_or_else(|e: String| usage_exit(&e));
+    let dataset = setm_core::io::load_path(path, format)
+        .unwrap_or_else(|e| usage_exit(&format!("could not load {path}: {e}")));
+    dataset.transactions().map(|(tid, items)| (tid, items.to_vec())).collect()
+}
+
+fn run_mutation(client: &mut Client, options: &[String], register: bool) -> CmdResult {
+    let verb = if register { "register-dataset" } else { "append-batch" };
+    let mut name: Option<String> = None;
+    let mut transactions: Option<Vec<(u32, Vec<u32>)>> = None;
+    let mut i = 0;
+    while i < options.len() {
+        let flag = options[i].as_str();
+        let value = || {
+            options
+                .get(i + 1)
+                .cloned()
+                .unwrap_or_else(|| usage_exit(&format!("{flag} needs a value")))
+        };
+        match flag {
+            "--name" => name = Some(value()),
+            "--file" => transactions = Some(load_transactions_file(&value())),
+            "--transactions" => transactions = Some(parse_transactions_spec(&value())),
+            other => usage_exit(&format!("unknown {verb} option {other:?}")),
+        }
+        i += 2;
+    }
+    let Some(name) = name else { usage_exit(&format!("{verb} needs --name NAME")) };
+    let Some(transactions) = transactions else {
+        usage_exit(&format!("{verb} needs --file PATH:FORMAT or --transactions SPEC"))
+    };
+    let version = if register {
+        client.register_dataset(&name, &transactions)?
+    } else {
+        client.append_batch(&name, &transactions)?
+    };
+    println!(
+        "{} {name}: now at version {version} ({} transaction(s) sent)",
+        if register { "registered" } else { "appended to" },
+        transactions.len()
+    );
+    Ok(())
+}
+
 fn run_datasets(client: &mut Client) -> CmdResult {
     for d in client.list_datasets()? {
         let loaded = if d.loaded {
@@ -194,7 +280,7 @@ fn run_datasets(client: &mut Client) -> CmdResult {
         } else {
             "not loaded yet".to_string()
         };
-        println!("{:<14} {} ({loaded})", d.name, d.description);
+        println!("{:<14} v{} {} ({loaded})", d.name, d.version, d.description);
     }
     Ok(())
 }
@@ -215,6 +301,13 @@ fn run_status(client: &mut Client) -> CmdResult {
         "datasets: {} registered, {} loaded; hardware threads: {}",
         s.datasets, s.datasets_loaded, s.hardware_threads
     );
+    println!(
+        "served: {} cache / {} delta / {} full (cache {} hits, {} misses)",
+        s.served_cache, s.served_delta, s.served_full, s.cache_hits, s.cache_misses
+    );
+    if s.rate_limit > 0 {
+        println!("rate limit: {}/s per connection ({} rejected)", s.rate_limit, s.rate_limited);
+    }
     Ok(())
 }
 

@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! setm-serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
-//!            [--max-conns N] [--dataset NAME=PATH:FORMAT]...
+//!            [--max-conns N] [--rate-limit N] [--dataset NAME=PATH:FORMAT]...
 //!
 //!   --addr       listen address        (default 127.0.0.1:7878)
 //!   --workers    mining worker threads (default 0 = available parallelism)
 //!   --queue-cap  pending-job bound     (default 32; beyond it: queue_full)
 //!   --max-conns  concurrent-connection bound (default 256; beyond it:
 //!                too_many_connections)
+//!   --rate-limit per-connection request budget in lines/second (default
+//!                0 = unlimited; beyond it: rate_limited)
 //!   --dataset    register a basket file under NAME; FORMAT is fimi or
 //!                pairs (e.g. --dataset web=logs/web.fimi:fimi). The
 //!                builtin generator datasets are always registered.
@@ -24,7 +26,7 @@ fn usage_exit(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
         "usage: setm-serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
-         [--max-conns N] [--dataset NAME=PATH:FORMAT]..."
+         [--max-conns N] [--rate-limit N] [--dataset NAME=PATH:FORMAT]..."
     );
     std::process::exit(2);
 }
@@ -59,6 +61,11 @@ fn main() {
                     .filter(|&n: &usize| n >= 1)
                     .unwrap_or_else(|| usage_exit("--max-conns needs a number >= 1"));
             }
+            "--rate-limit" => {
+                config.max_requests_per_sec = value()
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit("--rate-limit needs a number (0 = off)"));
+            }
             "--dataset" => {
                 let spec = value();
                 let Some((name, rest)) = spec.split_once('=') else {
@@ -86,7 +93,7 @@ fn main() {
         }
     };
     println!(
-        "listening on {} (workers={}, queue-cap={}, max-conns={})",
+        "listening on {} (workers={}, queue-cap={}, max-conns={}, rate-limit={})",
         server.local_addr(),
         if config.workers == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -94,7 +101,8 @@ fn main() {
             config.workers
         },
         config.queue_capacity,
-        config.max_connections
+        config.max_connections,
+        config.max_requests_per_sec
     );
     server.run();
     println!("drained; bye");

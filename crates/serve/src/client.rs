@@ -82,6 +82,9 @@ pub struct MineReply {
     /// The outcome object exactly as serialized by the server —
     /// byte-identical to a local `outcome_to_json(..).to_string()`.
     pub raw_outcome: String,
+    /// How the server produced the response: `cache`, `delta`, or
+    /// `full`. `None` when talking to a pre-incremental server.
+    pub served_via: Option<String>,
 }
 
 /// Counters from the `status` verb.
@@ -101,6 +104,20 @@ pub struct ServerStatus {
     pub datasets: u64,
     pub datasets_loaded: u64,
     pub hardware_threads: u64,
+    /// What a `threads: 0` request resolves to on the server (0 from a
+    /// pre-incremental server).
+    pub available_parallelism: u64,
+    /// Outcome-cache and serving-route counters (0 from a
+    /// pre-incremental server).
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub served_cache: u64,
+    pub served_delta: u64,
+    pub served_full: u64,
+    /// The per-connection request budget (0 = unlimited) and how many
+    /// lines have been rejected over it.
+    pub rate_limit: u64,
+    pub rate_limited: u64,
 }
 
 /// One blocking protocol connection.
@@ -182,7 +199,8 @@ impl Client {
             .get("outcome")
             .ok_or_else(|| ClientError::Protocol("outcome line missing outcome".to_string()))?;
         let outcome = protocol::outcome_from_json(outcome_json).map_err(ClientError::Protocol)?;
-        Ok(MineReply { job, outcome, raw_outcome: outcome_json.to_string() })
+        let served_via = line.get("served_via").and_then(Json::as_str).map(str::to_string);
+        Ok(MineReply { job, outcome, raw_outcome: outcome_json.to_string(), served_via })
     }
 
     /// Mine `dataset` with the given miner configuration on the server
@@ -190,6 +208,47 @@ impl Client {
     pub fn mine(&mut self, dataset: &str, miner: Miner) -> Result<MineReply, ClientError> {
         self.submit(dataset, miner)?;
         self.wait_outcome()
+    }
+
+    /// Register a new named dataset (version 1) from `(trans_id, items)`
+    /// pairs. Returns the created version. Fails with `bad_request` if
+    /// the name is taken (append to it instead).
+    pub fn register_dataset(
+        &mut self,
+        name: &str,
+        transactions: &[(u32, Vec<u32>)],
+    ) -> Result<u64, ClientError> {
+        self.mutate("register-dataset", "registered", name, transactions)
+    }
+
+    /// Append new transactions to an existing dataset, bumping its
+    /// version. Returns the new version; older versions stay addressable
+    /// as `name@v`.
+    pub fn append_batch(
+        &mut self,
+        name: &str,
+        transactions: &[(u32, Vec<u32>)],
+    ) -> Result<u64, ClientError> {
+        self.mutate("append-batch", "appended", name, transactions)
+    }
+
+    fn mutate(
+        &mut self,
+        op: &str,
+        event: &str,
+        name: &str,
+        transactions: &[(u32, Vec<u32>)],
+    ) -> Result<u64, ClientError> {
+        self.send(&Json::obj([
+            ("op", Json::str(op)),
+            ("name", Json::str(name)),
+            ("transactions", protocol::transactions_to_json(transactions)),
+        ]))?;
+        let v = self.read_response()?;
+        Self::expect_event(&v, event)?;
+        v.get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| ClientError::Protocol(format!("{event} line missing version")))
     }
 
     /// List the datasets the server can mine.
@@ -213,6 +272,9 @@ impl Client {
                         .and_then(Json::as_str)
                         .unwrap_or("")
                         .to_string(),
+                    // Pre-incremental servers do not version datasets;
+                    // everything they list is (and stays) version 1.
+                    version: d.get("version").and_then(Json::as_u64).unwrap_or(1),
                     loaded: d.get("loaded").and_then(Json::as_bool).unwrap_or(false),
                     n_transactions: d.get("n_transactions").and_then(Json::as_u64),
                     n_rows: d.get("n_rows").and_then(Json::as_u64),
@@ -242,6 +304,14 @@ impl Client {
             datasets: u("datasets"),
             datasets_loaded: u("datasets_loaded"),
             hardware_threads: u("hardware_threads"),
+            available_parallelism: u("available_parallelism"),
+            cache_hits: u("cache_hits"),
+            cache_misses: u("cache_misses"),
+            served_cache: u("served_cache"),
+            served_delta: u("served_delta"),
+            served_full: u("served_full"),
+            rate_limit: u("rate_limit"),
+            rate_limited: u("rate_limited"),
         })
     }
 

@@ -21,7 +21,11 @@
 //! S: {"ok":true,"event":"outcome","job":1,"outcome":{...}}
 //! ```
 //!
-//! Admin verbs: `list-datasets`, `status`, `cancel`, `shutdown`.
+//! Mutation verbs: `register-dataset` creates a named dataset at
+//! version 1 from inline transactions; `append-batch` adds new
+//! transactions to an existing name and bumps its version (`name@v`
+//! pins a mine request to an old snapshot). Admin verbs:
+//! `list-datasets`, `status`, `cancel`, `shutdown`.
 
 use crate::json::Json;
 use setm_core::setm::engine::EngineConfig;
@@ -37,6 +41,11 @@ pub const SCHEMA: &str = "setm-serve/v1";
 pub enum Request {
     /// Mine a registered dataset with the given miner configuration.
     Mine(MineRequest),
+    /// Register a new named dataset (version 1) from inline transactions.
+    RegisterDataset { name: String, transactions: Vec<(u32, Vec<u32>)> },
+    /// Append new transactions to an existing dataset, bumping its
+    /// version.
+    AppendBatch { name: String, transactions: Vec<(u32, Vec<u32>)> },
     /// List the datasets the server can mine.
     ListDatasets,
     /// Report scheduler and registry counters.
@@ -132,12 +141,64 @@ fn engine_config_from_json(v: &Json) -> Result<EngineConfig, String> {
     Ok(cfg)
 }
 
+/// Encode a transaction list as its wire form: `[[tid,[items...]],...]`.
+pub fn transactions_to_json(transactions: &[(u32, Vec<u32>)]) -> Json {
+    Json::Arr(
+        transactions
+            .iter()
+            .map(|(tid, items)| {
+                Json::Arr(vec![
+                    Json::u64(*tid as u64),
+                    Json::Arr(items.iter().map(|i| Json::u64(*i as u64)).collect()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn transactions_from_json(v: &Json, op: &str) -> Result<Vec<(u32, Vec<u32>)>, String> {
+    v.get("transactions")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{op} needs a `transactions` array of [tid,[items...]] pairs"))?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array().filter(|p| p.len() == 2).ok_or("each transaction must be a [tid,[items...]] pair")?;
+            let tid = pair[0].as_u64().filter(|&t| t <= u32::MAX as u64).ok_or("trans_id must fit a u32")?;
+            let items = pair[1]
+                .as_array()
+                .ok_or("transaction items must be an array")?
+                .iter()
+                .map(|i| {
+                    i.as_u64()
+                        .filter(|&i| i <= u32::MAX as u64)
+                        .map(|i| i as u32)
+                        .ok_or_else(|| "items must be u32 integers".to_string())
+                })
+                .collect::<Result<Vec<u32>, String>>()?;
+            Ok((tid as u32, items))
+        })
+        .collect()
+}
+
 /// Parse a request line (already JSON-parsed). Errors are human-readable
 /// strings the server wraps in a `bad_request` response.
 pub fn parse_request(v: &Json) -> Result<Request, String> {
     let op = v.get("op").and_then(Json::as_str).ok_or("missing string field `op`")?;
     match op {
         "mine" => parse_mine(v).map(Request::Mine),
+        "register-dataset" | "append-batch" => {
+            let name = v
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{op} needs a string `name`"))?
+                .to_string();
+            let transactions = transactions_from_json(v, op)?;
+            Ok(if op == "register-dataset" {
+                Request::RegisterDataset { name, transactions }
+            } else {
+                Request::AppendBatch { name, transactions }
+            })
+        }
         "list-datasets" => Ok(Request::ListDatasets),
         "status" => Ok(Request::Status),
         "cancel" => {
@@ -147,7 +208,8 @@ pub fn parse_request(v: &Json) -> Result<Request, String> {
         }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown op {other:?}; expected mine, list-datasets, status, cancel, or shutdown"
+            "unknown op {other:?}; expected mine, register-dataset, append-batch, \
+             list-datasets, status, cancel, or shutdown"
         )),
     }
 }
@@ -518,6 +580,9 @@ pub mod codes {
     /// The server is at its concurrent-connection bound — retry later.
     pub const TOO_MANY_CONNECTIONS: ErrorCode =
         ErrorCode { code: "too_many_connections", status: 429 };
+    /// This connection exceeded its per-second request budget — retry
+    /// after a pause.
+    pub const RATE_LIMITED: ErrorCode = ErrorCode { code: "rate_limited", status: 429 };
     /// The server is draining and accepts no new work.
     pub const SHUTTING_DOWN: ErrorCode = ErrorCode { code: "shutting_down", status: 503 };
     /// The job was cancelled before it ran.
@@ -580,6 +645,59 @@ mod tests {
         assert!(parse(r#"{"op":"frobnicate"}"#).unwrap_err().contains("unknown op"));
         assert!(parse(r#"{"noop":1}"#).unwrap_err().contains("op"));
         assert!(parse(r#"{"op":"cancel"}"#).unwrap_err().contains("job"));
+    }
+
+    #[test]
+    fn mutation_verbs_parse_and_round_trip() {
+        let parse = |s: &str| parse_request(&crate::json::parse(s).unwrap());
+        let req = parse(r#"{"op":"register-dataset","name":"s","transactions":[[1,[10,20]],[2,[20]]]}"#)
+            .unwrap();
+        let expected = vec![(1u32, vec![10u32, 20]), (2, vec![20])];
+        assert_eq!(
+            req,
+            Request::RegisterDataset { name: "s".to_string(), transactions: expected.clone() }
+        );
+        // The encoder produces exactly the shape the parser accepts.
+        let wire = Json::obj([
+            ("op", Json::str("append-batch")),
+            ("name", Json::str("s")),
+            ("transactions", transactions_to_json(&expected)),
+        ]);
+        assert_eq!(
+            parse_request(&wire).unwrap(),
+            Request::AppendBatch { name: "s".to_string(), transactions: expected }
+        );
+        // An empty batch is well-formed (the registry decides semantics).
+        assert!(parse(r#"{"op":"append-batch","name":"s","transactions":[]}"#).is_ok());
+        // Malformed shapes are described.
+        assert!(parse(r#"{"op":"register-dataset","transactions":[]}"#).unwrap_err().contains("name"));
+        assert!(parse(r#"{"op":"register-dataset","name":"s"}"#).unwrap_err().contains("transactions"));
+        assert!(parse(r#"{"op":"append-batch","name":"s","transactions":[[1]]}"#)
+            .unwrap_err()
+            .contains("pair"));
+        assert!(parse(r#"{"op":"append-batch","name":"s","transactions":[[1,[4294967296]]]}"#)
+            .unwrap_err()
+            .contains("u32"));
+    }
+
+    /// The serve-layer codes are wire contract too: pinned here so a
+    /// rename or status change is a deliberate, visible diff.
+    #[test]
+    fn serve_error_codes_are_pinned() {
+        let table: [(ErrorCode, &str, u16); 8] = [
+            (codes::BAD_REQUEST, "bad_request", 400),
+            (codes::UNKNOWN_DATASET, "unknown_dataset", 404),
+            (codes::DATASET_LOAD, "dataset_load", 500),
+            (codes::QUEUE_FULL, "queue_full", 429),
+            (codes::TOO_MANY_CONNECTIONS, "too_many_connections", 429),
+            (codes::RATE_LIMITED, "rate_limited", 429),
+            (codes::SHUTTING_DOWN, "shutting_down", 503),
+            (codes::CANCELLED, "cancelled", 409),
+        ];
+        for (ec, code, status) in table {
+            assert_eq!((ec.code, ec.status), (code, status));
+        }
+        assert_eq!((codes::INTERNAL.code, codes::INTERNAL.status), ("internal", 500));
     }
 
     #[test]

@@ -1,50 +1,103 @@
-//! The dataset registry: named datasets, loaded once, shared by every
+//! The dataset registry: named, **versioned** datasets shared by every
 //! concurrent job.
 //!
-//! A mining request names its dataset (`"dataset": "retail-small"`);
-//! the registry resolves the name to an `Arc<Dataset>`. Sources are
-//! either *builtin* generator configs (the calibrated retail stand-in,
-//! Quest workloads, the worked example — all deterministic under their
-//! seeds) or on-disk basket files parsed through `setm_core::io`. Every
-//! source is loaded lazily on first use and cached behind `Arc`, so N
-//! concurrent requests against the same name share one immutable copy —
-//! the set-oriented analogue of mining *inside* the database instead of
-//! shipping the relation to every client.
+//! A mining request names its dataset (`"dataset": "retail-small"`, or
+//! pinned to a version: `"retail-small@2"`); the registry resolves the
+//! name to an `Arc<Dataset>` snapshot. Sources are either *builtin*
+//! generator configs (deterministic under their seeds), on-disk basket
+//! files parsed through `setm_core::io`, or datasets registered over the
+//! wire (`register-dataset`). Every source is loaded lazily on first use
+//! and cached behind `Arc`, so N concurrent requests against the same
+//! name share one immutable copy.
 //!
-//! Registration happens before serving starts (the registry is plain
-//! data once built); loading is synchronized per entry with `OnceLock`,
-//! so two first-touch requests do not generate the dataset twice.
+//! # Versions and copy-on-write appends
+//!
+//! Registration creates version 1. `append-batch` concatenates a batch
+//! of *new* transactions (trans_ids disjoint from the snapshot — a
+//! shared id would merge two baskets and corrupt counts) and bumps the
+//! version: `name@v+1`. Snapshots are copy-on-write — the new version is
+//! a fresh allocation, every older `Arc<Dataset>` stays untouched, so an
+//! in-flight job keeps the exact bytes it started with and **old
+//! versions stay addressable forever** (`name@1` still resolves after
+//! ten appends). The per-version deltas are retained so the incremental
+//! miner can replay `f+1..=v` onto a frontier captured at version `f`.
 
 use setm_core::io::{self, FileFormat};
 use setm_core::Dataset;
+use setm_incremental::{concat_datasets, ensure_disjoint_tids};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use setm_datagen::{QuestConfig, RetailConfig, UniformConfig};
 
-/// Where a registered dataset comes from.
+/// Where a registered dataset's version 1 comes from.
 enum Source {
     /// A deterministic generator (builtin names).
     Builtin(fn() -> Dataset),
     /// A basket file on disk, parsed via [`setm_core::io`].
     File { path: PathBuf, format: FileFormat },
-    /// An already-materialized dataset (in-process registration).
+    /// An already-materialized dataset (in-process or wire registration).
     Preloaded(Arc<Dataset>),
+}
+
+/// One appended version: the batch that created it and the resulting
+/// copy-on-write snapshot.
+struct AppendedVersion {
+    delta: Arc<Dataset>,
+    snapshot: Arc<Dataset>,
 }
 
 struct Entry {
     description: String,
     source: Source,
+    /// Version 1, materialized lazily.
     cell: OnceLock<Result<Arc<Dataset>, String>>,
+    /// Versions 2.. in order (`appended[i]` is version `i + 2`).
+    appended: RwLock<Vec<AppendedVersion>>,
 }
 
-/// A resolution failure: the name is unknown, or its source failed to
-/// load (file unreadable / unparsable).
+impl Entry {
+    fn new(description: &str, source: Source) -> Arc<Entry> {
+        Arc::new(Entry {
+            description: description.to_string(),
+            source,
+            cell: OnceLock::new(),
+            appended: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// Materialize version 1.
+    fn base(&self, name: &str) -> Result<Arc<Dataset>, RegistryError> {
+        self.cell
+            .get_or_init(|| match &self.source {
+                Source::Builtin(generate) => Ok(Arc::new(generate())),
+                Source::File { path, format } => {
+                    io::load_path(path, *format).map(Arc::new).map_err(|e| e.to_string())
+                }
+                Source::Preloaded(d) => Ok(Arc::clone(d)),
+            })
+            .clone()
+            .map_err(|message| RegistryError::Load { name: name.to_string(), message })
+    }
+}
+
+/// A resolution failure: the name or version is unknown, the source
+/// failed to load, or a mutation was invalid.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegistryError {
     UnknownDataset(String),
     Load { name: String, message: String },
+    /// `name@v` where `v` does not exist (yet).
+    UnknownVersion { name: String, version: u64, latest: u64 },
+    /// A version spec that is not `name` or `name@<positive integer>`,
+    /// or a runtime registration under a name containing `@`.
+    BadSpec(String),
+    /// `register-dataset` against a name that already exists (append to
+    /// it instead — re-registering would silently orphan its versions).
+    AlreadyRegistered(String),
+    /// An appended batch reuses a `trans_id` of the current snapshot.
+    OverlappingTransIds { name: String, tid: u32 },
 }
 
 impl std::fmt::Display for RegistryError {
@@ -53,6 +106,22 @@ impl std::fmt::Display for RegistryError {
             RegistryError::UnknownDataset(name) => write!(f, "unknown dataset {name:?}"),
             RegistryError::Load { name, message } => {
                 write!(f, "dataset {name:?} failed to load: {message}")
+            }
+            RegistryError::UnknownVersion { name, version, latest } => {
+                write!(f, "dataset {name:?} has no version {version} (latest is {latest})")
+            }
+            RegistryError::BadSpec(spec) => {
+                write!(f, "bad dataset spec {spec:?}; expected name or name@version")
+            }
+            RegistryError::AlreadyRegistered(name) => {
+                write!(f, "dataset {name:?} is already registered; use append-batch")
+            }
+            RegistryError::OverlappingTransIds { name, tid } => {
+                write!(
+                    f,
+                    "batch reuses trans_id {tid} of dataset {name:?}; appended transactions \
+                     must be new"
+                )
             }
         }
     }
@@ -65,17 +134,46 @@ impl std::error::Error for RegistryError {}
 pub struct DatasetInfo {
     pub name: String,
     pub description: String,
+    /// The latest version (1 until something is appended).
+    pub version: u64,
     /// Whether the dataset has been materialized yet.
     pub loaded: bool,
-    /// Set once loaded.
+    /// Set once loaded (numbers of the latest version).
     pub n_transactions: Option<u64>,
     pub n_rows: Option<u64>,
 }
 
-/// The registry itself. Build it (builtins + any files), then hand it to
-/// the server; it is immutable and fully shareable afterwards.
+/// A resolved dataset spec: the base name, the pinned-or-latest version,
+/// and that version's immutable snapshot.
+#[derive(Clone)]
+pub struct Resolved {
+    pub name: String,
+    pub version: u64,
+    pub dataset: Arc<Dataset>,
+}
+
+impl Resolved {
+    /// The canonical `name@version` form — the dataset half of the
+    /// outcome-cache key.
+    pub fn versioned_name(&self) -> String {
+        format!("{}@{}", self.name, self.version)
+    }
+}
+
+/// What an append produced: the new version and the snapshots around it.
+pub struct Appended {
+    pub version: u64,
+    pub snapshot: Arc<Dataset>,
+}
+
+/// One frontier-replay step: `(base snapshot, appended delta)`.
+pub type DeltaStep = (Arc<Dataset>, Arc<Dataset>);
+
+/// The registry itself. Build it (builtins + any files) with the
+/// `&mut self` methods, then hand it to the server; runtime mutation
+/// (`register-dataset` / `append-batch`) is interior and thread-safe.
 pub struct Registry {
-    entries: BTreeMap<String, Entry>,
+    entries: RwLock<BTreeMap<String, Arc<Entry>>>,
 }
 
 impl Default for Registry {
@@ -87,7 +185,7 @@ impl Default for Registry {
 impl Registry {
     /// An empty registry (no names resolve).
     pub fn empty() -> Self {
-        Registry { entries: BTreeMap::new() }
+        Registry { entries: RwLock::new(BTreeMap::new()) }
     }
 
     /// The builtin catalog: the worked example plus the calibrated
@@ -124,18 +222,14 @@ impl Registry {
     }
 
     fn insert(&mut self, name: &str, description: &str, source: Source) {
-        self.entries.insert(
-            name.to_string(),
-            Entry {
-                description: description.to_string(),
-                source,
-                cell: OnceLock::new(),
-            },
-        );
+        self.entries
+            .get_mut()
+            .expect("registry lock poisoned")
+            .insert(name.to_string(), Entry::new(description, source));
     }
 
     /// Register a builtin generator under `name` (replaces any previous
-    /// entry of that name).
+    /// entry of that name; build time only).
     pub fn register_builtin(&mut self, name: &str, description: &str, generate: fn() -> Dataset) {
         self.insert(name, description, Source::Builtin(generate));
     }
@@ -148,43 +242,148 @@ impl Registry {
         self.insert(name, &description, Source::File { path, format });
     }
 
-    /// Register an already-materialized dataset.
+    /// Register an already-materialized dataset (build time; replaces).
     pub fn register_dataset(&mut self, name: &str, description: &str, dataset: Dataset) {
         self.insert(name, description, Source::Preloaded(Arc::new(dataset)));
     }
 
-    /// Resolve `name`, loading and caching on first use. Concurrent
-    /// callers share the one `Arc<Dataset>`.
-    pub fn get(&self, name: &str) -> Result<Arc<Dataset>, RegistryError> {
-        let entry = self
-            .entries
+    /// Runtime registration (the `register-dataset` wire verb): creates
+    /// `name@1`. Unlike the build-time methods this never replaces — an
+    /// existing name is a typed error, as silently dropping its version
+    /// history would break `name@v` addressability.
+    pub fn register_runtime(
+        &self,
+        name: &str,
+        description: &str,
+        dataset: Dataset,
+    ) -> Result<u64, RegistryError> {
+        if name.is_empty() || name.contains('@') {
+            return Err(RegistryError::BadSpec(name.to_string()));
+        }
+        let mut entries = self.entries.write().expect("registry lock poisoned");
+        if entries.contains_key(name) {
+            return Err(RegistryError::AlreadyRegistered(name.to_string()));
+        }
+        entries.insert(
+            name.to_string(),
+            Entry::new(description, Source::Preloaded(Arc::new(dataset))),
+        );
+        Ok(1)
+    }
+
+    fn entry(&self, name: &str) -> Result<Arc<Entry>, RegistryError> {
+        self.entries
+            .read()
+            .expect("registry lock poisoned")
             .get(name)
-            .ok_or_else(|| RegistryError::UnknownDataset(name.to_string()))?;
-        entry
-            .cell
-            .get_or_init(|| match &entry.source {
-                Source::Builtin(generate) => Ok(Arc::new(generate())),
-                Source::File { path, format } => io::load_path(path, *format)
-                    .map(Arc::new)
-                    .map_err(|e| e.to_string()),
-                Source::Preloaded(d) => Ok(Arc::clone(d)),
+            .cloned()
+            .ok_or_else(|| RegistryError::UnknownDataset(name.to_string()))
+    }
+
+    /// Append a batch of new transactions to `name`, creating the next
+    /// version (copy-on-write: every older snapshot stays untouched).
+    /// The batch's `trans_id`s must be disjoint from the current
+    /// snapshot.
+    pub fn append_batch(&self, name: &str, batch: Dataset) -> Result<Appended, RegistryError> {
+        let entry = self.entry(name)?;
+        let base_v1 = entry.base(name)?;
+        let mut appended = entry.appended.write().expect("registry lock poisoned");
+        let latest = appended.last().map(|v| Arc::clone(&v.snapshot)).unwrap_or(base_v1);
+        if let Err(tid) = ensure_disjoint_tids(&latest, &batch) {
+            return Err(RegistryError::OverlappingTransIds { name: name.to_string(), tid });
+        }
+        let snapshot = Arc::new(concat_datasets(&latest, &batch));
+        appended.push(AppendedVersion { delta: Arc::new(batch), snapshot: Arc::clone(&snapshot) });
+        Ok(Appended { version: appended.len() as u64 + 1, snapshot })
+    }
+
+    /// Resolve a dataset spec — `name` (latest version) or `name@v` — to
+    /// an immutable snapshot.
+    pub fn resolve(&self, spec: &str) -> Result<Resolved, RegistryError> {
+        let (name, version) = match spec.split_once('@') {
+            None => (spec, None),
+            Some((name, v)) => {
+                let version: u64 = v
+                    .parse()
+                    .ok()
+                    .filter(|&v| v >= 1)
+                    .ok_or_else(|| RegistryError::BadSpec(spec.to_string()))?;
+                (name, Some(version))
+            }
+        };
+        let entry = self.entry(name)?;
+        let base = entry.base(name)?;
+        let appended = entry.appended.read().expect("registry lock poisoned");
+        let latest = appended.len() as u64 + 1;
+        let version = version.unwrap_or(latest);
+        let dataset = match version {
+            1 => base,
+            v if v <= latest => Arc::clone(&appended[v as usize - 2].snapshot),
+            v => {
+                return Err(RegistryError::UnknownVersion {
+                    name: name.to_string(),
+                    version: v,
+                    latest,
+                })
+            }
+        };
+        Ok(Resolved { name: name.to_string(), version, dataset })
+    }
+
+    /// Resolve `name` to its **latest** snapshot, loading and caching on
+    /// first use. Concurrent callers share the one `Arc<Dataset>`.
+    pub fn get(&self, name: &str) -> Result<Arc<Dataset>, RegistryError> {
+        self.resolve(name).map(|r| r.dataset)
+    }
+
+    /// The replay path for a mining frontier captured at version `from`:
+    /// each step's `(base snapshot, appended delta)` for versions
+    /// `from+1 ..= to`, oldest first.
+    pub fn deltas_between(
+        &self,
+        name: &str,
+        from: u64,
+        to: u64,
+    ) -> Result<Vec<DeltaStep>, RegistryError> {
+        let entry = self.entry(name)?;
+        let base = entry.base(name)?;
+        let appended = entry.appended.read().expect("registry lock poisoned");
+        let latest = appended.len() as u64 + 1;
+        if from < 1 || to > latest || from > to {
+            return Err(RegistryError::UnknownVersion {
+                name: name.to_string(),
+                version: to.max(from),
+                latest,
+            });
+        }
+        Ok((from..to)
+            .map(|v| {
+                let step_base = if v == 1 {
+                    Arc::clone(&base)
+                } else {
+                    Arc::clone(&appended[v as usize - 2].snapshot)
+                };
+                (step_base, Arc::clone(&appended[v as usize - 1].delta))
             })
-            .clone()
-            .map_err(|message| RegistryError::Load { name: name.to_string(), message })
+            .collect())
     }
 
     /// Every registered dataset, in name order.
     pub fn list(&self) -> Vec<DatasetInfo> {
-        self.entries
+        let entries = self.entries.read().expect("registry lock poisoned");
+        entries
             .iter()
             .map(|(name, entry)| {
-                let loaded = entry.cell.get().and_then(|r| r.as_ref().ok());
+                let appended = entry.appended.read().expect("registry lock poisoned");
+                let base = entry.cell.get().and_then(|r| r.as_ref().ok());
+                let latest = appended.last().map(|v| &v.snapshot).or(base);
                 DatasetInfo {
                     name: name.clone(),
                     description: entry.description.clone(),
-                    loaded: loaded.is_some(),
-                    n_transactions: loaded.map(|d| d.n_transactions()),
-                    n_rows: loaded.map(|d| d.n_rows()),
+                    version: appended.len() as u64 + 1,
+                    loaded: latest.is_some(),
+                    n_transactions: latest.map(|d| d.n_transactions()),
+                    n_rows: latest.map(|d| d.n_rows()),
                 }
             })
             .collect()
@@ -192,17 +391,22 @@ impl Registry {
 
     /// Number of registered names.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.read().expect("registry lock poisoned").len()
     }
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Number of datasets materialized so far.
     pub fn loaded_count(&self) -> usize {
-        self.entries.values().filter(|e| matches!(e.cell.get(), Some(Ok(_)))).count()
+        self.entries
+            .read()
+            .expect("registry lock poisoned")
+            .values()
+            .filter(|e| matches!(e.cell.get(), Some(Ok(_))))
+            .count()
     }
 }
 
@@ -223,6 +427,7 @@ mod tests {
         let info = r.list();
         let example = info.iter().find(|i| i.name == "example").unwrap();
         assert!(example.loaded);
+        assert_eq!(example.version, 1);
         assert_eq!(example.n_transactions, Some(10));
         let retail = info.iter().find(|i| i.name == "retail-paper").unwrap();
         assert!(!retail.loaded);
@@ -283,5 +488,99 @@ mod tests {
         );
         assert_eq!(r.get("inline").unwrap().n_rows(), 3);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn appends_bump_versions_and_old_snapshots_stay_addressable() {
+        let r = Registry::with_builtins();
+        r.register_runtime("stream", "wire data", Dataset::from_pairs([(1, 1), (1, 2)]))
+            .unwrap();
+        let v1 = r.resolve("stream").unwrap();
+        assert_eq!((v1.version, v1.dataset.n_transactions()), (1, 1));
+
+        let a = r
+            .append_batch("stream", Dataset::from_transactions([(2, [1u32, 3].as_slice())]))
+            .unwrap();
+        assert_eq!(a.version, 2);
+        assert_eq!(a.snapshot.n_transactions(), 2);
+
+        // Old version untouched and still addressable; latest moved on.
+        let pinned = r.resolve("stream@1").unwrap();
+        assert!(Arc::ptr_eq(&pinned.dataset, &v1.dataset), "copy-on-write");
+        let latest = r.resolve("stream").unwrap();
+        assert_eq!(latest.version, 2);
+        assert_eq!(latest.versioned_name(), "stream@2");
+        assert_eq!(latest.dataset.n_transactions(), 2);
+
+        // The replay path sees exactly the appended delta.
+        let steps = r.deltas_between("stream", 1, 2).unwrap();
+        assert_eq!(steps.len(), 1);
+        assert!(Arc::ptr_eq(&steps[0].0, &v1.dataset));
+        assert_eq!(steps[0].1.n_transactions(), 1);
+    }
+
+    #[test]
+    fn bad_specs_versions_and_mutations_are_typed_errors() {
+        let r = Registry::with_builtins();
+        assert!(matches!(r.resolve("example@0"), Err(RegistryError::BadSpec(_))));
+        assert!(matches!(r.resolve("example@two"), Err(RegistryError::BadSpec(_))));
+        assert!(matches!(
+            r.resolve("example@7"),
+            Err(RegistryError::UnknownVersion { version: 7, latest: 1, .. })
+        ));
+        assert!(matches!(
+            r.register_runtime("example", "clash", Dataset::from_pairs([(1, 1)])),
+            Err(RegistryError::AlreadyRegistered(_))
+        ));
+        assert!(matches!(
+            r.register_runtime("bad@name", "spec", Dataset::from_pairs([(1, 1)])),
+            Err(RegistryError::BadSpec(_))
+        ));
+        assert!(matches!(
+            r.append_batch("nope", Dataset::from_pairs([(1, 1)])),
+            Err(RegistryError::UnknownDataset(_))
+        ));
+    }
+
+    #[test]
+    fn overlapping_trans_ids_are_rejected() {
+        let r = Registry::with_builtins();
+        r.register_runtime("s", "d", Dataset::from_pairs([(7, 1), (8, 2)])).unwrap();
+        let err = r
+            .append_batch("s", Dataset::from_transactions([(8, [9u32].as_slice())]))
+            .err()
+            .unwrap();
+        assert_eq!(
+            err,
+            RegistryError::OverlappingTransIds { name: "s".to_string(), tid: 8 }
+        );
+        // Nothing was appended.
+        assert_eq!(r.resolve("s").unwrap().version, 1);
+    }
+
+    #[test]
+    fn concurrent_appends_serialize_into_distinct_versions() {
+        let r = Arc::new(Registry::with_builtins());
+        r.register_runtime("c", "d", Dataset::from_pairs([(1, 1)])).unwrap();
+        let versions: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8u32)
+                .map(|i| {
+                    let r = Arc::clone(&r);
+                    s.spawn(move || {
+                        r.append_batch(
+                            "c",
+                            Dataset::from_transactions([(100 + i, [1u32, 2].as_slice())]),
+                        )
+                        .unwrap()
+                        .version
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut sorted = versions.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (2..=9).collect::<Vec<u64>>(), "{versions:?}");
+        assert_eq!(r.resolve("c").unwrap().dataset.n_transactions(), 9);
     }
 }

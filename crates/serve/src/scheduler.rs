@@ -24,12 +24,13 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-/// A unit of work: one facade run against a shared dataset.
+/// A unit of work: anything that yields a mining outcome. The common
+/// case is one facade run against a shared dataset ([`MineJob::new`]);
+/// the incremental path submits a closure that replays deltas onto a
+/// frontier instead ([`MineJob::from_work`]) — either way the pool's
+/// bounds, cancellation, and panic containment apply uniformly.
 pub struct MineJob {
-    /// The fully configured miner (backend, threads, params).
-    pub miner: Miner,
-    /// The dataset, shared with the registry cache (never copied).
-    pub dataset: Arc<Dataset>,
+    work: Box<dyn FnOnce() -> Result<MiningOutcome, SetmError> + Send + 'static>,
     /// Test seam: a worker that picks this job up parks on the gate
     /// until the test opens it, making "the worker is busy" a fact the
     /// tests can establish instead of a race they must win.
@@ -38,11 +39,18 @@ pub struct MineJob {
 }
 
 impl MineJob {
-    /// A job for `miner` over `dataset`.
+    /// A job for `miner` over `dataset` (shared with the registry cache,
+    /// never copied).
     pub fn new(miner: Miner, dataset: Arc<Dataset>) -> Self {
+        MineJob::from_work(move || miner.run(&dataset))
+    }
+
+    /// A job running arbitrary mining work in the pool.
+    pub fn from_work(
+        work: impl FnOnce() -> Result<MiningOutcome, SetmError> + Send + 'static,
+    ) -> Self {
         MineJob {
-            miner,
-            dataset,
+            work: Box::new(work),
             #[cfg(test)]
             gate: None,
         }
@@ -188,6 +196,15 @@ impl Scheduler {
         Ok(Ticket { job: id, rx })
     }
 
+    /// Reserve the next job id without queueing any work. Cache hits use
+    /// this so every response — scheduled or served from the outcome
+    /// cache — carries a process-unique id from the same sequence.
+    pub fn allocate_job_id(&self) -> u64 {
+        let mut state = self.inner.state.lock().expect("scheduler lock");
+        state.next_id += 1;
+        state.next_id
+    }
+
     /// Cancel a *queued* job. Returns `true` if it was dequeued (its
     /// submitter receives [`JobResult::Cancelled`]); `false` if it is
     /// unknown or already running.
@@ -278,9 +295,7 @@ fn worker_loop(inner: &Inner) {
         // Run outside the lock — this is the long, CPU-bound part. A
         // panic must not kill the worker or leak the `running` counter
         // (drain() waits on it), so it is caught and reported.
-        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            queued.job.miner.run(&queued.job.dataset)
-        }));
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (queued.job.work)()));
         let result = match run {
             Ok(outcome) => JobResult::Finished(outcome),
             Err(_) => JobResult::Panicked,

@@ -10,7 +10,28 @@
 //! `queue_full` (429-style) rejection. The handler threads themselves
 //! are bounded too ([`ServeConfig::max_connections`]): past the cap a
 //! connection is answered with `too_many_connections` and closed
-//! without spawning anything.
+//! without spawning anything. A per-connection token bucket
+//! ([`ServeConfig::max_requests_per_sec`]) additionally meters request
+//! *lines*: past the budget the line is answered `rate_limited` (429)
+//! without being parsed, and the connection stays open for a retry.
+//!
+//! # Serving routes
+//!
+//! Every mine response reports how it was produced (`served_via`):
+//!
+//! * **`cache`** — the outcome cache holds the bytes of an earlier
+//!   response to the same canonical request key
+//!   (`dataset@version` + full miner configuration); they are replayed
+//!   verbatim, no mining runs.
+//! * **`delta`** — the dataset version moved since a frontier snapshot
+//!   was captured for these parameters; the stored frontier absorbs the
+//!   appended batches in time proportional to the deltas
+//!   ([`setm_incremental::MiningFrontier::apply_delta`]) and yields an
+//!   outcome byte-identical to a from-scratch run. Memory backend only —
+//!   the paged engine and SQL backends report *measured* I/O that an
+//!   incremental shortcut could not honestly reproduce.
+//! * **`full`** — a from-scratch run; on the memory backend it also
+//!   captures the frontier that makes the next append a `delta`.
 //!
 //! Shutdown is a protocol verb. On `{"op":"shutdown"}` the server
 //! replies with the number of still-pending jobs, stops accepting
@@ -22,10 +43,14 @@ use crate::json::{self, Json};
 use crate::protocol::{self, codes, MineRequest, Request};
 use crate::registry::{Registry, RegistryError};
 use crate::scheduler::{JobResult, MineJob, Scheduler, SubmitError};
+use setm_core::{Backend, Dataset, Miner};
+use setm_incremental::MiningFrontier;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -44,6 +69,11 @@ pub struct ServeConfig {
     /// to 1 — a server that admits nothing could never even receive the
     /// `shutdown` verb).
     pub max_connections: usize,
+    /// Per-connection request budget in lines per second (token bucket
+    /// with a one-second burst). 0 disables rate limiting. Over-budget
+    /// lines are answered `rate_limited` (429) and *not* processed; the
+    /// connection stays open.
+    pub max_requests_per_sec: u64,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +83,7 @@ impl Default for ServeConfig {
             workers: 0,
             queue_capacity: 32,
             max_connections: 256,
+            max_requests_per_sec: 0,
         }
     }
 }
@@ -60,11 +91,85 @@ impl Default for ServeConfig {
 /// A request payload longer than this (line terminator excluded — a
 /// request of *exactly* this many bytes is valid) is rejected as
 /// `bad_request` and the connection closed; the protocol's requests are
-/// all tiny, only *responses* carry bulk data. Enforced *during* the
-/// read (the reader never buffers more than this plus the two bytes a
-/// `\r\n` terminator needs), so a newline-less stream cannot grow
-/// server memory.
+/// small (`register-dataset` batches being the largest), only
+/// *responses* carry bulk data. Enforced *during* the read (the reader
+/// never buffers more than this plus the two bytes a `\r\n` terminator
+/// needs), so a newline-less stream cannot grow server memory.
 const MAX_REQUEST_LINE: usize = 1 << 20;
+
+/// Outcome-cache bound: responses to this many distinct canonical
+/// request keys are kept, FIFO-evicted beyond it.
+const CACHE_CAPACITY: usize = 1024;
+
+/// Frontier-store bound: at most this many `(dataset, params)` frontier
+/// snapshots are retained for the delta route.
+const FRONTIER_CAPACITY: usize = 64;
+
+/// The cached response bytes for one canonical request key, replayed
+/// verbatim on a hit.
+struct OutcomeCache {
+    map: HashMap<String, Json>,
+    order: VecDeque<String>,
+}
+
+impl OutcomeCache {
+    fn new() -> OutcomeCache {
+        OutcomeCache { map: HashMap::new(), order: VecDeque::new() }
+    }
+
+    fn get(&self, key: &str) -> Option<Json> {
+        self.map.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: String, outcome: Json) {
+        if self.map.contains_key(&key) {
+            return; // concurrent identical requests race benignly
+        }
+        if self.map.len() >= CACHE_CAPACITY {
+            if let Some(oldest) = self.order.pop_front() {
+                self.map.remove(&oldest);
+            }
+        }
+        self.order.push_back(key.clone());
+        self.map.insert(key, outcome);
+    }
+}
+
+/// Frontier snapshots are keyed by dataset *name* (not version — the
+/// entry records which version it was captured at) plus a fingerprint of
+/// the mining parameters. Threads and backend are deliberately excluded:
+/// the frontier is thread-count-independent (plans are re-derived per
+/// request) and memory-backend-only.
+type FrontierKey = (String, String);
+
+#[derive(Clone)]
+struct FrontierEntry {
+    version: u64,
+    frontier: Arc<MiningFrontier>,
+}
+
+type FrontierStore = Arc<Mutex<HashMap<FrontierKey, FrontierEntry>>>;
+
+/// Keep `frontier` (captured at `version`) unless the store already
+/// holds a newer snapshot for the same key.
+fn store_frontier(store: &FrontierStore, key: FrontierKey, version: u64, frontier: Arc<MiningFrontier>) {
+    let mut map = store.lock().expect("frontier lock");
+    if map.get(&key).is_some_and(|e| e.version > version) {
+        return;
+    }
+    if map.len() >= FRONTIER_CAPACITY && !map.contains_key(&key) {
+        if let Some(evict) = map.keys().next().cloned() {
+            map.remove(&evict);
+        }
+    }
+    map.insert(key, FrontierEntry { version, frontier });
+}
+
+fn params_fingerprint(miner: &Miner) -> String {
+    // Debug form of the params is stable and canonical enough for an
+    // internal key (never on the wire).
+    format!("{:?}|filter_r1={}", miner.params(), miner.configured_filter_r1())
+}
 
 struct Shared {
     registry: Registry,
@@ -74,6 +179,15 @@ struct Shared {
     workers: usize,
     max_connections: usize,
     connections: AtomicUsize,
+    max_requests_per_sec: u64,
+    cache: Mutex<OutcomeCache>,
+    frontiers: FrontierStore,
+    // Serving-route counters for the `status` verb.
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    served_delta: AtomicU64,
+    served_full: AtomicU64,
+    rate_limited: AtomicU64,
 }
 
 /// RAII admission token for one connection-handler thread: acquired on
@@ -97,6 +211,39 @@ impl ConnectionSlot {
 impl Drop for ConnectionSlot {
     fn drop(&mut self) {
         self.shared.connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The per-connection token bucket: refills continuously at the
+/// configured rate, holds at most one second's budget (the burst).
+struct TokenBucket {
+    rate: f64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// `None` when rate limiting is off.
+    fn new(max_requests_per_sec: u64) -> Option<TokenBucket> {
+        (max_requests_per_sec > 0).then(|| TokenBucket {
+            rate: max_requests_per_sec as f64,
+            tokens: max_requests_per_sec as f64,
+            last: Instant::now(),
+        })
+    }
+
+    /// Spend one token if the budget allows.
+    fn admit(&mut self) -> bool {
+        let now = Instant::now();
+        let refill = now.duration_since(self.last).as_secs_f64() * self.rate;
+        self.tokens = (self.tokens + refill).min(self.rate);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -124,6 +271,14 @@ impl Server {
             workers,
             max_connections: config.max_connections.max(1),
             connections: AtomicUsize::new(0),
+            max_requests_per_sec: config.max_requests_per_sec,
+            cache: Mutex::new(OutcomeCache::new()),
+            frontiers: Arc::new(Mutex::new(HashMap::new())),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            served_delta: AtomicU64::new(0),
+            served_full: AtomicU64::new(0),
+            rate_limited: AtomicU64::new(0),
         });
         Ok(Server { listener, shared })
     }
@@ -169,11 +324,12 @@ impl Server {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Shared) {
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     let Ok(write_half) = stream.try_clone() else { return };
     let mut writer = write_half;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    let mut bucket = TokenBucket::new(shared.max_requests_per_sec);
     loop {
         line.clear();
         // Cap the read itself, not just the parsed length: `take` stops
@@ -221,6 +377,30 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         if line.trim().is_empty() {
             continue;
         }
+        // The rate limit meters request lines *before* they are parsed
+        // or scheduled; an over-budget line costs the server nothing but
+        // this rejection, and the connection stays open for a retry.
+        if let Some(bucket) = &mut bucket {
+            if !bucket.admit() {
+                shared.rate_limited.fetch_add(1, Ordering::Relaxed);
+                if write_line(
+                    &mut writer,
+                    &protocol::error_response(
+                        codes::RATE_LIMITED,
+                        &format!(
+                            "request budget of {}/s exceeded on this connection; retry after a pause",
+                            shared.max_requests_per_sec
+                        ),
+                        None,
+                    ),
+                )
+                .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        }
         // Responses are emitted as soon as they are ready: a mine
         // request's `accepted` line is flushed *before* the handler
         // blocks on the job, so the client can learn the id early
@@ -249,7 +429,7 @@ type Emit<'a> = &'a mut dyn FnMut(&Json) -> std::io::Result<()>;
 
 /// Handle one request line, emitting its response line(s) as they become
 /// ready.
-fn handle_line(line: &str, shared: &Shared, emit: Emit<'_>) -> std::io::Result<()> {
+fn handle_line(line: &str, shared: &Arc<Shared>, emit: Emit<'_>) -> std::io::Result<()> {
     let parsed = match json::parse(line.trim()) {
         Ok(v) => v,
         Err(e) => {
@@ -264,6 +444,12 @@ fn handle_line(line: &str, shared: &Shared, emit: Emit<'_>) -> std::io::Result<(
     };
     match request {
         Request::Mine(req) => handle_mine(req, shared, emit),
+        Request::RegisterDataset { name, transactions } => {
+            emit(&register_response(&name, &transactions, shared))
+        }
+        Request::AppendBatch { name, transactions } => {
+            emit(&append_response(&name, &transactions, shared))
+        }
         Request::ListDatasets => emit(&list_datasets_response(shared)),
         Request::Status => emit(&status_response(shared)),
         Request::Cancel { job } => emit(&cancel_response(job, shared)),
@@ -278,19 +464,70 @@ fn handle_line(line: &str, shared: &Shared, emit: Emit<'_>) -> std::io::Result<(
     }
 }
 
-fn handle_mine(req: MineRequest, shared: &Shared, emit: Emit<'_>) -> std::io::Result<()> {
-    let dataset = match shared.registry.get(&req.dataset) {
-        Ok(d) => d,
-        Err(RegistryError::UnknownDataset(name)) => {
-            return emit(&protocol::error_response(
-                codes::UNKNOWN_DATASET,
-                &format!("unknown dataset {name:?}"),
-                None,
-            ));
+/// Map a registry failure to its wire error.
+fn registry_error_response(e: &RegistryError) -> Json {
+    let code = match e {
+        RegistryError::UnknownDataset(_) | RegistryError::UnknownVersion { .. } => {
+            codes::UNKNOWN_DATASET
         }
-        Err(e @ RegistryError::Load { .. }) => {
-            return emit(&protocol::error_response(codes::DATASET_LOAD, &e.to_string(), None));
-        }
+        RegistryError::Load { .. } => codes::DATASET_LOAD,
+        RegistryError::BadSpec(_)
+        | RegistryError::AlreadyRegistered(_)
+        | RegistryError::OverlappingTransIds { .. } => codes::BAD_REQUEST,
+    };
+    protocol::error_response(code, &e.to_string(), None)
+}
+
+fn dataset_from_transactions(transactions: &[(u32, Vec<u32>)]) -> Dataset {
+    Dataset::from_transactions(transactions.iter().map(|(tid, items)| (*tid, items.as_slice())))
+}
+
+fn register_response(name: &str, transactions: &[(u32, Vec<u32>)], shared: &Shared) -> Json {
+    let dataset = dataset_from_transactions(transactions);
+    let n_transactions = dataset.n_transactions();
+    match shared.registry.register_runtime(name, "registered over the wire", dataset) {
+        Ok(version) => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("event", Json::str("registered")),
+            ("name", Json::str(name)),
+            ("version", Json::u64(version)),
+            ("n_transactions", Json::u64(n_transactions)),
+        ]),
+        Err(e) => registry_error_response(&e),
+    }
+}
+
+fn append_response(name: &str, transactions: &[(u32, Vec<u32>)], shared: &Shared) -> Json {
+    let batch = dataset_from_transactions(transactions);
+    match shared.registry.append_batch(name, batch) {
+        Ok(appended) => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("event", Json::str("appended")),
+            ("name", Json::str(name)),
+            ("version", Json::u64(appended.version)),
+            ("n_transactions", Json::u64(appended.snapshot.n_transactions())),
+        ]),
+        Err(e) => registry_error_response(&e),
+    }
+}
+
+/// The outcome response line. `served_via` is additive (a trailing
+/// sibling of `outcome`), so the outcome object's bytes stay exactly
+/// what pre-incremental clients pinned.
+fn outcome_line(job: u64, outcome: Json, served_via: &str) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("event", Json::str("outcome")),
+        ("job", Json::u64(job)),
+        ("outcome", outcome),
+        ("served_via", Json::str(served_via)),
+    ])
+}
+
+fn handle_mine(req: MineRequest, shared: &Arc<Shared>, emit: Emit<'_>) -> std::io::Result<()> {
+    let resolved = match shared.registry.resolve(&req.dataset) {
+        Ok(r) => r,
+        Err(e) => return emit(&registry_error_response(&e)),
     };
     // Validate before queueing: a malformed job should cost a worker
     // nothing and fail fast for the client.
@@ -301,7 +538,92 @@ fn handle_mine(req: MineRequest, shared: &Shared, emit: Emit<'_>) -> std::io::Re
             None,
         ));
     }
-    let ticket = match shared.scheduler.submit(MineJob::new(req.miner, dataset)) {
+    let accepted_line = |job: u64| {
+        Json::obj([
+            ("ok", Json::Bool(true)),
+            ("event", Json::str("accepted")),
+            ("job", Json::u64(job)),
+            ("dataset", Json::str(&req.dataset)),
+            ("backend", Json::str(req.miner.configured_backend().name())),
+            ("threads", Json::u64(req.miner.configured_threads() as u64)),
+        ])
+    };
+    // The canonical cache key: the request's own wire form with the
+    // dataset pinned to the version it resolved to. Canonical JSON
+    // (sorted construction, fixed member order) makes equal requests
+    // equal strings.
+    let cache_key = MineRequest { dataset: resolved.versioned_name(), miner: req.miner }
+        .to_json()
+        .to_string();
+    if let Some(outcome) = shared.cache.lock().expect("cache lock").get(&cache_key) {
+        shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+        let job = shared.scheduler.allocate_job_id();
+        emit(&accepted_line(job))?;
+        return emit(&outcome_line(job, outcome, "cache"));
+    }
+    shared.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    // Route: a stored frontier for (dataset, params) at version ≤ the
+    // requested one serves via delta replay; otherwise a full run (which
+    // on the memory backend captures the frontier for next time).
+    let threads = req.miner.configured_threads();
+    let frontier_eligible = matches!(req.miner.configured_backend(), Backend::Memory)
+        && !req.miner.configured_filter_r1();
+    let frontier_key = (resolved.name.clone(), params_fingerprint(&req.miner));
+    let replay = if frontier_eligible {
+        let entry =
+            shared.frontiers.lock().expect("frontier lock").get(&frontier_key).cloned();
+        entry.filter(|e| e.version <= resolved.version).and_then(|e| {
+            shared
+                .registry
+                .deltas_between(&resolved.name, e.version, resolved.version)
+                .ok()
+                .map(|steps| (e.frontier, steps))
+        })
+    } else {
+        None
+    };
+    let (served_via, job) = match replay {
+        Some((frontier, steps)) => {
+            let frontiers = Arc::clone(&shared.frontiers);
+            let key = frontier_key;
+            let version = resolved.version;
+            let work = move || {
+                let mut frontier = frontier;
+                let mut last = None;
+                for (base, delta) in steps {
+                    let (outcome, next) = frontier.apply_delta(&base, &delta, threads)?;
+                    frontier = Arc::new(next);
+                    last = Some(outcome);
+                }
+                let outcome = match last {
+                    Some(outcome) => outcome,
+                    // Zero steps: the frontier already sits at the
+                    // requested version; re-derive for these threads.
+                    None => frontier.outcome(threads)?,
+                };
+                store_frontier(&frontiers, key, version, frontier);
+                Ok(outcome)
+            };
+            ("delta", MineJob::from_work(work))
+        }
+        None if frontier_eligible => {
+            let frontiers = Arc::clone(&shared.frontiers);
+            let key = frontier_key;
+            let version = resolved.version;
+            let dataset = Arc::clone(&resolved.dataset);
+            let miner = req.miner;
+            let work = move || {
+                let (outcome, frontier) =
+                    MiningFrontier::bootstrap(&dataset, miner.params(), threads)?;
+                store_frontier(&frontiers, key, version, Arc::new(frontier));
+                Ok(outcome)
+            };
+            ("full", MineJob::from_work(work))
+        }
+        None => ("full", MineJob::new(req.miner, Arc::clone(&resolved.dataset))),
+    };
+    let ticket = match shared.scheduler.submit(job) {
         Ok(t) => t,
         Err(e @ SubmitError::QueueFull { .. }) => {
             return emit(&protocol::error_response(codes::QUEUE_FULL, &e.to_string(), None));
@@ -313,22 +635,18 @@ fn handle_mine(req: MineRequest, shared: &Shared, emit: Emit<'_>) -> std::io::Re
     let job = ticket.job;
     // Flush the accepted line *before* blocking on the job, so another
     // connection can cancel it by id while it is still queued.
-    emit(&Json::obj([
-        ("ok", Json::Bool(true)),
-        ("event", Json::str("accepted")),
-        ("job", Json::u64(job)),
-        ("dataset", Json::str(&req.dataset)),
-        ("backend", Json::str(req.miner.configured_backend().name())),
-        ("threads", Json::u64(req.miner.configured_threads() as u64)),
-    ]))?;
+    emit(&accepted_line(job))?;
     // Block this connection thread (not a worker) until the job resolves.
-    let outcome_line = match ticket.wait() {
-        JobResult::Finished(Ok(outcome)) => Json::obj([
-            ("ok", Json::Bool(true)),
-            ("event", Json::str("outcome")),
-            ("job", Json::u64(job)),
-            ("outcome", protocol::outcome_to_json(&outcome)),
-        ]),
+    let response = match ticket.wait() {
+        JobResult::Finished(Ok(outcome)) => {
+            let outcome = protocol::outcome_to_json(&outcome);
+            shared.cache.lock().expect("cache lock").insert(cache_key, outcome.clone());
+            match served_via {
+                "delta" => shared.served_delta.fetch_add(1, Ordering::Relaxed),
+                _ => shared.served_full.fetch_add(1, Ordering::Relaxed),
+            };
+            outcome_line(job, outcome, served_via)
+        }
         JobResult::Finished(Err(e)) => {
             protocol::error_response(protocol::setm_error_code(&e), &e.to_string(), Some(job))
         }
@@ -343,7 +661,7 @@ fn handle_mine(req: MineRequest, shared: &Shared, emit: Emit<'_>) -> std::io::Re
             Some(job),
         ),
     };
-    emit(&outcome_line)
+    emit(&response)
 }
 
 fn list_datasets_response(shared: &Shared) -> Json {
@@ -355,6 +673,7 @@ fn list_datasets_response(shared: &Shared) -> Json {
             let mut members = vec![
                 ("name".to_string(), Json::str(info.name)),
                 ("description".to_string(), Json::str(info.description)),
+                ("version".to_string(), Json::u64(info.version)),
                 ("loaded".to_string(), Json::Bool(info.loaded)),
             ];
             if let (Some(t), Some(r)) = (info.n_transactions, info.n_rows) {
@@ -373,6 +692,9 @@ fn list_datasets_response(shared: &Shared) -> Json {
 
 fn status_response(shared: &Shared) -> Json {
     let s = shared.scheduler.status();
+    let available_parallelism =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as u64;
+    let cache_hits = shared.cache_hits.load(Ordering::Relaxed);
     Json::obj([
         ("ok", Json::Bool(true)),
         ("event", Json::str("status")),
@@ -389,10 +711,7 @@ fn status_response(shared: &Shared) -> Json {
         ("draining", Json::Bool(s.draining)),
         ("datasets", Json::u64(shared.registry.len() as u64)),
         ("datasets_loaded", Json::u64(shared.registry.loaded_count() as u64)),
-        (
-            "hardware_threads",
-            Json::u64(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as u64),
-        ),
+        ("hardware_threads", Json::u64(available_parallelism)),
         // The buffer budget an engine-backed request gets unless its
         // `engine_config` overrides it; per-run effective frames are on
         // the outcome report (`report.cache_frames`).
@@ -401,6 +720,16 @@ fn status_response(shared: &Shared) -> Json {
             Json::u64(setm_core::EngineConfig::default().cache_frames as u64),
         ),
         ("engine_shared_pool", Json::Bool(setm_core::EngineConfig::default().shared_pool)),
+        // Incremental serving: what a `threads: 0` request actually gets,
+        // and how responses have been produced so far.
+        ("available_parallelism", Json::u64(available_parallelism)),
+        ("cache_hits", Json::u64(cache_hits)),
+        ("cache_misses", Json::u64(shared.cache_misses.load(Ordering::Relaxed))),
+        ("served_cache", Json::u64(cache_hits)),
+        ("served_delta", Json::u64(shared.served_delta.load(Ordering::Relaxed))),
+        ("served_full", Json::u64(shared.served_full.load(Ordering::Relaxed))),
+        ("rate_limit", Json::u64(shared.max_requests_per_sec)),
+        ("rate_limited", Json::u64(shared.rate_limited.load(Ordering::Relaxed))),
     ])
 }
 

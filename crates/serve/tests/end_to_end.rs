@@ -398,6 +398,7 @@ fn connection_limit_rejects_with_too_many_connections() {
         workers: 1,
         queue_capacity: 4,
         max_connections: 2,
+        max_requests_per_sec: 0,
     };
     let server = Server::bind(config, Registry::with_builtins()).expect("bind loopback");
     let addr = server.local_addr();
@@ -435,6 +436,212 @@ fn connection_limit_rejects_with_too_many_connections() {
     // connection would be rejected — send the verb on a live client.
     c3.shutdown().unwrap();
     server.join().unwrap();
+}
+
+/// The base + batch the incremental tests register over the wire.
+fn stream_base() -> Vec<(u32, Vec<u32>)> {
+    vec![
+        (1, vec![1, 2, 3]),
+        (2, vec![1, 2]),
+        (3, vec![2, 3]),
+        (4, vec![1, 3]),
+        (5, vec![3, 4]),
+        (6, vec![1, 2, 3, 4]),
+    ]
+}
+
+fn stream_batch() -> Vec<(u32, Vec<u32>)> {
+    vec![(7, vec![1, 2, 3]), (8, vec![2, 3, 4]), (9, vec![1, 2])]
+}
+
+fn local_outcome_bytes(transactions: &[(u32, Vec<u32>)], miner: &Miner) -> String {
+    let dataset = setm_core::Dataset::from_transactions(
+        transactions.iter().map(|(tid, items)| (*tid, items.as_slice())),
+    );
+    outcome_to_json(&miner.run(&dataset).expect("local run")).to_string()
+}
+
+/// The incremental loop end to end: register → mine (full, captures a
+/// frontier) → repeat (cache) → append → mine (delta) — every response
+/// byte-identical to a local from-scratch run on the same data, and the
+/// routes visible both on the replies and in the status counters.
+#[test]
+fn appends_serve_via_delta_with_byte_identical_outcomes() {
+    let (addr, server) = start_server(2, 16);
+    let mut client = Client::connect(addr).unwrap();
+    let params = MiningParams::new(MinSupport::Count(2), 0.5);
+    let miner = Miner::new(params).threads(1);
+
+    assert_eq!(client.register_dataset("stream", &stream_base()).unwrap(), 1);
+    let first = client.mine("stream", miner).unwrap();
+    assert_eq!(first.served_via.as_deref(), Some("full"));
+    assert_eq!(first.raw_outcome, local_outcome_bytes(&stream_base(), &miner));
+
+    // The identical request is replayed from the outcome cache, verbatim.
+    let cached = client.mine("stream", miner).unwrap();
+    assert_eq!(cached.served_via.as_deref(), Some("cache"));
+    assert_eq!(cached.raw_outcome, first.raw_outcome);
+
+    // Appending bumps the version; the next mine rides the frontier.
+    assert_eq!(client.append_batch("stream", &stream_batch()).unwrap(), 2);
+    let delta = client.mine("stream", miner).unwrap();
+    assert_eq!(delta.served_via.as_deref(), Some("delta"));
+    let mut concat = stream_base();
+    concat.extend(stream_batch());
+    assert_eq!(delta.raw_outcome, local_outcome_bytes(&concat, &miner));
+
+    // The engine backend has no honest delta shortcut — it serves full.
+    let engine = miner.backend(Backend::Engine(EngineConfig::default()));
+    let eng = client.mine("stream", engine).unwrap();
+    assert_eq!(eng.served_via.as_deref(), Some("full"));
+    assert_eq!(eng.raw_outcome, local_outcome_bytes(&concat, &engine));
+
+    let s = client.status().unwrap();
+    assert_eq!((s.served_cache, s.served_delta), (1, 1), "cache/delta counters");
+    assert!(s.served_full >= 2);
+    assert_eq!(s.cache_hits, 1);
+    assert!(s.cache_misses >= 3);
+    assert!(s.available_parallelism >= 1);
+
+    // Registering the same name again is a typed 400; overlapping
+    // trans_ids in a batch are too, and change nothing.
+    match client.register_dataset("stream", &stream_base()).unwrap_err() {
+        ClientError::Server { code, status, .. } => {
+            assert_eq!((code.as_str(), status), ("bad_request", 400));
+        }
+        other => panic!("expected bad_request, got {other}"),
+    }
+    match client.append_batch("stream", &[(7, vec![9])]).unwrap_err() {
+        ClientError::Server { code, message, .. } => {
+            assert_eq!(code, "bad_request");
+            assert!(message.contains("trans_id 7"), "{message}");
+        }
+        other => panic!("expected bad_request, got {other}"),
+    }
+    shutdown(addr, server);
+}
+
+/// Version pinning and copy-on-write isolation: `name@1` still serves the
+/// pre-append snapshot after the append, and a job submitted before a
+/// concurrent append keeps the version it resolved — the append never
+/// mutates what an in-flight job sees.
+#[test]
+fn old_versions_stay_addressable_and_in_flight_jobs_keep_their_snapshot() {
+    let (addr, server) = start_server(2, 16);
+    let mut client = Client::connect(addr).unwrap();
+    let params = MiningParams::new(MinSupport::Count(2), 0.5);
+    let miner = Miner::new(params).threads(1);
+
+    client.register_dataset("pinned", &stream_base()).unwrap();
+    let v1_bytes = local_outcome_bytes(&stream_base(), &miner);
+
+    // Submit against the latest version (currently 1); the dataset
+    // snapshot is resolved at submission, before the append below lands.
+    client.submit("pinned", miner).unwrap();
+    let mut admin = Client::connect(addr).unwrap();
+    assert_eq!(admin.append_batch("pinned", &stream_batch()).unwrap(), 2);
+    let in_flight = client.wait_outcome().unwrap();
+    assert_eq!(in_flight.raw_outcome, v1_bytes, "in-flight job keeps its snapshot");
+
+    // Old and new versions are both addressable, with distinct data.
+    let pinned = client.mine("pinned@1", miner).unwrap();
+    assert_eq!(pinned.raw_outcome, v1_bytes);
+    let mut concat = stream_base();
+    concat.extend(stream_batch());
+    let latest = client.mine("pinned@2", miner).unwrap();
+    assert_eq!(latest.raw_outcome, local_outcome_bytes(&concat, &miner));
+    assert_eq!(client.mine("pinned", miner).unwrap().raw_outcome, latest.raw_outcome);
+
+    // A version that does not exist is a 404.
+    match client.mine("pinned@9", miner).unwrap_err() {
+        ClientError::Server { code, status, .. } => {
+            assert_eq!((code.as_str(), status), ("unknown_dataset", 404));
+        }
+        other => panic!("expected unknown_dataset, got {other}"),
+    }
+    let datasets = client.list_datasets().unwrap();
+    let pinned_info = datasets.iter().find(|d| d.name == "pinned").unwrap();
+    assert_eq!(pinned_info.version, 2);
+    assert_eq!(pinned_info.n_transactions, Some(9));
+    shutdown(addr, server);
+}
+
+/// The per-connection token bucket: with a budget of 2/s the third
+/// back-to-back request line is rejected `rate_limited` (429), the
+/// connection survives, and the rejection is counted in status.
+#[test]
+fn rate_limit_rejects_with_rate_limited_and_connection_survives() {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_requests_per_sec: 2,
+        ..Default::default()
+    };
+    let server = Server::bind(config, Registry::with_builtins()).expect("bind loopback");
+    let addr = server.local_addr();
+    let server = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(addr).unwrap();
+    // The burst budget admits two lines; the third is over budget.
+    client.status().unwrap();
+    client.status().unwrap();
+    match client.status().unwrap_err() {
+        ClientError::Server { code, status, message } => {
+            assert_eq!((code.as_str(), status), ("rate_limited", 429));
+            assert!(message.contains("retry"), "{message}");
+        }
+        other => panic!("expected rate_limited, got {other}"),
+    }
+    // The bucket refills: after a pause the same connection serves again.
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    let s = client.status().unwrap();
+    assert_eq!(s.rate_limit, 2);
+    assert!(s.rate_limited >= 1);
+
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    let mut c = Client::connect(addr).unwrap();
+    c.shutdown().unwrap();
+    server.join().unwrap();
+}
+
+/// Pre-incremental interop: the original wire shapes are unchanged — the
+/// accepted line, the outcome object's bytes, and every pre-existing
+/// response field sit exactly where old clients expect them; the new
+/// fields are additive trailers.
+#[test]
+fn pre_incremental_clients_see_the_original_shapes() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let (addr, server) = start_server(1, 4);
+    let conn = TcpStream::connect(addr).unwrap();
+    let mut writer = conn.try_clone().unwrap();
+    let mut reader = BufReader::new(conn);
+    writer
+        .write_all(
+            b"{\"op\":\"mine\",\"dataset\":\"example\",\"min_support\":{\"fraction\":0.3},\"min_confidence\":0.7}\n",
+        )
+        .unwrap();
+    let mut accepted = String::new();
+    reader.read_line(&mut accepted).unwrap();
+    assert!(
+        accepted.starts_with(
+            "{\"ok\":true,\"event\":\"accepted\",\"job\":1,\"dataset\":\"example\",\"backend\":\"memory\",\"threads\":0}"
+        ),
+        "{accepted}"
+    );
+    let mut outcome = String::new();
+    reader.read_line(&mut outcome).unwrap();
+    let v = setm_serve::json::parse(outcome.trim()).unwrap();
+    assert_eq!(v.get("event").and_then(|j| j.as_str()), Some("outcome"));
+    // The outcome object itself is byte-identical to a local run — the
+    // served_via marker lives *next to* it, not inside it.
+    let params = MiningParams::new(MinSupport::Fraction(0.3), 0.7);
+    let local = Miner::new(params).run(&Registry::with_builtins().get("example").unwrap()).unwrap();
+    assert_eq!(v.get("outcome").unwrap().to_string(), outcome_to_json(&local).to_string());
+    assert_eq!(v.get("served_via").and_then(|j| j.as_str()), Some("full"));
+    drop(writer);
+    drop(reader);
+    shutdown(addr, server);
 }
 
 /// Graceful drain: jobs in flight when `shutdown` arrives still complete

@@ -18,6 +18,7 @@
 //! | [`datagen`] | `setm-datagen` | uniform / retail-calibrated / Quest generators |
 //! | [`costmodel`] | `setm-costmodel` | the Sections 3.2 / 4.3 page-access arithmetic |
 //! | [`serve`] | `setm-serve` | the TCP mining service: NDJSON protocol, dataset registry, job scheduler, client |
+//! | [`incremental`] | `setm-incremental` | mining frontiers: absorb transaction appends in delta time |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@
 
 pub use setm_core as core;
 pub use setm_baselines as baselines;
+pub use setm_incremental as incremental;
 pub use setm_costmodel as costmodel;
 pub use setm_datagen as datagen;
 pub use setm_relational as relational;
