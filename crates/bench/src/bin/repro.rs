@@ -28,8 +28,9 @@
 //!              time; honors SETM_BENCH_TINY=1
 //!   baseline   write BENCH_baseline.json (machine info + per-workload
 //!              wall/I-O numbers, sequential vs parallel — including the
-//!              partitioned SQL series — plus the serve sweep, the
-//!              serve saturation knee, the poolscale trajectory, the
+//!              partitioned SQL series — plus the serve sweep and the
+//!              serve saturation knee (each with scheduler queue-wait
+//!              percentiles), the poolscale trajectory, the
 //!              incremental-vs-remine ratio, and a machine-independent
 //!              `deterministic` counter section with a shared-pool vs
 //!              even-split ablation) for perf diffing; honors
@@ -41,8 +42,9 @@
 //!              Wall-clock fields are reported but never gated. Schema
 //!              bridge: v4 pool fields are reported, not gated, against
 //!              a v3-or-older reference (as v3 plan fields are against
-//!              v2); v5 adds only wall-clock sections, so its
-//!              deterministic subtree gates identically against a v4
+//!              v2); v5 adds only wall-clock sections and v6 only the
+//!              wall-clock queue-wait percentiles, so their
+//!              deterministic subtrees gate identically against a v4
 //!              reference.
 //!   all        every report target above, in order (baseline excluded)
 //! ```
@@ -64,7 +66,8 @@
 
 use setm_baselines::{ais, apriori, apriori_tid};
 use setm_bench::loadgen::{
-    mixed_request, run_load, start_bench_server, stop_bench_server, LoadConfig,
+    mixed_request, queue_wait_percentiles, run_load, start_bench_server, stop_bench_server,
+    LoadConfig,
 };
 use setm_core::nested_loop::{mine_nested_loop, NestedLoopOptions};
 use setm_core::setm::engine::EngineConfig;
@@ -467,7 +470,7 @@ fn repro_ablation() {
     let retail = RetailConfig::paper().generate();
     let params = MiningParams::new(MinSupport::Fraction(0.001), 0.5);
     let miner = Miner::new(params); // in-memory backend implements filter_r1
-    let plain = miner.filter_r1(false).run(&retail).expect("memory run");
+    let plain = miner.clone().filter_r1(false).run(&retail).expect("memory run");
     let filtered = miner.filter_r1(true).run(&retail).expect("memory run");
     assert_eq!(plain.frequent_itemsets(), filtered.frequent_itemsets());
     println!("{:<26} {:>14}", "variant", "|R'_2| tuples");
@@ -1050,7 +1053,7 @@ fn repro_baseline(path: Option<String>) {
     let reps = if tiny { 1 } else { 3 };
 
     let mut j = Json::new();
-    j.field(1, "schema", "\"setm-bench-baseline/v5\"", false);
+    j.field(1, "schema", "\"setm-bench-baseline/v6\"", false);
     j.field(1, "config", if tiny { "\"tiny\"" } else { "\"full\"" }, false);
     j.field(1, "machine", "{", true);
     j.field(2, "available_parallelism", &hw.to_string(), false);
@@ -1194,7 +1197,14 @@ fn repro_baseline(path: Option<String>) {
         ));
         println!("  serve clients={clients} done ({:.1} req/s)", report.rps);
     }
-    j.0.push_str("    ]\n  },\n");
+    j.0.push_str("    ],\n");
+    // Queue-wait percentiles (v6): how long accepted jobs sat in the
+    // scheduler queue, read off the server's own metrics histogram.
+    // Cumulative over the sweep above. Wall-clock — reported, never gated.
+    let (wait_p50, wait_p99) = queue_wait_percentiles(addr);
+    j.field(2, "queue_wait_p50_ms", &format!("{wait_p50:.2}"), false);
+    j.field(2, "queue_wait_p99_ms", &format!("{wait_p99:.2}"), true);
+    j.0.push_str("  },\n");
 
     // Saturation knee (v5): double the client count until throughput
     // stops improving; the knee is the last step that still bought
@@ -1230,6 +1240,11 @@ fn repro_baseline(path: Option<String>) {
         println!("  saturation clients={clients} done ({:.1} req/s, p99 {:.1} ms)", report.rps, report.p99_ms);
     }
     j.0.push_str("    ],\n");
+    // Queue-wait percentiles (v6) after the saturation sweep — the same
+    // cumulative histogram, now dominated by the deepest-queue steps.
+    let (sat_wait_p50, sat_wait_p99) = queue_wait_percentiles(addr);
+    j.field(2, "queue_wait_p50_ms", &format!("{sat_wait_p50:.2}"), false);
+    j.field(2, "queue_wait_p99_ms", &format!("{sat_wait_p99:.2}"), false);
     let (knee_clients, knee_rps, knee_p99) = knee.expect("at least one sweep step");
     j.field(2, "knee_clients", &knee_clients.to_string(), false);
     j.field(2, "knee_rps", &format!("{knee_rps:.1}"), false);
@@ -1395,10 +1410,16 @@ fn repro_check_baseline(candidate: Option<String>, reference: Option<String>) {
     };
     let ref_schema = schema_of(&reference);
     // v5 added only wall-clock sections (serve_saturation,
-    // incremental_t20_i6) — its deterministic subtree is v4's.
-    let plan_schemas =
-        ["setm-bench-baseline/v3", "setm-bench-baseline/v4", "setm-bench-baseline/v5"];
-    let pool_schemas = ["setm-bench-baseline/v4", "setm-bench-baseline/v5"];
+    // incremental_t20_i6), and v6 only wall-clock queue-wait percentiles
+    // — their deterministic subtrees are v4's.
+    let plan_schemas = [
+        "setm-bench-baseline/v3",
+        "setm-bench-baseline/v4",
+        "setm-bench-baseline/v5",
+        "setm-bench-baseline/v6",
+    ];
+    let pool_schemas =
+        ["setm-bench-baseline/v4", "setm-bench-baseline/v5", "setm-bench-baseline/v6"];
     let reference_is_pre_plan = !plan_schemas.contains(&ref_schema.as_str());
     let reference_is_pre_pool = !pool_schemas.contains(&ref_schema.as_str());
     let mut tolerated: Vec<&str> = Vec::new();

@@ -46,6 +46,20 @@ pub mod loadgen {
         handle.join().expect("server thread");
     }
 
+    /// Read the server's scheduler queue-wait percentiles (milliseconds)
+    /// off the `metrics` verb. The histogram is cumulative over the
+    /// server's lifetime, so call this right after the sweep whose waits
+    /// you want summarized. Returns `(p50_ms, p99_ms)`.
+    pub fn queue_wait_percentiles(addr: SocketAddr) -> (f64, f64) {
+        let mut client = Client::connect(addr).expect("connect for metrics");
+        let metrics = client.metrics().expect("metrics verb");
+        let hist = metrics
+            .get("setm_scheduler_queue_wait_ms")
+            .expect("scheduler queue-wait histogram is always registered");
+        let leaf = |key: &str| hist.get(key).and_then(setm_serve::json::Json::as_f64).unwrap_or(0.0);
+        (leaf("p50_ms"), leaf("p99_ms"))
+    }
+
     /// Shape of one load run.
     #[derive(Debug, Clone, Copy)]
     pub struct LoadConfig {
@@ -162,6 +176,11 @@ mod tests {
         assert_eq!(report.errors, 0);
         assert!(report.rps > 0.0);
         assert!(report.p50_ms > 0.0 && report.p99_ms >= report.p50_ms);
+
+        // The scheduler's wait histogram saw those 12 jobs; its
+        // percentiles are coherent (the v6 baseline columns).
+        let (wait_p50, wait_p99) = super::loadgen::queue_wait_percentiles(addr);
+        assert!(wait_p99 >= wait_p50 && wait_p50 >= 0.0);
 
         let mut c = setm_serve::client::Client::connect(addr).unwrap();
         c.shutdown().unwrap();

@@ -26,7 +26,9 @@ use crate::rules::{generate_rules, Rule};
 use crate::setm::engine::{self, EngineConfig};
 use crate::setm::plan::PlanMode;
 use crate::setm::{memory, sql, SetmOptions, SetmResult};
+use setm_obs::{NullSink, ObsSink};
 use setm_relational::pager::IoStats;
+use std::sync::Arc;
 
 /// Which physical execution a [`Miner`] drives. All three produce
 /// identical count relations, rules, and trace series (cross-checked by
@@ -208,13 +210,40 @@ impl MiningOutcome {
 ///     .unwrap();
 /// assert_eq!(outcome.result.c(2).unwrap().get(&[10, 20]), Some(2));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Clone)]
 pub struct Miner {
     params: MiningParams,
     backend: Backend,
     threads: usize,
     filter_r1: bool,
     plan_mode: PlanMode,
+    observer: Option<Arc<dyn ObsSink>>,
+}
+
+// Manual impls because `Arc<dyn ObsSink>` carries no `Debug`/`PartialEq`
+// of its own; the observer is a side channel, so equality ignores it —
+// two miners that would compute the same thing compare equal.
+impl std::fmt::Debug for Miner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Miner")
+            .field("params", &self.params)
+            .field("backend", &self.backend)
+            .field("threads", &self.threads)
+            .field("filter_r1", &self.filter_r1)
+            .field("plan_mode", &self.plan_mode)
+            .field("observer", &self.observer.as_ref().map(|_| "Some(..)"))
+            .finish()
+    }
+}
+
+impl PartialEq for Miner {
+    fn eq(&self, other: &Self) -> bool {
+        self.params == other.params
+            && self.backend == other.backend
+            && self.threads == other.threads
+            && self.filter_r1 == other.filter_r1
+            && self.plan_mode == other.plan_mode
+    }
 }
 
 impl Miner {
@@ -227,6 +256,7 @@ impl Miner {
             threads: 0,
             filter_r1: false,
             plan_mode: PlanMode::Auto,
+            observer: None,
         }
     }
 
@@ -273,6 +303,18 @@ impl Miner {
         self
     }
 
+    /// Attach a telemetry sink. The executions call it at iteration
+    /// boundaries (with the just-computed trace row) and around
+    /// noteworthy phases — sorts, shard repartitions, pool rebalances.
+    /// Strictly a side channel: events are copies of already-computed
+    /// numbers, so the outcome is byte-identical with or without an
+    /// observer (pinned by `tests/facade_equivalence.rs` and the serve
+    /// e2e suite).
+    pub fn observer(mut self, sink: Arc<dyn ObsSink>) -> Self {
+        self.observer = Some(sink);
+        self
+    }
+
     /// Override the minimum support threshold.
     pub fn min_support(mut self, min_support: MinSupport) -> Self {
         self.params.min_support = min_support;
@@ -312,6 +354,11 @@ impl Miner {
     /// Whether the `filter_r1` ablation knob is set.
     pub fn configured_filter_r1(&self) -> bool {
         self.filter_r1
+    }
+
+    /// The attached telemetry sink, or a no-op [`NullSink`].
+    fn sink(&self) -> &dyn ObsSink {
+        self.observer.as_deref().unwrap_or(&NullSink)
     }
 
     /// The configured plan-selection mode (what [`Miner::plan_mode`]
@@ -382,10 +429,14 @@ impl Miner {
         let (result, report) = match &self.backend {
             Backend::Memory => {
                 let opts = SetmOptions { filter_r1: self.filter_r1, threads: self.threads };
-                (memory::mine_planned(dataset, &self.params, opts, mode), ExecutionReport::Memory)
+                (
+                    memory::mine_observed(dataset, &self.params, opts, mode, self.sink()),
+                    ExecutionReport::Memory,
+                )
             }
             Backend::Engine(cfg) => {
-                let run = engine::mine_planned(dataset, &self.params, *cfg, self.threads, mode)?;
+                let run =
+                    engine::mine_observed(dataset, &self.params, *cfg, self.threads, mode, self.sink())?;
                 let report = ExecutionReport::Engine(EngineReport {
                     page_accesses: run.total_page_accesses,
                     estimated_io_ms: run.total_estimated_ms,
@@ -395,7 +446,8 @@ impl Miner {
                 (run.result, report)
             }
             Backend::Sql => {
-                let run = sql::mine_planned(dataset, &self.params, self.threads, mode)?;
+                let run =
+                    sql::mine_observed(dataset, &self.params, self.threads, mode, self.sink())?;
                 (run.result, ExecutionReport::Sql(SqlReport { statements: run.statements }))
             }
         };
@@ -516,7 +568,7 @@ mod tests {
         assert_eq!(miner.configured_threads(), 3);
         assert!(miner.configured_filter_r1());
         assert_eq!(miner.configured_plan_mode(), PlanMode::Auto);
-        let forced = miner.plan_mode(PlanMode::Forced(PhysicalPlan::merge_scan()));
+        let forced = miner.clone().plan_mode(PlanMode::Forced(PhysicalPlan::merge_scan()));
         assert_eq!(
             forced.configured_plan_mode(),
             PlanMode::Forced(PhysicalPlan::merge_scan())
@@ -589,6 +641,59 @@ mod tests {
         for t in explicit.result.trace.iter().filter(|t| t.k >= 2) {
             assert_eq!(t.plan, Some(PhysicalPlan::merge_scan()), "builder knob must win");
         }
+    }
+
+    #[test]
+    fn observer_streams_one_iteration_event_per_trace_row_without_perturbing_results() {
+        use setm_obs::{ObsEvent, VecSink};
+
+        let d = example::paper_example_dataset();
+        let params = example::paper_example_params();
+        let reference = Miner::new(params).threads(1).run(&d).unwrap();
+
+        for backend in [Backend::Memory, Backend::Engine(EngineConfig::default()), Backend::Sql] {
+            let sink = std::sync::Arc::new(VecSink::new());
+            let observed = Miner::new(params)
+                .backend(backend)
+                .threads(1)
+                .observer(sink.clone())
+                .run(&d)
+                .unwrap();
+            assert_eq!(
+                observed.frequent_itemsets(),
+                reference.frequent_itemsets(),
+                "observer must not perturb {} results",
+                backend.name()
+            );
+            let events = sink.take();
+            let iterations: Vec<&setm_obs::IterationSnapshot> = events
+                .iter()
+                .filter_map(|e| match e {
+                    ObsEvent::Iteration(s) => Some(s),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(
+                iterations.len(),
+                observed.result.trace.len(),
+                "one Iteration event per trace row on {}",
+                backend.name()
+            );
+            for (snapshot, row) in iterations.iter().zip(observed.result.trace.iter()) {
+                assert_eq!(snapshot.k, row.k, "{}", backend.name());
+                assert_eq!(snapshot.r_tuples, row.r_tuples, "{}", backend.name());
+                assert_eq!(snapshot.plan, row.plan_string(), "{}", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn miner_equality_and_debug_ignore_the_observer() {
+        let params = example::paper_example_params();
+        let plain = Miner::new(params);
+        let observed = Miner::new(params).observer(std::sync::Arc::new(setm_obs::NullSink));
+        assert_eq!(plain, observed, "observer is a side channel, not config");
+        assert!(format!("{observed:?}").contains("observer"));
     }
 
     #[test]

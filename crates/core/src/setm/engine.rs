@@ -59,6 +59,7 @@ use crate::setm::plan::PhysicalPlan;
 use crate::setm::shard::{partition_by_weight, resolve_threads};
 use crate::setm::{IterationTrace, SetmResult};
 use setm_costmodel::DbParams;
+use setm_obs::{NullSink, ObsEvent, ObsSink};
 use setm_relational::heap::{HeapFile, HeapFileBuilder};
 use setm_relational::join::merge_scan_join;
 use setm_relational::pager::{IoStats, Pager, SharedPager};
@@ -155,6 +156,23 @@ pub fn mine_planned(
     threads: usize,
     mode: PlanMode,
 ) -> Result<EngineRun> {
+    mine_observed(dataset, params, config, threads, mode, &NullSink)
+}
+
+/// [`mine_planned`] with a telemetry sink: each iteration's trace row is
+/// reported the moment it is computed ([`ObsEvent::Iteration`]), shard
+/// repartitions and adaptive pool rebalances emit [`ObsEvent::Note`]s.
+/// Events fire on the coordinator thread between parallel phases and
+/// carry copies of already-computed numbers, so the run's charged I/O
+/// and mined result are identical to the unobserved run.
+pub fn mine_observed(
+    dataset: &Dataset,
+    params: &MiningParams,
+    config: EngineConfig,
+    threads: usize,
+    mode: PlanMode,
+    sink: &dyn ObsSink,
+) -> Result<EngineRun> {
     let n_txns = dataset.n_transactions();
     let min_count = params.min_support.to_count(n_txns.max(1));
     let max_len = params.max_pattern_len.unwrap_or(usize::MAX);
@@ -231,6 +249,7 @@ pub fn mine_planned(
         pool_steals: delta.pool_steals,
         plan: None,
     });
+    sink.on_event(&ObsEvent::Iteration(trace[0].snapshot()));
     let mut c_prev_len = c1.len() as u64;
     if !c1.is_empty() {
         counts.push(c1);
@@ -260,6 +279,11 @@ pub fn mine_planned(
                 )?;
                 shards = new_shards;
                 layout_shards = plan.shards;
+                sink.on_event(&ObsEvent::Note {
+                    name: "repartition",
+                    k,
+                    value: plan.shards as u64,
+                });
                 iter_delta = moved;
             } else if let Some(pool) = &pool {
                 // Adaptive admission: re-divide the pool's frames in
@@ -272,6 +296,7 @@ pub fn mine_planned(
                     let live_weights: Vec<u64> =
                         shards.iter().map(|sh| sh.r_prev.n_records().max(1)).collect();
                     let moved = pool.rebalance(&live_weights);
+                    sink.on_event(&ObsEvent::Note { name: "pool_rebalance", k, value: moved });
                     iter_delta.pool_steals += moved;
                     retired.pool_steals += moved;
                 }
@@ -325,6 +350,7 @@ pub fn mine_planned(
                 pool_steals: delta.pool_steals,
                 plan: Some(plan),
             });
+            sink.on_event(&ObsEvent::Iteration(trace[trace.len() - 1].snapshot()));
 
             r_prev_tuples = r_tuples;
             c_prev_len = c_k.len() as u64;

@@ -25,6 +25,7 @@ use crate::pattern::{CountRelation, PatternRelation};
 use crate::setm::plan::{JoinStrategy, LiveStats, PhysicalPlan, PlanMode, Planner, PlannerConfig};
 use crate::setm::shard::{partition_by_weight, resolve_threads};
 use crate::setm::{IterationTrace, SetmOptions, SetmResult};
+use setm_obs::{NullSink, ObsEvent, ObsSink};
 use std::collections::HashSet;
 use std::ops::Range;
 
@@ -49,6 +50,21 @@ pub fn mine_planned(
     opts: SetmOptions,
     mode: PlanMode,
 ) -> SetmResult {
+    mine_observed(dataset, params, opts, mode, &NullSink)
+}
+
+/// [`mine_planned`] with a telemetry sink: each iteration's trace row is
+/// reported the moment it is computed ([`ObsEvent::Iteration`]), and the
+/// two sort phases around the loop body emit start/end events. The sink
+/// only ever receives copies of already-computed numbers — the returned
+/// result is identical to the unobserved run.
+pub fn mine_observed(
+    dataset: &Dataset,
+    params: &MiningParams,
+    opts: SetmOptions,
+    mode: PlanMode,
+    sink: &dyn ObsSink,
+) -> SetmResult {
     let n_txns = dataset.n_transactions();
     let min_count = params.min_support.to_count(n_txns.max(1));
     let max_len = params.max_pattern_len.unwrap_or(usize::MAX);
@@ -70,6 +86,7 @@ pub fn mine_planned(
         pool_steals: 0,
         plan: None,
     });
+    sink.on_event(&ObsEvent::Iteration(trace[0].snapshot()));
     if !c1.is_empty() {
         counts.push(c1);
     }
@@ -105,7 +122,7 @@ pub fn mine_planned(
         mode,
         PlannerConfig::with_max_shards(resolve_threads(opts.threads).min(sales.len().max(1))),
     );
-    run_planned(&sales, &planner, min_count, max_len, &mut counts, &mut trace);
+    run_planned(&sales, &planner, min_count, max_len, &mut counts, &mut trace, sink);
 
     SetmResult { counts, trace, n_transactions: n_txns, min_support_count: min_count }
 }
@@ -127,6 +144,7 @@ fn run_planned(
     max_len: usize,
     counts: &mut Vec<CountRelation>,
     trace: &mut Vec<IterationTrace>,
+    sink: &dyn ObsSink,
 ) {
     // R_1 doubles as the first "R_{k-1}": one tuple (tid, [item]) per row.
     let n_rows: usize = sales.iter().map(|(_, items)| items.len()).sum();
@@ -157,7 +175,9 @@ fn run_planned(
         // previous iteration's closing ORDER BY left it in that order and
         // the plan reuses it.
         if !tid_sorted {
+            sink.on_event(&ObsEvent::PhaseStart { name: "sort_r_prev", k });
             r_prev.sort_by_tid_items();
+            sink.on_event(&ObsEvent::PhaseEnd { name: "sort_r_prev", k });
         }
 
         let (c_k, mut r_k, r_prime_tuples) = if plan.shards <= 1 {
@@ -178,6 +198,7 @@ fn run_planned(
             pool_steals: 0,
             plan: Some(plan),
         });
+        sink.on_event(&ObsEvent::Iteration(trace[trace.len() - 1].snapshot()));
 
         let done = r_k.is_empty() || k >= max_len;
         c_prev_len = c_k.len() as u64;
@@ -193,7 +214,9 @@ fn run_planned(
         // otherwise (the literal Figure 4 replay). Either way the join
         // sees the same deterministic order.
         if plan.reuse_sort {
+            sink.on_event(&ObsEvent::PhaseStart { name: "sort_r_k", k });
             r_k.sort_by_tid_items();
+            sink.on_event(&ObsEvent::PhaseEnd { name: "sort_r_k", k });
             tid_sorted = true;
         } else {
             tid_sorted = false;

@@ -98,6 +98,23 @@ impl IterationTrace {
             None => "-".to_string(),
         }
     }
+
+    /// The plain-data form of this row for telemetry sinks — the same
+    /// numbers, with the plan rendered via [`IterationTrace::plan_string`].
+    pub fn snapshot(&self) -> setm_obs::IterationSnapshot {
+        setm_obs::IterationSnapshot {
+            k: self.k,
+            r_prime_tuples: self.r_prime_tuples,
+            r_tuples: self.r_tuples,
+            r_kbytes: self.r_kbytes,
+            c_len: self.c_len,
+            page_accesses: self.page_accesses,
+            estimated_io_ms: self.estimated_io_ms,
+            cache_hits: self.cache_hits,
+            pool_steals: self.pool_steals,
+            plan: self.plan_string(),
+        }
+    }
 }
 
 /// The output of a SETM run: every count relation plus the iteration

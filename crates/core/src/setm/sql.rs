@@ -58,6 +58,7 @@ use crate::setm::plan::{
 };
 use crate::setm::shard::{partition_by_weight, resolve_threads};
 use crate::setm::{IterationTrace, SetmResult};
+use setm_obs::{NullSink, ObsEvent, ObsSink};
 use setm_sql::{ExecOptions, ExecOutcome, JoinPreference, Params, Result, ShardPool, SqlEngine};
 
 /// The probe index a nested-loop plan creates on each session's `SALES`
@@ -164,14 +165,29 @@ pub fn mine_planned(
     threads: usize,
     mode: PlanMode,
 ) -> Result<SqlRun> {
+    mine_observed(dataset, params, threads, mode, &NullSink)
+}
+
+/// [`mine_planned`] with a telemetry sink: each iteration's trace row is
+/// reported the moment it is computed ([`ObsEvent::Iteration`]). Events
+/// fire on the coordinator thread only (never inside a shard session),
+/// carrying copies of already-computed numbers — the emitted SQL and the
+/// mined result are identical to the unobserved run.
+pub fn mine_observed(
+    dataset: &Dataset,
+    params: &MiningParams,
+    threads: usize,
+    mode: PlanMode,
+    sink: &dyn ObsSink,
+) -> Result<SqlRun> {
     let max_shards = resolve_threads(threads).min(dataset.n_transactions().max(1) as usize);
     let planner = Planner::new(mode, PlannerConfig::with_max_shards(max_shards));
     let boot = live_stats(dataset, max_txn_len(dataset), dataset.n_rows(), 1);
     let layout = planner.plan_iteration(2, &boot).shards;
     if layout <= 1 {
-        mine_sequential(dataset, params, &planner)
+        mine_sequential(dataset, params, &planner, sink)
     } else {
-        mine_sharded(dataset, params, layout, &planner, &|_, _| {})
+        mine_sharded(dataset, params, layout, &planner, &|_, _| {}, sink)
     }
 }
 
@@ -187,7 +203,7 @@ pub fn mine_sharded_with_prepare(
 ) -> Result<SqlRun> {
     let threads = resolve_threads(threads).min(dataset.n_transactions().max(1) as usize);
     let planner = Planner::new(PlanMode::Auto, PlannerConfig::with_max_shards(threads.max(1)));
-    mine_sharded(dataset, params, threads.max(1), &planner, prepare)
+    mine_sharded(dataset, params, threads.max(1), &planner, prepare, &NullSink)
 }
 
 /// The paper's sequential Section 4.1 plan on a single session. The
@@ -195,7 +211,12 @@ pub fn mine_sharded_with_prepare(
 /// releases' whenever the planner keeps the merge-scan join —
 /// `threads(1)` *is* the paper's plan; a nested-loop iteration adds only
 /// its `CREATE INDEX` DDL to the trace.
-fn mine_sequential(dataset: &Dataset, params: &MiningParams, planner: &Planner) -> Result<SqlRun> {
+fn mine_sequential(
+    dataset: &Dataset,
+    params: &MiningParams,
+    planner: &Planner,
+    sink: &dyn ObsSink,
+) -> Result<SqlRun> {
     let mut engine = SqlEngine::new();
     let mut statements: Vec<String> = Vec::new();
     let n_txns = dataset.n_transactions();
@@ -231,6 +252,7 @@ fn mine_sequential(dataset: &Dataset, params: &MiningParams, planner: &Planner) 
     )?;
     let c1 = read_counts(&mut engine, 1)?;
     trace.push(iteration_one_trace(dataset, &c1));
+    sink.on_event(&ObsEvent::Iteration(trace[0].snapshot()));
     let mut c_prev_len = c1.len() as u64;
     let mut prev_rows = dataset.n_rows();
     let longest = max_txn_len(dataset);
@@ -332,6 +354,7 @@ fn mine_sequential(dataset: &Dataset, params: &MiningParams, planner: &Planner) 
             run(&mut engine, &mut statements, format!("DROP TABLE {rk_prime}"))?;
 
             trace.push(iteration_trace(k, r_prime_tuples, r_tuples, c_k.len() as u64, plan));
+            sink.on_event(&ObsEvent::Iteration(trace[trace.len() - 1].snapshot()));
             prev_rows = r_tuples;
             c_prev_len = c_k.len() as u64;
 
@@ -361,6 +384,7 @@ fn mine_sharded(
     threads: usize,
     planner: &Planner,
     prepare: &(dyn Fn(usize, &mut SqlEngine) + Sync),
+    sink: &dyn ObsSink,
 ) -> Result<SqlRun> {
     let n_txns = dataset.n_transactions();
     let min_count = params.min_support.to_count(n_txns.max(1));
@@ -418,6 +442,7 @@ fn mine_sharded(
     statements.extend(shard_stmts.into_iter().flatten());
     let c1 = merge_shard_counts(&mut merge, &mut pool, &mut statements, &bind, 1)?;
     trace.push(iteration_one_trace(dataset, &c1));
+    sink.on_event(&ObsEvent::Iteration(trace[0].snapshot()));
     let mut c_prev_len = c1.len() as u64;
     let mut prev_rows = dataset.n_rows();
     let longest = max_txn_len(dataset);
@@ -556,6 +581,7 @@ fn mine_sharded(
             statements.extend(phase2.into_iter().flat_map(|(stmts, _)| stmts));
 
             trace.push(iteration_trace(k, r_prime_tuples, r_tuples, c_k.len() as u64, plan));
+            sink.on_event(&ObsEvent::Iteration(trace[trace.len() - 1].snapshot()));
             prev_rows = r_tuples;
             c_prev_len = c_k.len() as u64;
 

@@ -1,0 +1,152 @@
+//! A ring-buffered span log: job id → timed phase labels.
+//!
+//! The serve layer begins a span when a job is accepted and records a
+//! label at each lifecycle edge (queued, planned, iteration k,
+//! serialized). The log keeps the most recent `capacity` jobs so a
+//! slow or wedged job can be diagnosed from a second connection via the
+//! `trace <job-id>` verb, without unbounded growth.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Hard cap on events retained per job, so a pathological run (say a
+/// thousand-iteration mine) can't pin unbounded memory.
+const MAX_EVENTS_PER_JOB: usize = 512;
+
+/// One recorded phase edge: a label and its offset from the job's
+/// `begin`, in milliseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    pub label: String,
+    pub at_ms: f64,
+}
+
+#[derive(Debug)]
+struct JobSpans {
+    started: Instant,
+    events: Vec<SpanEvent>,
+}
+
+#[derive(Debug, Default)]
+struct SpanState {
+    jobs: HashMap<u64, JobSpans>,
+    order: VecDeque<u64>,
+}
+
+/// The ring-buffered span log. All methods take `&self`; internal state
+/// is behind one mutex (span recording is rare — a handful of events
+/// per job — so contention is negligible).
+#[derive(Debug)]
+pub struct SpanLog {
+    capacity: usize,
+    inner: Mutex<SpanState>,
+}
+
+impl SpanLog {
+    /// Create a log retaining at most `capacity` jobs (oldest evicted).
+    pub fn new(capacity: usize) -> SpanLog {
+        SpanLog { capacity: capacity.max(1), inner: Mutex::new(SpanState::default()) }
+    }
+
+    /// Start a span for `job`, evicting the oldest tracked job if the
+    /// ring is full. Re-beginning an existing job resets it.
+    pub fn begin(&self, job: u64) {
+        let mut state = self.inner.lock().expect("span lock");
+        if state.jobs.contains_key(&job) {
+            state.order.retain(|&j| j != job);
+        } else if state.jobs.len() >= self.capacity {
+            if let Some(evicted) = state.order.pop_front() {
+                state.jobs.remove(&evicted);
+            }
+        }
+        state.order.push_back(job);
+        state.jobs.insert(job, JobSpans { started: Instant::now(), events: Vec::new() });
+    }
+
+    /// Record a labeled phase edge for `job`. A no-op if the job was
+    /// never begun (or already evicted), and once the per-job cap is
+    /// reached further records are dropped.
+    pub fn record(&self, job: u64, label: &str) {
+        let mut state = self.inner.lock().expect("span lock");
+        if let Some(spans) = state.jobs.get_mut(&job) {
+            if spans.events.len() < MAX_EVENTS_PER_JOB {
+                let at_ms = spans.started.elapsed().as_secs_f64() * 1000.0;
+                spans.events.push(SpanEvent { label: label.to_string(), at_ms });
+            }
+        }
+    }
+
+    /// The recorded events for `job`, in order, or `None` if unknown.
+    pub fn get(&self, job: u64) -> Option<Vec<SpanEvent>> {
+        let state = self.inner.lock().expect("span lock");
+        state.jobs.get(&job).map(|spans| spans.events.clone())
+    }
+
+    /// How many jobs are currently tracked.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("span lock").jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_nondecreasing_offsets() {
+        let log = SpanLog::new(8);
+        log.begin(7);
+        log.record(7, "queued");
+        log.record(7, "iteration 1");
+        log.record(7, "serialized");
+        let events = log.get(7).expect("job tracked");
+        let labels: Vec<&str> = events.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, vec!["queued", "iteration 1", "serialized"]);
+        assert!(events.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+    }
+
+    #[test]
+    fn unknown_jobs_are_ignored() {
+        let log = SpanLog::new(8);
+        log.record(99, "queued");
+        assert!(log.get(99).is_none());
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn ring_evicts_oldest_job() {
+        let log = SpanLog::new(2);
+        log.begin(1);
+        log.begin(2);
+        log.begin(3);
+        assert!(log.get(1).is_none(), "oldest evicted");
+        assert!(log.get(2).is_some());
+        assert!(log.get(3).is_some());
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn per_job_event_cap_holds() {
+        let log = SpanLog::new(2);
+        log.begin(1);
+        for i in 0..(MAX_EVENTS_PER_JOB + 50) {
+            log.record(1, &format!("iteration {i}"));
+        }
+        assert_eq!(log.get(1).expect("tracked").len(), MAX_EVENTS_PER_JOB);
+    }
+
+    #[test]
+    fn re_begin_resets_a_job() {
+        let log = SpanLog::new(2);
+        log.begin(1);
+        log.record(1, "queued");
+        log.begin(1);
+        assert_eq!(log.get(1).expect("tracked").len(), 0);
+        assert_eq!(log.len(), 1);
+    }
+}

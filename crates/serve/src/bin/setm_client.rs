@@ -6,10 +6,12 @@
 //! verbs:
 //!   mine --dataset NAME [--backend memory|engine|sql] [--threads N]
 //!        [--min-support X] [--min-confidence X] [--max-len K] [--filter-r1]
-//!        [--json]
+//!        [--json] [--follow]
 //!          X parses as an absolute count when integral ("3") and as a
 //!          fraction otherwise ("0.005"). --json dumps the raw outcome
-//!          object instead of the human summary.
+//!          object instead of the human summary. --follow opts into the
+//!          server's progress stream and renders each iteration (and
+//!          phase/note event) live as it completes.
 //!   register-dataset --name NAME (--file PATH:FORMAT | --transactions SPEC)
 //!          create NAME at version 1 from a basket file (fimi or pairs)
 //!          or an inline SPEC of the form "tid:item,item;tid:item,...".
@@ -18,18 +20,23 @@
 //!          versions stay mineable as NAME@V.
 //!   datasets        list the registry
 //!   status          scheduler + registry counters
+//!   metrics [--text] snapshot the metrics registry (canonical JSON, or
+//!                    Prometheus-style text with --text)
+//!   trace JOB       span timeline of a recent job (queued → planned →
+//!                    iteration k → serialized)
 //!   cancel JOB      cancel a queued job by id
 //!   shutdown        graceful drain
 //! ```
 
 use setm_core::{Backend, MinSupport, Miner, MiningParams};
 use setm_serve::client::Client;
+use setm_serve::ProgressEvent;
 
 fn usage_exit(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
         "usage: setm-client [--addr HOST:PORT] <mine|register-dataset|append-batch|datasets|\
-         status|cancel|shutdown> [options]"
+         status|metrics|trace|cancel|shutdown> [options]"
     );
     std::process::exit(2);
 }
@@ -76,6 +83,14 @@ fn main() {
         "append-batch" => run_mutation(&mut client, &rest[1..], false),
         "datasets" | "list-datasets" => run_datasets(&mut client),
         "status" => run_status(&mut client),
+        "metrics" => run_metrics(&mut client, rest.get(1).is_some_and(|f| f == "--text")),
+        "trace" => {
+            let job = rest
+                .get(1)
+                .and_then(|j| j.parse().ok())
+                .unwrap_or_else(|| usage_exit("trace needs a numeric job id"));
+            run_trace(&mut client, job)
+        }
         "cancel" => {
             let job = rest
                 .get(1)
@@ -103,6 +118,7 @@ fn run_mine(client: &mut Client, options: &[String]) -> CmdResult {
     let mut min_confidence = 0.5f64;
     let mut max_len: Option<usize> = None;
     let mut raw_json = false;
+    let mut follow = false;
 
     let mut i = 0;
     while i < options.len() {
@@ -141,6 +157,10 @@ fn run_mine(client: &mut Client, options: &[String]) -> CmdResult {
                 raw_json = true;
                 took_value = false;
             }
+            "--follow" => {
+                follow = true;
+                took_value = false;
+            }
             other => usage_exit(&format!("unknown mine option {other:?}")),
         }
         i += if took_value { 2 } else { 1 };
@@ -150,7 +170,18 @@ fn run_mine(client: &mut Client, options: &[String]) -> CmdResult {
     let mut params = MiningParams::new(min_support, min_confidence);
     params.max_pattern_len = max_len;
     let miner = Miner::new(params).backend(backend).threads(threads).filter_r1(filter_r1);
-    let reply = client.mine(&dataset, miner)?;
+    let reply = if follow {
+        client.mine_observed(&dataset, miner, |event| match event {
+            ProgressEvent::Iteration(t) => println!(
+                "~ k={}: |R'_{}|={} |R_{}|={} |C_{}|={} plan={}",
+                t.k, t.k, t.r_prime_tuples, t.k, t.r_tuples, t.k, t.c_len, t.plan
+            ),
+            ProgressEvent::Phase { phase, state, k } => println!("~ k={k}: {phase} {state}"),
+            ProgressEvent::Note { name, k, value } => println!("~ k={k}: {name} = {value}"),
+        })?
+    } else {
+        client.mine(&dataset, miner)?
+    };
     if raw_json {
         println!("{}", reply.raw_outcome);
         return Ok(());
@@ -307,6 +338,22 @@ fn run_status(client: &mut Client) -> CmdResult {
     );
     if s.rate_limit > 0 {
         println!("rate limit: {}/s per connection ({} rejected)", s.rate_limit, s.rate_limited);
+    }
+    Ok(())
+}
+
+fn run_metrics(client: &mut Client, text: bool) -> CmdResult {
+    if text {
+        print!("{}", client.metrics_text()?);
+    } else {
+        println!("{}", client.metrics()?);
+    }
+    Ok(())
+}
+
+fn run_trace(client: &mut Client, job: u64) -> CmdResult {
+    for (label, at_ms) in client.trace(job)? {
+        println!("{at_ms:>9.2} ms  {label}");
     }
     Ok(())
 }

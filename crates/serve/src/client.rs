@@ -20,7 +20,7 @@
 //! ```
 
 use crate::json::{self, Json};
-use crate::protocol::{self, MineRequest, OutcomePayload};
+use crate::protocol::{self, MineRequest, OutcomePayload, ProgressEvent};
 use crate::registry::DatasetInfo;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -176,7 +176,24 @@ impl Client {
     /// pair is equivalent to [`Client::mine`] but exposes the id early
     /// enough for a second connection to `cancel` it.
     pub fn submit(&mut self, dataset: &str, miner: Miner) -> Result<u64, ClientError> {
-        let req = MineRequest { dataset: dataset.to_string(), miner };
+        self.submit_request(dataset, miner, false)
+    }
+
+    /// Like [`Client::submit`], but opt into the server's live progress
+    /// stream: `progress` event lines arrive between `accepted` and the
+    /// outcome. Collect with [`Client::wait_outcome_observed`] (or
+    /// [`Client::wait_outcome`], which discards them).
+    pub fn submit_with_progress(&mut self, dataset: &str, miner: Miner) -> Result<u64, ClientError> {
+        self.submit_request(dataset, miner, true)
+    }
+
+    fn submit_request(
+        &mut self,
+        dataset: &str,
+        miner: Miner,
+        progress: bool,
+    ) -> Result<u64, ClientError> {
+        let req = MineRequest { dataset: dataset.to_string(), miner, progress };
         self.send(&req.to_json())?;
         let accepted = self.read_response()?;
         Self::expect_event(&accepted, "accepted")?;
@@ -187,9 +204,29 @@ impl Client {
     }
 
     /// Collect the outcome of the job most recently submitted on this
-    /// connection.
+    /// connection. Interleaved `progress` lines (from a
+    /// [`Client::submit_with_progress`] submission) are skipped.
     pub fn wait_outcome(&mut self) -> Result<MineReply, ClientError> {
-        let line = self.read_response()?;
+        self.wait_outcome_observed(|_| {})
+    }
+
+    /// Collect the outcome, invoking `on_progress` for every streamed
+    /// `progress` event that precedes it.
+    pub fn wait_outcome_observed(
+        &mut self,
+        mut on_progress: impl FnMut(&ProgressEvent),
+    ) -> Result<MineReply, ClientError> {
+        let line = loop {
+            let line = self.read_response()?;
+            match line.get("event").and_then(Json::as_str) {
+                Some("progress") => {
+                    let (_, event) =
+                        protocol::progress_event_from_json(&line).map_err(ClientError::Protocol)?;
+                    on_progress(&event);
+                }
+                _ => break line,
+            }
+        };
         Self::expect_event(&line, "outcome")?;
         let job = line
             .get("job")
@@ -208,6 +245,19 @@ impl Client {
     pub fn mine(&mut self, dataset: &str, miner: Miner) -> Result<MineReply, ClientError> {
         self.submit(dataset, miner)?;
         self.wait_outcome()
+    }
+
+    /// Mine with a live progress stream: `on_progress` fires for every
+    /// event the server streams (one `iteration` event per SETM
+    /// iteration, plus phase and note events), then the outcome returns.
+    pub fn mine_observed(
+        &mut self,
+        dataset: &str,
+        miner: Miner,
+        on_progress: impl FnMut(&ProgressEvent),
+    ) -> Result<MineReply, ClientError> {
+        self.submit_with_progress(dataset, miner)?;
+        self.wait_outcome_observed(on_progress)
     }
 
     /// Register a new named dataset (version 1) from `(trans_id, items)`
@@ -313,6 +363,54 @@ impl Client {
             rate_limit: u("rate_limit"),
             rate_limited: u("rate_limited"),
         })
+    }
+
+    /// Fetch the server's metrics registry as a flat JSON object
+    /// (metric name → counter/gauge number, or a histogram summary
+    /// object with `count`/`sum_ms`/`p50_ms`/`p90_ms`/`p99_ms`).
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        self.send(&Json::obj([("op", Json::str("metrics"))]))?;
+        let v = self.read_response()?;
+        Self::expect_event(&v, "metrics")?;
+        v.get("metrics")
+            .cloned()
+            .ok_or_else(|| ClientError::Protocol("metrics line missing `metrics`".to_string()))
+    }
+
+    /// Fetch the metrics in Prometheus-style text exposition.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        self.send(&Json::obj([("op", Json::str("metrics")), ("format", Json::str("text"))]))?;
+        let v = self.read_response()?;
+        Self::expect_event(&v, "metrics")?;
+        v.get("text")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("metrics line missing `text`".to_string()))
+    }
+
+    /// Fetch the span log of a recent job as `(label, at_ms)` rows.
+    /// Fails with `unknown_job` (404) once the job ages out of the ring.
+    pub fn trace(&mut self, job: u64) -> Result<Vec<(String, f64)>, ClientError> {
+        self.send(&Json::obj([("op", Json::str("trace")), ("job", Json::u64(job))]))?;
+        let v = self.read_response()?;
+        Self::expect_event(&v, "trace")?;
+        v.get("spans")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol("trace line missing `spans`".to_string()))?
+            .iter()
+            .map(|s| {
+                let label = s
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| ClientError::Protocol("span missing `label`".to_string()))?
+                    .to_string();
+                let at_ms = s
+                    .get("at_ms")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| ClientError::Protocol("span missing `at_ms`".to_string()))?;
+                Ok((label, at_ms))
+            })
+            .collect()
     }
 
     /// Cancel a queued job by id. Returns whether it was dequeued.

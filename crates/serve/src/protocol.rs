@@ -32,6 +32,7 @@ use setm_core::setm::engine::EngineConfig;
 use setm_core::{
     Backend, ExecutionReport, MinSupport, Miner, MiningOutcome, MiningParams, SetmError,
 };
+use setm_obs::ObsEvent;
 
 /// Protocol schema identifier, reported by the `status` verb.
 pub const SCHEMA: &str = "setm-serve/v1";
@@ -50,6 +51,11 @@ pub enum Request {
     ListDatasets,
     /// Report scheduler and registry counters.
     Status,
+    /// Snapshot the metrics registry — canonical JSON by default,
+    /// Prometheus-style text exposition with `"format":"text"`.
+    Metrics { text: bool },
+    /// Fetch the recorded span log of a recent job.
+    Trace { job: u64 },
     /// Cancel a queued job by id (running jobs are not preempted).
     Cancel { job: u64 },
     /// Graceful drain: stop accepting work, finish in-flight jobs, exit.
@@ -66,6 +72,10 @@ pub struct MineRequest {
     pub dataset: String,
     /// The mining configuration (backend, threads, params, knobs).
     pub miner: Miner,
+    /// Opt into live `progress` event lines between `accepted` and the
+    /// outcome line. Off by default — requests that omit the field get
+    /// the exact pre-observability wire exchange, byte for byte.
+    pub progress: bool,
 }
 
 impl MineRequest {
@@ -89,6 +99,12 @@ impl MineRequest {
             if cfg != EngineConfig::default() {
                 members.push(("engine_config".to_string(), engine_config_to_json(&cfg)));
             }
+        }
+        // Only encoded when set: a default request's wire form is
+        // byte-identical to the pre-observability protocol (the outcome
+        // cache keys on this string, so the distinction matters).
+        if self.progress {
+            members.push(("progress".to_string(), Json::Bool(true)));
         }
         Json::Obj(members)
     }
@@ -201,6 +217,20 @@ pub fn parse_request(v: &Json) -> Result<Request, String> {
         }
         "list-datasets" => Ok(Request::ListDatasets),
         "status" => Ok(Request::Status),
+        "metrics" => {
+            let text = match v.get("format").and_then(Json::as_str) {
+                None | Some("json") => false,
+                Some("text") => true,
+                Some(other) => {
+                    return Err(format!("unknown metrics format {other:?}; expected json or text"))
+                }
+            };
+            Ok(Request::Metrics { text })
+        }
+        "trace" => {
+            let job = v.get("job").and_then(Json::as_u64).ok_or("trace needs a numeric `job` id")?;
+            Ok(Request::Trace { job })
+        }
         "cancel" => {
             let job =
                 v.get("job").and_then(Json::as_u64).ok_or("cancel needs a numeric `job` id")?;
@@ -209,7 +239,7 @@ pub fn parse_request(v: &Json) -> Result<Request, String> {
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
             "unknown op {other:?}; expected mine, register-dataset, append-batch, \
-             list-datasets, status, cancel, or shutdown"
+             list-datasets, status, metrics, trace, cancel, or shutdown"
         )),
     }
 }
@@ -247,9 +277,14 @@ fn parse_mine(v: &Json) -> Result<MineRequest, String> {
         Some(b) => b.as_bool().ok_or("filter_r1 must be a boolean")?,
         None => false,
     };
+    let progress = match v.get("progress") {
+        Some(b) => b.as_bool().ok_or("progress must be a boolean")?,
+        None => false,
+    };
     Ok(MineRequest {
         dataset,
         miner: Miner::new(params).backend(backend).threads(threads).filter_r1(filter_r1),
+        progress,
     })
 }
 
@@ -433,6 +468,26 @@ fn items_field(v: &Json, key: &str) -> Result<Vec<u32>, String> {
         .collect()
 }
 
+/// Decode one trace row — the per-iteration object shared by the
+/// outcome's `trace` array and the streamed `progress` iteration events.
+fn trace_row_from_json(e: &Json) -> Result<TracePayload, String> {
+    Ok(TracePayload {
+        k: u64_field(e, "k")? as usize,
+        r_prime_tuples: u64_field(e, "r_prime_tuples")?,
+        r_tuples: u64_field(e, "r_tuples")?,
+        r_kbytes: f64_field(e, "r_kbytes")?,
+        c_len: u64_field(e, "c_len")?,
+        page_accesses: u64_field(e, "page_accesses")?,
+        estimated_io_ms: f64_field(e, "estimated_io_ms")?,
+        // Pre-pool servers omit the cache counters — default 0.
+        cache_hits: e.get("cache_hits").and_then(Json::as_u64).unwrap_or(0),
+        pool_steals: e.get("pool_steals").and_then(Json::as_u64).unwrap_or(0),
+        // Absent when decoding a pre-plan server's response —
+        // tolerate it rather than failing the whole outcome.
+        plan: e.get("plan").and_then(Json::as_str).unwrap_or("-").to_string(),
+    })
+}
+
 /// Decode the wire object produced by [`outcome_to_json`].
 pub fn outcome_from_json(v: &Json) -> Result<OutcomePayload, String> {
     let itemsets = v
@@ -462,27 +517,7 @@ pub fn outcome_from_json(v: &Json) -> Result<OutcomePayload, String> {
         .and_then(Json::as_array)
         .ok_or("missing `trace`")?
         .iter()
-        .map(|e| {
-            Ok(TracePayload {
-                k: u64_field(e, "k")? as usize,
-                r_prime_tuples: u64_field(e, "r_prime_tuples")?,
-                r_tuples: u64_field(e, "r_tuples")?,
-                r_kbytes: f64_field(e, "r_kbytes")?,
-                c_len: u64_field(e, "c_len")?,
-                page_accesses: u64_field(e, "page_accesses")?,
-                estimated_io_ms: f64_field(e, "estimated_io_ms")?,
-                // Pre-pool servers omit the cache counters — default 0.
-                cache_hits: e.get("cache_hits").and_then(Json::as_u64).unwrap_or(0),
-                pool_steals: e.get("pool_steals").and_then(Json::as_u64).unwrap_or(0),
-                // Absent when decoding a pre-plan server's response —
-                // tolerate it rather than failing the whole outcome.
-                plan: e
-                    .get("plan")
-                    .and_then(Json::as_str)
-                    .unwrap_or("-")
-                    .to_string(),
-            })
-        })
+        .map(trace_row_from_json)
         .collect::<Result<Vec<_>, String>>()?;
     let report = v.get("report").ok_or("missing `report`")?;
     let report = match report.get("backend").and_then(Json::as_str) {
@@ -521,6 +556,104 @@ pub fn outcome_from_json(v: &Json) -> Result<OutcomePayload, String> {
         trace,
         report,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Progress events
+// ---------------------------------------------------------------------------
+
+/// Serialize one telemetry event as a `progress` wire line for `job`.
+///
+/// Iteration events reuse the outcome trace-row member names exactly, so
+/// a client can decode both with one code path; phase and note events
+/// carry their own small shapes, discriminated by `kind`.
+pub fn progress_event_to_json(job: u64, event: &ObsEvent) -> Json {
+    let head = [
+        ("ok".to_string(), Json::Bool(true)),
+        ("event".to_string(), Json::str("progress")),
+        ("job".to_string(), Json::u64(job)),
+    ];
+    let tail: Vec<(String, Json)> = match event {
+        ObsEvent::Iteration(s) => vec![
+            ("kind".to_string(), Json::str("iteration")),
+            ("k".to_string(), Json::u64(s.k as u64)),
+            ("r_prime_tuples".to_string(), Json::u64(s.r_prime_tuples)),
+            ("r_tuples".to_string(), Json::u64(s.r_tuples)),
+            ("r_kbytes".to_string(), Json::Num(s.r_kbytes)),
+            ("c_len".to_string(), Json::u64(s.c_len)),
+            ("page_accesses".to_string(), Json::u64(s.page_accesses)),
+            ("estimated_io_ms".to_string(), Json::Num(s.estimated_io_ms)),
+            ("cache_hits".to_string(), Json::u64(s.cache_hits)),
+            ("pool_steals".to_string(), Json::u64(s.pool_steals)),
+            ("plan".to_string(), Json::str(&s.plan)),
+        ],
+        ObsEvent::PhaseStart { name, k } => vec![
+            ("kind".to_string(), Json::str("phase")),
+            ("phase".to_string(), Json::str(*name)),
+            ("state".to_string(), Json::str("start")),
+            ("k".to_string(), Json::u64(*k as u64)),
+        ],
+        ObsEvent::PhaseEnd { name, k } => vec![
+            ("kind".to_string(), Json::str("phase")),
+            ("phase".to_string(), Json::str(*name)),
+            ("state".to_string(), Json::str("end")),
+            ("k".to_string(), Json::u64(*k as u64)),
+        ],
+        ObsEvent::Note { name, k, value } => vec![
+            ("kind".to_string(), Json::str("note")),
+            ("name".to_string(), Json::str(*name)),
+            ("k".to_string(), Json::u64(*k as u64)),
+            ("value".to_string(), Json::u64(*value)),
+        ],
+    };
+    Json::Obj(head.into_iter().chain(tail).collect())
+}
+
+/// A client-side decoded `progress` line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgressEvent {
+    /// An iteration finished — the same row that will appear in the
+    /// outcome's `trace` array.
+    Iteration(TracePayload),
+    /// A named sub-phase started or ended (`state` is `"start"`/`"end"`).
+    Phase { phase: String, state: String, k: usize },
+    /// A counter-style annotation (e.g. a shard repartition or a pool
+    /// rebalance) with its observed value.
+    Note { name: String, k: usize, value: u64 },
+}
+
+/// Decode the wire object produced by [`progress_event_to_json`].
+/// Returns `(job, event)`.
+pub fn progress_event_from_json(v: &Json) -> Result<(u64, ProgressEvent), String> {
+    let job = u64_field(v, "job")?;
+    let kind = v.get("kind").and_then(Json::as_str).ok_or("progress line missing `kind`")?;
+    let event = match kind {
+        "iteration" => ProgressEvent::Iteration(trace_row_from_json(v)?),
+        "phase" => ProgressEvent::Phase {
+            phase: v
+                .get("phase")
+                .and_then(Json::as_str)
+                .ok_or("phase event missing `phase`")?
+                .to_string(),
+            state: v
+                .get("state")
+                .and_then(Json::as_str)
+                .ok_or("phase event missing `state`")?
+                .to_string(),
+            k: u64_field(v, "k")? as usize,
+        },
+        "note" => ProgressEvent::Note {
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("note event missing `name`")?
+                .to_string(),
+            k: u64_field(v, "k")? as usize,
+            value: u64_field(v, "value")?,
+        },
+        other => return Err(format!("unknown progress kind {other:?}")),
+    };
+    Ok((job, event))
 }
 
 // ---------------------------------------------------------------------------
@@ -587,6 +720,8 @@ pub mod codes {
     pub const SHUTTING_DOWN: ErrorCode = ErrorCode { code: "shutting_down", status: 503 };
     /// The job was cancelled before it ran.
     pub const CANCELLED: ErrorCode = ErrorCode { code: "cancelled", status: 409 };
+    /// `trace` asked for a job the span ring no longer (or never) holds.
+    pub const UNKNOWN_JOB: ErrorCode = ErrorCode { code: "unknown_job", status: 404 };
     /// The mining run panicked (a bug — mining errors are normally typed).
     pub const INTERNAL: ErrorCode = ErrorCode { code: "internal", status: 500 };
 }
@@ -616,10 +751,18 @@ mod tests {
             .backend(Backend::Engine(EngineConfig { cache_frames: 64, ..Default::default() }))
             .threads(2)
             .filter_r1(true);
-        let req = MineRequest { dataset: "retail-small".to_string(), miner };
+        let req = MineRequest { dataset: "retail-small".to_string(), miner, progress: false };
         let wire = req.to_json();
+        // A default (non-progress) request never mentions the field — the
+        // pre-observability wire bytes are preserved exactly.
+        assert!(!wire.to_string().contains("progress"));
         let parsed = parse_request(&wire).unwrap();
-        assert_eq!(parsed, Request::Mine(req));
+        assert_eq!(parsed, Request::Mine(req.clone()));
+        // Opting in round-trips too, encoded as a trailing member.
+        let req = MineRequest { progress: true, ..req };
+        let wire = req.to_json();
+        assert!(wire.to_string().ends_with(r#""progress":true}"#));
+        assert_eq!(parse_request(&wire).unwrap(), Request::Mine(req));
     }
 
     #[test]
@@ -642,9 +785,77 @@ mod tests {
         assert_eq!(parse(r#"{"op":"status"}"#).unwrap(), Request::Status);
         assert_eq!(parse(r#"{"op":"cancel","job":7}"#).unwrap(), Request::Cancel { job: 7 });
         assert_eq!(parse(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown);
+        assert_eq!(parse(r#"{"op":"metrics"}"#).unwrap(), Request::Metrics { text: false });
+        assert_eq!(
+            parse(r#"{"op":"metrics","format":"json"}"#).unwrap(),
+            Request::Metrics { text: false }
+        );
+        assert_eq!(
+            parse(r#"{"op":"metrics","format":"text"}"#).unwrap(),
+            Request::Metrics { text: true }
+        );
+        assert!(parse(r#"{"op":"metrics","format":"xml"}"#).unwrap_err().contains("format"));
+        assert_eq!(parse(r#"{"op":"trace","job":12}"#).unwrap(), Request::Trace { job: 12 });
+        assert!(parse(r#"{"op":"trace"}"#).unwrap_err().contains("job"));
         assert!(parse(r#"{"op":"frobnicate"}"#).unwrap_err().contains("unknown op"));
         assert!(parse(r#"{"noop":1}"#).unwrap_err().contains("op"));
         assert!(parse(r#"{"op":"cancel"}"#).unwrap_err().contains("job"));
+    }
+
+    /// Every telemetry event kind round-trips through its wire line, and
+    /// iteration events decode with the same row shape as outcome traces.
+    #[test]
+    fn progress_events_round_trip() {
+        use setm_obs::IterationSnapshot;
+        let snap = IterationSnapshot {
+            k: 3,
+            r_prime_tuples: 120,
+            r_tuples: 45,
+            r_kbytes: 1.5,
+            c_len: 9,
+            page_accesses: 77,
+            estimated_io_ms: 2.25,
+            cache_hits: 30,
+            pool_steals: 2,
+            plan: "sortmerge(ext=hash)".to_string(),
+        };
+        let events = [
+            ObsEvent::Iteration(snap.clone()),
+            ObsEvent::PhaseStart { name: "sort_r_prev", k: 3 },
+            ObsEvent::PhaseEnd { name: "sort_r_prev", k: 3 },
+            ObsEvent::Note { name: "pool_rebalance", k: 3, value: 7 },
+        ];
+        for event in &events {
+            let wire = progress_event_to_json(41, event);
+            assert_eq!(wire.get("ok").unwrap().as_bool(), Some(true));
+            assert_eq!(wire.get("event").unwrap().as_str(), Some("progress"));
+            let text = wire.to_string();
+            let reparsed = crate::json::parse(&text).unwrap();
+            assert_eq!(reparsed.to_string(), text, "canonical serialization");
+            let (job, decoded) = progress_event_from_json(&reparsed).unwrap();
+            assert_eq!(job, 41);
+            match (event, &decoded) {
+                (ObsEvent::Iteration(s), ProgressEvent::Iteration(row)) => {
+                    assert_eq!(row.k, s.k);
+                    assert_eq!(row.r_tuples, s.r_tuples);
+                    assert_eq!(row.c_len, s.c_len);
+                    assert_eq!(row.plan, s.plan);
+                }
+                (ObsEvent::PhaseStart { name, k }, ProgressEvent::Phase { phase, state, k: dk }) => {
+                    assert_eq!((phase.as_str(), state.as_str(), *dk), (*name, "start", *k));
+                }
+                (ObsEvent::PhaseEnd { name, k }, ProgressEvent::Phase { phase, state, k: dk }) => {
+                    assert_eq!((phase.as_str(), state.as_str(), *dk), (*name, "end", *k));
+                }
+                (ObsEvent::Note { name, k, value }, ProgressEvent::Note { name: dn, k: dk, value: dv }) => {
+                    assert_eq!((dn.as_str(), *dk, *dv), (*name, *k, *value));
+                }
+                (sent, got) => panic!("kind mismatch: sent {sent:?}, decoded {got:?}"),
+            }
+        }
+        assert!(progress_event_from_json(&crate::json::parse(r#"{"job":1,"kind":"x"}"#).unwrap())
+            .unwrap_err()
+            .contains("unknown progress kind"));
     }
 
     #[test]
@@ -684,7 +895,7 @@ mod tests {
     /// rename or status change is a deliberate, visible diff.
     #[test]
     fn serve_error_codes_are_pinned() {
-        let table: [(ErrorCode, &str, u16); 8] = [
+        let table: [(ErrorCode, &str, u16); 9] = [
             (codes::BAD_REQUEST, "bad_request", 400),
             (codes::UNKNOWN_DATASET, "unknown_dataset", 404),
             (codes::DATASET_LOAD, "dataset_load", 500),
@@ -693,6 +904,7 @@ mod tests {
             (codes::RATE_LIMITED, "rate_limited", 429),
             (codes::SHUTTING_DOWN, "shutting_down", 503),
             (codes::CANCELLED, "cancelled", 409),
+            (codes::UNKNOWN_JOB, "unknown_job", 404),
         ];
         for (ec, code, status) in table {
             assert_eq!((ec.code, ec.status), (code, status));

@@ -19,10 +19,12 @@
 //! `cancel` reports that by returning `false`.
 
 use setm_core::{Dataset, Miner, MiningOutcome, SetmError};
+use setm_obs::{default_latency_bounds, Counter, Gauge, Histogram, MetricsRegistry};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A unit of work: anything that yields a mining outcome. The common
 /// case is one facade run against a shared dataset ([`MineJob::new`]);
@@ -113,6 +115,9 @@ struct QueuedJob {
     id: u64,
     job: MineJob,
     reply: mpsc::Sender<JobResult>,
+    /// When the job entered the queue — the worker that dequeues it
+    /// observes the elapsed wait into `queue_wait_ms`.
+    enqueued: Instant,
 }
 
 #[derive(Default)]
@@ -121,10 +126,54 @@ struct State {
     running: usize,
     draining: bool,
     next_id: u64,
-    // Lifetime counters for the `status` verb.
-    completed: u64,
-    rejected: u64,
-    cancelled: u64,
+}
+
+/// The scheduler's instruments. Lifetime counters (previously plain
+/// fields in the state mutex) now live in shareable metric handles so
+/// the `metrics` verb and the `status` verb read the *same* cells — the
+/// two can never disagree.
+pub struct SchedulerMetrics {
+    /// Jobs a worker finished (successfully, with an error, or panicked).
+    pub completed: Arc<Counter>,
+    /// Submissions refused (queue full or draining).
+    pub rejected: Arc<Counter>,
+    /// Queued jobs cancelled before a worker picked them up.
+    pub cancelled: Arc<Counter>,
+    /// Current queue length.
+    pub queue_depth: Arc<Gauge>,
+    /// Jobs currently executing on workers.
+    pub running: Arc<Gauge>,
+    /// Milliseconds jobs spent queued before a worker dequeued them.
+    pub queue_wait_ms: Arc<Histogram>,
+}
+
+impl SchedulerMetrics {
+    /// Standalone handles, not visible in any registry — for embedded or
+    /// test use of the scheduler without a metrics endpoint.
+    pub fn detached() -> SchedulerMetrics {
+        SchedulerMetrics {
+            completed: Arc::new(Counter::new()),
+            rejected: Arc::new(Counter::new()),
+            cancelled: Arc::new(Counter::new()),
+            queue_depth: Arc::new(Gauge::new()),
+            running: Arc::new(Gauge::new()),
+            queue_wait_ms: Arc::new(Histogram::new(default_latency_bounds())),
+        }
+    }
+
+    /// Handles registered under the canonical `setm_scheduler_*` names,
+    /// so they appear in the registry's `metrics` snapshot.
+    pub fn registered(registry: &MetricsRegistry) -> SchedulerMetrics {
+        SchedulerMetrics {
+            completed: registry.counter("setm_scheduler_completed_total"),
+            rejected: registry.counter("setm_scheduler_rejected_total"),
+            cancelled: registry.counter("setm_scheduler_cancelled_total"),
+            queue_depth: registry.gauge("setm_scheduler_queue_depth"),
+            running: registry.gauge("setm_scheduler_running"),
+            queue_wait_ms: registry
+                .histogram("setm_scheduler_queue_wait_ms", default_latency_bounds()),
+        }
+    }
 }
 
 struct Inner {
@@ -134,6 +183,7 @@ struct Inner {
     /// Signalled when a job finishes; `drain` waits on it.
     idle: Condvar,
     queue_capacity: usize,
+    metrics: SchedulerMetrics,
 }
 
 /// Counters reported by the `status` verb.
@@ -158,14 +208,27 @@ pub struct Scheduler {
 
 impl Scheduler {
     /// Start `workers` OS threads behind a queue of `queue_capacity`
-    /// pending jobs. Both bounds must be at least 1.
+    /// pending jobs. Both bounds must be at least 1. Counters are
+    /// detached; use [`Scheduler::with_metrics`] to expose them in a
+    /// registry.
     pub fn new(workers: usize, queue_capacity: usize) -> Self {
+        Scheduler::with_metrics(workers, queue_capacity, SchedulerMetrics::detached())
+    }
+
+    /// Like [`Scheduler::new`], recording into the given metric handles
+    /// (typically [`SchedulerMetrics::registered`]).
+    pub fn with_metrics(
+        workers: usize,
+        queue_capacity: usize,
+        metrics: SchedulerMetrics,
+    ) -> Self {
         let workers = workers.max(1);
         let inner = Arc::new(Inner {
             state: Mutex::new(State::default()),
             work: Condvar::new(),
             idle: Condvar::new(),
             queue_capacity: queue_capacity.max(1),
+            metrics,
         });
         let handles = (0..workers)
             .map(|_| {
@@ -181,17 +244,45 @@ impl Scheduler {
     pub fn submit(&self, job: MineJob) -> Result<Ticket, SubmitError> {
         let mut state = self.inner.state.lock().expect("scheduler lock");
         if state.draining {
-            state.rejected += 1;
+            self.inner.metrics.rejected.inc();
             return Err(SubmitError::ShuttingDown);
         }
         if state.queue.len() >= self.inner.queue_capacity {
-            state.rejected += 1;
+            self.inner.metrics.rejected.inc();
             return Err(SubmitError::QueueFull { capacity: self.inner.queue_capacity });
         }
         state.next_id += 1;
         let id = state.next_id;
+        self.enqueue_locked(&mut state, id, job)
+    }
+
+    /// Submit a job under a *pre-allocated* id (from
+    /// [`Scheduler::allocate_job_id`]). The serve layer uses this when
+    /// the job's telemetry sink must know its id before the work is
+    /// queued — the span log and streamed `progress` lines carry the id
+    /// the client will see on the `accepted` line.
+    pub fn submit_as(&self, id: u64, job: MineJob) -> Result<Ticket, SubmitError> {
+        let mut state = self.inner.state.lock().expect("scheduler lock");
+        if state.draining {
+            self.inner.metrics.rejected.inc();
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.queue.len() >= self.inner.queue_capacity {
+            self.inner.metrics.rejected.inc();
+            return Err(SubmitError::QueueFull { capacity: self.inner.queue_capacity });
+        }
+        self.enqueue_locked(&mut state, id, job)
+    }
+
+    fn enqueue_locked(
+        &self,
+        state: &mut State,
+        id: u64,
+        job: MineJob,
+    ) -> Result<Ticket, SubmitError> {
         let (tx, rx) = mpsc::channel();
-        state.queue.push_back(QueuedJob { id, job, reply: tx });
+        state.queue.push_back(QueuedJob { id, job, reply: tx, enqueued: Instant::now() });
+        self.inner.metrics.queue_depth.set(state.queue.len() as u64);
         self.inner.work.notify_one();
         Ok(Ticket { job: id, rx })
     }
@@ -214,7 +305,8 @@ impl Scheduler {
             return false;
         };
         let queued = state.queue.remove(pos).expect("position just found");
-        state.cancelled += 1;
+        self.inner.metrics.cancelled.inc();
+        self.inner.metrics.queue_depth.set(state.queue.len() as u64);
         let _ = queued.reply.send(JobResult::Cancelled);
         true
     }
@@ -227,9 +319,9 @@ impl Scheduler {
             queue_capacity: self.inner.queue_capacity,
             queued: state.queue.len(),
             running: state.running,
-            completed: state.completed,
-            rejected: state.rejected,
-            cancelled: state.cancelled,
+            completed: self.inner.metrics.completed.get(),
+            rejected: self.inner.metrics.rejected.get(),
+            cancelled: self.inner.metrics.cancelled.get(),
             draining: state.draining,
         }
     }
@@ -280,6 +372,8 @@ fn worker_loop(inner: &Inner) {
             loop {
                 if let Some(q) = state.queue.pop_front() {
                     state.running += 1;
+                    inner.metrics.queue_depth.set(state.queue.len() as u64);
+                    inner.metrics.running.set(state.running as u64);
                     break q;
                 }
                 if state.draining {
@@ -288,6 +382,7 @@ fn worker_loop(inner: &Inner) {
                 state = inner.work.wait(state).expect("scheduler lock");
             }
         };
+        inner.metrics.queue_wait_ms.observe(queued.enqueued.elapsed().as_secs_f64() * 1e3);
         #[cfg(test)]
         if let Some(gate) = &queued.job.gate {
             gate.wait_open();
@@ -303,7 +398,8 @@ fn worker_loop(inner: &Inner) {
         let _ = queued.reply.send(result);
         let mut state = inner.state.lock().expect("scheduler lock");
         state.running -= 1;
-        state.completed += 1;
+        inner.metrics.running.set(state.running as u64);
+        inner.metrics.completed.inc();
         inner.idle.notify_all();
     }
 }
@@ -379,6 +475,26 @@ pub(crate) mod tests {
         assert_eq!(st.completed, 4);
         assert_eq!(st.queued, 0);
         assert_eq!(st.rejected, 0);
+    }
+
+    /// Registered metrics record what `status` reports — one set of
+    /// cells, two views. `submit_as` honors a pre-allocated id.
+    #[test]
+    fn registered_metrics_observe_queue_waits_and_counts() {
+        let registry = MetricsRegistry::new();
+        let s = Scheduler::with_metrics(1, 4, SchedulerMetrics::registered(&registry));
+        let id = s.allocate_job_id();
+        let t = s.submit_as(id, example_job()).unwrap();
+        assert_eq!(t.job, id);
+        assert!(matches!(t.wait(), JobResult::Finished(Ok(_))));
+        s.drain();
+        assert_eq!(registry.counter("setm_scheduler_completed_total").get(), 1);
+        assert_eq!(registry.counter("setm_scheduler_completed_total").get(), s.status().completed);
+        let wait =
+            registry.histogram("setm_scheduler_queue_wait_ms", default_latency_bounds()).snapshot();
+        assert_eq!(wait.count, 1, "one dequeue, one wait observation");
+        assert_eq!(registry.gauge("setm_scheduler_queue_depth").get(), 0);
+        assert_eq!(registry.gauge("setm_scheduler_running").get(), 0);
     }
 
     #[test]

@@ -42,14 +42,15 @@
 use crate::json::{self, Json};
 use crate::protocol::{self, codes, MineRequest, Request};
 use crate::registry::{Registry, RegistryError};
-use crate::scheduler::{JobResult, MineJob, Scheduler, SubmitError};
+use crate::scheduler::{JobResult, MineJob, Scheduler, SchedulerMetrics, SubmitError};
 use setm_core::{Backend, Dataset, Miner};
 use setm_incremental::MiningFrontier;
+use setm_obs::{Counter, Gauge, MetricValue, MetricsRegistry, ObsEvent, ObsSink, SpanLog};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
 /// Server configuration.
@@ -171,6 +172,98 @@ fn params_fingerprint(miner: &Miner) -> String {
     format!("{:?}|filter_r1={}", miner.params(), miner.configured_filter_r1())
 }
 
+/// Span-ring bound: the `trace` verb can look up this many recent jobs.
+const SPAN_LOG_CAPACITY: usize = 256;
+
+/// The server's instruments: one [`MetricsRegistry`] every subsystem
+/// registers into (the `metrics` verb renders it; `status` reads the
+/// same cells, so the two views can never disagree), pre-created handles
+/// for the hot paths, and the per-job span ring behind the `trace` verb.
+struct Telemetry {
+    registry: MetricsRegistry,
+    // Serving-route counters (previously bare atomics on `Shared`).
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    served_delta: Arc<Counter>,
+    served_full: Arc<Counter>,
+    rate_limited: Arc<Counter>,
+    // Connection-layer traffic.
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    conn_open: Arc<Gauge>,
+    // Buffer-pool activity, aggregated from engine-backed runs' traces.
+    pool_cache_hits: Arc<Counter>,
+    pool_steals: Arc<Counter>,
+    pool_rebalances: Arc<Counter>,
+    // Registry and frontier occupancy, sampled at render time.
+    registry_datasets: Arc<Gauge>,
+    registry_datasets_loaded: Arc<Gauge>,
+    frontier_entries: Arc<Gauge>,
+    /// Per-job timed phase log (queued → planned → iteration k → …).
+    spans: Arc<SpanLog>,
+}
+
+impl Telemetry {
+    fn new() -> Telemetry {
+        let registry = MetricsRegistry::new();
+        Telemetry {
+            cache_hits: registry.counter("setm_cache_hits_total"),
+            cache_misses: registry.counter("setm_cache_misses_total"),
+            served_delta: registry.counter("setm_served_delta_total"),
+            served_full: registry.counter("setm_served_full_total"),
+            rate_limited: registry.counter("setm_conn_rate_limited_total"),
+            bytes_in: registry.counter("setm_conn_bytes_in_total"),
+            bytes_out: registry.counter("setm_conn_bytes_out_total"),
+            conn_open: registry.gauge("setm_conn_open"),
+            pool_cache_hits: registry.counter("setm_pool_cache_hits_total"),
+            pool_steals: registry.counter("setm_pool_steals_total"),
+            pool_rebalances: registry.counter("setm_pool_rebalances_total"),
+            registry_datasets: registry.gauge("setm_registry_datasets"),
+            registry_datasets_loaded: registry.gauge("setm_registry_datasets_loaded"),
+            frontier_entries: registry.gauge("setm_frontier_entries"),
+            spans: Arc::new(SpanLog::new(SPAN_LOG_CAPACITY)),
+            registry,
+        }
+    }
+}
+
+/// The per-job telemetry sink the server installs on the miner it
+/// schedules: records per-iteration spans, aggregates pool counters into
+/// the shared registry, and (for `progress: true` requests) tees every
+/// event into the channel the connection thread streams from.
+struct JobSink {
+    job: u64,
+    spans: Arc<SpanLog>,
+    pool_cache_hits: Arc<Counter>,
+    pool_steals: Arc<Counter>,
+    pool_rebalances: Arc<Counter>,
+    /// `mpsc::Sender` is not `Sync`; the mutex makes the sink shareable
+    /// across mining shards. The *miner* is the only holder of this
+    /// sink, so when the worker finishes the run (or a queued cancel
+    /// drops the job closure) the sender dies with it — that disconnect
+    /// is what terminates the client's progress stream.
+    tx: Option<Mutex<mpsc::Sender<ObsEvent>>>,
+}
+
+impl ObsSink for JobSink {
+    fn on_event(&self, event: &ObsEvent) {
+        match event {
+            ObsEvent::Iteration(s) => {
+                self.spans.record(self.job, &format!("iteration {}", s.k));
+                self.pool_cache_hits.add(s.cache_hits);
+                self.pool_steals.add(s.pool_steals);
+            }
+            ObsEvent::Note { name: "pool_rebalance", .. } => self.pool_rebalances.inc(),
+            _ => {}
+        }
+        if let Some(tx) = &self.tx {
+            // A gone receiver (client disconnected mid-stream) is fine;
+            // the run itself never fails over telemetry.
+            let _ = tx.lock().expect("progress sender lock").send(event.clone());
+        }
+    }
+}
+
 struct Shared {
     registry: Registry,
     scheduler: Scheduler,
@@ -182,12 +275,7 @@ struct Shared {
     max_requests_per_sec: u64,
     cache: Mutex<OutcomeCache>,
     frontiers: FrontierStore,
-    // Serving-route counters for the `status` verb.
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    served_delta: AtomicU64,
-    served_full: AtomicU64,
-    rate_limited: AtomicU64,
+    telemetry: Telemetry,
 }
 
 /// RAII admission token for one connection-handler thread: acquired on
@@ -263,9 +351,15 @@ impl Server {
         } else {
             config.workers
         };
+        let telemetry = Telemetry::new();
+        let scheduler = Scheduler::with_metrics(
+            workers,
+            config.queue_capacity,
+            SchedulerMetrics::registered(&telemetry.registry),
+        );
         let shared = Arc::new(Shared {
             registry,
-            scheduler: Scheduler::new(workers, config.queue_capacity),
+            scheduler,
             shutdown: AtomicBool::new(false),
             addr,
             workers,
@@ -274,11 +368,7 @@ impl Server {
             max_requests_per_sec: config.max_requests_per_sec,
             cache: Mutex::new(OutcomeCache::new()),
             frontiers: Arc::new(Mutex::new(HashMap::new())),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            served_delta: AtomicU64::new(0),
-            served_full: AtomicU64::new(0),
-            rate_limited: AtomicU64::new(0),
+            telemetry,
         });
         Ok(Server { listener, shared })
     }
@@ -338,7 +428,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         // exactly MAX_REQUEST_LINE payload bytes.
         match (&mut reader).take(MAX_REQUEST_LINE as u64 + 2).read_line(&mut line) {
             Ok(0) => return, // clean disconnect
-            Ok(_) => {}
+            Ok(n) => shared.telemetry.bytes_in.add(n as u64),
             Err(_) => {
                 // Unreadable bytes: non-UTF-8 input, or the cap above
                 // truncated a multi-byte character mid-sequence. Say so
@@ -382,7 +472,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         // this rejection, and the connection stays open for a retry.
         if let Some(bucket) = &mut bucket {
             if !bucket.admit() {
-                shared.rate_limited.fetch_add(1, Ordering::Relaxed);
+                shared.telemetry.rate_limited.inc();
                 if write_line(
                     &mut writer,
                     &protocol::error_response(
@@ -405,7 +495,11 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         // request's `accepted` line is flushed *before* the handler
         // blocks on the job, so the client can learn the id early
         // enough to cancel from another connection.
-        let mut emit = |response: &Json| write_line(&mut writer, response);
+        let mut emit = |response: &Json| {
+            let n = write_line(&mut writer, response)?;
+            shared.telemetry.bytes_out.add(n as u64);
+            Ok(())
+        };
         if handle_line(&line, shared, &mut emit).is_err() {
             return;
         }
@@ -417,11 +511,14 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-fn write_line(writer: &mut TcpStream, response: &Json) -> std::io::Result<()> {
+/// Write one response line; returns the bytes written so the caller can
+/// account them.
+fn write_line(writer: &mut TcpStream, response: &Json) -> std::io::Result<usize> {
     let mut text = response.to_string();
     text.push('\n');
     writer.write_all(text.as_bytes())?;
-    writer.flush()
+    writer.flush()?;
+    Ok(text.len())
 }
 
 /// Writes one response line; `Err` means the connection is gone.
@@ -452,6 +549,8 @@ fn handle_line(line: &str, shared: &Arc<Shared>, emit: Emit<'_>) -> std::io::Res
         }
         Request::ListDatasets => emit(&list_datasets_response(shared)),
         Request::Status => emit(&status_response(shared)),
+        Request::Metrics { text } => emit(&metrics_response(shared, text)),
+        Request::Trace { job } => emit(&trace_response(job, shared)),
         Request::Cancel { job } => emit(&cancel_response(job, shared)),
         Request::Shutdown => {
             // Flush the confirmation line *before* waking the accept
@@ -551,23 +650,42 @@ fn handle_mine(req: MineRequest, shared: &Arc<Shared>, emit: Emit<'_>) -> std::i
     // The canonical cache key: the request's own wire form with the
     // dataset pinned to the version it resolved to. Canonical JSON
     // (sorted construction, fixed member order) makes equal requests
-    // equal strings.
-    let cache_key = MineRequest { dataset: resolved.versioned_name(), miner: req.miner }
-        .to_json()
-        .to_string();
-    if let Some(outcome) = shared.cache.lock().expect("cache lock").get(&cache_key) {
-        shared.cache_hits.fetch_add(1, Ordering::Relaxed);
-        let job = shared.scheduler.allocate_job_id();
-        emit(&accepted_line(job))?;
-        return emit(&outcome_line(job, outcome, "cache"));
+    // equal strings. `progress` is pinned to false in the key: streaming
+    // is presentation, the outcome bytes are identical either way, so
+    // both request flavors share one cache entry.
+    let cache_key = MineRequest {
+        dataset: resolved.versioned_name(),
+        miner: req.miner.clone(),
+        progress: false,
     }
-    shared.cache_misses.fetch_add(1, Ordering::Relaxed);
+    .to_json()
+    .to_string();
+    let telemetry = &shared.telemetry;
+    // A progress request promises one event stream per iteration, so it
+    // bypasses the cache *read* (replays run nothing and stream nothing);
+    // its outcome still lands in the cache for later non-streaming hits.
+    // The hit/miss counters meter cache-eligible requests only.
+    if !req.progress {
+        if let Some(outcome) = shared.cache.lock().expect("cache lock").get(&cache_key) {
+            telemetry.cache_hits.inc();
+            let job = shared.scheduler.allocate_job_id();
+            telemetry.spans.begin(job);
+            telemetry.spans.record(job, "queued");
+            telemetry.spans.record(job, "served_from_cache");
+            emit(&accepted_line(job))?;
+            return emit(&outcome_line(job, outcome, "cache"));
+        }
+        telemetry.cache_misses.inc();
+    }
 
     // Route: a stored frontier for (dataset, params) at version ≤ the
     // requested one serves via delta replay; otherwise a full run (which
     // on the memory backend captures the frontier for next time).
+    // Progress requests force the observed full route: a delta replay
+    // does not iterate, so it would have nothing to stream.
     let threads = req.miner.configured_threads();
-    let frontier_eligible = matches!(req.miner.configured_backend(), Backend::Memory)
+    let frontier_eligible = !req.progress
+        && matches!(req.miner.configured_backend(), Backend::Memory)
         && !req.miner.configured_filter_r1();
     let frontier_key = (resolved.name.clone(), params_fingerprint(&req.miner));
     let replay = if frontier_eligible {
@@ -583,6 +701,13 @@ fn handle_mine(req: MineRequest, shared: &Arc<Shared>, emit: Emit<'_>) -> std::i
     } else {
         None
     };
+    // The job id is allocated *before* submission (`submit_as` queues
+    // under it) so the span log and the streamed progress lines carry
+    // the same id the client sees on the `accepted` line.
+    let job_id = shared.scheduler.allocate_job_id();
+    telemetry.spans.begin(job_id);
+    telemetry.spans.record(job_id, "queued");
+    let mut progress_rx = None;
     let (served_via, job) = match replay {
         Some((frontier, steps)) => {
             let frontiers = Arc::clone(&shared.frontiers);
@@ -612,7 +737,7 @@ fn handle_mine(req: MineRequest, shared: &Arc<Shared>, emit: Emit<'_>) -> std::i
             let key = frontier_key;
             let version = resolved.version;
             let dataset = Arc::clone(&resolved.dataset);
-            let miner = req.miner;
+            let miner = req.miner.clone();
             let work = move || {
                 let (outcome, frontier) =
                     MiningFrontier::bootstrap(&dataset, miner.params(), threads)?;
@@ -621,9 +746,30 @@ fn handle_mine(req: MineRequest, shared: &Arc<Shared>, emit: Emit<'_>) -> std::i
             };
             ("full", MineJob::from_work(work))
         }
-        None => ("full", MineJob::new(req.miner, Arc::clone(&resolved.dataset))),
+        None => {
+            let tx = req.progress.then(|| {
+                let (tx, rx) = mpsc::channel();
+                progress_rx = Some(rx);
+                Mutex::new(tx)
+            });
+            let sink = Arc::new(JobSink {
+                job: job_id,
+                spans: Arc::clone(&telemetry.spans),
+                pool_cache_hits: Arc::clone(&telemetry.pool_cache_hits),
+                pool_steals: Arc::clone(&telemetry.pool_steals),
+                pool_rebalances: Arc::clone(&telemetry.pool_rebalances),
+                tx,
+            });
+            // The miner is the sink's only holder: the connection thread
+            // keeps no clone, so the progress sender dies exactly when
+            // the run finishes or a queued cancel drops the closure.
+            let miner = req.miner.clone().observer(sink);
+            let dataset = Arc::clone(&resolved.dataset);
+            ("full", MineJob::from_work(move || miner.run(&dataset)))
+        }
     };
-    let ticket = match shared.scheduler.submit(job) {
+    telemetry.spans.record(job_id, "planned");
+    let ticket = match shared.scheduler.submit_as(job_id, job) {
         Ok(t) => t,
         Err(e @ SubmitError::QueueFull { .. }) => {
             return emit(&protocol::error_response(codes::QUEUE_FULL, &e.to_string(), None));
@@ -636,32 +782,61 @@ fn handle_mine(req: MineRequest, shared: &Arc<Shared>, emit: Emit<'_>) -> std::i
     // Flush the accepted line *before* blocking on the job, so another
     // connection can cancel it by id while it is still queued.
     emit(&accepted_line(job))?;
+    // Stream progress lines as the worker produces events. The loop ends
+    // when the sink's sender drops — run finished (either way) or the
+    // queued job was cancelled and its closure dropped — so cancellation
+    // closes the stream cleanly before the error line below.
+    if let Some(rx) = progress_rx {
+        for event in rx.iter() {
+            emit(&protocol::progress_event_to_json(job, &event))?;
+        }
+    }
     // Block this connection thread (not a worker) until the job resolves.
     let response = match ticket.wait() {
         JobResult::Finished(Ok(outcome)) => {
+            telemetry.spans.record(job, "serialized");
             let outcome = protocol::outcome_to_json(&outcome);
             shared.cache.lock().expect("cache lock").insert(cache_key, outcome.clone());
             match served_via {
-                "delta" => shared.served_delta.fetch_add(1, Ordering::Relaxed),
-                _ => shared.served_full.fetch_add(1, Ordering::Relaxed),
+                "delta" => telemetry.served_delta.inc(),
+                _ => telemetry.served_full.inc(),
             };
             outcome_line(job, outcome, served_via)
         }
         JobResult::Finished(Err(e)) => {
+            telemetry.spans.record(job, "failed");
+            dump_spans(telemetry, job, &e.to_string());
             protocol::error_response(protocol::setm_error_code(&e), &e.to_string(), Some(job))
         }
-        JobResult::Cancelled => protocol::error_response(
-            codes::CANCELLED,
-            "job was cancelled before it ran",
-            Some(job),
-        ),
-        JobResult::Panicked => protocol::error_response(
-            codes::INTERNAL,
-            "the mining run panicked (this is a server bug)",
-            Some(job),
-        ),
+        JobResult::Cancelled => {
+            telemetry.spans.record(job, "cancelled");
+            protocol::error_response(
+                codes::CANCELLED,
+                "job was cancelled before it ran",
+                Some(job),
+            )
+        }
+        JobResult::Panicked => {
+            telemetry.spans.record(job, "panicked");
+            dump_spans(telemetry, job, "panic");
+            protocol::error_response(
+                codes::INTERNAL,
+                "the mining run panicked (this is a server bug)",
+                Some(job),
+            )
+        }
     };
     emit(&response)
+}
+
+/// On job failure the recorded spans go to stderr: the client gets the
+/// typed error line, the operator gets the timeline that led to it.
+fn dump_spans(telemetry: &Telemetry, job: u64, reason: &str) {
+    if let Some(events) = telemetry.spans.get(job) {
+        let timeline: Vec<String> =
+            events.iter().map(|e| format!("{} @{:.1}ms", e.label, e.at_ms)).collect();
+        eprintln!("[setm-serve] job {job} failed ({reason}): {}", timeline.join(" -> "));
+    }
 }
 
 fn list_datasets_response(shared: &Shared) -> Json {
@@ -694,7 +869,11 @@ fn status_response(shared: &Shared) -> Json {
     let s = shared.scheduler.status();
     let available_parallelism =
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) as u64;
-    let cache_hits = shared.cache_hits.load(Ordering::Relaxed);
+    // All counters below read the same registry cells the `metrics` verb
+    // renders — `status` is a fixed-shape view over the registry, not an
+    // independent tally that could drift from it.
+    let t = &shared.telemetry;
+    let cache_hits = t.cache_hits.get();
     Json::obj([
         ("ok", Json::Bool(true)),
         ("event", Json::str("status")),
@@ -724,13 +903,89 @@ fn status_response(shared: &Shared) -> Json {
         // and how responses have been produced so far.
         ("available_parallelism", Json::u64(available_parallelism)),
         ("cache_hits", Json::u64(cache_hits)),
-        ("cache_misses", Json::u64(shared.cache_misses.load(Ordering::Relaxed))),
+        ("cache_misses", Json::u64(t.cache_misses.get())),
         ("served_cache", Json::u64(cache_hits)),
-        ("served_delta", Json::u64(shared.served_delta.load(Ordering::Relaxed))),
-        ("served_full", Json::u64(shared.served_full.load(Ordering::Relaxed))),
+        ("served_delta", Json::u64(t.served_delta.get())),
+        ("served_full", Json::u64(t.served_full.get())),
         ("rate_limit", Json::u64(shared.max_requests_per_sec)),
-        ("rate_limited", Json::u64(shared.rate_limited.load(Ordering::Relaxed))),
+        ("rate_limited", Json::u64(t.rate_limited.get())),
     ])
+}
+
+/// The `metrics` verb: snapshot the registry as canonical JSON, or as
+/// Prometheus-style text exposition carried in a `text` member (NDJSON
+/// cannot ship raw multi-line bodies).
+fn metrics_response(shared: &Shared, text: bool) -> Json {
+    let t = &shared.telemetry;
+    // Occupancy gauges are sampled from the live structures at render
+    // time — cheaper and simpler than updating them on every mutation.
+    t.conn_open.set(shared.connections.load(Ordering::SeqCst) as u64);
+    t.registry_datasets.set(shared.registry.len() as u64);
+    t.registry_datasets_loaded.set(shared.registry.loaded_count() as u64);
+    t.frontier_entries.set(shared.frontiers.lock().expect("frontier lock").len() as u64);
+    if text {
+        return Json::obj([
+            ("ok", Json::Bool(true)),
+            ("event", Json::str("metrics")),
+            ("format", Json::str("text")),
+            ("text", Json::str(t.registry.render_text())),
+        ]);
+    }
+    let metrics = t
+        .registry
+        .snapshot()
+        .into_iter()
+        .map(|(name, value)| {
+            let v = match value {
+                MetricValue::Counter(c) => Json::u64(c),
+                MetricValue::Gauge(g) => Json::u64(g),
+                MetricValue::Histogram(h) => Json::obj([
+                    ("count", Json::u64(h.count)),
+                    ("sum_ms", Json::Num(h.sum_ms)),
+                    ("p50_ms", Json::Num(h.p50_ms)),
+                    ("p90_ms", Json::Num(h.p90_ms)),
+                    ("p99_ms", Json::Num(h.p99_ms)),
+                ]),
+            };
+            (name, v)
+        })
+        .collect();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("event", Json::str("metrics")),
+        ("format", Json::str("json")),
+        ("metrics", Json::Obj(metrics)),
+    ])
+}
+
+/// The `trace` verb: the span ring's timeline for one recent job.
+fn trace_response(job: u64, shared: &Shared) -> Json {
+    match shared.telemetry.spans.get(job) {
+        Some(events) => Json::obj([
+            ("ok", Json::Bool(true)),
+            ("event", Json::str("trace")),
+            ("job", Json::u64(job)),
+            (
+                "spans",
+                Json::Arr(
+                    events
+                        .iter()
+                        .map(|e| {
+                            Json::obj([
+                                ("label", Json::str(&e.label)),
+                                ("at_ms", Json::Num(e.at_ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        None => protocol::error_response(
+            codes::UNKNOWN_JOB,
+            &format!("no span log for job {job} (never scheduled, or evicted from the ring)"),
+            Some(job),
+        ),
+    }
 }
 
 fn cancel_response(job: u64, shared: &Shared) -> Json {

@@ -473,26 +473,26 @@ fn appends_serve_via_delta_with_byte_identical_outcomes() {
     let miner = Miner::new(params).threads(1);
 
     assert_eq!(client.register_dataset("stream", &stream_base()).unwrap(), 1);
-    let first = client.mine("stream", miner).unwrap();
+    let first = client.mine("stream", miner.clone()).unwrap();
     assert_eq!(first.served_via.as_deref(), Some("full"));
     assert_eq!(first.raw_outcome, local_outcome_bytes(&stream_base(), &miner));
 
     // The identical request is replayed from the outcome cache, verbatim.
-    let cached = client.mine("stream", miner).unwrap();
+    let cached = client.mine("stream", miner.clone()).unwrap();
     assert_eq!(cached.served_via.as_deref(), Some("cache"));
     assert_eq!(cached.raw_outcome, first.raw_outcome);
 
     // Appending bumps the version; the next mine rides the frontier.
     assert_eq!(client.append_batch("stream", &stream_batch()).unwrap(), 2);
-    let delta = client.mine("stream", miner).unwrap();
+    let delta = client.mine("stream", miner.clone()).unwrap();
     assert_eq!(delta.served_via.as_deref(), Some("delta"));
     let mut concat = stream_base();
     concat.extend(stream_batch());
     assert_eq!(delta.raw_outcome, local_outcome_bytes(&concat, &miner));
 
     // The engine backend has no honest delta shortcut — it serves full.
-    let engine = miner.backend(Backend::Engine(EngineConfig::default()));
-    let eng = client.mine("stream", engine).unwrap();
+    let engine = miner.clone().backend(Backend::Engine(EngineConfig::default()));
+    let eng = client.mine("stream", engine.clone()).unwrap();
     assert_eq!(eng.served_via.as_deref(), Some("full"));
     assert_eq!(eng.raw_outcome, local_outcome_bytes(&concat, &engine));
 
@@ -537,20 +537,20 @@ fn old_versions_stay_addressable_and_in_flight_jobs_keep_their_snapshot() {
 
     // Submit against the latest version (currently 1); the dataset
     // snapshot is resolved at submission, before the append below lands.
-    client.submit("pinned", miner).unwrap();
+    client.submit("pinned", miner.clone()).unwrap();
     let mut admin = Client::connect(addr).unwrap();
     assert_eq!(admin.append_batch("pinned", &stream_batch()).unwrap(), 2);
     let in_flight = client.wait_outcome().unwrap();
     assert_eq!(in_flight.raw_outcome, v1_bytes, "in-flight job keeps its snapshot");
 
     // Old and new versions are both addressable, with distinct data.
-    let pinned = client.mine("pinned@1", miner).unwrap();
+    let pinned = client.mine("pinned@1", miner.clone()).unwrap();
     assert_eq!(pinned.raw_outcome, v1_bytes);
     let mut concat = stream_base();
     concat.extend(stream_batch());
-    let latest = client.mine("pinned@2", miner).unwrap();
+    let latest = client.mine("pinned@2", miner.clone()).unwrap();
     assert_eq!(latest.raw_outcome, local_outcome_bytes(&concat, &miner));
-    assert_eq!(client.mine("pinned", miner).unwrap().raw_outcome, latest.raw_outcome);
+    assert_eq!(client.mine("pinned", miner.clone()).unwrap().raw_outcome, latest.raw_outcome);
 
     // A version that does not exist is a 404.
     match client.mine("pinned@9", miner).unwrap_err() {
@@ -675,4 +675,252 @@ fn shutdown_drains_in_flight_jobs() {
 
     // After the drain the server is gone: new connections fail.
     assert!(Client::connect(addr).is_err(), "listener must be closed after drain");
+}
+
+/// PR 9 tentpole: `progress: true` streams one event per SETM iteration
+/// between `accepted` and the outcome — and the outcome bytes are
+/// exactly what the same request produces with progress off. The
+/// telemetry is a pure side-channel; determinism stays pinned.
+#[test]
+fn progress_stream_is_a_pure_side_channel() {
+    let (addr, server) = start_server(2, 16);
+    let mut client = Client::connect(addr).unwrap();
+    let miner = Miner::new(MiningParams::new(MinSupport::Fraction(0.02), 0.5)).threads(1);
+
+    let mut iterations: Vec<usize> = Vec::new();
+    let mut phases = 0usize;
+    let observed = client
+        .mine_observed("quest-t5", miner.clone(), |event| match event {
+            setm_serve::ProgressEvent::Iteration(t) => iterations.push(t.k),
+            setm_serve::ProgressEvent::Phase { .. } => phases += 1,
+            setm_serve::ProgressEvent::Note { .. } => {}
+        })
+        .unwrap();
+
+    // One Iteration event per outcome-trace row, in iteration order.
+    assert_eq!(
+        iterations,
+        observed.outcome.trace.iter().map(|t| t.k).collect::<Vec<_>>(),
+        "one progress event per iteration, in order"
+    );
+    assert!(iterations.len() >= 2, "quest-t5 is a multi-iteration workload");
+    let _ = phases; // phase events are backend-dependent; counted, not asserted
+
+    // Progress never leaks into the outcome: the unobserved request
+    // returns byte-identical outcome bytes (served from the same cache
+    // entry — both flavors share one cache key).
+    let plain = client.mine("quest-t5", miner.clone()).unwrap();
+    assert_eq!(plain.raw_outcome, observed.raw_outcome, "outcome bytes are pinned");
+    assert_eq!(plain.served_via.as_deref(), Some("cache"));
+
+    // And both equal a local run serialized with the same canonical form.
+    let local = miner.run(&Registry::with_builtins().get("quest-t5").unwrap()).unwrap();
+    assert_eq!(observed.raw_outcome, outcome_to_json(&local).to_string());
+    shutdown(addr, server);
+}
+
+/// Cancelling a queued job that asked for progress closes its (empty)
+/// progress stream cleanly: the client sees the `cancelled` error, not a
+/// hang — the dropped job closure drops the stream's only sender.
+#[test]
+fn cancel_mid_progress_stream_closes_cleanly() {
+    let (addr, server) = start_server(1, 8);
+    let slow_params = MiningParams::new(MinSupport::Count(2), 0.5);
+
+    // Occupy the single worker so the victim's job stays queued.
+    let blocker = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.mine("retail-paper", Miner::new(slow_params).threads(1)).unwrap();
+    });
+    let mut admin = Client::connect(addr).unwrap();
+    loop {
+        let s = admin.status().unwrap();
+        if s.running == 1 {
+            break;
+        }
+        if s.completed >= 1 {
+            panic!("blocker finished before the cancel test ran");
+        }
+        std::thread::yield_now();
+    }
+
+    let mut victim = Client::connect(addr).unwrap();
+    let job = victim
+        .submit_with_progress(
+            "example",
+            Miner::new(MiningParams::new(MinSupport::Fraction(0.3), 0.7)),
+        )
+        .unwrap();
+    assert!(admin.cancel(job).unwrap(), "queued job must dequeue");
+
+    // The stream ends (the job never ran, so it is empty) and the error
+    // line follows — wait_outcome_observed returns instead of hanging.
+    let mut events = 0usize;
+    match victim.wait_outcome_observed(|_| events += 1).unwrap_err() {
+        ClientError::Server { code, status, .. } => {
+            assert_eq!((code.as_str(), status), ("cancelled", 409));
+        }
+        other => panic!("expected cancelled, got {other}"),
+    }
+    assert_eq!(events, 0, "a never-run job streams no iterations");
+
+    // The connection survives the cancelled stream.
+    let reply = victim
+        .mine("example", Miner::new(MiningParams::new(MinSupport::Fraction(0.3), 0.7)))
+        .unwrap();
+    assert_eq!(reply.outcome.rules.len(), 11);
+    blocker.join().unwrap();
+    shutdown(addr, server);
+}
+
+/// The `metrics` verb, text flavor: every line of the exposition parses
+/// as either a `# TYPE` comment or `name[{labels}] value`, and counters
+/// are monotonic across requests.
+#[test]
+fn metrics_text_parses_and_counters_are_monotonic() {
+    let (addr, server) = start_server(2, 16);
+    let mut client = Client::connect(addr).unwrap();
+    let params = MiningParams::new(MinSupport::Fraction(0.3), 0.7);
+    client.mine("example", Miner::new(params)).unwrap();
+
+    let text = client.metrics_text().unwrap();
+    let mut names = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').expect("# TYPE name kind");
+            assert!(name.starts_with("setm_"), "canonical prefix: {line}");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "summary"),
+                "known metric kind: {line}"
+            );
+            names.push(name.to_string());
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("name value");
+        assert!(!name.is_empty() && name.starts_with("setm_"), "{line}");
+        value.parse::<f64>().unwrap_or_else(|_| panic!("numeric value: {line}"));
+    }
+    for required in [
+        "setm_scheduler_completed_total",
+        "setm_scheduler_queue_wait_ms",
+        "setm_cache_misses_total",
+        "setm_served_full_total",
+        "setm_conn_bytes_out_total",
+        "setm_pool_cache_hits_total",
+    ] {
+        assert!(names.iter().any(|n| n == required), "{required} missing from exposition");
+    }
+
+    // Counters are monotonic: another mine can only move them up. A
+    // *distinct* request, so it schedules a job instead of replaying
+    // the outcome cache.
+    let before = client.metrics().unwrap();
+    client.mine("example", Miner::new(MiningParams::new(MinSupport::Fraction(0.3), 0.6))).unwrap();
+    let after = client.metrics().unwrap();
+    for counter in
+        ["setm_scheduler_completed_total", "setm_conn_bytes_out_total", "setm_conn_bytes_in_total"]
+    {
+        let get = |v: &setm_serve::json::Json| {
+            v.get(counter).and_then(|j| j.as_u64()).unwrap_or_else(|| panic!("{counter} present"))
+        };
+        assert!(get(&after) >= get(&before), "{counter} must be monotonic");
+        if counter == "setm_scheduler_completed_total" {
+            assert!(get(&after) > get(&before), "a completed mine increments {counter}");
+        }
+    }
+    shutdown(addr, server);
+}
+
+/// Satellite fix (PR 9): `status` is a fixed-shape view over the same
+/// registry cells the `metrics` verb renders — the two can never
+/// disagree, and this pins it.
+#[test]
+fn status_and_metrics_read_the_same_cells() {
+    let (addr, server) = start_server(2, 16);
+    let mut client = Client::connect(addr).unwrap();
+    let params = MiningParams::new(MinSupport::Fraction(0.3), 0.7);
+    client.mine("example", Miner::new(params)).unwrap();
+    client.mine("example", Miner::new(params)).unwrap(); // cache hit
+
+    let status = client.status().unwrap();
+    let metrics = client.metrics().unwrap();
+    let counter = |name: &str| {
+        metrics.get(name).and_then(|j| j.as_u64()).unwrap_or_else(|| panic!("{name} present"))
+    };
+    assert_eq!(status.completed, counter("setm_scheduler_completed_total"));
+    assert_eq!(status.rejected, counter("setm_scheduler_rejected_total"));
+    assert_eq!(status.cancelled, counter("setm_scheduler_cancelled_total"));
+    assert_eq!(status.cache_hits, counter("setm_cache_hits_total"));
+    assert_eq!(status.cache_misses, counter("setm_cache_misses_total"));
+    assert_eq!(status.served_delta, counter("setm_served_delta_total"));
+    assert_eq!(status.served_full, counter("setm_served_full_total"));
+    assert_eq!(status.rate_limited, counter("setm_conn_rate_limited_total"));
+    assert_eq!(status.datasets, counter("setm_registry_datasets"));
+    assert_eq!(status.datasets_loaded, counter("setm_registry_datasets_loaded"));
+    assert!(status.cache_hits >= 1, "the repeat request hit the outcome cache");
+    shutdown(addr, server);
+}
+
+/// The `trace` verb round-trips a finished job's span log: queued →
+/// planned → per-iteration spans → serialized, timestamps nondecreasing;
+/// a job the ring never saw is a typed `unknown_job` 404.
+#[test]
+fn trace_round_trips_job_spans() {
+    let (addr, server) = start_server(2, 16);
+    let mut client = Client::connect(addr).unwrap();
+    let miner = Miner::new(MiningParams::new(MinSupport::Fraction(0.02), 0.5)).threads(1);
+    let reply = client.mine_observed("quest-t5", miner, |_| {}).unwrap();
+
+    let mut operator = Client::connect(addr).unwrap();
+    let spans = operator.trace(reply.job).unwrap();
+    let labels: Vec<&str> = spans.iter().map(|(l, _)| l.as_str()).collect();
+    assert_eq!(labels.first().copied(), Some("queued"));
+    assert!(labels.contains(&"planned"), "{labels:?}");
+    assert!(labels.iter().any(|l| l.starts_with("iteration ")), "{labels:?}");
+    assert_eq!(labels.last().copied(), Some("serialized"));
+    assert!(
+        spans.windows(2).all(|w| w[0].1 <= w[1].1),
+        "span timestamps are nondecreasing: {spans:?}"
+    );
+
+    match operator.trace(999_999).unwrap_err() {
+        ClientError::Server { code, status, .. } => {
+            assert_eq!((code.as_str(), status), ("unknown_job", 404));
+        }
+        other => panic!("expected unknown_job, got {other}"),
+    }
+    shutdown(addr, server);
+}
+
+/// A request *without* `progress` — the pre-obs wire shape — gets
+/// exactly two lines back, `accepted` then the outcome, with nothing
+/// streamed in between. Pre-obs clients are byte-unaffected by PR 9.
+#[test]
+fn progress_absent_means_no_progress_lines() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let (addr, server) = start_server(1, 4);
+    let conn = TcpStream::connect(addr).unwrap();
+    let mut writer = conn.try_clone().unwrap();
+    let mut reader = BufReader::new(conn);
+    writer
+        .write_all(
+            b"{\"op\":\"mine\",\"dataset\":\"quest-t5\",\"min_support\":{\"fraction\":0.02},\"min_confidence\":0.5,\"threads\":1}\n",
+        )
+        .unwrap();
+    let mut accepted = String::new();
+    reader.read_line(&mut accepted).unwrap();
+    let a = setm_serve::json::parse(accepted.trim()).unwrap();
+    assert_eq!(a.get("event").and_then(|j| j.as_str()), Some("accepted"), "{accepted}");
+
+    // The very next line is the outcome — no progress events in between.
+    let mut second = String::new();
+    reader.read_line(&mut second).unwrap();
+    let v = setm_serve::json::parse(second.trim()).unwrap();
+    assert_eq!(v.get("event").and_then(|j| j.as_str()), Some("outcome"), "{second}");
+    assert!(!second.contains("\"event\":\"progress\""), "{second}");
+    drop(writer);
+    drop(reader);
+    shutdown(addr, server);
 }

@@ -15,7 +15,7 @@ fn main() {
     let params = example::paper_example_params();
 
     let miner = Miner::new(params);
-    let run = miner.backend(Backend::Sql).run(&dataset).expect("SQL run succeeds");
+    let run = miner.clone().backend(Backend::Sql).run(&dataset).expect("SQL run succeeds");
     let statements = run.report.statements().expect("the SQL backend records its statements");
 
     println!("Executed {} SQL statements:\n", statements.len());
@@ -40,7 +40,7 @@ fn main() {
     // The point of the paper: plain SQL produces exactly what the
     // special-purpose implementation produces — same facade, same
     // outcome type, different backend.
-    let reference = miner.backend(Backend::Memory).run(&dataset).expect("memory run succeeds");
+    let reference = miner.clone().backend(Backend::Memory).run(&dataset).expect("memory run succeeds");
     assert_eq!(run.result.frequent_itemsets(), reference.result.frequent_itemsets());
     assert_eq!(run.rules, reference.rules);
     println!("\nSQL-driven results identical to the in-memory execution. QED (Section 7).");
@@ -50,7 +50,7 @@ fn main() {
     // concurrently, shard-local counts merged by one global
     // GROUP BY … HAVING SUM(cnt) >= :minsupport — mines the identical
     // outcome.
-    let parallel = miner.backend(Backend::Sql).threads(2).run(&dataset).expect("sharded SQL run");
+    let parallel = miner.clone().backend(Backend::Sql).threads(2).run(&dataset).expect("sharded SQL run");
     assert_eq!(parallel.result.frequent_itemsets(), reference.result.frequent_itemsets());
     assert_eq!(parallel.rules, reference.rules);
     let shard_statements = parallel.report.statements().expect("statements recorded");

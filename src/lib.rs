@@ -49,7 +49,8 @@
 //! let dataset = example::paper_example_dataset();
 //! let miner = Miner::new(example::paper_example_params());
 //!
-//! let on_engine = miner.backend(Backend::Engine(EngineConfig::default())).run(&dataset).unwrap();
+//! let on_engine =
+//!     miner.clone().backend(Backend::Engine(EngineConfig::default())).run(&dataset).unwrap();
 //! assert!(on_engine.report.page_accesses().unwrap() > 0);
 //!
 //! let via_sql = miner.backend(Backend::Sql).run(&dataset).unwrap();

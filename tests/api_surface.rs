@@ -75,14 +75,14 @@ fn builder_chain_compiles_in_the_documented_shape() {
 
 #[test]
 fn miner_is_a_value_type_for_sweeps() {
-    // A single configured Miner fans out across backends by value —
+    // A single configured Miner fans out across backends by cheap clone —
     // the usage pattern of the repro binary and the equivalence tests.
     let d = setm::example::paper_example_dataset();
     let miner = Miner::new(setm::example::paper_example_params());
     let runs: Vec<MiningOutcome> =
         [Backend::Memory, Backend::Engine(EngineConfig::default()), Backend::Sql]
             .into_iter()
-            .map(|b| miner.backend(b).threads(1).run(&d).unwrap())
+            .map(|b| miner.clone().backend(b).threads(1).run(&d).unwrap())
             .collect();
     assert!(runs.windows(2).all(|w| w[0].rules == w[1].rules));
 }
@@ -150,7 +150,7 @@ fn threads_knob_is_honored_on_every_backend() {
     let d = setm::example::paper_example_dataset();
     let miner = Miner::new(setm::example::paper_example_params()).threads(4);
     for backend in [Backend::Memory, Backend::Engine(EngineConfig::default()), Backend::Sql] {
-        let outcome = miner.backend(backend).run(&d).unwrap();
+        let outcome = miner.clone().backend(backend).run(&d).unwrap();
         assert_eq!(outcome.rules.len(), 11, "{}", backend.name());
     }
     // A partitioned SQL run reports its per-shard statements + merge.

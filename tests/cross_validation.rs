@@ -80,7 +80,7 @@ proptest! {
         let reference = mine_ref(&d, &params).frequent_itemsets();
         let miner = Miner::new(params);
         let engine =
-            miner.backend(Backend::Engine(EngineConfig::default())).run(&d).unwrap();
+            miner.clone().backend(Backend::Engine(EngineConfig::default())).run(&d).unwrap();
         prop_assert_eq!(engine.result.frequent_itemsets(), reference.clone());
         let sql = miner.backend(Backend::Sql).run(&d).unwrap();
         prop_assert_eq!(sql.result.frequent_itemsets(), reference);

@@ -65,14 +65,15 @@ proptest! {
         min_count in 1u64..=5,
     ) {
         let miner = Miner::new(MiningParams::new(MinSupport::Count(min_count), 0.6));
-        let reference = miner.threads(1).run(&d).unwrap();
+        let reference = miner.clone().threads(1).run(&d).unwrap();
 
         for threads in thread_counts() {
-            let mem = miner.threads(threads).run(&d).unwrap();
+            let mem = miner.clone().threads(threads).run(&d).unwrap();
             assert_equivalent(&reference, &mem, &format!("memory threads={threads}"));
             prop_assert!(mem.report.page_accesses().is_none());
 
             let eng = miner
+                .clone()
                 .backend(Backend::Engine(EngineConfig::default()))
                 .threads(threads)
                 .run(&d)
@@ -80,7 +81,7 @@ proptest! {
             assert_equivalent(&reference, &eng, &format!("engine threads={threads}"));
             prop_assert!(eng.report.page_accesses().is_some());
 
-            let sql = miner.backend(Backend::Sql).threads(threads).run(&d).unwrap();
+            let sql = miner.clone().backend(Backend::Sql).threads(threads).run(&d).unwrap();
             assert_equivalent(&reference, &sql, &format!("sql threads={threads}"));
             prop_assert!(sql.report.statements().is_some_and(|s| !s.is_empty()));
         }
@@ -107,7 +108,7 @@ fn empty_dataset_is_a_clean_empty_outcome_everywhere() {
     let empty = Dataset::from_pairs(std::iter::empty());
     let miner = Miner::new(MiningParams::new(MinSupport::Fraction(0.3), 0.7));
     for backend in [Backend::Memory, Backend::Engine(EngineConfig::default()), Backend::Sql] {
-        let outcome = miner.backend(backend).threads(1).run(&empty).unwrap();
+        let outcome = miner.clone().backend(backend).threads(1).run(&empty).unwrap();
         assert_eq!(outcome.result.max_pattern_len(), 0, "{}", backend.name());
         assert!(outcome.rules.is_empty(), "{}", backend.name());
         assert_eq!(outcome.result.n_transactions, 0);

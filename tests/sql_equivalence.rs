@@ -151,9 +151,9 @@ fn partitioned_sql_matches_memory_on_retail_sample() {
     let d = RetailConfig::small(800, 21).generate();
     let params = MiningParams::new(MinSupport::Fraction(0.02), 0.5);
     let miner = Miner::new(params);
-    let reference = miner.run(&d).unwrap();
+    let reference = miner.clone().run(&d).unwrap();
     for threads in [2usize, 4] {
-        let run = miner.backend(Backend::Sql).threads(threads).run(&d).unwrap();
+        let run = miner.clone().backend(Backend::Sql).threads(threads).run(&d).unwrap();
         assert_eq!(
             run.result.frequent_itemsets(),
             reference.result.frequent_itemsets(),

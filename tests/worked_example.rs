@@ -12,8 +12,8 @@ fn figures_1_to_3_from_every_execution() {
 
     let memory = miner.run(&d).unwrap().result;
     let engine =
-        miner.backend(Backend::Engine(EngineConfig::default())).run(&d).unwrap().result;
-    let sql = miner.backend(Backend::Sql).run(&d).unwrap().result;
+        miner.clone().backend(Backend::Engine(EngineConfig::default())).run(&d).unwrap().result;
+    let sql = miner.clone().backend(Backend::Sql).run(&d).unwrap().result;
     let nested =
         mine_nested_loop(&d, miner.params(), NestedLoopOptions::default()).unwrap();
 
