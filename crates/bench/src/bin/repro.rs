@@ -31,7 +31,8 @@
 //!              partitioned SQL series — plus the serve sweep and the
 //!              serve saturation knee (each with scheduler queue-wait
 //!              percentiles), the poolscale trajectory, the
-//!              incremental-vs-remine ratio, and a machine-independent
+//!              incremental-vs-remine ratio, the constrained-pushdown
+//!              vs post-filter comparison, and a machine-independent
 //!              `deterministic` counter section with a shared-pool vs
 //!              even-split ablation) for perf diffing; honors
 //!              SETM_BENCH_TINY=1
@@ -42,8 +43,9 @@
 //!              Wall-clock fields are reported but never gated. Schema
 //!              bridge: v4 pool fields are reported, not gated, against
 //!              a v3-or-older reference (as v3 plan fields are against
-//!              v2); v5 adds only wall-clock sections and v6 only the
-//!              wall-clock queue-wait percentiles, so their
+//!              v2); v5 adds only wall-clock sections, v6 only the
+//!              wall-clock queue-wait percentiles, and v7 only the
+//!              constrained_t20_i6 pushdown section, so their
 //!              deterministic subtrees gate identically against a v4
 //!              reference.
 //!   all        every report target above, in order (baseline excluded)
@@ -71,7 +73,7 @@ use setm_bench::loadgen::{
 };
 use setm_core::nested_loop::{mine_nested_loop, NestedLoopOptions};
 use setm_core::setm::engine::EngineConfig;
-use setm_core::{Backend, MinSupport, Miner, MiningParams, SetmResult};
+use setm_core::{Backend, MinSupport, Miner, MiningConstraints, MiningParams, SetmResult};
 use setm_core::setm::plan::{PhysicalPlan, PlanMode};
 use setm_costmodel::ComparisonReport;
 use setm_datagen::{DatasetStats, NeedleConfig, QuestConfig, RetailConfig, UniformConfig};
@@ -803,6 +805,106 @@ fn repro_incremental() {
     println!("so the ratio tracks the delta fraction, not the base size.");
 }
 
+/// Transaction count for the constrained-pushdown target; the delta
+/// fraction of planted transactions matches the tests' planted-target
+/// construction.
+fn constrained_scale() -> u32 {
+    if bench_tiny() {
+        5_000
+    } else {
+        100_000
+    }
+}
+
+/// What one pushdown-vs-postfilter measurement produced.
+struct ConstrainedReport {
+    n_txns: u32,
+    target: u32,
+    rules: usize,
+    /// Σ|C_k| counted by the anchored (pushed-down) run.
+    pushed_candidates: u64,
+    /// Σ|C_k| the post-filter strategy pays: the full unconstrained run.
+    postfilter_candidates: u64,
+    /// Total constraint-rejected candidate extensions in the trace.
+    pruned: u64,
+    pushed_ms: f64,
+    postfilter_ms: f64,
+}
+
+/// The planted-target T20.I6 workload: a fresh item planted into every
+/// transaction carrying the workload's most frequent item, then mined
+/// anchored on that item two ways — constraint pushdown vs mine-all-
+/// then-filter. Rule byte-equality and the strict Σ|C_k| reduction are
+/// asserted before any number is recorded.
+fn measure_constrained(threads: usize) -> ConstrainedReport {
+    let base = QuestConfig::t20_i6(constrained_scale()).generate();
+    let target = 1 + base.items().iter().copied().max().unwrap_or(0);
+    let mut freq = std::collections::HashMap::new();
+    for (_, items) in base.transactions() {
+        for &it in items {
+            *freq.entry(it).or_insert(0u64) += 1;
+        }
+    }
+    let companion = *freq.iter().max_by_key(|(item, n)| (**n, **item)).unwrap().0;
+    let txns: Vec<(u32, Vec<u32>)> = base
+        .transactions()
+        .map(|(tid, items)| {
+            let mut items = items.to_vec();
+            if items.contains(&companion) {
+                items.push(target);
+            }
+            (tid, items)
+        })
+        .collect();
+    let dataset = setm_core::Dataset::from_transactions(
+        txns.iter().map(|(tid, items)| (*tid, items.as_slice())),
+    );
+    let params = MiningParams::new(MinSupport::Fraction(POOLSCALE_SUPPORT), 0.5);
+    let constraints = MiningConstraints::new().require([target]);
+
+    let t0 = Instant::now();
+    let unconstrained = Miner::new(params).threads(threads).run(&dataset).expect("memory run");
+    let filtered: Vec<_> = unconstrained
+        .rules
+        .iter()
+        .filter(|r| constraints.matches_rule(r))
+        .cloned()
+        .collect();
+    let postfilter_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = Instant::now();
+    let pushed = Miner::new(params)
+        .threads(threads)
+        .constraints(constraints)
+        .run(&dataset)
+        .expect("constrained run");
+    let pushed_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(
+        pushed.rules, filtered,
+        "pushdown must mine exactly the post-filtered rule set"
+    );
+    assert!(!pushed.rules.is_empty(), "the planted target must yield rules");
+    let sum_c = |r: &SetmResult| r.trace.iter().map(|t| t.c_len).sum::<u64>();
+    let (pushed_candidates, postfilter_candidates) =
+        (sum_c(&pushed.result), sum_c(&unconstrained.result));
+    assert!(
+        pushed_candidates < postfilter_candidates,
+        "anchored counting must count strictly fewer candidates \
+         ({pushed_candidates} vs {postfilter_candidates})"
+    );
+    ConstrainedReport {
+        n_txns: constrained_scale(),
+        target,
+        rules: pushed.rules.len(),
+        pushed_candidates,
+        postfilter_candidates,
+        pruned: pushed.result.trace.iter().map(|t| t.candidates_pruned).sum(),
+        pushed_ms,
+        postfilter_ms,
+    }
+}
+
 /// Client counts for the saturation sweep — doubling until well past the
 /// worker pool so the rps knee and the p99 blow-up are both visible.
 fn saturation_clients() -> &'static [usize] {
@@ -1053,7 +1155,7 @@ fn repro_baseline(path: Option<String>) {
     let reps = if tiny { 1 } else { 3 };
 
     let mut j = Json::new();
-    j.field(1, "schema", "\"setm-bench-baseline/v6\"", false);
+    j.field(1, "schema", "\"setm-bench-baseline/v7\"", false);
     j.field(1, "config", if tiny { "\"tiny\"" } else { "\"full\"" }, false);
     j.field(1, "machine", "{", true);
     j.field(2, "available_parallelism", &hw.to_string(), false);
@@ -1309,6 +1411,28 @@ fn repro_baseline(path: Option<String>) {
         inc_ratio * 100.0
     );
 
+    // Constraint pushdown (v7): anchored counting vs mine-all-then-
+    // filter on the planted-target T20.I6 workload. Rule byte-equality
+    // and the strict Σ|C_k| reduction are asserted inside the
+    // measurement; the ratio here is reported, never gated.
+    println!("  constrained pushdown vs post-filter ...");
+    let con = measure_constrained(threads_from_env());
+    j.field(1, "constrained_t20_i6", "{", true);
+    j.field(2, "min_support", &POOLSCALE_SUPPORT.to_string(), false);
+    j.field(2, "n_txns", &con.n_txns.to_string(), false);
+    j.field(2, "required_item", &con.target.to_string(), false);
+    j.field(2, "rules", &con.rules.to_string(), false);
+    j.field(2, "pushed_sum_ck", &con.pushed_candidates.to_string(), false);
+    j.field(2, "postfilter_sum_ck", &con.postfilter_candidates.to_string(), false);
+    j.field(2, "candidates_pruned", &con.pruned.to_string(), false);
+    j.field(2, "pushed_wall_ms", &format!("{:.1}", con.pushed_ms), false);
+    j.field(2, "postfilter_wall_ms", &format!("{:.1}", con.postfilter_ms), true);
+    j.0.push_str("  },\n");
+    println!(
+        "  constrained done (Σ|C_k| {} pushed vs {} post-filter)",
+        con.pushed_candidates, con.postfilter_candidates
+    );
+
     // Nested-loop vs SETM on the engine (the paper's headline ratio);
     // tiny mode shrinks the uniform model further (the scale is recorded
     // so mismatched configs are visible in diffs).
@@ -1410,16 +1534,22 @@ fn repro_check_baseline(candidate: Option<String>, reference: Option<String>) {
     };
     let ref_schema = schema_of(&reference);
     // v5 added only wall-clock sections (serve_saturation,
-    // incremental_t20_i6), and v6 only wall-clock queue-wait percentiles
-    // — their deterministic subtrees are v4's.
+    // incremental_t20_i6), v6 only wall-clock queue-wait percentiles,
+    // and v7 only the constrained_t20_i6 pushdown section — their
+    // deterministic subtrees are v4's.
     let plan_schemas = [
         "setm-bench-baseline/v3",
         "setm-bench-baseline/v4",
         "setm-bench-baseline/v5",
         "setm-bench-baseline/v6",
+        "setm-bench-baseline/v7",
     ];
-    let pool_schemas =
-        ["setm-bench-baseline/v4", "setm-bench-baseline/v5", "setm-bench-baseline/v6"];
+    let pool_schemas = [
+        "setm-bench-baseline/v4",
+        "setm-bench-baseline/v5",
+        "setm-bench-baseline/v6",
+        "setm-bench-baseline/v7",
+    ];
     let reference_is_pre_plan = !plan_schemas.contains(&ref_schema.as_str());
     let reference_is_pre_pool = !pool_schemas.contains(&ref_schema.as_str());
     let mut tolerated: Vec<&str> = Vec::new();

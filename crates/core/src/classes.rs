@@ -13,8 +13,7 @@
 
 use crate::data::{Dataset, Item, MiningParams, TransId};
 use crate::itemvec::ItemVec;
-use crate::rules::{generate_rules, Rule};
-use crate::setm;
+use crate::rules::Rule;
 use std::collections::BTreeMap;
 
 /// A class (segment) label.
@@ -66,10 +65,28 @@ impl ClassedDataset {
     pub fn n_transactions(&self) -> u64 {
         self.partitions.values().map(Dataset::n_transactions).sum()
     }
+
+    /// All partitions flattened into one class-blind dataset. Because
+    /// transaction ids are scoped per class, each transaction is assigned
+    /// a fresh sequential id (classes in ascending order, transactions in
+    /// their partition order) — supports and rule statistics are
+    /// unaffected, only the ids differ. This is the headline dataset
+    /// [`crate::Miner::by_class`] mines before the per-class passes.
+    pub fn union_all(&self) -> Dataset {
+        let mut next: TransId = 0;
+        let mut pairs: Vec<(TransId, Item)> = Vec::new();
+        for dataset in self.partitions.values() {
+            for (_, items) in dataset.transactions() {
+                pairs.extend(items.iter().map(|&it| (next, it)));
+                next += 1;
+            }
+        }
+        Dataset::from_pairs(pairs)
+    }
 }
 
 /// A rule observed in one or more classes, with per-class statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassedRule {
     pub antecedent: ItemVec,
     pub consequent: Item,
@@ -102,7 +119,7 @@ impl ClassedRule {
 }
 
 /// Outcome of per-class mining.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClassedMiningResult {
     /// Per-class rule lists, ascending by class.
     pub by_class: Vec<(ClassId, Vec<Rule>)>,
@@ -110,25 +127,13 @@ pub struct ClassedMiningResult {
     pub merged: Vec<ClassedRule>,
 }
 
-/// Run SETM independently per class and merge the rule sets.
-///
-/// Support/confidence thresholds apply *within* each class — a rule can
-/// qualify for one segment and not another, which is the point.
-/// Like [`crate::Miner::run`], invalid parameters are a typed error.
-pub fn mine_by_class(
-    data: &ClassedDataset,
-    params: &MiningParams,
-) -> Result<ClassedMiningResult, crate::error::SetmError> {
-    params.validate()?;
-    let mut by_class: Vec<(ClassId, Vec<Rule>)> = Vec::new();
-    for (&class, partition) in &data.partitions {
-        let result = setm::memory::mine(partition, params);
-        let rules = generate_rules(&result, params.min_confidence);
-        by_class.push((class, rules));
-    }
-
+/// Merge per-class rule lists on (antecedent ⇒ consequent), collecting
+/// each rule's `(class, confidence, support)` statistics — the join step
+/// shared by [`crate::Miner::by_class`] and the deprecated
+/// [`mine_by_class`].
+pub(crate) fn merge_class_rules(by_class: &[(ClassId, Vec<Rule>)]) -> Vec<ClassedRule> {
     let mut merged: BTreeMap<(ItemVec, Item), ClassedRule> = BTreeMap::new();
-    for (class, rules) in &by_class {
+    for (class, rules) in by_class {
         for rule in rules {
             let key = (rule.antecedent.clone(), rule.consequent);
             let entry = merged.entry(key).or_insert_with(|| ClassedRule {
@@ -139,13 +144,37 @@ pub fn mine_by_class(
             entry.per_class.push((*class, rule.confidence, rule.support));
         }
     }
-    Ok(ClassedMiningResult { by_class, merged: merged.into_values().collect() })
+    merged.into_values().collect()
+}
+
+/// Run SETM independently per class and merge the rule sets.
+///
+/// Support/confidence thresholds apply *within* each class — a rule can
+/// qualify for one segment and not another, which is the point.
+/// Like [`crate::Miner::run`], invalid parameters are a typed error.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `Miner::new(params).by_class(data)` and read `outcome.per_class`"
+)]
+pub fn mine_by_class(
+    data: &ClassedDataset,
+    params: &MiningParams,
+) -> Result<ClassedMiningResult, crate::error::SetmError> {
+    // Thin shim over the facade (the one-release deprecation window, as
+    // in the 0.1 → 0.2 migration): identical per-class rules, identical
+    // merge — pinned by `tests/api_surface.rs`.
+    crate::Miner::new(*params)
+        .by_class(data)
+        .map(|outcome| *outcome.per_class.expect("by_class always fills per_class"))
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shim's behavior is itself under test
 mod tests {
     use super::*;
     use crate::data::MinSupport;
+    use crate::rules::generate_rules;
+    use crate::setm;
 
     /// Two segments with opposite pair preferences: class 0 buys {1,2}
     /// together, class 1 buys {1,3} together.

@@ -30,6 +30,11 @@ pub enum SetmError {
     /// workspace below the external-sort minimum, or an unparseable
     /// `SETM_FORCE_PLAN` string).
     InvalidPlan { reason: String },
+    /// A contradictory or unsatisfiable [`crate::MiningConstraints`]
+    /// specification (an item both required and excluded, a target that
+    /// is excluded or required, a minimum rule length above the pattern
+    /// cap, ...).
+    InvalidConstraints { reason: String },
     /// The paged storage engine failed (media fault, corrupt state, …).
     Engine(setm_relational::Error),
     /// The SQL layer failed (parse / plan / execution error).
@@ -56,6 +61,9 @@ impl fmt::Display for SetmError {
             }
             SetmError::InvalidPlan { reason } => {
                 write!(f, "invalid physical plan: {reason}")
+            }
+            SetmError::InvalidConstraints { reason } => {
+                write!(f, "invalid mining constraints: {reason}")
             }
             SetmError::Engine(e) => write!(f, "storage engine error: {e}"),
             SetmError::Sql(e) => write!(f, "SQL error: {e}"),

@@ -20,9 +20,13 @@
 //! }
 //! ```
 
-use crate::data::{Dataset, MinSupport, MiningParams};
+use crate::classes::{ClassedDataset, ClassedMiningResult};
+use crate::constraints::{CompiledConstraints, ItemRemap, MiningConstraints};
+use crate::data::{Dataset, Item, MinSupport, MiningParams};
 use crate::error::SetmError;
-use crate::rules::{generate_rules, Rule};
+use crate::itemvec::ItemVec;
+use crate::pattern::CountRelation;
+use crate::rules::{generate_constrained_rules, generate_rules, Rule};
 use crate::setm::engine::{self, EngineConfig};
 use crate::setm::plan::PlanMode;
 use crate::setm::{memory, sql, SetmOptions, SetmResult};
@@ -184,6 +188,12 @@ pub struct MiningOutcome {
     pub rules: Vec<Rule>,
     /// What the backend measured or emitted while mining.
     pub report: ExecutionReport,
+    /// Per-class rule lists and the cross-class merge — filled only by
+    /// [`Miner::by_class`] (the Section 7 customer-class extension);
+    /// `None` from a plain [`Miner::run`]. Boxed so the common
+    /// class-less outcome stays pointer-sized here. Not part of the
+    /// serve wire format.
+    pub per_class: Option<Box<ClassedMiningResult>>,
 }
 
 impl MiningOutcome {
@@ -217,6 +227,7 @@ pub struct Miner {
     threads: usize,
     filter_r1: bool,
     plan_mode: PlanMode,
+    constraints: MiningConstraints,
     observer: Option<Arc<dyn ObsSink>>,
 }
 
@@ -231,6 +242,7 @@ impl std::fmt::Debug for Miner {
             .field("threads", &self.threads)
             .field("filter_r1", &self.filter_r1)
             .field("plan_mode", &self.plan_mode)
+            .field("constraints", &self.constraints)
             .field("observer", &self.observer.as_ref().map(|_| "Some(..)"))
             .finish()
     }
@@ -243,6 +255,7 @@ impl PartialEq for Miner {
             && self.threads == other.threads
             && self.filter_r1 == other.filter_r1
             && self.plan_mode == other.plan_mode
+            && self.constraints == other.constraints
     }
 }
 
@@ -256,6 +269,7 @@ impl Miner {
             threads: 0,
             filter_r1: false,
             plan_mode: PlanMode::Auto,
+            constraints: MiningConstraints::new(),
             observer: None,
         }
     }
@@ -285,6 +299,23 @@ impl Miner {
     /// typed error, not a silent no-op.
     pub fn filter_r1(mut self, filter_r1: bool) -> Self {
         self.filter_r1 = filter_r1;
+        self
+    }
+
+    /// Constrain what gets mined (default: no constraints). Required and
+    /// excluded items and the maximum/minimum pattern lengths are pushed
+    /// *into* the Figure-4 candidate loop on every backend — an excluded
+    /// item never enters `R'_k`, and required items anchor the counting
+    /// so `C_k` only ever holds patterns that can still qualify (the SQL
+    /// backend compiles the same pruning into `WHERE … IN / NOT IN`
+    /// clauses on the Section 4.1 statements). Rule-consequent `targets`
+    /// are applied at rule generation. The mined rules are exactly
+    /// `unconstrained rules ∩ constraints` — pinned by
+    /// `tests/constrained_equivalence.rs` — while counting strictly fewer
+    /// candidates (each iteration's savings land in the trace's
+    /// `candidates_pruned`).
+    pub fn constraints(mut self, constraints: MiningConstraints) -> Self {
+        self.constraints = constraints;
         self
     }
 
@@ -356,6 +387,11 @@ impl Miner {
         self.filter_r1
     }
 
+    /// The configured mining constraints (empty by default).
+    pub fn configured_constraints(&self) -> &MiningConstraints {
+        &self.constraints
+    }
+
     /// The attached telemetry sink, or a no-op [`NullSink`].
     fn sink(&self) -> &dyn ObsSink {
         self.observer.as_deref().unwrap_or(&NullSink)
@@ -385,6 +421,7 @@ impl Miner {
     /// Validate the configuration without running anything.
     pub fn validate(&self) -> Result<(), SetmError> {
         self.params.validate()?;
+        self.constraints.validate(&self.params)?;
         if let PlanMode::Forced(plan) = self.plan_mode {
             plan.validate()?;
         }
@@ -426,17 +463,39 @@ impl Miner {
     pub fn run(&self, dataset: &Dataset) -> Result<MiningOutcome, SetmError> {
         self.validate()?;
         let mode = self.effective_plan_mode()?;
-        let (result, report) = match &self.backend {
+        // Compile the constraints against this dataset. With required
+        // items the mining runs in *remapped item space* (required items
+        // become `0..m-1`, so containment is a prefix check — see
+        // `crate::constraints`); counts and rules are mapped back below.
+        let plan = (!self.constraints.is_empty()).then(|| self.constraints.compile(dataset));
+        let remapped;
+        let data: &Dataset = match plan.as_ref().and_then(|p| p.remap()) {
+            Some(remap) => {
+                remapped = remap.remap_dataset(dataset);
+                &remapped
+            }
+            None => dataset,
+        };
+        let unconstrained = CompiledConstraints::none();
+        let cc = plan.as_ref().map_or(&unconstrained, |p| p.compiled());
+        let (mut result, report) = match &self.backend {
             Backend::Memory => {
                 let opts = SetmOptions { filter_r1: self.filter_r1, threads: self.threads };
                 (
-                    memory::mine_observed(dataset, &self.params, opts, mode, self.sink()),
+                    memory::mine_constrained(data, &self.params, opts, mode, self.sink(), cc),
                     ExecutionReport::Memory,
                 )
             }
             Backend::Engine(cfg) => {
-                let run =
-                    engine::mine_observed(dataset, &self.params, *cfg, self.threads, mode, self.sink())?;
+                let run = engine::mine_constrained(
+                    data,
+                    &self.params,
+                    *cfg,
+                    self.threads,
+                    mode,
+                    self.sink(),
+                    cc,
+                )?;
                 let report = ExecutionReport::Engine(EngineReport {
                     page_accesses: run.total_page_accesses,
                     estimated_io_ms: run.total_estimated_ms,
@@ -447,13 +506,86 @@ impl Miner {
             }
             Backend::Sql => {
                 let run =
-                    sql::mine_observed(dataset, &self.params, self.threads, mode, self.sink())?;
+                    sql::mine_constrained(data, &self.params, self.threads, mode, self.sink(), cc)?;
                 (run.result, ExecutionReport::Sql(SqlReport { statements: run.statements }))
             }
         };
-        let rules = generate_rules(&result, self.params.min_confidence);
-        Ok(MiningOutcome { result, rules, report })
+        let mut rules = match plan.as_ref() {
+            None => generate_rules(&result, self.params.min_confidence),
+            Some(plan) => generate_constrained_rules(&result, self.params.min_confidence, plan),
+        };
+        if let Some(remap) = plan.as_ref().and_then(|p| p.remap()) {
+            unmap_result(&mut result, remap);
+            unmap_rules(&mut rules, remap);
+        }
+        Ok(MiningOutcome { result, rules, report, per_class: None })
     }
+
+    /// Mine per customer class (the paper's Section 7 extension) through
+    /// the same facade: the headline outcome mines the class-blind union
+    /// of all partitions with this miner's full configuration — backend,
+    /// threads, plan mode, constraints — and `per_class` carries each
+    /// class's rules plus the cross-class merge, each partition mined
+    /// with that same configuration.
+    ///
+    /// Replaces the free-standing `mine_by_class` (now a deprecated shim
+    /// over this method).
+    pub fn by_class(&self, data: &ClassedDataset) -> Result<MiningOutcome, SetmError> {
+        let mut outcome = self.run(&data.union_all())?;
+        let mut by_class = Vec::with_capacity(data.classes().len());
+        for class in data.classes() {
+            let partition = data.partition(class).expect("listed class has a partition");
+            by_class.push((class, self.run(partition)?.rules));
+        }
+        let merged = crate::classes::merge_class_rules(&by_class);
+        outcome.per_class = Some(Box::new(ClassedMiningResult { by_class, merged }));
+        Ok(outcome)
+    }
+}
+
+/// Map an anchored mining-space result back to original item ids: each
+/// pattern's items are un-mapped and re-sorted, then each count relation
+/// is rebuilt in lexicographic order. Cardinalities (and therefore the
+/// trace) are untouched — the remap is a bijection.
+fn unmap_result(result: &mut SetmResult, remap: &ItemRemap) {
+    for c in &mut result.counts {
+        let mut rows: Vec<(Vec<Item>, u64)> = c
+            .iter()
+            .map(|(pattern, count)| {
+                let mut pattern: Vec<Item> =
+                    pattern.iter().map(|&i| remap.to_original(i)).collect();
+                pattern.sort_unstable();
+                (pattern, count)
+            })
+            .collect();
+        rows.sort_unstable();
+        let mut rebuilt = CountRelation::new(c.k());
+        for (pattern, count) in rows {
+            rebuilt.push(&pattern, count);
+        }
+        *c = rebuilt;
+    }
+}
+
+/// Map mining-space rules back to original item ids and re-sort into
+/// [`generate_rules`]'s paper order: pattern length ascending, then the
+/// full pattern lexicographically, then the antecedent lexicographically
+/// (equivalently, consequent positions last-to-first).
+fn unmap_rules(rules: &mut [Rule], remap: &ItemRemap) {
+    for rule in rules.iter_mut() {
+        let mut ante: Vec<Item> = rule.antecedent.iter().map(|&i| remap.to_original(i)).collect();
+        ante.sort_unstable();
+        rule.antecedent = ItemVec::from_slice(&ante);
+        rule.consequent = remap.to_original(rule.consequent);
+    }
+    rules.sort_by(|a, b| {
+        let (pa, pb) = (a.pattern(), b.pattern());
+        (pa.as_slice().len(), pa.as_slice(), a.antecedent.as_slice()).cmp(&(
+            pb.as_slice().len(),
+            pb.as_slice(),
+            b.antecedent.as_slice(),
+        ))
+    });
 }
 
 #[cfg(test)]

@@ -22,9 +22,11 @@
 //! items, which is what step 4 of the paper's plan consumes. The
 //! analytical model in `setm-costmodel` uses the paper's own sizing.
 
+use crate::constraints::CompiledConstraints;
 use crate::data::{Dataset, MiningParams};
 use crate::pattern::CountRelation;
 use crate::setm::{IterationTrace, SetmResult};
+use std::cell::Cell;
 use setm_relational::btree::{BTree, BulkLoader};
 use setm_relational::heap::{HeapFile, HeapFileBuilder};
 use setm_relational::join::index_nested_loop_join;
@@ -76,6 +78,45 @@ impl SalesIndex {
                 out.push(r[1]);
             },
         )
+    }
+
+    /// [`SalesIndex::extend_join`] with compiled mining constraints
+    /// evaluated inside the probe predicate: a pair that passes the
+    /// paper's `item > last` test but fails the constraint check is
+    /// counted as pruned instead of emitted. The k = 2 prefix check
+    /// mirrors the merge-scan path (R_1 is the unfiltered sales
+    /// relation; later `R_{k-1}` are clean by induction), so both access
+    /// paths report identical pruned counts.
+    pub fn extend_join_constrained(
+        &self,
+        r_prev: &HeapFile,
+        k: usize,
+        cc: &CompiledConstraints,
+    ) -> Result<(HeapFile, u64)> {
+        let k_prev = k - 1;
+        let check_prefix = k_prev == 1;
+        let pruned = Cell::new(0u64);
+        let out = index_nested_loop_join(
+            r_prev,
+            &self.btree,
+            &[0],
+            k + 1,
+            |l, r| {
+                if r[1] <= l[k_prev] {
+                    return false;
+                }
+                if (check_prefix && !cc.allows_at(0, l[1])) || !cc.allows_at(k_prev, r[1]) {
+                    pruned.set(pruned.get() + 1);
+                    return false;
+                }
+                true
+            },
+            |l, r, out| {
+                out.extend_from_slice(l);
+                out.push(r[1]);
+            },
+        )?;
+        Ok((out, pruned.get()))
     }
 }
 
@@ -171,6 +212,7 @@ pub fn mine_nested_loop(
         estimated_io_ms: delta.estimated_ms(&pager.lock().cost_model()),
         cache_hits: delta.cache_hits,
         pool_steals: delta.pool_steals,
+        candidates_pruned: 0,
         plan: None,
     });
     let mut c_prev = c1;
@@ -235,6 +277,7 @@ pub fn mine_nested_loop(
             estimated_io_ms: delta.estimated_ms(&pager.lock().cost_model()),
             cache_hits: delta.cache_hits,
             pool_steals: delta.pool_steals,
+            candidates_pruned: 0,
             plan: None,
         });
 

@@ -99,6 +99,64 @@ pub fn generate_rules(result: &SetmResult, min_confidence: f64) -> Vec<Rule> {
     rules
 }
 
+/// Generate rules from a *constraint-anchored* mining result (see
+/// `crate::constraints`): the count relations live in mining space,
+/// where the `m = anchor_len` required items are `0..m-1` and every
+/// pattern in `C_k` (for `k ≥ m`) starts with them.
+///
+/// Anchored positions can never host a consequent — a required item
+/// belongs to the antecedent by definition — so consequent positions
+/// range over `m..k` only, which also guarantees every antecedent keeps
+/// the full anchor prefix and is therefore present in the anchored
+/// `C_{k-1}` (same anti-monotonicity argument as [`generate_rules`],
+/// restricted to the anchored universe). Rule-head `targets` and the
+/// minimum pattern length are applied here, post-counting: targets are
+/// deliberately *not* pushed into candidate generation because the
+/// antecedent of a targeted rule is itself target-free, so its count
+/// would be lost (REPRODUCTION.md Design notes §14).
+///
+/// Emitted rules are in mining space and in anchored enumeration order;
+/// the [`crate::Miner`] facade un-maps the items and re-sorts to match
+/// [`generate_rules`]'s paper order exactly.
+pub fn generate_constrained_rules(
+    result: &SetmResult,
+    min_confidence: f64,
+    plan: &crate::constraints::ConstraintPlan,
+) -> Vec<Rule> {
+    let anchor = plan.compiled().anchor_len();
+    let targets = plan.targets();
+    let mut rules = Vec::new();
+    let n = result.n_transactions.max(1) as f64;
+    let k_min = 2.max(plan.min_rule_len()).max(anchor + 1);
+    for k in k_min..=result.max_pattern_len() {
+        let (Some(ck), Some(ck1)) = (result.c(k), result.c(k - 1)) else { continue };
+        for (pattern, count) in ck.iter() {
+            let pattern = ItemVec::from_slice(pattern);
+            for consequent_idx in (anchor..k).rev() {
+                let consequent = pattern[consequent_idx];
+                if !targets.is_empty() && targets.binary_search(&consequent).is_err() {
+                    continue;
+                }
+                let antecedent = pattern.without_index(consequent_idx);
+                let Some(ante_count) = ck1.get(antecedent.as_slice()) else {
+                    unreachable!("antecedent {antecedent:?} missing from anchored C_{}", k - 1);
+                };
+                let confidence = count as f64 / ante_count as f64;
+                if confidence >= min_confidence {
+                    rules.push(Rule {
+                        antecedent,
+                        consequent,
+                        support_count: count,
+                        support: count as f64 / n,
+                        confidence,
+                    });
+                }
+            }
+        }
+    }
+    rules
+}
+
 /// A rule with a possibly multi-item consequent — the Agrawal–Srikant
 /// (VLDB'94) generalization of the paper's single-consequent rules,
 /// provided as an extension.

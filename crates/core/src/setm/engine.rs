@@ -50,6 +50,7 @@
 //! per-iteration `page_accesses` / `estimated_io_ms` are the sums over
 //! all shard pagers.
 
+use crate::constraints::CompiledConstraints;
 use crate::data::{Dataset, MiningParams};
 use crate::nested_loop::SalesIndex;
 use crate::pattern::CountRelation;
@@ -173,6 +174,26 @@ pub fn mine_observed(
     mode: PlanMode,
     sink: &dyn ObsSink,
 ) -> Result<EngineRun> {
+    mine_constrained(dataset, params, config, threads, mode, sink, &CompiledConstraints::none())
+}
+
+/// [`mine_observed`] with compiled [`crate::MiningConstraints`] pushed
+/// into the extension joins (see `crate::constraints` — the dataset must
+/// already be in mining space when items are required). Constraint
+/// checks run inside the join predicates, so a pruned pair never reaches
+/// `R'_k`, never gets sorted, and never gets counted; the per-iteration
+/// pruned-pair totals land in the trace's `candidates_pruned`. With
+/// empty constraints this *is* `mine_observed`.
+#[allow(clippy::too_many_arguments)]
+pub fn mine_constrained(
+    dataset: &Dataset,
+    params: &MiningParams,
+    config: EngineConfig,
+    threads: usize,
+    mode: PlanMode,
+    sink: &dyn ObsSink,
+    cc: &CompiledConstraints,
+) -> Result<EngineRun> {
     let n_txns = dataset.n_transactions();
     let min_count = params.min_support.to_count(n_txns.max(1));
     let max_len = params.max_pattern_len.unwrap_or(usize::MAX);
@@ -236,6 +257,23 @@ pub fn mine_observed(
         let locals = take_local_counts(&mut shards);
         CountRelation::merge_sum_filter(&locals, min_count)
     };
+    // Constraint pushdown at k = 1: the anchored/exclusion-filtered C1
+    // is the full count relation restricted to items allowed at pattern
+    // position 0 — an in-memory restriction (C_k is kept in memory per
+    // Section 4.3's accounting, so no I/O is charged), with the pruned
+    // rows counted from the dataset exactly like the memory backend.
+    let (c1, pruned1) = if cc.is_empty() {
+        (c1, 0u64)
+    } else {
+        let mut kept = CountRelation::new(1);
+        for (pattern, count) in c1.iter() {
+            if cc.allows_at(0, pattern[0]) {
+                kept.push(pattern, count);
+            }
+        }
+        let pruned = dataset.items().iter().filter(|&&it| !cc.allows_at(0, it)).count() as u64;
+        (kept, pruned)
+    };
     let delta = sum_deltas(&mut shards);
     trace.push(IterationTrace {
         k: 1,
@@ -247,6 +285,7 @@ pub fn mine_observed(
         estimated_io_ms: delta.estimated_ms(&cost_model),
         cache_hits: delta.cache_hits,
         pool_steals: delta.pool_steals,
+        candidates_pruned: pruned1,
         plan: None,
     });
     sink.on_event(&ObsEvent::Iteration(trace[0].snapshot()));
@@ -314,7 +353,7 @@ pub fn mine_observed(
                 // from one counting pass (C_k kept in memory per Section
                 // 4.3's accounting).
                 let sh = &mut shards[0];
-                let sorted_prime = sh.extend_sorted(k, resort, plan.join, sort_opts)?;
+                let sorted_prime = sh.extend_sorted(k, resort, plan.join, sort_opts, cc)?;
                 let scan = count_sorted_groups(&sorted_prime, &item_key, min_count, true)?;
                 sorted_prime.free()?;
                 let c_k = scan.counts;
@@ -326,7 +365,7 @@ pub fn mine_observed(
             } else {
                 // Decoupled parallel pipeline: threshold-free local
                 // counts, global k-way merge, per-shard filter.
-                run_on_shards(&mut shards, |sh| sh.phase1(k, resort, plan.join, sort_opts))?;
+                run_on_shards(&mut shards, |sh| sh.phase1(k, resort, plan.join, sort_opts, cc))?;
                 let locals = take_local_counts(&mut shards);
                 let c_k = CountRelation::merge_sum_filter(&locals, min_count);
                 let r_prime_total: u64 = shards.iter().map(|sh| sh.r_prime_tuples).sum();
@@ -336,6 +375,7 @@ pub fn mine_observed(
                 let bytes: u64 = shards.iter().map(|sh| sh.r_prev.data_bytes()).sum();
                 (c_k, n, bytes as f64 / 1024.0, r_prime_total)
             };
+            let pruned: u64 = shards.iter().map(|sh| sh.pruned_pairs).sum();
 
             let delta = iter_delta.plus(&sum_deltas(&mut shards));
             trace.push(IterationTrace {
@@ -348,6 +388,7 @@ pub fn mine_observed(
                 estimated_io_ms: delta.estimated_ms(&cost_model),
                 cache_hits: delta.cache_hits,
                 pool_steals: delta.pool_steals,
+                candidates_pruned: pruned,
                 plan: Some(plan),
             });
             sink.on_event(&ObsEvent::Iteration(trace[trace.len() - 1].snapshot()));
@@ -438,6 +479,7 @@ fn build_shards(
             sorted_prime: None,
             local_counts: CountRelation::new(1),
             r_prime_tuples: 0,
+            pruned_pairs: 0,
         });
     }
     Ok(shards)
@@ -530,6 +572,9 @@ struct EngineShard {
     /// Local (threshold-free) group counts of `sorted_prime`.
     local_counts: CountRelation,
     r_prime_tuples: u64,
+    /// Candidate pairs the constraint pushdown rejected inside this
+    /// shard's extension join, re-assigned every iteration.
+    pruned_pairs: u64,
 }
 
 impl EngineShard {
@@ -567,6 +612,7 @@ impl EngineShard {
         resort: bool,
         join: JoinStrategy,
         sort_opts: SortOptions,
+        cc: &CompiledConstraints,
     ) -> Result<HeapFile> {
         let k_prev = k - 1;
         if resort {
@@ -575,8 +621,9 @@ impl EngineShard {
             self.free_prev()?;
             self.r_prev = sorted;
         }
-        let r_prime = match join {
-            JoinStrategy::MergeScan => merge_scan_join(
+        self.pruned_pairs = 0;
+        let r_prime = match (join, cc.is_empty()) {
+            (JoinStrategy::MergeScan, true) => merge_scan_join(
                 &self.r_prev,
                 &self.sales,
                 &[0],
@@ -588,10 +635,52 @@ impl EngineShard {
                     out.push(r[1]);
                 },
             )?,
-            JoinStrategy::NestedLoop => {
+            (JoinStrategy::MergeScan, false) => {
+                // Constraint pushdown inside the join predicate: a pair
+                // that passes the paper's `item > last` test but fails
+                // the compiled constraints is counted and dropped before
+                // it can reach R'_k. The k = 2 prefix check covers the
+                // unfiltered R_1 side; later R_{k-1} are clean because
+                // they were filtered against the anchored C_{k-1}.
+                let check_prefix = k_prev == 1;
+                let pruned = std::cell::Cell::new(0u64);
+                let out = merge_scan_join(
+                    &self.r_prev,
+                    &self.sales,
+                    &[0],
+                    &[0],
+                    k + 1,
+                    |l, r| {
+                        if r[1] <= l[k_prev] {
+                            return false;
+                        }
+                        if (check_prefix && !cc.allows_at(0, l[1]))
+                            || !cc.allows_at(k_prev, r[1])
+                        {
+                            pruned.set(pruned.get() + 1);
+                            return false;
+                        }
+                        true
+                    },
+                    |l, r, out| {
+                        out.extend_from_slice(l);
+                        out.push(r[1]);
+                    },
+                )?;
+                self.pruned_pairs = pruned.get();
+                out
+            }
+            (JoinStrategy::NestedLoop, true) => {
                 self.ensure_index()?;
                 let index = self.index.as_ref().expect("ensured");
                 index.extend_join(&self.r_prev, k)?
+            }
+            (JoinStrategy::NestedLoop, false) => {
+                self.ensure_index()?;
+                let index = self.index.as_ref().expect("ensured");
+                let (out, pruned) = index.extend_join_constrained(&self.r_prev, k, cc)?;
+                self.pruned_pairs = pruned;
+                out
             }
         };
         self.free_prev()?;
@@ -610,8 +699,9 @@ impl EngineShard {
         resort: bool,
         join: JoinStrategy,
         sort_opts: SortOptions,
+        cc: &CompiledConstraints,
     ) -> Result<()> {
-        let sorted_prime = self.extend_sorted(k, resort, join, sort_opts)?;
+        let sorted_prime = self.extend_sorted(k, resort, join, sort_opts, cc)?;
         let item_key: Vec<usize> = (1..=k).collect();
         self.local_counts = count_sorted_groups(&sorted_prime, &item_key, 1, false)?.counts;
         self.sorted_prime = Some(sorted_prime);

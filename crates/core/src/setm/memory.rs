@@ -20,6 +20,7 @@
 //! `|C_k|` trace series — are identical to the sequential run for every
 //! shard count; only wall-clock time changes.
 
+use crate::constraints::CompiledConstraints;
 use crate::data::{Dataset, Item, MiningParams, TransId};
 use crate::pattern::{CountRelation, PatternRelation};
 use crate::setm::plan::{JoinStrategy, LiveStats, PhysicalPlan, PlanMode, Planner, PlannerConfig};
@@ -65,6 +66,22 @@ pub fn mine_observed(
     mode: PlanMode,
     sink: &dyn ObsSink,
 ) -> SetmResult {
+    mine_constrained(dataset, params, opts, mode, sink, &CompiledConstraints::none())
+}
+
+/// [`mine_observed`] with compiled [`crate::MiningConstraints`] pushed
+/// into candidate generation (see `crate::constraints` — the dataset
+/// must already be in mining space when items are required). With empty
+/// constraints this *is* `mine_observed`: the unconstrained loops run
+/// untouched and every `candidates_pruned` is zero.
+pub fn mine_constrained(
+    dataset: &Dataset,
+    params: &MiningParams,
+    opts: SetmOptions,
+    mode: PlanMode,
+    sink: &dyn ObsSink,
+    cc: &CompiledConstraints,
+) -> SetmResult {
     let n_txns = dataset.n_transactions();
     let min_count = params.min_support.to_count(n_txns.max(1));
     let max_len = params.max_pattern_len.unwrap_or(usize::MAX);
@@ -72,8 +89,10 @@ pub fn mine_observed(
     let mut counts: Vec<CountRelation> = Vec::new();
     let mut trace: Vec<IterationTrace> = Vec::new();
 
-    // k = 1: sort R1 on item; C1 := generate counts from R1.
-    let c1 = count_items(dataset, min_count);
+    // k = 1: sort R1 on item; C1 := generate counts from R1. Under
+    // constraints, C1 is anchored/exclusion-filtered but SALES itself is
+    // untouched (|R_1| below is the paper's unfiltered sales relation).
+    let (c1, pruned1) = count_items_constrained(dataset, min_count, cc);
     trace.push(IterationTrace {
         k: 1,
         r_prime_tuples: dataset.n_rows(),
@@ -84,6 +103,7 @@ pub fn mine_observed(
         estimated_io_ms: 0.0,
         cache_hits: 0,
         pool_steals: 0,
+        candidates_pruned: pruned1,
         plan: None,
     });
     sink.on_event(&ObsEvent::Iteration(trace[0].snapshot()));
@@ -100,11 +120,15 @@ pub fn mine_observed(
     // The SALES side of every merge-scan join. With the `filter_r1`
     // extension the join side drops infrequent items (results identical;
     // see SetmOptions). Membership is one O(1) hash probe per item.
+    // Under constraints the keep set must come from the *unconstrained*
+    // frequent items — the anchored C1 holds anchor items only, but free
+    // extension positions still range over every frequent item.
     let sales: Vec<(TransId, Vec<Item>)> = if opts.filter_r1 {
-        let keep: HashSet<Item> = counts
-            .first()
-            .map(|c1| c1.iter().map(|(p, _)| p[0]).collect())
-            .unwrap_or_default();
+        let keep: HashSet<Item> = if cc.is_empty() {
+            counts.first().map(|c1| c1.iter().map(|(p, _)| p[0]).collect()).unwrap_or_default()
+        } else {
+            count_items(dataset, min_count).iter().map(|(p, _)| p[0]).collect()
+        };
         dataset
             .transactions()
             .map(|(tid, items)| {
@@ -122,7 +146,7 @@ pub fn mine_observed(
         mode,
         PlannerConfig::with_max_shards(resolve_threads(opts.threads).min(sales.len().max(1))),
     );
-    run_planned(&sales, &planner, min_count, max_len, &mut counts, &mut trace, sink);
+    run_planned(&sales, &planner, min_count, max_len, &mut counts, &mut trace, sink, cc);
 
     SetmResult { counts, trace, n_transactions: n_txns, min_support_count: min_count }
 }
@@ -137,6 +161,7 @@ pub fn mine_observed(
 /// the filtered `R_k`, and the trace series are identical to the
 /// one-shard run — `tests/plan_equivalence.rs` proves it for the full
 /// forced-plan matrix.
+#[allow(clippy::too_many_arguments)]
 fn run_planned(
     sales: &[(TransId, Vec<Item>)],
     planner: &Planner,
@@ -145,6 +170,7 @@ fn run_planned(
     counts: &mut Vec<CountRelation>,
     trace: &mut Vec<IterationTrace>,
     sink: &dyn ObsSink,
+    cc: &CompiledConstraints,
 ) {
     // R_1 doubles as the first "R_{k-1}": one tuple (tid, [item]) per row.
     let n_rows: usize = sales.iter().map(|(_, items)| items.len()).sum();
@@ -180,10 +206,10 @@ fn run_planned(
             sink.on_event(&ObsEvent::PhaseEnd { name: "sort_r_prev", k });
         }
 
-        let (c_k, mut r_k, r_prime_tuples) = if plan.shards <= 1 {
-            iterate_one_shard(&r_prev, sales, plan.join, min_count)
+        let (c_k, mut r_k, r_prime_tuples, pruned) = if plan.shards <= 1 {
+            iterate_one_shard(&r_prev, sales, plan.join, min_count, cc)
         } else {
-            iterate_sharded(&r_prev, sales, &plan, min_count)
+            iterate_sharded(&r_prev, sales, &plan, min_count, cc)
         };
 
         trace.push(IterationTrace {
@@ -196,6 +222,7 @@ fn run_planned(
             estimated_io_ms: 0.0,
             cache_hits: 0,
             pool_steals: 0,
+            candidates_pruned: pruned,
             plan: Some(plan),
         });
         sink.on_event(&ObsEvent::Iteration(trace[trace.len() - 1].snapshot()));
@@ -232,11 +259,12 @@ fn iterate_one_shard(
     sales: &[(TransId, Vec<Item>)],
     join: JoinStrategy,
     min_count: u64,
-) -> (CountRelation, PatternRelation, u64) {
-    let mut r_prime = extend(r_prev, 0..r_prev.n_tuples(), sales, join);
+    cc: &CompiledConstraints,
+) -> (CountRelation, PatternRelation, u64, u64) {
+    let (mut r_prime, pruned) = extend(r_prev, 0..r_prev.n_tuples(), sales, join, cc);
     r_prime.sort_by_items();
     let (c_k, r_k) = count_and_filter(&r_prime, min_count);
-    (c_k, r_k, r_prime.n_tuples() as u64)
+    (c_k, r_k, r_prime.n_tuples() as u64, pruned)
 }
 
 /// One partitioned iteration: contiguous `trans_id` shards, counted
@@ -246,7 +274,8 @@ fn iterate_sharded(
     sales: &[(TransId, Vec<Item>)],
     plan: &PhysicalPlan,
     min_count: u64,
-) -> (CountRelation, PatternRelation, u64) {
+    cc: &CompiledConstraints,
+) -> (CountRelation, PatternRelation, u64, u64) {
     let weights: Vec<usize> = sales.iter().map(|(_, items)| items.len()).collect();
     let ranges = partition_by_weight(&weights, plan.shards);
 
@@ -266,17 +295,17 @@ fn iterate_sharded(
     }
 
     // Phase 1 (parallel): join + items-sort + local count per shard.
-    let mut shards: Vec<(PatternRelation, CountRelation)> = std::thread::scope(|s| {
+    let mut shards: Vec<(PatternRelation, CountRelation, u64)> = std::thread::scope(|s| {
         let handles: Vec<_> = tasks
             .iter()
             .map(|(txn_range, row_range)| {
                 let join = plan.join;
                 s.spawn(move || {
-                    let mut r_prime =
-                        extend(r_prev, row_range.clone(), &sales[txn_range.clone()], join);
+                    let (mut r_prime, pruned) =
+                        extend(r_prev, row_range.clone(), &sales[txn_range.clone()], join, cc);
                     r_prime.sort_by_items();
                     let local = count_groups(&r_prime);
-                    (r_prime, local)
+                    (r_prime, local, pruned)
                 })
             })
             .collect();
@@ -286,9 +315,10 @@ fn iterate_sharded(
     // Merge the sorted per-shard counts and apply the global support
     // threshold in one k-way pass.
     let locals: Vec<CountRelation> =
-        shards.iter_mut().map(|(_, c)| std::mem::replace(c, CountRelation::new(1))).collect();
+        shards.iter_mut().map(|(_, c, _)| std::mem::replace(c, CountRelation::new(1))).collect();
     let c_k = CountRelation::merge_sum_filter(&locals, min_count);
-    let r_prime_tuples: u64 = shards.iter().map(|(r, _)| r.n_tuples() as u64).sum();
+    let r_prime_tuples: u64 = shards.iter().map(|(r, _, _)| r.n_tuples() as u64).sum();
+    let pruned: u64 = shards.iter().map(|(_, _, p)| *p).sum();
 
     // Phase 2 (parallel): filter each shard's R'_k against the global
     // C_k, then concatenate in shard order (restoring one relation; the
@@ -297,7 +327,7 @@ fn iterate_sharded(
         let c_ref = &c_k;
         let handles: Vec<_> = shards
             .iter()
-            .map(|(r_prime, _)| s.spawn(move || filter_supported(r_prime, c_ref)))
+            .map(|(r_prime, _, _)| s.spawn(move || filter_supported(r_prime, c_ref)))
             .collect();
         handles.into_iter().map(|h| h.join().expect("SETM shard worker panicked")).collect()
     });
@@ -308,7 +338,7 @@ fn iterate_sharded(
             r_k.push(tid, items);
         }
     }
-    (c_k, r_k, r_prime_tuples)
+    (c_k, r_k, r_prime_tuples, pruned)
 }
 
 /// First row of the tid-sorted `r_prev` at or after `boundary`, searching
@@ -330,17 +360,68 @@ fn upper_row_bound(r_prev: &PatternRelation, from: usize, boundary: TransId) -> 
 /// The extension join under either access path. Both walk the `R_{k-1}`
 /// rows in order and emit extensions in ascending item order, so the
 /// output rows and their order are identical — the plan-equivalence
-/// contract.
+/// contract. Returns the relation plus the number of candidate pairs
+/// rejected by constraint pushdown (always 0 unconstrained; the
+/// unconstrained loops run untouched).
 fn extend(
     r_prev: &PatternRelation,
     rows: Range<usize>,
     sales: &[(TransId, Vec<Item>)],
     join: JoinStrategy,
-) -> PatternRelation {
-    match join {
-        JoinStrategy::MergeScan => merge_scan_extend(r_prev, rows, sales),
-        JoinStrategy::NestedLoop => nested_loop_extend(r_prev, rows, sales),
+    cc: &CompiledConstraints,
+) -> (PatternRelation, u64) {
+    if cc.is_empty() {
+        let out = match join {
+            JoinStrategy::MergeScan => merge_scan_extend(r_prev, rows, sales),
+            JoinStrategy::NestedLoop => nested_loop_extend(r_prev, rows, sales),
+        };
+        (out, 0)
+    } else {
+        match join {
+            JoinStrategy::MergeScan => merge_scan_extend_constrained(r_prev, rows, sales, cc),
+            JoinStrategy::NestedLoop => nested_loop_extend_constrained(r_prev, rows, sales, cc),
+        }
     }
+}
+
+/// C1 under compiled constraints: like [`count_items`], but only items
+/// the constraints allow at pattern position 0 are counted — with an
+/// anchor that is the first anchor item alone, otherwise every
+/// non-excluded item. Returns the count relation plus the number of
+/// `SALES` rows whose item was rejected (the k = 1 `candidates_pruned`).
+pub fn count_items_constrained(
+    dataset: &Dataset,
+    min_count: u64,
+    cc: &CompiledConstraints,
+) -> (CountRelation, u64) {
+    if cc.is_empty() {
+        return (count_items(dataset, min_count), 0);
+    }
+    let mut items: Vec<Item> = Vec::with_capacity(dataset.items().len());
+    let mut pruned = 0u64;
+    for &it in dataset.items() {
+        if cc.allows_at(0, it) {
+            items.push(it);
+        } else {
+            pruned += 1;
+        }
+    }
+    items.sort_unstable();
+    let mut c1 = CountRelation::new(1);
+    let mut i = 0;
+    while i < items.len() {
+        let item = items[i];
+        let mut j = i + 1;
+        while j < items.len() && items[j] == item {
+            j += 1;
+        }
+        let count = (j - i) as u64;
+        if count >= min_count {
+            c1.push(&[item], count);
+        }
+        i = j;
+    }
+    (c1, pruned)
 }
 
 /// C1: per-item transaction counts with the minimum-support filter
@@ -419,6 +500,77 @@ pub fn merge_scan_extend(
     out
 }
 
+/// [`merge_scan_extend`] with the compiled constraints evaluated on
+/// every candidate pair that passes the paper's `q.item > p.item_{k-1}`
+/// join predicate. Two checks exist:
+///
+/// * the *extension* item must be allowed at pattern position `k_prev`
+///   (the anchor item for anchored positions, any non-excluded item for
+///   free ones);
+/// * at k = 2 only, the *prefix* side needs the position-0 check too,
+///   because `R_1` is the paper's unfiltered sales relation — every
+///   later `R_{k-1}` was filtered against the anchored `C_{k-1}` and is
+///   clean by induction.
+///
+/// The second return value counts the rejected pairs (a rejected k = 2
+/// prefix charges all of its would-be extensions).
+fn merge_scan_extend_constrained(
+    r_prev: &PatternRelation,
+    rows: Range<usize>,
+    sales: &[(TransId, Vec<Item>)],
+    cc: &CompiledConstraints,
+) -> (PatternRelation, u64) {
+    let k_prev = r_prev.k();
+    let check_prefix = k_prev == 1;
+    let mut pruned = 0u64;
+    let mut out = PatternRelation::with_capacity(k_prev + 1, rows.len());
+    let mut buf: Vec<Item> = vec![0; k_prev + 1];
+    let mut s = 0usize;
+    let mut row = rows.start;
+    let n = rows.end;
+    while row < n {
+        let (tid, _) = r_prev.row(row);
+        while s < sales.len() && sales[s].0 < tid {
+            s += 1;
+        }
+        if s >= sales.len() {
+            break;
+        }
+        if sales[s].0 > tid {
+            while row < n && r_prev.row(row).0 == tid {
+                row += 1;
+            }
+            continue;
+        }
+        let items = &sales[s].1;
+        while row < n {
+            let (t, pattern) = r_prev.row(row);
+            if t != tid {
+                break;
+            }
+            let last = pattern[k_prev - 1];
+            let start = items.partition_point(|&it| it <= last);
+            if check_prefix && !cc.allows_at(0, pattern[0]) {
+                // The whole group of pairs through this prefix is pruned.
+                pruned += (items.len() - start) as u64;
+                row += 1;
+                continue;
+            }
+            for &ext in &items[start..] {
+                if cc.allows_at(k_prev, ext) {
+                    buf[..k_prev].copy_from_slice(pattern);
+                    buf[k_prev] = ext;
+                    out.push(tid, &buf);
+                } else {
+                    pruned += 1;
+                }
+            }
+            row += 1;
+        }
+    }
+    (out, pruned)
+}
+
 /// The nested-loop access path: one index probe per `R_{k-1}` tuple
 /// instead of a full `SALES` scan. The sorted transaction vector *is*
 /// the `(trans_id, item)` index here — `binary_search_by_key` plays the
@@ -464,6 +616,57 @@ fn nested_loop_extend(
         }
     }
     out
+}
+
+/// [`nested_loop_extend`] under compiled constraints — same checks and
+/// pruned-pair accounting as [`merge_scan_extend_constrained`], so both
+/// access paths report identical `candidates_pruned`.
+fn nested_loop_extend_constrained(
+    r_prev: &PatternRelation,
+    rows: Range<usize>,
+    sales: &[(TransId, Vec<Item>)],
+    cc: &CompiledConstraints,
+) -> (PatternRelation, u64) {
+    let k_prev = r_prev.k();
+    let check_prefix = k_prev == 1;
+    let mut pruned = 0u64;
+    let mut out = PatternRelation::with_capacity(k_prev + 1, rows.len());
+    let mut buf: Vec<Item> = vec![0; k_prev + 1];
+    let mut cached: Option<(TransId, usize)> = None;
+    for row in rows {
+        let (tid, pattern) = r_prev.row(row);
+        let hit = match cached {
+            Some((t, s)) if t == tid => Some(s),
+            _ => match sales.binary_search_by_key(&tid, |(t, _)| *t) {
+                Ok(s) => {
+                    cached = Some((tid, s));
+                    Some(s)
+                }
+                Err(_) => {
+                    cached = None;
+                    None
+                }
+            },
+        };
+        let Some(s) = hit else { continue };
+        let items = &sales[s].1;
+        let last = pattern[k_prev - 1];
+        let start = items.partition_point(|&it| it <= last);
+        if check_prefix && !cc.allows_at(0, pattern[0]) {
+            pruned += (items.len() - start) as u64;
+            continue;
+        }
+        for &ext in &items[start..] {
+            if cc.allows_at(k_prev, ext) {
+                buf[..k_prev].copy_from_slice(pattern);
+                buf[k_prev] = ext;
+                out.push(tid, &buf);
+            } else {
+                pruned += 1;
+            }
+        }
+    }
+    (out, pruned)
 }
 
 /// One pass over the items-sorted `R'_k`: emit `C_k` groups meeting the

@@ -83,6 +83,12 @@ pub struct IterationTrace {
     /// steals plus adaptive rebalance moves (engine execution with a
     /// shared pool only).
     pub pool_steals: u64,
+    /// Candidate extensions rejected by constraint pushdown this
+    /// iteration (`(p, q)` join pairs that passed the paper's
+    /// `q.item > p.item_{k-1}` predicate but failed the compiled
+    /// [`crate::MiningConstraints`]; for k = 1, `SALES` rows whose item
+    /// fails the anchor/exclusion check). Zero for unconstrained runs.
+    pub candidates_pruned: u64,
     /// The physical plan this iteration executed. `None` for k = 1 (the
     /// initial `C_1` count precedes the planned loop).
     pub plan: Option<PhysicalPlan>,
@@ -112,6 +118,7 @@ impl IterationTrace {
             estimated_io_ms: self.estimated_io_ms,
             cache_hits: self.cache_hits,
             pool_steals: self.pool_steals,
+            candidates_pruned: self.candidates_pruned,
             plan: self.plan_string(),
         }
     }

@@ -51,6 +51,7 @@
 //! leaves it untouched) means no partially-populated result table is
 //! ever observable afterwards.
 
+use crate::constraints::CompiledConstraints;
 use crate::data::{Dataset, MiningParams};
 use crate::pattern::CountRelation;
 use crate::setm::plan::{
@@ -180,14 +181,40 @@ pub fn mine_observed(
     mode: PlanMode,
     sink: &dyn ObsSink,
 ) -> Result<SqlRun> {
+    mine_constrained(dataset, params, threads, mode, sink, &CompiledConstraints::none())
+}
+
+/// [`mine_observed`] with compiled [`crate::MiningConstraints`]: the
+/// anchor/exclusion checks become `IN` / `NOT IN` conjuncts on the
+/// Section 4.1 statements themselves, so the set-oriented plan prunes
+/// candidates inside the relational engine rather than in client code.
+/// With constraints active, each extension round also runs an *audit*
+/// statement — the paper's unconstrained join into a scratch table —
+/// whose insert count, minus the constrained insert count, is the
+/// iteration's `candidates_pruned`. Unconstrained runs execute the
+/// paper's statement text byte-identically (no audit tables, no extra
+/// conjuncts).
+///
+/// `cc` is in *mining space*: with a require-constraint the caller (the
+/// [`crate::Miner`] facade) hands this function the remapped dataset, so
+/// the anchor literals in the emitted SQL are the remapped item ids
+/// `0, 1, ..`.
+pub fn mine_constrained(
+    dataset: &Dataset,
+    params: &MiningParams,
+    threads: usize,
+    mode: PlanMode,
+    sink: &dyn ObsSink,
+    cc: &CompiledConstraints,
+) -> Result<SqlRun> {
     let max_shards = resolve_threads(threads).min(dataset.n_transactions().max(1) as usize);
     let planner = Planner::new(mode, PlannerConfig::with_max_shards(max_shards));
     let boot = live_stats(dataset, max_txn_len(dataset), dataset.n_rows(), 1);
     let layout = planner.plan_iteration(2, &boot).shards;
     if layout <= 1 {
-        mine_sequential(dataset, params, &planner, sink)
+        mine_sequential(dataset, params, &planner, sink, cc)
     } else {
-        mine_sharded(dataset, params, layout, &planner, &|_, _| {}, sink)
+        mine_sharded(dataset, params, layout, &planner, &|_, _| {}, sink, cc)
     }
 }
 
@@ -203,7 +230,78 @@ pub fn mine_sharded_with_prepare(
 ) -> Result<SqlRun> {
     let threads = resolve_threads(threads).min(dataset.n_transactions().max(1) as usize);
     let planner = Planner::new(PlanMode::Auto, PlannerConfig::with_max_shards(threads.max(1)));
-    mine_sharded(dataset, params, threads.max(1), &planner, prepare, &NullSink)
+    mine_sharded(
+        dataset,
+        params,
+        threads.max(1),
+        &planner,
+        prepare,
+        &NullSink,
+        &CompiledConstraints::none(),
+    )
+}
+
+/// The compiled-constraint conjunct for one pattern position, as SQL
+/// over `col`: `IN` pinning an anchored position to its anchor item,
+/// `NOT IN` rejecting the exclusion list at a free position, or nothing
+/// when the position is unconstrained.
+fn position_clause(col: &str, pos: usize, cc: &CompiledConstraints) -> Option<String> {
+    if pos < cc.anchor_len() {
+        Some(format!("{col} IN ({pos})"))
+    } else if !cc.excluded().is_empty() {
+        let list =
+            cc.excluded().iter().map(|i| i.to_string()).collect::<Vec<_>>().join(", ");
+        Some(format!("{col} NOT IN ({list})"))
+    } else {
+        None
+    }
+}
+
+/// Extra `AND …` conjuncts the constrained extension join appends to
+/// the paper's `WHERE` clause. Empty for an unconstrained run, keeping
+/// the emitted text byte-identical to the paper's. The k = 2 join reads
+/// prefixes from the *unfiltered* `SALES`, so position 0 is constrained
+/// there too; for k >= 3 the prefix is already clean (`R_{k-1}` was
+/// filtered against the anchored `C_{k-1}`).
+fn extension_conjuncts(k: usize, cc: &CompiledConstraints) -> String {
+    let mut out = String::new();
+    if cc.is_empty() {
+        return out;
+    }
+    if k == 2 {
+        if let Some(clause) = position_clause("p.item", 0, cc) {
+            out.push_str(" AND ");
+            out.push_str(&clause);
+        }
+    }
+    if let Some(clause) = position_clause("q.item", k - 1, cc) {
+        out.push_str(" AND ");
+        out.push_str(&clause);
+    }
+    out
+}
+
+/// The `WHERE` clause of the constrained `C_1` count (between `FROM`
+/// and `GROUP BY`); empty for an unconstrained run.
+fn c1_where(cc: &CompiledConstraints) -> String {
+    if cc.is_empty() {
+        return String::new();
+    }
+    match position_clause("r1.item", 0, cc) {
+        Some(clause) => format!("\nWHERE {clause}"),
+        None => String::new(),
+    }
+}
+
+/// The k = 1 pruned count: `SALES` rows whose item fails the compiled
+/// anchor/exclusion check. Computed from the dataset (the relational
+/// side never materializes the rejected rows), with the same accounting
+/// as the in-memory and paged-engine executions.
+fn k1_pruned(dataset: &Dataset, cc: &CompiledConstraints) -> u64 {
+    if cc.is_empty() {
+        return 0;
+    }
+    dataset.items().iter().filter(|&&it| !cc.allows_at(0, it)).count() as u64
 }
 
 /// The paper's sequential Section 4.1 plan on a single session. The
@@ -216,6 +314,7 @@ fn mine_sequential(
     params: &MiningParams,
     planner: &Planner,
     sink: &dyn ObsSink,
+    cc: &CompiledConstraints,
 ) -> Result<SqlRun> {
     let mut engine = SqlEngine::new();
     let mut statements: Vec<String> = Vec::new();
@@ -238,20 +337,23 @@ fn mine_sequential(
     let mut counts: Vec<CountRelation> = Vec::new();
     let mut trace: Vec<IterationTrace> = Vec::new();
 
-    // C1 — the Section 3.1 query, verbatim.
+    // C1 — the Section 3.1 query, verbatim (a constrained run inserts
+    // its anchor/exclusion predicate as a WHERE clause).
     run(&mut engine, &mut statements, "CREATE TABLE C1 (item_1 INT, cnt INT)".into())?;
     run(
         &mut engine,
         &mut statements,
-        "INSERT INTO C1\n\
-         SELECT r1.item, COUNT(*)\n\
-         FROM SALES r1\n\
-         GROUP BY r1.item\n\
-         HAVING COUNT(*) >= :minsupport"
-            .into(),
+        format!(
+            "INSERT INTO C1\n\
+             SELECT r1.item, COUNT(*)\n\
+             FROM SALES r1{c1_where}\n\
+             GROUP BY r1.item\n\
+             HAVING COUNT(*) >= :minsupport",
+            c1_where = c1_where(cc),
+        ),
     )?;
     let c1 = read_counts(&mut engine, 1)?;
-    trace.push(iteration_one_trace(dataset, &c1));
+    trace.push(iteration_one_trace(dataset, &c1, k1_pruned(dataset, cc)));
     sink.on_event(&ObsEvent::Iteration(trace[0].snapshot()));
     let mut c_prev_len = c1.len() as u64;
     let mut prev_rows = dataset.n_rows();
@@ -297,13 +399,43 @@ fn mine_sequential(
                     "INSERT INTO {rk_prime}\n\
                      SELECT p.trans_id, {prev_items}, q.item\n\
                      FROM {prev} p, SALES q\n\
-                     WHERE q.trans_id = p.trans_id AND q.item > {prev_last}"
+                     WHERE q.trans_id = p.trans_id AND q.item > {prev_last}{extra}",
+                    extra = extension_conjuncts(k, cc),
                 ),
             )?;
             engine.set_options(merge_options(plan.sort_buffer_pages));
             let r_prime_tuples = match inserted {
                 ExecOutcome::Inserted(n) => n,
                 _ => 0,
+            };
+
+            // Audit (constrained runs only): the paper's unconstrained
+            // join into a scratch table; its insert count minus the
+            // constrained one is this iteration's pruned-candidate count.
+            let pruned = if cc.is_empty() {
+                0
+            } else {
+                let audit = format!("R{k}_AUDIT");
+                run(
+                    &mut engine,
+                    &mut statements,
+                    format!("CREATE TABLE {audit} (trans_id INT, {cols})"),
+                )?;
+                let audited = run(
+                    &mut engine,
+                    &mut statements,
+                    format!(
+                        "INSERT INTO {audit}\n\
+                         SELECT p.trans_id, {prev_items}, q.item\n\
+                         FROM {prev} p, SALES q\n\
+                         WHERE q.trans_id = p.trans_id AND q.item > {prev_last}"
+                    ),
+                )?;
+                run(&mut engine, &mut statements, format!("DROP TABLE {audit}"))?;
+                match audited {
+                    ExecOutcome::Inserted(n) => n.saturating_sub(r_prime_tuples),
+                    _ => 0,
+                }
             };
 
             // C_k — group, count, apply minimum support (Section 4.1).
@@ -353,7 +485,7 @@ fn mine_sequential(
             // R'_k is consumed; the paper discards it.
             run(&mut engine, &mut statements, format!("DROP TABLE {rk_prime}"))?;
 
-            trace.push(iteration_trace(k, r_prime_tuples, r_tuples, c_k.len() as u64, plan));
+            trace.push(iteration_trace(k, r_prime_tuples, r_tuples, c_k.len() as u64, pruned, plan));
             sink.on_event(&ObsEvent::Iteration(trace[trace.len() - 1].snapshot()));
             prev_rows = r_tuples;
             c_prev_len = c_k.len() as u64;
@@ -378,6 +510,7 @@ fn mine_sequential(
 /// concurrently (one session per shard), shard-local counts merged by a
 /// coordinator `GROUP BY … HAVING SUM(cnt) >= :minsupport`, the merged
 /// `C_k` broadcast back for the per-shard filter. See the module docs.
+#[allow(clippy::too_many_arguments)]
 fn mine_sharded(
     dataset: &Dataset,
     params: &MiningParams,
@@ -385,6 +518,7 @@ fn mine_sharded(
     planner: &Planner,
     prepare: &(dyn Fn(usize, &mut SqlEngine) + Sync),
     sink: &dyn ObsSink,
+    cc: &CompiledConstraints,
 ) -> Result<SqlRun> {
     let n_txns = dataset.n_transactions();
     let min_count = params.min_support.to_count(n_txns.max(1));
@@ -433,15 +567,16 @@ fn mine_sharded(
             format!(
                 "INSERT INTO C1_PART_{i}\n\
                  SELECT r1.item, COUNT(*)\n\
-                 FROM SALES r1\n\
-                 GROUP BY r1.item"
+                 FROM SALES r1{c1_where}\n\
+                 GROUP BY r1.item",
+                c1_where = c1_where(cc),
             ),
         )?;
         Ok(stmts)
     })?;
     statements.extend(shard_stmts.into_iter().flatten());
     let c1 = merge_shard_counts(&mut merge, &mut pool, &mut statements, &bind, 1)?;
-    trace.push(iteration_one_trace(dataset, &c1));
+    trace.push(iteration_one_trace(dataset, &c1, k1_pruned(dataset, cc)));
     sink.on_event(&ObsEvent::Iteration(trace[0].snapshot()));
     let mut c_prev_len = c1.len() as u64;
     let mut prev_rows = dataset.n_rows();
@@ -498,13 +633,44 @@ fn mine_sharded(
                         "INSERT INTO {rk_prime}\n\
                          SELECT p.trans_id, {prev_items}, q.item\n\
                          FROM {prev} p, SALES q\n\
-                         WHERE q.trans_id = p.trans_id AND q.item > {prev_last}"
+                         WHERE q.trans_id = p.trans_id AND q.item > {prev_last}{extra}",
+                        extra = extension_conjuncts(k, cc),
                     ),
                 )?;
                 engine.set_options(merge_options(plan.sort_buffer_pages));
                 let r_prime_rows = match inserted {
                     ExecOutcome::Inserted(n) => n,
                     _ => 0,
+                };
+                // Shard-local audit (constrained runs only): count the
+                // paper's unconstrained join; the coordinator sums the
+                // differences into the iteration's pruned count.
+                let audit_rows = if cc.is_empty() {
+                    0
+                } else {
+                    let audit = format!("R{k}_AUDIT_SHARD_{i}");
+                    exec_on(
+                        engine,
+                        &mut stmts,
+                        &bind,
+                        format!("CREATE TABLE {audit} (trans_id INT, {cols})"),
+                    )?;
+                    let audited = exec_on(
+                        engine,
+                        &mut stmts,
+                        &bind,
+                        format!(
+                            "INSERT INTO {audit}\n\
+                             SELECT p.trans_id, {prev_items}, q.item\n\
+                             FROM {prev} p, SALES q\n\
+                             WHERE q.trans_id = p.trans_id AND q.item > {prev_last}"
+                        ),
+                    )?;
+                    exec_on(engine, &mut stmts, &bind, format!("DROP TABLE {audit}"))?;
+                    match audited {
+                        ExecOutcome::Inserted(n) => n,
+                        _ => 0,
+                    }
                 };
                 exec_on(
                     engine,
@@ -523,10 +689,13 @@ fn mine_sharded(
                          GROUP BY {items}"
                     ),
                 )?;
-                Ok((stmts, r_prime_rows))
+                Ok((stmts, r_prime_rows, audit_rows))
             })?;
-            let r_prime_tuples: u64 = phase1.iter().map(|(_, n)| n).sum();
-            statements.extend(phase1.into_iter().flat_map(|(stmts, _)| stmts));
+            let r_prime_tuples: u64 = phase1.iter().map(|(_, n, _)| n).sum();
+            let audit_tuples: u64 = phase1.iter().map(|(_, _, a)| a).sum();
+            let pruned =
+                if cc.is_empty() { 0 } else { audit_tuples.saturating_sub(r_prime_tuples) };
+            statements.extend(phase1.into_iter().flat_map(|(stmts, _, _)| stmts));
 
             // Global C_k: union the partials, SUM-merge under the
             // threshold on the coordinator.
@@ -580,7 +749,7 @@ fn mine_sharded(
             let r_tuples: u64 = phase2.iter().map(|(_, n)| n).sum();
             statements.extend(phase2.into_iter().flat_map(|(stmts, _)| stmts));
 
-            trace.push(iteration_trace(k, r_prime_tuples, r_tuples, c_k.len() as u64, plan));
+            trace.push(iteration_trace(k, r_prime_tuples, r_tuples, c_k.len() as u64, pruned, plan));
             sink.on_event(&ObsEvent::Iteration(trace[trace.len() - 1].snapshot()));
             prev_rows = r_tuples;
             c_prev_len = c_k.len() as u64;
@@ -667,7 +836,11 @@ fn merge_shard_counts(
 
 /// The k = 1 trace row (identical fields on the sequential and
 /// partitioned plans: the paper never filters the sales relation).
-fn iteration_one_trace(dataset: &Dataset, c1: &CountRelation) -> IterationTrace {
+fn iteration_one_trace(
+    dataset: &Dataset,
+    c1: &CountRelation,
+    candidates_pruned: u64,
+) -> IterationTrace {
     IterationTrace {
         k: 1,
         r_prime_tuples: dataset.n_rows(),
@@ -678,6 +851,7 @@ fn iteration_one_trace(dataset: &Dataset, c1: &CountRelation) -> IterationTrace 
         estimated_io_ms: 0.0,
         cache_hits: 0,
         pool_steals: 0,
+        candidates_pruned,
         plan: None,
     }
 }
@@ -688,6 +862,7 @@ fn iteration_trace(
     r_prime_tuples: u64,
     r_tuples: u64,
     c_len: u64,
+    candidates_pruned: u64,
     plan: PhysicalPlan,
 ) -> IterationTrace {
     IterationTrace {
@@ -700,6 +875,7 @@ fn iteration_trace(
         estimated_io_ms: 0.0,
         cache_hits: 0,
         pool_steals: 0,
+        candidates_pruned,
         plan: Some(plan),
     }
 }

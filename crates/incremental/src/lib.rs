@@ -267,6 +267,7 @@ impl MiningFrontier {
             estimated_io_ms: 0.0,
             cache_hits: 0,
             pool_steals: 0,
+            candidates_pruned: 0,
             plan: None,
         });
         let mut c_prev_len = c1.len() as u64;
@@ -308,6 +309,7 @@ impl MiningFrontier {
                     estimated_io_ms: 0.0,
                     cache_hits: 0,
                     pool_steals: 0,
+                    candidates_pruned: 0,
                     plan: Some(plan),
                 });
                 c_prev_len = c_k.len() as u64;
@@ -325,7 +327,7 @@ impl MiningFrontier {
             min_support_count: min_count,
         };
         let rules = generate_rules(&result, self.params.min_confidence);
-        Ok(MiningOutcome { result, rules, report: ExecutionReport::Memory })
+        Ok(MiningOutcome { result, rules, report: ExecutionReport::Memory, per_class: None })
     }
 
     /// Was `pattern` (length 2 or more) frequent at the capture-time

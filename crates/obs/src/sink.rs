@@ -26,6 +26,9 @@ pub struct IterationSnapshot {
     pub cache_hits: u64,
     /// Pool frames that changed owner this iteration.
     pub pool_steals: u64,
+    /// Candidate extensions rejected by constraint pushdown this
+    /// iteration (zero for unconstrained runs).
+    pub candidates_pruned: u64,
     /// The executed physical plan's display form (`"-"` for k = 1).
     pub plan: String,
 }

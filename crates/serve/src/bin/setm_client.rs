@@ -6,12 +6,19 @@
 //! verbs:
 //!   mine --dataset NAME [--backend memory|engine|sql] [--threads N]
 //!        [--min-support X] [--min-confidence X] [--max-len K] [--filter-r1]
+//!        [--require ITEMS] [--exclude ITEMS] [--target ITEMS]
 //!        [--json] [--follow]
 //!          X parses as an absolute count when integral ("3") and as a
 //!          fraction otherwise ("0.005"). --json dumps the raw outcome
 //!          object instead of the human summary. --follow opts into the
 //!          server's progress stream and renders each iteration (and
-//!          phase/note event) live as it completes.
+//!          phase/note event) live as it completes. ITEMS is a
+//!          comma-separated item list ("4,7"); the flags repeat and
+//!          accumulate. --require mines only patterns containing all
+//!          the items, --exclude drops patterns containing any of them
+//!          (both pushed into the server's candidate loop — pruned
+//!          counts show per iteration), --target keeps only rules whose
+//!          consequent is one of the items.
 //!   register-dataset --name NAME (--file PATH:FORMAT | --transactions SPEC)
 //!          create NAME at version 1 from a basket file (fimi or pairs)
 //!          or an inline SPEC of the form "tid:item,item;tid:item,...".
@@ -28,7 +35,7 @@
 //!   shutdown        graceful drain
 //! ```
 
-use setm_core::{Backend, MinSupport, Miner, MiningParams};
+use setm_core::{Backend, MinSupport, Miner, MiningConstraints, MiningParams};
 use setm_serve::client::Client;
 use setm_serve::ProgressEvent;
 
@@ -39,6 +46,18 @@ fn usage_exit(message: &str) -> ! {
          status|metrics|trace|cancel|shutdown> [options]"
     );
     std::process::exit(2);
+}
+
+/// Parse a comma-separated item list for `--require/--exclude/--target`.
+fn parse_item_list(flag: &str, text: &str) -> Vec<u32> {
+    text.split(',')
+        .filter(|i| !i.trim().is_empty())
+        .map(|i| {
+            i.trim()
+                .parse()
+                .unwrap_or_else(|_| usage_exit(&format!("{flag}: bad item {i:?}")))
+        })
+        .collect()
 }
 
 fn parse_min_support(text: &str) -> MinSupport {
@@ -117,6 +136,9 @@ fn run_mine(client: &mut Client, options: &[String]) -> CmdResult {
     let mut min_support = MinSupport::Fraction(0.01);
     let mut min_confidence = 0.5f64;
     let mut max_len: Option<usize> = None;
+    let mut require: Vec<u32> = Vec::new();
+    let mut exclude: Vec<u32> = Vec::new();
+    let mut targets: Vec<u32> = Vec::new();
     let mut raw_json = false;
     let mut follow = false;
 
@@ -149,6 +171,9 @@ fn run_mine(client: &mut Client, options: &[String]) -> CmdResult {
                 max_len =
                     Some(value().parse().unwrap_or_else(|_| usage_exit("--max-len needs a number")));
             }
+            "--require" => require.extend(parse_item_list(flag, &value())),
+            "--exclude" => exclude.extend(parse_item_list(flag, &value())),
+            "--target" => targets.extend(parse_item_list(flag, &value())),
             "--filter-r1" => {
                 filter_r1 = true;
                 took_value = false;
@@ -169,7 +194,13 @@ fn run_mine(client: &mut Client, options: &[String]) -> CmdResult {
 
     let mut params = MiningParams::new(min_support, min_confidence);
     params.max_pattern_len = max_len;
-    let miner = Miner::new(params).backend(backend).threads(threads).filter_r1(filter_r1);
+    let constraints =
+        MiningConstraints::new().require(require).exclude(exclude).targets(targets);
+    let miner = Miner::new(params)
+        .backend(backend)
+        .threads(threads)
+        .filter_r1(filter_r1)
+        .constraints(constraints);
     let reply = if follow {
         client.mine_observed(&dataset, miner, |event| match event {
             ProgressEvent::Iteration(t) => println!(
@@ -199,8 +230,13 @@ fn run_mine(client: &mut Client, options: &[String]) -> CmdResult {
     );
     println!("{} frequent itemsets, {} rules", o.itemsets.len(), o.rules.len());
     for t in &o.trace {
+        let pruned = if t.candidates_pruned > 0 {
+            format!(" pruned={}", t.candidates_pruned)
+        } else {
+            String::new()
+        };
         println!(
-            "  k={}: |R'_{}|={:<8} |R_{}|={:<8} |C_{}|={:<8} plan={}",
+            "  k={}: |R'_{}|={:<8} |R_{}|={:<8} |C_{}|={:<8} plan={}{pruned}",
             t.k, t.k, t.r_prime_tuples, t.k, t.r_tuples, t.k, t.c_len, t.plan
         );
     }

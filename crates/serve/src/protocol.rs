@@ -30,7 +30,8 @@
 use crate::json::Json;
 use setm_core::setm::engine::EngineConfig;
 use setm_core::{
-    Backend, ExecutionReport, MinSupport, Miner, MiningOutcome, MiningParams, SetmError,
+    Backend, ExecutionReport, MinSupport, Miner, MiningConstraints, MiningOutcome, MiningParams,
+    SetmError,
 };
 use setm_obs::ObsEvent;
 
@@ -100,6 +101,14 @@ impl MineRequest {
                 members.push(("engine_config".to_string(), engine_config_to_json(&cfg)));
             }
         }
+        // Only encoded when non-empty: an unconstrained request's wire
+        // form is byte-identical to the pre-constraint protocol, and a
+        // constrained one gets a distinct outcome-cache key for free
+        // (the cache keys on this string).
+        let constraints = self.miner.configured_constraints();
+        if !constraints.is_empty() {
+            members.push(("constraints".to_string(), constraints_to_json(constraints)));
+        }
         // Only encoded when set: a default request's wire form is
         // byte-identical to the pre-observability protocol (the outcome
         // cache keys on this string, so the distinction matters).
@@ -155,6 +164,57 @@ fn engine_config_from_json(v: &Json) -> Result<EngineConfig, String> {
         cfg.track_sort_order = b.as_bool().ok_or("track_sort_order must be a boolean")?;
     }
     Ok(cfg)
+}
+
+/// Encode mining constraints as their wire object. Members are emitted
+/// only when set (`require` / `exclude` / `targets` item arrays,
+/// `min_len`), in that fixed order — canonical JSON, so equal
+/// constraints always serialize to equal bytes.
+pub fn constraints_to_json(c: &MiningConstraints) -> Json {
+    let items = |xs: &[u32]| Json::Arr(xs.iter().map(|&i| Json::u64(i as u64)).collect());
+    let mut members = Vec::new();
+    if !c.required().is_empty() {
+        members.push(("require".to_string(), items(c.required())));
+    }
+    if !c.excluded().is_empty() {
+        members.push(("exclude".to_string(), items(c.excluded())));
+    }
+    if !c.target_items().is_empty() {
+        members.push(("targets".to_string(), items(c.target_items())));
+    }
+    if let Some(len) = c.min_rule_len() {
+        members.push(("min_len".to_string(), Json::u64(len as u64)));
+    }
+    Json::Obj(members)
+}
+
+fn constraints_from_json(v: &Json) -> Result<MiningConstraints, String> {
+    let items = |key: &str| -> Result<Vec<u32>, String> {
+        match v.get(key) {
+            None => Ok(Vec::new()),
+            Some(arr) => arr
+                .as_array()
+                .ok_or_else(|| format!("constraints `{key}` must be an array of items"))?
+                .iter()
+                .map(|i| {
+                    i.as_u64()
+                        .filter(|&i| i <= u32::MAX as u64)
+                        .map(|i| i as u32)
+                        .ok_or_else(|| format!("constraints `{key}` items must be u32 integers"))
+                })
+                .collect(),
+        }
+    };
+    let mut c = MiningConstraints::new()
+        .require(items("require")?)
+        .exclude(items("exclude")?)
+        .targets(items("targets")?);
+    if let Some(len) = v.get("min_len") {
+        c = c.min_len(
+            len.as_u64().ok_or("constraints `min_len` must be a non-negative integer")? as usize,
+        );
+    }
+    Ok(c)
 }
 
 /// Encode a transaction list as its wire form: `[[tid,[items...]],...]`.
@@ -277,13 +337,23 @@ fn parse_mine(v: &Json) -> Result<MineRequest, String> {
         Some(b) => b.as_bool().ok_or("filter_r1 must be a boolean")?,
         None => false,
     };
+    // Tolerant decode: pre-constraint clients never send the member and
+    // get exactly the old behavior.
+    let constraints = match v.get("constraints") {
+        Some(c) => constraints_from_json(c)?,
+        None => MiningConstraints::new(),
+    };
     let progress = match v.get("progress") {
         Some(b) => b.as_bool().ok_or("progress must be a boolean")?,
         None => false,
     };
     Ok(MineRequest {
         dataset,
-        miner: Miner::new(params).backend(backend).threads(threads).filter_r1(filter_r1),
+        miner: Miner::new(params)
+            .backend(backend)
+            .threads(threads)
+            .filter_r1(filter_r1)
+            .constraints(constraints),
         progress,
     })
 }
@@ -326,18 +396,25 @@ pub fn outcome_to_json(outcome: &MiningOutcome) -> Json {
         .trace
         .iter()
         .map(|t| {
-            Json::obj([
-                ("k", Json::u64(t.k as u64)),
-                ("r_prime_tuples", Json::u64(t.r_prime_tuples)),
-                ("r_tuples", Json::u64(t.r_tuples)),
-                ("r_kbytes", Json::Num(t.r_kbytes)),
-                ("c_len", Json::u64(t.c_len)),
-                ("page_accesses", Json::u64(t.page_accesses)),
-                ("estimated_io_ms", Json::Num(t.estimated_io_ms)),
-                ("cache_hits", Json::u64(t.cache_hits)),
-                ("pool_steals", Json::u64(t.pool_steals)),
-                ("plan", Json::str(t.plan_string())),
-            ])
+            let mut members = vec![
+                ("k".to_string(), Json::u64(t.k as u64)),
+                ("r_prime_tuples".to_string(), Json::u64(t.r_prime_tuples)),
+                ("r_tuples".to_string(), Json::u64(t.r_tuples)),
+                ("r_kbytes".to_string(), Json::Num(t.r_kbytes)),
+                ("c_len".to_string(), Json::u64(t.c_len)),
+                ("page_accesses".to_string(), Json::u64(t.page_accesses)),
+                ("estimated_io_ms".to_string(), Json::Num(t.estimated_io_ms)),
+                ("cache_hits".to_string(), Json::u64(t.cache_hits)),
+                ("pool_steals".to_string(), Json::u64(t.pool_steals)),
+            ];
+            // Only present when constraint pushdown pruned something —
+            // unconstrained outcomes keep their pre-constraint bytes.
+            if t.candidates_pruned > 0 {
+                members
+                    .push(("candidates_pruned".to_string(), Json::u64(t.candidates_pruned)));
+            }
+            members.push(("plan".to_string(), Json::str(t.plan_string())));
+            Json::Obj(members)
         })
         .collect();
     let report = match &outcome.report {
@@ -413,6 +490,9 @@ pub struct TracePayload {
     /// Pool frames that changed owner this iteration. Zero when talking
     /// to a pre-pool server.
     pub pool_steals: u64,
+    /// Candidate extensions rejected by constraint pushdown. Zero for
+    /// unconstrained runs or when talking to a pre-constraint server.
+    pub candidates_pruned: u64,
     /// The physical plan the iteration executed, in
     /// `PhysicalPlan` display form — `"-"` where no plan applies
     /// (the `k = 1` scan) or when talking to a pre-plan server.
@@ -482,6 +562,8 @@ fn trace_row_from_json(e: &Json) -> Result<TracePayload, String> {
         // Pre-pool servers omit the cache counters — default 0.
         cache_hits: e.get("cache_hits").and_then(Json::as_u64).unwrap_or(0),
         pool_steals: e.get("pool_steals").and_then(Json::as_u64).unwrap_or(0),
+        // Absent from pre-constraint servers and unconstrained rows.
+        candidates_pruned: e.get("candidates_pruned").and_then(Json::as_u64).unwrap_or(0),
         // Absent when decoding a pre-plan server's response —
         // tolerate it rather than failing the whole outcome.
         plan: e.get("plan").and_then(Json::as_str).unwrap_or("-").to_string(),
@@ -574,19 +656,26 @@ pub fn progress_event_to_json(job: u64, event: &ObsEvent) -> Json {
         ("job".to_string(), Json::u64(job)),
     ];
     let tail: Vec<(String, Json)> = match event {
-        ObsEvent::Iteration(s) => vec![
-            ("kind".to_string(), Json::str("iteration")),
-            ("k".to_string(), Json::u64(s.k as u64)),
-            ("r_prime_tuples".to_string(), Json::u64(s.r_prime_tuples)),
-            ("r_tuples".to_string(), Json::u64(s.r_tuples)),
-            ("r_kbytes".to_string(), Json::Num(s.r_kbytes)),
-            ("c_len".to_string(), Json::u64(s.c_len)),
-            ("page_accesses".to_string(), Json::u64(s.page_accesses)),
-            ("estimated_io_ms".to_string(), Json::Num(s.estimated_io_ms)),
-            ("cache_hits".to_string(), Json::u64(s.cache_hits)),
-            ("pool_steals".to_string(), Json::u64(s.pool_steals)),
-            ("plan".to_string(), Json::str(&s.plan)),
-        ],
+        ObsEvent::Iteration(s) => {
+            let mut tail = vec![
+                ("kind".to_string(), Json::str("iteration")),
+                ("k".to_string(), Json::u64(s.k as u64)),
+                ("r_prime_tuples".to_string(), Json::u64(s.r_prime_tuples)),
+                ("r_tuples".to_string(), Json::u64(s.r_tuples)),
+                ("r_kbytes".to_string(), Json::Num(s.r_kbytes)),
+                ("c_len".to_string(), Json::u64(s.c_len)),
+                ("page_accesses".to_string(), Json::u64(s.page_accesses)),
+                ("estimated_io_ms".to_string(), Json::Num(s.estimated_io_ms)),
+                ("cache_hits".to_string(), Json::u64(s.cache_hits)),
+                ("pool_steals".to_string(), Json::u64(s.pool_steals)),
+            ];
+            // Same conditional member as the outcome trace rows.
+            if s.candidates_pruned > 0 {
+                tail.push(("candidates_pruned".to_string(), Json::u64(s.candidates_pruned)));
+            }
+            tail.push(("plan".to_string(), Json::str(&s.plan)));
+            tail
+        }
         ObsEvent::PhaseStart { name, k } => vec![
             ("kind".to_string(), Json::str("phase")),
             ("phase".to_string(), Json::str(*name)),
@@ -693,6 +782,9 @@ pub fn setm_error_code(e: &SetmError) -> ErrorCode {
             ErrorCode { code: "unsupported_option", status: 400 }
         }
         SetmError::InvalidPlan { .. } => ErrorCode { code: "invalid_plan", status: 400 },
+        SetmError::InvalidConstraints { .. } => {
+            ErrorCode { code: "invalid_constraints", status: 400 }
+        }
         SetmError::Engine(_) => ErrorCode { code: "engine_fault", status: 500 },
         SetmError::Sql(_) => ErrorCode { code: "sql_fault", status: 500 },
     }
@@ -765,6 +857,76 @@ mod tests {
         assert_eq!(parse_request(&wire).unwrap(), Request::Mine(req));
     }
 
+    /// Satellite 2, the constraint wire contract: pre-constraint
+    /// requests and outcomes keep their exact bytes, constrained
+    /// requests round-trip with a canonical `constraints` member, and
+    /// `candidates_pruned` appears on trace rows only when non-zero.
+    #[test]
+    fn constraint_wire_shape_is_pinned() {
+        use setm_core::example;
+
+        // An unconstrained request never mentions constraints.
+        let miner = Miner::new(MiningParams::new(MinSupport::Fraction(0.3), 0.7));
+        let req = MineRequest { dataset: "example".to_string(), miner, progress: false };
+        let text = req.to_json().to_string();
+        assert!(!text.contains("constraints"), "pre-constraint bytes must be preserved");
+
+        // A constrained one encodes only the members that are set, in
+        // canonical order, and round-trips through the parser.
+        let miner = Miner::new(MiningParams::new(MinSupport::Fraction(0.3), 0.7)).constraints(
+            MiningConstraints::new().require([4]).exclude([3, 7]).targets([5]).min_len(2),
+        );
+        let req = MineRequest { dataset: "example".to_string(), miner, progress: false };
+        let wire = req.to_json();
+        let text = wire.to_string();
+        assert!(text.contains(
+            r#""constraints":{"require":[4],"exclude":[3,7],"targets":[5],"min_len":2}"#
+        ));
+        assert_eq!(parse_request(&wire).unwrap(), Request::Mine(req));
+        // Partial constraint objects parse too (tolerant decode).
+        let v = crate::json::parse(
+            r#"{"op":"mine","dataset":"example","min_support":{"count":3},
+                "min_confidence":0.7,"constraints":{"exclude":[9]}}"#,
+        )
+        .unwrap();
+        let Request::Mine(req) = parse_request(&v).unwrap() else { panic!("not a mine request") };
+        assert_eq!(req.miner.configured_constraints().excluded(), &[9]);
+        assert!(req.miner.configured_constraints().required().is_empty());
+        // Malformed ones are described.
+        let bad = crate::json::parse(
+            r#"{"op":"mine","dataset":"x","min_support":{"count":1},
+                "min_confidence":0.5,"constraints":{"require":"D"}}"#,
+        )
+        .unwrap();
+        assert!(parse_request(&bad).unwrap_err().contains("require"));
+
+        // Outcome trace rows: absent unconstrained, present when pruning
+        // happened — and the decode defaults to zero either way.
+        let d = example::paper_example_dataset();
+        let unconstrained =
+            Miner::new(example::paper_example_params()).run(&d).unwrap();
+        let text = outcome_to_json(&unconstrained).to_string();
+        assert!(!text.contains("candidates_pruned"));
+        let constrained = Miner::new(example::paper_example_params())
+            .constraints(MiningConstraints::new().require([example::D]))
+            .run(&d)
+            .unwrap();
+        let wire = outcome_to_json(&constrained);
+        assert!(wire.to_string().contains("candidates_pruned"));
+        let payload = outcome_from_json(&wire).unwrap();
+        assert_eq!(
+            payload.trace.iter().map(|t| t.candidates_pruned).collect::<Vec<_>>(),
+            constrained
+                .result
+                .trace
+                .iter()
+                .map(|t| t.candidates_pruned)
+                .collect::<Vec<_>>(),
+            "pruned counts survive the wire"
+        );
+        assert!(payload.trace.iter().any(|t| t.candidates_pruned > 0));
+    }
+
     #[test]
     fn mine_request_defaults_apply() {
         let v = crate::json::parse(
@@ -817,6 +979,7 @@ mod tests {
             estimated_io_ms: 2.25,
             cache_hits: 30,
             pool_steals: 2,
+            candidates_pruned: 0,
             plan: "sortmerge(ext=hash)".to_string(),
         };
         let events = [
@@ -974,13 +1137,14 @@ mod tests {
     #[test]
     fn setm_error_codes_are_pinned() {
         use setm_core::SetmError as E;
-        let table: [(E, &str, u16); 8] = [
+        let table: [(E, &str, u16); 9] = [
             (E::InvalidSupportFraction { fraction: 1.5 }, "invalid_support_fraction", 400),
             (E::InvalidConfidence { confidence: 2.0 }, "invalid_confidence", 400),
             (E::InvalidMaxPatternLen, "invalid_max_pattern_len", 400),
             (E::InvalidEngineConfig { reason: "x".into() }, "invalid_engine_config", 400),
             (E::UnsupportedOption { backend: "sql", option: "filter_r1" }, "unsupported_option", 400),
             (E::InvalidPlan { reason: "x".into() }, "invalid_plan", 400),
+            (E::InvalidConstraints { reason: "x".into() }, "invalid_constraints", 400),
             (E::Engine(setm_relational::Error::NoSuchFile(1)), "engine_fault", 500),
             (E::Sql(setm_sql::SqlError::Parse("x".into())), "sql_fault", 500),
         ];

@@ -168,8 +168,16 @@ fn store_frontier(store: &FrontierStore, key: FrontierKey, version: u64, frontie
 
 fn params_fingerprint(miner: &Miner) -> String {
     // Debug form of the params is stable and canonical enough for an
-    // internal key (never on the wire).
-    format!("{:?}|filter_r1={}", miner.params(), miner.configured_filter_r1())
+    // internal key (never on the wire). Constraints are part of the key
+    // even though constrained requests are not frontier-eligible today —
+    // a stored frontier must never answer a differently-constrained
+    // request.
+    format!(
+        "{:?}|filter_r1={}|constraints={:?}",
+        miner.params(),
+        miner.configured_filter_r1(),
+        miner.configured_constraints()
+    )
 }
 
 /// Span-ring bound: the `trace` verb can look up this many recent jobs.
@@ -684,9 +692,13 @@ fn handle_mine(req: MineRequest, shared: &Arc<Shared>, emit: Emit<'_>) -> std::i
     // Progress requests force the observed full route: a delta replay
     // does not iterate, so it would have nothing to stream.
     let threads = req.miner.configured_threads();
+    // Constrained requests always take the full route: the frontier
+    // replays unconstrained counting, so serving one from it would leak
+    // unpruned candidates (and wrong rules) into a constrained answer.
     let frontier_eligible = !req.progress
         && matches!(req.miner.configured_backend(), Backend::Memory)
-        && !req.miner.configured_filter_r1();
+        && !req.miner.configured_filter_r1()
+        && req.miner.configured_constraints().is_empty();
     let frontier_key = (resolved.name.clone(), params_fingerprint(&req.miner));
     let replay = if frontier_eligible {
         let entry =

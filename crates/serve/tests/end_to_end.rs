@@ -6,7 +6,7 @@
 //! `Miner::run` calls** — the serialization is canonical, so equality is
 //! literal string equality on the outcome object.
 
-use setm_core::{Backend, EngineConfig, MinSupport, Miner, MiningParams};
+use setm_core::{Backend, EngineConfig, MinSupport, Miner, MiningConstraints, MiningParams};
 use setm_serve::client::{Client, ClientError};
 use setm_serve::registry::Registry;
 use setm_serve::server::{ServeConfig, Server};
@@ -518,6 +518,51 @@ fn appends_serve_via_delta_with_byte_identical_outcomes() {
         }
         other => panic!("expected bad_request, got {other}"),
     }
+    shutdown(addr, server);
+}
+
+/// Constraint safety across the incremental fast paths: a constrained
+/// mine is never answered from an unconstrained outcome cache entry or
+/// frontier — after register → mine (which captures a frontier) →
+/// append, a constrained request is served via `full` and is byte-equal
+/// to a from-scratch local constrained run.
+#[test]
+fn constrained_mines_never_ride_unconstrained_caches_or_frontiers() {
+    let (addr, server) = start_server(2, 16);
+    let mut client = Client::connect(addr).unwrap();
+    let params = MiningParams::new(MinSupport::Count(2), 0.5);
+    let plain = Miner::new(params).threads(1);
+    let constrained =
+        plain.clone().constraints(MiningConstraints::new().require([2]).exclude([4]));
+
+    assert_eq!(client.register_dataset("guarded", &stream_base()).unwrap(), 1);
+    // Unconstrained mine: full route, captures the version-1 frontier
+    // and an outcome-cache entry.
+    let first = client.mine("guarded", plain.clone()).unwrap();
+    assert_eq!(first.served_via.as_deref(), Some("full"));
+    // The constrained request at the same version must not hit that
+    // cache entry (distinct wire form ⇒ distinct key) or the frontier.
+    let guarded = client.mine("guarded", constrained.clone()).unwrap();
+    assert_eq!(guarded.served_via.as_deref(), Some("full"));
+    assert_eq!(guarded.raw_outcome, local_outcome_bytes(&stream_base(), &constrained));
+    assert_ne!(guarded.raw_outcome, first.raw_outcome);
+
+    // After an append the unconstrained path rides the frontier (delta);
+    // the constrained one still takes the full route and still matches a
+    // from-scratch run on the concatenated data.
+    assert_eq!(client.append_batch("guarded", &stream_batch()).unwrap(), 2);
+    let delta = client.mine("guarded", plain).unwrap();
+    assert_eq!(delta.served_via.as_deref(), Some("delta"));
+    let mut concat = stream_base();
+    concat.extend(stream_batch());
+    let guarded = client.mine("guarded", constrained.clone()).unwrap();
+    assert_eq!(guarded.served_via.as_deref(), Some("full"));
+    assert_eq!(guarded.raw_outcome, local_outcome_bytes(&concat, &constrained));
+    // Repeating the constrained request hits the cache — keyed on its
+    // own constrained wire form, byte-identical replay.
+    let replay = client.mine("guarded", constrained).unwrap();
+    assert_eq!(replay.served_via.as_deref(), Some("cache"));
+    assert_eq!(replay.raw_outcome, guarded.raw_outcome);
     shutdown(addr, server);
 }
 

@@ -2,8 +2,9 @@
 //!
 //! The dialect is exactly what the paper's queries need: `CREATE TABLE`
 //! with integer columns, `INSERT INTO ... VALUES/SELECT`, and
-//! single-block `SELECT` with multi-table `FROM`, conjunctive `WHERE`,
-//! `GROUP BY` + `COUNT(*)` + `HAVING`, and `ORDER BY`.
+//! single-block `SELECT` with multi-table `FROM`, conjunctive `WHERE`
+//! (comparisons plus `IN` / `NOT IN` literal lists), `GROUP BY` +
+//! `COUNT(*)` + `HAVING`, and `ORDER BY`.
 
 use std::fmt;
 
@@ -76,6 +77,25 @@ pub struct Predicate {
     pub right: Scalar,
 }
 
+/// A set-membership conjunct: `col IN (v, ...)` / `col NOT IN (v, ...)`.
+///
+/// This is how the constrained Section 4.1 statements express item
+/// anchors and exclusions as relational predicates instead of
+/// client-side filtering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetPredicate {
+    pub col: ColumnRef,
+    pub items: Vec<u64>,
+    pub negated: bool,
+}
+
+impl SetPredicate {
+    /// Whether a value satisfies the predicate.
+    pub fn matches(&self, v: u64) -> bool {
+        self.items.contains(&v) != self.negated
+    }
+}
+
 /// An item in the `SELECT` list.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SelectItem {
@@ -128,6 +148,8 @@ pub struct Select {
     pub items: Vec<SelectItem>,
     pub from: Vec<TableRef>,
     pub predicates: Vec<Predicate>,
+    /// `IN` / `NOT IN` conjuncts of the `WHERE` clause.
+    pub set_predicates: Vec<SetPredicate>,
     pub group_by: Vec<ColumnRef>,
     pub having: Option<Having>,
     pub order_by: Vec<ColumnRef>,
@@ -166,6 +188,20 @@ mod tests {
                 assert_eq!(op.eval(a, b), op.flipped().eval(b, a));
             }
         }
+    }
+
+    #[test]
+    fn set_predicate_matches() {
+        let p = SetPredicate {
+            col: ColumnRef { qualifier: None, column: "item".into() },
+            items: vec![3, 7],
+            negated: false,
+        };
+        assert!(p.matches(3));
+        assert!(!p.matches(4));
+        let n = SetPredicate { negated: true, ..p };
+        assert!(!n.matches(3));
+        assert!(n.matches(4));
     }
 
     #[test]

@@ -198,11 +198,13 @@ impl SqlEngine {
                 }
             ));
         }
-        if !plan.filters.is_empty() || !plan.cross_filters.is_empty() {
+        if !plan.filters.is_empty() || !plan.cross_filters.is_empty() || !plan.set_filters.is_empty()
+        {
             out.push_str(&format!(
-                "filter: {} constant, {} column-column\n",
+                "filter: {} constant, {} column-column, {} set-membership\n",
                 plan.filters.len(),
-                plan.cross_filters.len()
+                plan.cross_filters.len(),
+                plan.set_filters.len()
             ));
         }
         if plan.has_agg() || !plan.group_cols.is_empty() {
@@ -327,28 +329,21 @@ impl SqlEngine {
 
         // 2. Residual filters (single-table ones included; correctness
         // over micro-optimization).
-        if !plan.filters.is_empty() {
+        if !plan.filters.is_empty() || !plan.cross_filters.is_empty() || !plan.set_filters.is_empty()
+        {
             let bound: Vec<(usize, CmpOp, u64)> = plan
                 .filters
                 .iter()
                 .map(|f| Ok((f.col, f.op, eval_const(&f.rhs, params)?)))
                 .collect::<Result<_>>()?;
             let cross: Vec<(usize, CmpOp, usize)> = plan.cross_filters.clone();
+            let sets: Vec<SetFilter> = plan.set_filters.clone();
             let arity = current.file.arity();
             let all: Vec<usize> = (0..arity).collect();
             let filtered = filter_project(&current.file, &all, |row| {
                 bound.iter().all(|&(c, op, v)| op.eval(row[c] as u64, v))
                     && cross.iter().all(|&(a, op, b)| op.eval(row[a] as u64, row[b] as u64))
-            })?;
-            let sorted_by = current.sorted_by.clone();
-            current.free()?;
-            current = Working { file: filtered, owned: true, sorted_by };
-        } else if !plan.cross_filters.is_empty() {
-            let cross = plan.cross_filters.clone();
-            let arity = current.file.arity();
-            let all: Vec<usize> = (0..arity).collect();
-            let filtered = filter_project(&current.file, &all, |row| {
-                cross.iter().all(|&(a, op, b)| op.eval(row[a] as u64, row[b] as u64))
+                    && sets.iter().all(|s| s.matches(row[s.col] as u64))
             })?;
             let sorted_by = current.sorted_by.clone();
             current.free()?;
@@ -783,6 +778,8 @@ struct ResolvedSelect {
     /// Same-relation column comparisons `(flat_a, op, flat_b)` not usable
     /// as join keys (or joining already-joined tables).
     cross_filters: Vec<(usize, CmpOp, usize)>,
+    /// `IN` / `NOT IN` membership filters on flat positions.
+    set_filters: Vec<SetFilter>,
     group_cols: Vec<usize>,
     having_rhs: Option<Scalar>,
     items: Vec<ResolvedItem>,
@@ -804,6 +801,22 @@ struct ConstFilter {
     col: usize,
     op: CmpOp,
     rhs: Scalar,
+}
+
+/// A resolved `IN` / `NOT IN` conjunct: flat column position plus the
+/// literal list. Lists are tiny (constraint anchors / exclusions), so a
+/// linear scan per row is the right evaluation strategy.
+#[derive(Clone)]
+struct SetFilter {
+    col: usize,
+    items: Vec<u64>,
+    negated: bool,
+}
+
+impl SetFilter {
+    fn matches(&self, v: u64) -> bool {
+        self.items.contains(&v) != self.negated
+    }
 }
 
 /// Resolves names against the catalog and classifies predicates.
@@ -897,6 +910,14 @@ impl<'a> Resolver<'a> {
                     ))
                 }
             }
+        }
+
+        // Set-membership conjuncts resolve to flat positions and apply in
+        // the residual-filter stage, whichever table they constrain.
+        let mut set_filters: Vec<SetFilter> = Vec::new();
+        for sp in &select.set_predicates {
+            let (_, flat, _) = resolve_col(&sp.col)?;
+            set_filters.push(SetFilter { col: flat, items: sp.items.clone(), negated: sp.negated });
         }
 
         // Build left-deep join steps in FROM order. Flat positions of the
@@ -1036,6 +1057,7 @@ impl<'a> Resolver<'a> {
             join_steps,
             filters,
             cross_filters,
+            set_filters,
             group_cols,
             having_rhs: select.having.as_ref().map(|h| h.rhs.clone()),
             items,
@@ -1118,6 +1140,56 @@ mod tests {
             r.rows,
             vec![vec![1, 6], vec![2, 4], vec![3, 4], vec![4, 6], vec![5, 4], vec![6, 3]]
         );
+    }
+
+    #[test]
+    fn in_and_not_in_filter_rows() {
+        let mut e = sales_engine();
+        let p = Params::new();
+        // Anchored C1: only the required item survives counting.
+        let r = e
+            .query(
+                "SELECT r1.item, COUNT(*)
+                 FROM SALES r1
+                 WHERE r1.item IN (4)
+                 GROUP BY r1.item
+                 HAVING COUNT(*) >= 3",
+                &p,
+            )
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![4, 6]]);
+        // Exclusion on the extension side of the paper's pair join.
+        let all = e
+            .query(
+                "SELECT p.trans_id, p.item, q.item
+                 FROM SALES p, SALES q
+                 WHERE q.trans_id = p.trans_id AND q.item > p.item",
+                &p,
+            )
+            .unwrap();
+        let kept = e
+            .query(
+                "SELECT p.trans_id, p.item, q.item
+                 FROM SALES p, SALES q
+                 WHERE q.trans_id = p.trans_id AND q.item > p.item AND q.item NOT IN (3, 7)",
+                &p,
+            )
+            .unwrap();
+        assert!(kept.rows.len() < all.rows.len());
+        assert!(kept.rows.iter().all(|r| r[2] != 3 && r[2] != 7));
+        let expected: Vec<Vec<u32>> =
+            all.rows.iter().filter(|r| r[2] != 3 && r[2] != 7).cloned().collect();
+        assert_eq!(kept.rows, expected, "NOT IN is exactly a post-join filter");
+    }
+
+    #[test]
+    fn in_list_on_unknown_column_errors() {
+        let mut e = sales_engine();
+        let p = Params::new();
+        assert!(matches!(
+            e.query("SELECT item FROM SALES WHERE nope IN (1)", &p),
+            Err(SqlError::Plan(_))
+        ));
     }
 
     #[test]

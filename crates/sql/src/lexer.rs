@@ -39,6 +39,7 @@ pub enum Token {
 const KEYWORDS: &[&str] = &[
     "SELECT", "FROM", "WHERE", "AND", "GROUP", "BY", "HAVING", "ORDER", "INSERT", "INTO",
     "VALUES", "CREATE", "TABLE", "DROP", "COUNT", "SUM", "AS", "INT", "INTEGER", "ASC", "DESC",
+    "IN", "NOT",
 ];
 
 /// Tokenize a statement.
@@ -212,6 +213,14 @@ mod tests {
     fn comments_are_skipped() {
         let toks = lex("SELECT a -- comment here\nFROM t").unwrap();
         assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn in_and_not_are_keywords() {
+        let toks = lex("WHERE item NOT IN (3, 7)").unwrap();
+        assert_eq!(toks[2], Token::Keyword("NOT".into()));
+        assert_eq!(toks[3], Token::Keyword("IN".into()));
+        assert_eq!(toks[1], Token::Ident("item".into()));
     }
 
     #[test]

@@ -209,9 +209,28 @@ impl Parser {
             }
         }
         let mut predicates = Vec::new();
+        let mut set_predicates = Vec::new();
         if self.try_keyword("WHERE") {
             loop {
-                predicates.push(self.predicate()?);
+                let left = self.scalar()?;
+                let negated = self.try_keyword("NOT");
+                if negated || matches!(self.peek(), Some(Token::Keyword(k)) if k == "IN") {
+                    self.expect_keyword("IN")?;
+                    let Scalar::Column(col) = left else {
+                        return Err(SqlError::Parse(
+                            "IN requires a column on the left-hand side".into(),
+                        ));
+                    };
+                    set_predicates.push(SetPredicate {
+                        col,
+                        items: self.literal_list()?,
+                        negated,
+                    });
+                } else {
+                    let op = self.cmp_op()?;
+                    let right = self.scalar()?;
+                    predicates.push(Predicate { left, op, right });
+                }
                 if !self.try_keyword("AND") {
                     break;
                 }
@@ -261,7 +280,7 @@ impl Parser {
                 }
             }
         }
-        Ok(Select { items, from, predicates, group_by, having, order_by })
+        Ok(Select { items, from, predicates, set_predicates, group_by, having, order_by })
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {
@@ -327,11 +346,29 @@ impl Parser {
         }
     }
 
-    fn predicate(&mut self) -> Result<Predicate> {
-        let left = self.scalar()?;
-        let op = self.cmp_op()?;
-        let right = self.scalar()?;
-        Ok(Predicate { left, op, right })
+    /// A parenthesized, non-empty, comma-separated list of integer
+    /// literals — the right-hand side of `IN` / `NOT IN`.
+    fn literal_list(&mut self) -> Result<Vec<u64>> {
+        self.expect(&Token::LParen)?;
+        let mut items = Vec::new();
+        loop {
+            match self.next()? {
+                Token::Number(n) => items.push(n),
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "expected integer literal in IN list, found {other:?}"
+                    )))
+                }
+            }
+            match self.next()? {
+                Token::Comma => continue,
+                Token::RParen => break,
+                other => {
+                    return Err(SqlError::Parse(format!("expected ',' or ')', found {other:?}")))
+                }
+            }
+        }
+        Ok(items)
     }
 }
 
@@ -434,6 +471,43 @@ mod tests {
         );
         assert_eq!(h.op, CmpOp::Ge);
         assert_eq!(h.rhs, Scalar::Param("minsupport".into()));
+    }
+
+    #[test]
+    fn parses_in_and_not_in() {
+        // The constrained extension query's shape: the paper's join
+        // predicates plus the compiled constraint conjuncts.
+        let s = parse(
+            "INSERT INTO R3_PRIME
+             SELECT p.trans_id, p.item_1, p.item_2, q.item
+             FROM R2 p, SALES q
+             WHERE q.trans_id = p.trans_id AND q.item > p.item_2 AND q.item NOT IN (3, 7)",
+        )
+        .unwrap();
+        let Statement::InsertSelect { select, .. } = s else { panic!() };
+        assert_eq!(select.predicates.len(), 2);
+        assert_eq!(
+            select.set_predicates,
+            vec![SetPredicate {
+                col: ColumnRef { qualifier: Some("q".into()), column: "item".into() },
+                items: vec![3, 7],
+                negated: true,
+            }]
+        );
+        let s = parse("SELECT item FROM SALES WHERE item IN (1)").unwrap();
+        let Statement::Select(sel) = s else { panic!() };
+        assert_eq!(sel.set_predicates.len(), 1);
+        assert!(!sel.set_predicates[0].negated);
+        assert_eq!(sel.set_predicates[0].items, vec![1]);
+    }
+
+    #[test]
+    fn rejects_malformed_in_lists() {
+        assert!(parse("SELECT a FROM t WHERE a IN ()").is_err());
+        assert!(parse("SELECT a FROM t WHERE a IN (1,)").is_err());
+        assert!(parse("SELECT a FROM t WHERE a IN (b)").is_err());
+        assert!(parse("SELECT a FROM t WHERE 1 IN (1)").is_err());
+        assert!(parse("SELECT a FROM t WHERE a NOT (1)").is_err());
     }
 
     #[test]

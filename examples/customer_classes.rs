@@ -5,9 +5,9 @@
 //!
 //! Run with: `cargo run --release --example customer_classes`
 
-use setm::core::classes::{mine_by_class, ClassedDataset};
+use setm::core::classes::ClassedDataset;
 use setm::datagen::RetailConfig;
-use setm::{example, MinSupport, MiningParams};
+use setm::{example, MinSupport, Miner, MiningParams};
 
 fn main() {
     // Segment 0: a sample of the retail-like population.
@@ -41,7 +41,8 @@ fn main() {
     }
 
     let params = MiningParams::new(MinSupport::Fraction(0.02), 0.6);
-    let result = mine_by_class(&data, &params).expect("valid parameters");
+    let outcome = Miner::new(params).by_class(&data).expect("valid parameters");
+    let result = *outcome.per_class.expect("by_class fills per_class");
 
     for (class, rules) in &result.by_class {
         println!("\nclass {class}: {} qualifying rules (top 8):", rules.len());

@@ -69,11 +69,14 @@ pub use setm_sql as sql;
 
 // The everyday API at the top level.
 pub use setm_core::{
-    example, generate_rules, rules, setm, Backend, CountRelation, Dataset, EngineConfig,
-    EngineReport, ExecutionReport, IterationTrace, Item, ItemVec, MinSupport, Miner,
-    MiningOutcome, MiningParams, PatternRelation, Rule, SetmError, SetmResult, SqlReport, TransId,
+    example, generate_rules, rules, setm, Backend, ClassedDataset, ClassedMiningResult,
+    ClassedRule, CountRelation, Dataset, EngineConfig, EngineReport, ExecutionReport,
+    IterationTrace, Item, ItemVec, MinSupport, Miner, MiningConstraints, MiningOutcome,
+    MiningParams, PatternRelation, Rule, SetmError, SetmResult, SqlReport, TransId,
     UnknownBackend,
 };
+#[allow(deprecated)] // re-exported through its one-release deprecation window
+pub use setm_core::mine_by_class;
 
 #[cfg(test)]
 mod tests {

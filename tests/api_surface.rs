@@ -143,6 +143,48 @@ fn low_level_entry_points_agree_with_the_facade() {
     assert_eq!(via_sql.result.frequent_itemsets(), reference.result.frequent_itemsets());
 }
 
+/// PR 10's API redesign: mining constraints are first-class builder
+/// surface, and per-class mining moved onto the facade
+/// (`Miner::by_class` filling `MiningOutcome::per_class`), with the
+/// free-standing `mine_by_class` deprecated for one release — the same
+/// window the 0.1 entry-point shims got.
+#[test]
+fn constraints_and_by_class_are_facade_surface() {
+    use setm::{ClassedDataset, MiningConstraints};
+
+    let d = setm::example::paper_example_dataset();
+    let params = setm::example::paper_example_params();
+    // The documented chain: constrain, run, read the pruning evidence.
+    let outcome = Miner::new(params)
+        .constraints(MiningConstraints::new().require([setm::example::D]).exclude([setm::example::C]))
+        .run(&d)
+        .unwrap();
+    assert!(!outcome.rules.is_empty());
+    assert!(outcome.rules.iter().all(|r| r.pattern().as_slice().contains(&setm::example::D)));
+    assert!(outcome.rules.iter().all(|r| !r.pattern().as_slice().contains(&setm::example::C)));
+    assert!(
+        outcome.result.trace.iter().map(|t| t.candidates_pruned).sum::<u64>() > 0,
+        "pushdown must record its savings in the trace"
+    );
+    assert!(outcome.per_class.is_none(), "plain runs carry no per-class view");
+
+    // Contradictory constraints are a typed error, not a silent empty run.
+    let err = Miner::new(params)
+        .constraints(MiningConstraints::new().require([setm::example::D]).exclude([setm::example::D]))
+        .run(&d);
+    assert!(matches!(err, Err(SetmError::InvalidConstraints { .. })));
+
+    // by_class fills the per-class view; the deprecated shim forwards to
+    // it and therefore agrees exactly.
+    let classed = ClassedDataset::partition_by(&d, |tid, _| u32::from(tid >= 50));
+    let outcome = Miner::new(params).by_class(&classed).unwrap();
+    let per_class = outcome.per_class.expect("by_class fills per_class");
+    assert_eq!(per_class.by_class.len(), 2);
+    #[allow(deprecated)]
+    let shim = setm::mine_by_class(&classed, &params).unwrap();
+    assert_eq!(shim, *per_class);
+}
+
 /// `Miner::threads(n)` means the same thing on every backend — the gap
 /// the SQL execution used to carve out (`UnsupportedOption`) is closed.
 #[test]
